@@ -1,0 +1,502 @@
+//! The ILP-based optimal local legalizer (the paper's quality baseline).
+//!
+//! Runs the same incremental driver as Algorithm 1 of the paper, but each
+//! local problem — place the target cell in the extracted local region,
+//! keeping every local cell's row and the relative cell order per segment,
+//! minimizing total displacement — is solved to optimality.
+//!
+//! The faithful engine ([`LocalSolver::Milp`]) builds one mixed-integer
+//! program per candidate bottom row: continuous positions `x_i` for all
+//! local cells and the target, per-row ordering constraints, binaries
+//! `δ_i` ("target left of cell i") with big-M disjunctions and chain
+//! monotonicity, and hinge-linearized displacement terms. With the
+//! binaries fixed, the remaining LP is a system of difference constraints
+//! — totally unimodular — so branch-and-bound over `δ` alone yields
+//! integral optima.
+//!
+//! The fast engine ([`LocalSolver::ExhaustiveExact`]) enumerates every
+//! valid insertion point and scores it with the exact chain evaluator; for
+//! a fixed insertion point the minimal-push realization attains each
+//! cell's hinge lower bound, so the best insertion point is the same
+//! optimum the MILP finds. Property tests in `tests/` assert the two
+//! engines agree.
+
+use mrl_db::{CellId, Design, PlacementState};
+use mrl_geom::SitePoint;
+use mrl_ilp::{Model, Op, SolveError, VarId};
+use mrl_legalize::{
+    mll, EvalMode, LegalizeError, LegalizeStats, Legalizer, LegalizerConfig, LocalRegion,
+    PowerRailMode,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The engine used to solve each local problem optimally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LocalSolver {
+    /// Mixed-integer programming via `mrl-ilp` (faithful to the paper's
+    /// `lpsolve` baseline; slow).
+    #[default]
+    Milp,
+    /// Exhaustive insertion-point enumeration under exact evaluation
+    /// (provably the same optimum; much faster).
+    ExhaustiveExact,
+}
+
+/// Optimal local legalization driver.
+///
+/// See the [crate-level example](crate).
+#[derive(Clone, Debug)]
+pub struct IlpLegalizer {
+    cfg: LegalizerConfig,
+    solver: LocalSolver,
+}
+
+impl IlpLegalizer {
+    /// Creates the baseline with the given window/rail configuration and
+    /// local engine. The `eval_mode` field of the configuration is
+    /// ignored (this legalizer is always exact).
+    pub fn new(cfg: LegalizerConfig, solver: LocalSolver) -> Self {
+        Self { cfg, solver }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LegalizerConfig {
+        &self.cfg
+    }
+
+    /// Legalizes all unplaced movable cells, like
+    /// [`Legalizer::legalize`] but with optimal local solves.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Legalizer::legalize`].
+    pub fn legalize(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+    ) -> Result<LegalizeStats, LegalizeError> {
+        if self.solver == LocalSolver::ExhaustiveExact {
+            let cfg = self
+                .cfg
+                .clone()
+                .with_eval_mode(EvalMode::Exact);
+            return Legalizer::new(cfg).legalize(design, state);
+        }
+        // MILP driver: mirror Algorithm 1, with the MILP as local solver.
+        let helper = Legalizer::new(self.cfg.clone());
+        let mut stats = LegalizeStats::default();
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut remaining: Vec<CellId> = Vec::new();
+        let todo: Vec<CellId> = design
+            .movable_cells()
+            .filter(|&c| !state.is_placed(c))
+            .collect();
+        for cell in todo {
+            let (fx, fy) = design.input_position(cell);
+            if self.try_place(design, state, &helper, cell, fx, fy, &mut stats)? {
+                continue;
+            }
+            remaining.push(cell);
+        }
+        let mut k = 1u32;
+        while !remaining.is_empty() {
+            if k > self.cfg.max_retry_iters {
+                return Err(LegalizeError::Unplaceable {
+                    cell: remaining[0],
+                    rounds: k - 1,
+                });
+            }
+            stats.retry_rounds = k;
+            let rx = i64::from(self.cfg.rx) * i64::from(k - 1);
+            let ry = i64::from(self.cfg.ry) * i64::from(k - 1);
+            let mut still = Vec::new();
+            for cell in remaining {
+                let (fx, fy) = design.input_position(cell);
+                let dx = if rx > 0 { rng.gen_range(-rx..=rx) as f64 } else { 0.0 };
+                let dy = if ry > 0 { rng.gen_range(-ry..=ry) as f64 } else { 0.0 };
+                if !self.try_place(design, state, &helper, cell, fx + dx, fy + dy, &mut stats)? {
+                    still.push(cell);
+                }
+            }
+            remaining = still;
+            k += 1;
+        }
+        Ok(stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_place(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        helper: &Legalizer,
+        cell: CellId,
+        fx: f64,
+        fy: f64,
+        stats: &mut LegalizeStats,
+    ) -> Result<bool, LegalizeError> {
+        let pos = helper.snap(design, cell, fx, fy);
+        let direct = if self.cfg.rail_mode.is_aligned() {
+            state.place(design, cell, pos)
+        } else {
+            state.place_ignoring_rails(design, cell, pos)
+        };
+        if direct.is_ok() {
+            stats.direct += 1;
+            stats.placed += 1;
+            return Ok(true);
+        }
+        stats.mll_calls += 1;
+        let placed = self.milp_place(design, state, cell, pos)?;
+        if placed {
+            stats.via_mll += 1;
+            stats.placed += 1;
+        }
+        Ok(placed)
+    }
+
+    /// Solves the local problem around `pos` with the MILP and commits the
+    /// optimum. Returns false when no candidate window is feasible.
+    pub fn milp_place(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        target: CellId,
+        pos: SitePoint,
+    ) -> Result<bool, LegalizeError> {
+        let cell = design.cell(target);
+        let (w_t, h_t) = (cell.width(), cell.height());
+        let window = mrl_geom::SiteRect::new(
+            pos.x - self.cfg.rx,
+            pos.y - self.cfg.ry,
+            2 * self.cfg.rx + w_t,
+            2 * self.cfg.ry + h_t,
+        );
+        let region =
+            LocalRegion::extract_masked(design, state, window, design.region_of(target));
+        let hw = region.height();
+        let ht = h_t as usize;
+        if hw < ht {
+            return Ok(false);
+        }
+        let aspect = design.grid().aspect();
+        let fp = design.floorplan();
+        let mut best: Option<(f64, usize, Vec<i32>, i32)> = None; // cost, t, xs, xt
+        for t in 0..=(hw - ht) {
+            let rows = t..t + ht;
+            if rows.clone().any(|r| region.rows[r].is_none()) {
+                continue;
+            }
+            let bottom_global = region.bottom_row + t as i32;
+            if self.cfg.rail_mode == PowerRailMode::Aligned
+                && !fp.rail_compatible(cell.rail(), h_t, bottom_global)
+            {
+                continue;
+            }
+            match solve_window_milp(&region, t, ht, w_t, pos.x) {
+                Ok(Some((hcost, xs, xt))) => {
+                    let cost = hcost + f64::from((bottom_global - pos.y).abs()) * aspect;
+                    if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+                        best = Some((cost, t, xs, xt));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((_, t, xs, xt)) = best else {
+            return Ok(false);
+        };
+        let moves: Vec<(CellId, i32)> = region
+            .cells
+            .iter()
+            .zip(&xs)
+            .filter(|(c, &x)| c.x != x)
+            .map(|(c, &x)| (c.id, x))
+            .collect();
+        state.shift_batch(design, &moves).map_err(LegalizeError::Db)?;
+        let at = SitePoint::new(xt, region.bottom_row + t as i32);
+        let placed = if self.cfg.rail_mode.is_aligned() {
+            state.place(design, target, at)
+        } else {
+            state.place_ignoring_rails(design, target, at)
+        };
+        placed.map_err(LegalizeError::Db)?;
+        Ok(true)
+    }
+}
+
+/// Builds and solves the MILP for one candidate window; returns
+/// `(horizontal cost, local cell xs, target x)` or `None` if infeasible.
+fn solve_window_milp(
+    region: &LocalRegion,
+    t: usize,
+    ht: usize,
+    w_t: i32,
+    desired_x: i32,
+) -> Result<Option<(f64, Vec<i32>, i32)>, LegalizeError> {
+    let mut model = Model::new();
+    let n = region.cells.len();
+    // Position variables for local cells, bounded by their segments.
+    let mut x_vars: Vec<VarId> = Vec::with_capacity(n);
+    for c in &region.cells {
+        let mut lo = i32::MIN;
+        let mut hi = i32::MAX;
+        for row in c.y..c.y + c.h {
+            let lr = (row - region.bottom_row) as usize;
+            let seg = region.rows[lr].as_ref().expect("local cell rows exist");
+            lo = lo.max(seg.x0);
+            hi = hi.min(seg.x1 - c.w);
+        }
+        x_vars.push(model.add_var(f64::from(lo), f64::from(hi), 0.0));
+    }
+    // Target position, bounded by the window rows.
+    let (mut t_lo, mut t_hi) = (i32::MIN, i32::MAX);
+    for r in t..t + ht {
+        let seg = region.rows[r].as_ref().expect("window rows checked");
+        t_lo = t_lo.max(seg.x0);
+        t_hi = t_hi.min(seg.x1 - w_t);
+    }
+    if t_lo > t_hi {
+        return Ok(None);
+    }
+    let x_t = model.add_var(f64::from(t_lo), f64::from(t_hi), 0.0);
+
+    // Per-row ordering constraints between consecutive local cells.
+    for seg in region.rows.iter().flatten() {
+        for pair in seg.cells.windows(2) {
+            let (a, b) = (pair[0] as usize, pair[1] as usize);
+            let w_a = f64::from(region.cells[a].w);
+            model.add_constraint(
+                &[(x_vars[a], 1.0), (x_vars[b], -1.0)],
+                Op::Le,
+                -w_a,
+            );
+        }
+    }
+
+    // Disjunction binaries for cells sharing a row with the target.
+    let span_width: i32 = region
+        .rows
+        .iter()
+        .flatten()
+        .map(|s| s.x1 - s.x0)
+        .max()
+        .unwrap_or(0);
+    let big_m = f64::from(span_width + w_t + 1);
+    let mut delta: Vec<Option<VarId>> = vec![None; n];
+    for r in t..t + ht {
+        let seg = region.rows[r].as_ref().expect("window rows checked");
+        let mut prev: Option<usize> = None;
+        for &ci in &seg.cells {
+            let ci = ci as usize;
+            let d = *delta[ci].get_or_insert_with(|| model.add_binary_var(0.0));
+            // δ = 1 -> target left of cell: x_t + w_t <= x_i.
+            model.add_constraint(
+                &[(x_t, 1.0), (x_vars[ci], -1.0), (d, big_m)],
+                Op::Le,
+                big_m - f64::from(w_t),
+            );
+            // δ = 0 -> cell left of target: x_i + w_i <= x_t.
+            model.add_constraint(
+                &[(x_vars[ci], 1.0), (x_t, -1.0), (d, -big_m)],
+                Op::Le,
+                -f64::from(region.cells[ci].w),
+            );
+            // Monotone along the row: left cell's δ ≤ right cell's δ.
+            if let Some(p) = prev {
+                if let (Some(dp), Some(dc)) = (delta[p], delta[ci]) {
+                    model.add_constraint(&[(dp, 1.0), (dc, -1.0)], Op::Le, 0.0);
+                }
+            }
+            prev = Some(ci);
+        }
+    }
+
+    // Displacement hinges: d_i >= |x_i - x_i0|, d_t >= |x_t - desired|.
+    let mut objective_vars = Vec::with_capacity(n + 1);
+    for (i, c) in region.cells.iter().enumerate() {
+        let d = model.add_var(0.0, f64::INFINITY, 1.0);
+        model.add_constraint(&[(d, 1.0), (x_vars[i], -1.0)], Op::Ge, -f64::from(c.x));
+        model.add_constraint(&[(d, 1.0), (x_vars[i], 1.0)], Op::Ge, f64::from(c.x));
+        objective_vars.push(d);
+    }
+    let d_t = model.add_var(0.0, f64::INFINITY, 1.0);
+    model.add_constraint(&[(d_t, 1.0), (x_t, -1.0)], Op::Ge, -f64::from(desired_x));
+    model.add_constraint(&[(d_t, 1.0), (x_t, 1.0)], Op::Ge, f64::from(desired_x));
+    objective_vars.push(d_t);
+
+    match model.solve() {
+        Ok(sol) => {
+            let xs: Vec<i32> = x_vars
+                .iter()
+                .map(|&v| sol[v].round() as i32)
+                .collect();
+            let xt = sol[x_t].round() as i32;
+            Ok(Some((sol.objective, xs, xt)))
+        }
+        Err(SolveError::Infeasible) => Ok(None),
+        Err(e) => Err(LegalizeError::Db(mrl_db::DbError::Invalid(format!(
+            "milp solver failure: {e}"
+        )))),
+    }
+}
+
+/// Optimal cost of the local problem around one target without committing
+/// anything — the oracle used by cross-validation tests. Returns `None`
+/// when no placement exists in the window.
+#[doc(hidden)]
+pub fn milp_local_cost(
+    cfg: &LegalizerConfig,
+    design: &Design,
+    state: &PlacementState,
+    target: CellId,
+    pos: SitePoint,
+) -> Option<f64> {
+    let cell = design.cell(target);
+    let window = mrl_geom::SiteRect::new(
+        pos.x - cfg.rx,
+        pos.y - cfg.ry,
+        2 * cfg.rx + cell.width(),
+        2 * cfg.ry + cell.height(),
+    );
+    let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
+    let ht = cell.height() as usize;
+    if region.height() < ht {
+        return None;
+    }
+    let aspect = design.grid().aspect();
+    let fp = design.floorplan();
+    let mut best: Option<f64> = None;
+    for t in 0..=(region.height() - ht) {
+        if (t..t + ht).any(|r| region.rows[r].is_none()) {
+            continue;
+        }
+        let bottom_global = region.bottom_row + t as i32;
+        if cfg.rail_mode == PowerRailMode::Aligned
+            && !fp.rail_compatible(cell.rail(), cell.height(), bottom_global)
+        {
+            continue;
+        }
+        if let Ok(Some((hcost, ..))) = solve_window_milp(&region, t, ht, cell.width(), pos.x) {
+            let cost = hcost + f64::from((bottom_global - pos.y).abs()) * aspect;
+            if best.is_none_or(|b| cost < b) {
+                best = Some(cost);
+            }
+        }
+    }
+    best
+}
+
+/// Re-exported for integration tests: exact-mode MLL on one target.
+#[doc(hidden)]
+pub fn mll_exact_outcome(
+    cfg: &LegalizerConfig,
+    design: &Design,
+    state: &mut PlacementState,
+    target: CellId,
+    pos: SitePoint,
+) -> Result<mrl_legalize::MllOutcome, mrl_db::DbError> {
+    let cfg = cfg.clone().with_eval_mode(EvalMode::Exact);
+    mll(design, state, &cfg, target, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+    use mrl_legalize::MllOutcome;
+    use mrl_metrics::{check_legal, RailCheck};
+
+    fn relaxed() -> LegalizerConfig {
+        LegalizerConfig::default().with_rail_mode(PowerRailMode::Relaxed)
+    }
+
+    #[test]
+    fn milp_matches_mll_exact_on_simple_insertion() {
+        let mut b = DesignBuilder::new(1, 30);
+        let a = b.add_cell("a", 2, 1);
+        let c = b.add_cell("c", 2, 1);
+        let t = b.add_cell("t", 2, 1);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(10, 0)).unwrap();
+        state.place(&design, c, SitePoint::new(12, 0)).unwrap();
+        let cfg = relaxed();
+        let pos = SitePoint::new(11, 0);
+        let milp_cost = milp_local_cost(&cfg, &design, &state, t, pos).unwrap();
+        let out = mll_exact_outcome(&cfg, &design, &mut state, t, pos).unwrap();
+        let MllOutcome::Placed(eval) = out else {
+            panic!("mll failed")
+        };
+        assert!((milp_cost - eval.cost).abs() < 1e-6, "{milp_cost} vs {}", eval.cost);
+        assert!((milp_cost - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn milp_matches_mll_exact_with_multi_row_cells() {
+        let mut b = DesignBuilder::new(2, 20);
+        let m = b.add_cell("m", 2, 2);
+        let s = b.add_cell("s", 2, 1);
+        let t = b.add_cell("t", 3, 1);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, m, SitePoint::new(8, 0)).unwrap();
+        state.place(&design, s, SitePoint::new(10, 1)).unwrap();
+        let cfg = relaxed();
+        let pos = SitePoint::new(8, 0);
+        let milp_cost = milp_local_cost(&cfg, &design, &state, t, pos).unwrap();
+        let out = mll_exact_outcome(&cfg, &design, &mut state, t, pos).unwrap();
+        let MllOutcome::Placed(eval) = out else {
+            panic!("mll failed")
+        };
+        assert!((milp_cost - eval.cost).abs() < 1e-6, "{milp_cost} vs {}", eval.cost);
+    }
+
+    #[test]
+    fn milp_driver_legalizes_and_is_legal() {
+        let mut b = DesignBuilder::new(4, 24);
+        for i in 0..6 {
+            let c = b.add_cell(format!("c{i}"), 2, 1 + (i % 2));
+            b.set_input_position(c, 8.0 + 0.4 * i as f64, 1.2);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let ilp = IlpLegalizer::new(LegalizerConfig::default(), LocalSolver::Milp);
+        let stats = ilp.legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.placed, 6);
+        assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_engine_delegates_to_exact_mll() {
+        let mut b = DesignBuilder::new(4, 24);
+        for i in 0..6 {
+            let c = b.add_cell(format!("c{i}"), 2, 1 + (i % 2));
+            b.set_input_position(c, 8.0 + 0.4 * i as f64, 1.2);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let ilp = IlpLegalizer::new(LegalizerConfig::default(), LocalSolver::ExhaustiveExact);
+        let stats = ilp.legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.placed, 6);
+        assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
+    }
+
+    #[test]
+    fn milp_respects_rail_alignment() {
+        let mut b = DesignBuilder::new(4, 12);
+        let d = b.add_cell("d", 2, 2);
+        b.set_input_position(d, 5.0, 1.0);
+        // Force MLL path by occupying the snapped position.
+        let blocker = b.add_cell("blk", 2, 2);
+        b.set_input_position(blocker, 5.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let ilp = IlpLegalizer::new(LegalizerConfig::default(), LocalSolver::Milp);
+        ilp.legalize(&design, &mut state).unwrap();
+        assert_eq!(state.position(d).unwrap().y % 2, 0);
+        assert_eq!(state.position(blocker).unwrap().y % 2, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Microbenchmarks of one MLL invocation and its stages: region
+//! extraction, interval construction, insertion-point enumeration with
+//! evaluation, and realization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrl_db::{Design, PlacementState};
+use mrl_geom::{PowerRail, SiteRect};
+use mrl_legalize::{
+    find_best_insertion_point, realize, LegalizerConfig, LocalRegion, PowerRailMode, TargetSpec,
+};
+use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+
+/// A legalized medium design to extract windows from.
+fn fixture() -> (Design, PlacementState) {
+    let spec = BenchmarkSpec::new("bench_mll", 4_000, 400, 0.6, 0.0);
+    let design = generate(&spec, &GeneratorConfig::default()).expect("generate");
+    let mut state = PlacementState::new(&design);
+    mrl_legalize::Legalizer::default()
+        .legalize(&design, &mut state)
+        .expect("legalize");
+    (design, state)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let (design, state) = fixture();
+    let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
+    let bounds = design.floorplan().bounds();
+    let (cx, cy) = (bounds.w / 2, bounds.h / 2);
+    let window = SiteRect::new(cx - cfg.rx, cy - cfg.ry, 2 * cfg.rx + 3, 2 * cfg.ry + 2);
+    let target = TargetSpec {
+        w: 3,
+        h: 2,
+        x: cx,
+        y: cy,
+        rail: PowerRail::Vdd,
+    };
+
+    c.bench_function("extract_local_region", |b| {
+        b.iter(|| LocalRegion::extract(&design, &state, window))
+    });
+
+    let region = LocalRegion::extract(&design, &state, window);
+    c.bench_function("insertion_intervals", |b| {
+        b.iter(|| region.insertion_intervals(target.w))
+    });
+
+    c.bench_function("find_best_insertion_point", |b| {
+        b.iter(|| find_best_insertion_point(&region, &design, &target, &cfg))
+    });
+
+    if let Some(point) = find_best_insertion_point(&region, &design, &target, &cfg) {
+        c.bench_function("realize", |b| b.iter(|| realize(&region, &point, &target)));
+    }
+}
+
+fn bench_target_heights(c: &mut Criterion) {
+    let (design, state) = fixture();
+    let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
+    let bounds = design.floorplan().bounds();
+    let (cx, cy) = (bounds.w / 2, bounds.h / 2);
+    let mut group = c.benchmark_group("enumeration_by_target_height");
+    for h in [1i32, 2, 3] {
+        let window = SiteRect::new(cx - cfg.rx, cy - cfg.ry, 2 * cfg.rx + 3, 2 * cfg.ry + h);
+        let region = LocalRegion::extract(&design, &state, window);
+        let target = TargetSpec {
+            w: 3,
+            h,
+            x: cx,
+            y: cy,
+            rail: PowerRail::Vdd,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
+            b.iter(|| find_best_insertion_point(&region, &design, &target, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_target_heights);
+criterion_main!(benches);

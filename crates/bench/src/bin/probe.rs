@@ -1,0 +1,102 @@
+//! Diagnostic probe for a single benchmark run (not part of the paper's
+//! experiments): prints placement progress details for one configuration.
+//!
+//! ```text
+//! probe [--bench NAME] [--scale N] [--seed S] [--retries K] [--relaxed]
+//! ```
+
+use mrl_db::PlacementState;
+use mrl_legalize::{Legalizer, LegalizerConfig, PowerRailMode};
+use mrl_metrics::{check_legal, displacement_stats, RailCheck};
+use mrl_synth::{generate, ispd2015_suite, GeneratorConfig};
+
+fn main() {
+    let mut name = String::from("des_perf_1");
+    let mut scale = 20.0;
+    let mut seed = 1u64;
+    let mut retries = 64u32;
+    let mut relaxed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |n: &str| args.next().unwrap_or_else(|| panic!("{n} needs a value"));
+        match arg.as_str() {
+            "--bench" => name = val("--bench"),
+            "--scale" => scale = val("--scale").parse().unwrap(),
+            "--seed" => seed = val("--seed").parse().unwrap(),
+            "--retries" => retries = val("--retries").parse().unwrap(),
+            "--relaxed" => relaxed = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let spec = ispd2015_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known benchmark");
+    let mut gen_cfg = GeneratorConfig::default().with_scale(scale).with_seed(seed);
+    if std::env::var_os("MRL_PROBE_NO_MACROS").is_some() {
+        gen_cfg.macro_fraction = 0.0;
+    }
+    let design = generate(&spec, &gen_cfg).expect("generate");
+    println!(
+        "{}: {} movable, density {:.3}, {} rows x {} sites, capacity {}",
+        design.name(),
+        design.num_movable(),
+        design.density(),
+        design.floorplan().num_rows(),
+        design.floorplan().bounds().w,
+        design.floorplan().capacity(),
+    );
+    let mut cfg = LegalizerConfig::default().with_seed(seed);
+    cfg.max_retry_iters = retries;
+    if relaxed {
+        cfg = cfg.with_rail_mode(PowerRailMode::Relaxed);
+    }
+    let mut state = PlacementState::new(&design);
+    let start = std::time::Instant::now();
+    match Legalizer::new(cfg).legalize(&design, &mut state) {
+        Ok(stats) => {
+            let rails = if relaxed { RailCheck::Ignore } else { RailCheck::Enforce };
+            let legal = check_legal(&design, &state, rails).is_ok();
+            let disp = displacement_stats(&design, &state);
+            println!(
+                "ok in {:.2}s: direct {}, mll {}, calls {}, retry rounds {}, legal {}, disp {:.2}",
+                start.elapsed().as_secs_f64(),
+                stats.direct,
+                stats.via_mll,
+                stats.mll_calls,
+                stats.retry_rounds,
+                legal,
+                disp.avg_sites
+            );
+            // Displacement percentiles, to see whether the average is
+            // driven by a congested tail.
+            let aspect = design.grid().aspect();
+            let mut ds: Vec<f64> = design
+                .movable_cells()
+                .filter_map(|c| {
+                    let p = state.position(c)?;
+                    let (ix, iy) = design.input_position(c);
+                    Some((f64::from(p.x) - ix).abs() + (f64::from(p.y) - iy).abs() * aspect)
+                })
+                .collect();
+            ds.sort_by(f64::total_cmp);
+            let pct = |q: f64| ds[((ds.len() - 1) as f64 * q) as usize];
+            println!(
+                "disp percentiles: p50 {:.2} p90 {:.2} p99 {:.2} p99.9 {:.2} max {:.2}",
+                pct(0.5),
+                pct(0.9),
+                pct(0.99),
+                pct(0.999),
+                pct(1.0)
+            );
+        }
+        Err(e) => {
+            println!(
+                "FAILED after {:.2}s: {e}; placed {}/{}",
+                start.elapsed().as_secs_f64(),
+                state.num_placed(),
+                design.num_movable()
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Regenerates Table 1 of the paper: per-benchmark displacement, ΔHPWL,
+//! and runtime for the ILP baseline and MLL, with power rails aligned and
+//! relaxed.
+//!
+//! ```text
+//! table1 [--scale N] [--seed S] [--bench NAME]... [--milp]
+//!        [--milp-max-cells N] [--no-ilp] [--json PATH]
+//! ```
+//!
+//! * `--scale N` — divide the paper's cell counts by `N` (default 20;
+//!   use `--scale 1` for full-size designs, which takes a while for the
+//!   superblue family).
+//! * `--bench NAME` — run only the named benchmark(s).
+//! * `--milp` — use the faithful MILP engine for the ILP columns instead
+//!   of the equivalent exhaustive-exact oracle (slow; auto-capped).
+//! * `--json PATH` — additionally dump raw results as JSON.
+
+use mrl_bench::{run_suite, table1_rows, HarnessConfig, Method};
+use mrl_synth::ispd2015_suite;
+
+fn main() {
+    let mut scale = 20.0_f64;
+    let mut seed = 1u64;
+    let mut only: Vec<String> = Vec::new();
+    let mut use_milp = false;
+    let mut no_ilp = false;
+    let mut milp_max_cells = 3_000usize;
+    let mut json_path: Option<String> = None;
+    let mut fences = 0usize;
+    let mut tall = 0.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = val("--scale").parse().expect("numeric --scale"),
+            "--seed" => seed = val("--seed").parse().expect("numeric --seed"),
+            "--bench" => only.push(val("--bench")),
+            "--milp" => use_milp = true,
+            "--no-ilp" => no_ilp = true,
+            "--milp-max-cells" => {
+                milp_max_cells = val("--milp-max-cells").parse().expect("numeric cap")
+            }
+            "--json" => json_path = Some(val("--json")),
+            "--fences" => fences = val("--fences").parse().expect("numeric --fences"),
+            "--tall" => tall = val("--tall").parse().expect("numeric --tall"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut specs = ispd2015_suite();
+    if !only.is_empty() {
+        specs.retain(|s| only.contains(&s.name));
+        if specs.is_empty() {
+            eprintln!("no benchmark matches {only:?}");
+            std::process::exit(2);
+        }
+    }
+    let ilp = if use_milp {
+        Method::IlpMilp
+    } else {
+        Method::IlpOracle
+    };
+    let methods: Vec<Method> = if no_ilp {
+        vec![Method::Mll]
+    } else {
+        vec![ilp, Method::Mll]
+    };
+    let cfg = HarnessConfig {
+        scale,
+        seed,
+        methods: methods.clone(),
+        rail_modes: vec![true, false],
+        ilp_milp_max_cells: milp_max_cells,
+        fence_regions: fences,
+        tall_fraction: tall,
+    };
+
+    eprintln!(
+        "# Table 1 reproduction — scale 1/{scale}, seed {seed}, ILP engine: {}",
+        if no_ilp {
+            "none"
+        } else if use_milp {
+            "MILP (lpsolve-equivalent)"
+        } else {
+            "exhaustive-exact oracle (same optimum)"
+        }
+    );
+    let results = run_suite(&specs, &cfg);
+
+    println!("\n== Power Line Aligned ==");
+    println!("{}", table1_rows(&results, &methods, true));
+    println!("\n== Power Line Not Aligned ==");
+    println!("{}", table1_rows(&results, &methods, false));
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serializable results");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("raw results written to {path}");
+    }
+}

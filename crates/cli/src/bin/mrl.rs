@@ -1,0 +1,12 @@
+//! Thin binary wrapper around [`mrl_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mrl_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

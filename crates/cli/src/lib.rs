@@ -1,0 +1,570 @@
+//! The `mrl` command-line tool: drive the whole workspace from benchmark
+//! files.
+//!
+//! ```text
+//! mrl generate --bench fft_2 --scale 20 --out DIR [--format bookshelf|lefdef]
+//! mrl legalize (--aux F | --lef F --def F) [--relaxed] [--exact]
+//!              [--rx N --ry N] [--refine] [--detail N] [--out DIR] [--svg FILE]
+//! mrl gp       (--aux F | --lef F --def F) --out DIR [--iterations N]
+//! mrl check    (--aux F | --lef F --def F) [--relaxed]
+//! mrl stats    (--aux F | --lef F --def F)
+//! mrl convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
+//! ```
+//!
+//! The library surface ([`run`]) takes the argument vector and returns the
+//! textual report, so every subcommand is integration-testable without
+//! spawning processes; `src/bin/mrl.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mrl_db::{Design, PlacementState};
+use mrl_gp::{GlobalPlacer, GpConfig};
+use mrl_legalize::{
+    refine_rows, DetailedConfig, DetailedPlacer, EvalMode, Legalizer, LegalizerConfig,
+    PowerRailMode,
+};
+use mrl_metrics::{
+    check_legal, displacement_stats, hpwl_change, render_svg, RailCheck, SvgOptions,
+};
+use mrl_parsers::{bookshelf, lefdef};
+use mrl_synth::{generate, ispd2015_suite, GeneratorConfig};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+/// Parsed common options.
+#[derive(Default, Debug)]
+struct Opts {
+    aux: Option<PathBuf>,
+    lef: Option<PathBuf>,
+    def: Option<PathBuf>,
+    out: Option<PathBuf>,
+    svg: Option<PathBuf>,
+    format: Option<String>,
+    bench: Option<String>,
+    scale: f64,
+    seed: u64,
+    fences: usize,
+    tall: f64,
+    rx: Option<i32>,
+    ry: Option<i32>,
+    iterations: Option<usize>,
+    relaxed: bool,
+    exact: bool,
+    refine: bool,
+    detail: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        scale: 1.0,
+        seed: 1,
+        ..Opts::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--aux" => o.aux = Some(PathBuf::from(val("--aux")?)),
+            "--lef" => o.lef = Some(PathBuf::from(val("--lef")?)),
+            "--def" => o.def = Some(PathBuf::from(val("--def")?)),
+            "--out" => o.out = Some(PathBuf::from(val("--out")?)),
+            "--svg" => o.svg = Some(PathBuf::from(val("--svg")?)),
+            "--format" => o.format = Some(val("--format")?.clone()),
+            "--bench" => o.bench = Some(val("--bench")?.clone()),
+            "--scale" => o.scale = val("--scale")?.parse().map_err(|_| fail("bad --scale"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| fail("bad --seed"))?,
+            "--fences" => o.fences = val("--fences")?.parse().map_err(|_| fail("bad --fences"))?,
+            "--tall" => o.tall = val("--tall")?.parse().map_err(|_| fail("bad --tall"))?,
+            "--rx" => o.rx = Some(val("--rx")?.parse().map_err(|_| fail("bad --rx"))?),
+            "--ry" => o.ry = Some(val("--ry")?.parse().map_err(|_| fail("bad --ry"))?),
+            "--iterations" => {
+                o.iterations =
+                    Some(val("--iterations")?.parse().map_err(|_| fail("bad --iterations"))?)
+            }
+            "--relaxed" => o.relaxed = true,
+            "--exact" => o.exact = true,
+            "--refine" => o.refine = true,
+            "--detail" => o.detail = val("--detail")?.parse().map_err(|_| fail("bad --detail"))?,
+            other => return Err(fail(format!("unknown option {other}"))),
+        }
+    }
+    Ok(o)
+}
+
+fn load_design(o: &Opts) -> Result<Design, CliError> {
+    match (&o.aux, &o.lef, &o.def) {
+        (Some(aux), ..) => {
+            bookshelf::read(aux).map_err(|e| fail(format!("cannot read {}: {e}", aux.display())))
+        }
+        (None, Some(lef), Some(def)) => lefdef::read(lef, def)
+            .map_err(|e| fail(format!("cannot read lef/def: {e}"))),
+        _ => Err(fail("need --aux FILE or both --lef FILE and --def FILE")),
+    }
+}
+
+fn write_design(design: &Design, dir: &Path, format: &str) -> Result<String, CliError> {
+    let base = design.name().to_string();
+    match format {
+        "bookshelf" => {
+            bookshelf::write(design, dir, &base)
+                .map_err(|e| fail(format!("cannot write bookshelf: {e}")))?;
+            Ok(format!("{}/{base}.aux", dir.display()))
+        }
+        "lefdef" => {
+            lefdef::write(design, dir, &base)
+                .map_err(|e| fail(format!("cannot write lef/def: {e}")))?;
+            Ok(format!("{}/{base}.lef + .def", dir.display()))
+        }
+        other => Err(fail(format!("unknown format {other} (bookshelf|lefdef)"))),
+    }
+}
+
+fn legalizer_config(o: &Opts) -> LegalizerConfig {
+    let mut cfg = LegalizerConfig::paper().with_seed(o.seed);
+    if let (Some(rx), Some(ry)) = (o.rx, o.ry) {
+        cfg = cfg.with_window(rx, ry);
+    }
+    if o.relaxed {
+        cfg = cfg.with_rail_mode(PowerRailMode::Relaxed);
+    }
+    if o.exact {
+        cfg = cfg.with_eval_mode(EvalMode::Exact);
+    }
+    cfg
+}
+
+fn stats_text(design: &Design) -> String {
+    let mut out = String::new();
+    let fp = design.floorplan();
+    let _ = writeln!(out, "design {}", design.name());
+    let _ = writeln!(
+        out,
+        "  {} movable cells ({} multi-row), {} fixed/blockage objects",
+        design.num_movable(),
+        design
+            .movable_cells()
+            .filter(|&c| design.cell(c).is_multi_row())
+            .count(),
+        design.num_cells() - design.num_movable(),
+    );
+    let _ = writeln!(
+        out,
+        "  {} rows x up to {} sites, capacity {} sites, density {:.3}",
+        fp.num_rows(),
+        fp.bounds().w,
+        fp.capacity(),
+        design.density(),
+    );
+    let _ = writeln!(
+        out,
+        "  {} nets, {} pins, {} fence regions",
+        design.netlist().num_nets(),
+        design.netlist().pins().len(),
+        design.regions().len(),
+    );
+    let _ = writeln!(
+        out,
+        "  input HPWL {:.6} m",
+        mrl_metrics::hpwl_of_input(design) * 1e-6
+    );
+    out
+}
+
+/// Runs one CLI invocation; `args` excludes the program name. Returns the
+/// report text printed to stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a message and exit code on bad usage or I/O failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(fail(USAGE));
+    };
+    let o = parse_opts(rest)?;
+    match cmd.as_str() {
+        "generate" => {
+            let name = o.bench.clone().ok_or_else(|| fail("--bench NAME required"))?;
+            let spec = ispd2015_suite()
+                .into_iter()
+                .find(|s| s.name == name)
+                .ok_or_else(|| fail(format!("unknown benchmark {name}")))?;
+            let cfg = GeneratorConfig::default()
+                .with_scale(o.scale.max(1.0))
+                .with_seed(o.seed)
+                .with_fence_regions(o.fences)
+                .with_tall_cells(o.tall);
+            let design = generate(&spec, &cfg).map_err(|e| fail(format!("generate: {e}")))?;
+            let dir = o.out.clone().ok_or_else(|| fail("--out DIR required"))?;
+            let format = o.format.clone().unwrap_or_else(|| "bookshelf".into());
+            let path = write_design(&design, &dir, &format)?;
+            Ok(format!(
+                "{}wrote {path}\n",
+                stats_text(&design)
+            ))
+        }
+        "stats" => {
+            let design = load_design(&o)?;
+            Ok(stats_text(&design))
+        }
+        "legalize" => {
+            let design = load_design(&o)?;
+            let cfg = legalizer_config(&o);
+            let mut state = PlacementState::new(&design);
+            let t0 = std::time::Instant::now();
+            let stats = Legalizer::new(cfg)
+                .legalize(&design, &mut state)
+                .map_err(|e| fail(format!("legalization failed: {e}")))?;
+            let secs = t0.elapsed().as_secs_f64();
+            let rails = if o.relaxed { RailCheck::Ignore } else { RailCheck::Enforce };
+            check_legal(&design, &state, rails)
+                .map_err(|r| fail(format!("result failed verification:\n{r}")))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "legalized {} cells in {secs:.3}s ({} direct, {} via MLL, {} retry rounds)",
+                stats.placed, stats.direct, stats.via_mll, stats.retry_rounds
+            );
+            if o.refine {
+                let r = refine_rows(&design, &mut state)
+                    .map_err(|e| fail(format!("refinement failed: {e}")))?;
+                check_legal(&design, &state, rails)
+                    .map_err(|r| fail(format!("refined result failed verification:\n{r}")))?;
+                let _ = writeln!(
+                    out,
+                    "row re-packing: {} cells moved, total displacement {:.1} -> {:.1} sites",
+                    r.moved, r.disp_before, r.disp_after
+                );
+            }
+            if o.detail > 0 {
+                let dcfg = DetailedConfig {
+                    legalizer: legalizer_config(&o),
+                    passes: o.detail,
+                    ..DetailedConfig::default()
+                };
+                let d = DetailedPlacer::new(dcfg)
+                    .improve(&design, &mut state)
+                    .map_err(|e| fail(format!("detailed placement failed: {e}")))?;
+                check_legal(&design, &state, rails)
+                    .map_err(|r| fail(format!("detailed result failed verification:\n{r}")))?;
+                let _ = writeln!(
+                    out,
+                    "detailed placement ({} passes): {} moves tried, {} kept, HPWL {:.2}% better",
+                    o.detail,
+                    d.tried,
+                    d.accepted,
+                    d.improvement() * 100.0
+                );
+            }
+            let disp = displacement_stats(&design, &state);
+            let hpwl = hpwl_change(&design, &state);
+            let _ = writeln!(
+                out,
+                "displacement: avg {:.3} sites, max {:.1}, total {:.1} um",
+                disp.avg_sites, disp.max_sites, disp.total_um
+            );
+            let _ = writeln!(
+                out,
+                "HPWL: {:.6} m -> {:.6} m ({:+.3}%)",
+                hpwl.input_um * 1e-6,
+                hpwl.placed_um * 1e-6,
+                hpwl.delta() * 100.0
+            );
+            if let Some(dir) = &o.out {
+                let positions: Vec<(f64, f64)> = (0..design.num_cells())
+                    .map(|i| {
+                        state.position_or_input(&design, mrl_db::CellId::from_usize(i))
+                    })
+                    .collect();
+                let placed = design.with_input_positions(positions);
+                let format = o.format.clone().unwrap_or_else(|| "bookshelf".into());
+                let path = write_design(&placed, dir, &format)?;
+                let _ = writeln!(out, "wrote legalized placement to {path}");
+            }
+            if let Some(svg_path) = &o.svg {
+                let svg = render_svg(
+                    &design,
+                    &state,
+                    &SvgOptions {
+                        displacement_whiskers: true,
+                        ..SvgOptions::default()
+                    },
+                );
+                std::fs::write(svg_path, svg)
+                    .map_err(|e| fail(format!("cannot write svg: {e}")))?;
+                let _ = writeln!(out, "wrote plot to {}", svg_path.display());
+            }
+            Ok(out)
+        }
+        "gp" => {
+            let design = load_design(&o)?;
+            let mut cfg = GpConfig {
+                seed: o.seed,
+                ..GpConfig::default()
+            };
+            if let Some(iters) = o.iterations {
+                cfg.iterations = iters;
+            }
+            let result = GlobalPlacer::new(cfg).place(&design);
+            let placed = design.with_input_positions(result.positions);
+            let dir = o.out.clone().ok_or_else(|| fail("--out DIR required"))?;
+            let format = o.format.clone().unwrap_or_else(|| "bookshelf".into());
+            let path = write_design(&placed, &dir, &format)?;
+            Ok(format!(
+                "global placement: HPWL {:.6} m -> {:.6} m over {} iterations, peak overflow {:.2}\nwrote {path}\n",
+                result.hpwl_trace.first().unwrap_or(&0.0) * 1e-6,
+                result.hpwl_trace.last().unwrap_or(&0.0) * 1e-6,
+                result.hpwl_trace.len().saturating_sub(1),
+                result.final_overflow,
+            ))
+        }
+        "check" => {
+            let design = load_design(&o)?;
+            // Snap the file's positions onto the grid and re-place them;
+            // any failure is a legality violation of the input placement.
+            let mut state = PlacementState::new(&design);
+            let mut problems = Vec::new();
+            for cell in design.movable_cells() {
+                let (fx, fy) = design.input_position(cell);
+                let at = mrl_geom::SitePoint::new(fx.round() as i32, fy.round() as i32);
+                if (fx - f64::from(at.x)).abs() > 1e-6 || (fy - f64::from(at.y)).abs() > 1e-6 {
+                    problems.push(format!(
+                        "cell {} is off the site grid at ({fx}, {fy})",
+                        design.cell(cell).name()
+                    ));
+                    continue;
+                }
+                let placed = if o.relaxed {
+                    state.place_ignoring_rails(&design, cell, at)
+                } else {
+                    state.place(&design, cell, at)
+                };
+                if let Err(e) = placed {
+                    problems.push(e.to_string());
+                }
+            }
+            if problems.is_empty() {
+                Ok("placement is legal\n".into())
+            } else {
+                let mut out = format!("{} violations:\n", problems.len());
+                for p in problems.iter().take(20) {
+                    let _ = writeln!(out, "  {p}");
+                }
+                if problems.len() > 20 {
+                    let _ = writeln!(out, "  ... and {} more", problems.len() - 20);
+                }
+                Err(CliError {
+                    message: out,
+                    code: 1,
+                })
+            }
+        }
+        "convert" => {
+            let design = load_design(&o)?;
+            let dir = o.out.clone().ok_or_else(|| fail("--out DIR required"))?;
+            let format = o.format.clone().ok_or_else(|| fail("--format required"))?;
+            let path = write_design(&design, &dir, &format)?;
+            Ok(format!("wrote {path}\n"))
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(fail(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mrl — multi-row height standard cell legalization (Chow, Pui & Young, DAC 2016)
+
+commands:
+  generate --bench NAME --out DIR [--scale N] [--seed S] [--fences K]
+           [--tall F] [--format bookshelf|lefdef]
+  legalize (--aux F | --lef F --def F) [--relaxed] [--exact] [--rx N --ry N]
+           [--refine] [--detail N] [--out DIR] [--svg FILE]
+           [--format bookshelf|lefdef]
+  gp       (--aux F | --lef F --def F) --out DIR [--iterations N] [--seed S]
+  check    (--aux F | --lef F --def F) [--relaxed]
+  stats    (--aux F | --lef F --def F)
+  convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrl_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_then_stats_then_legalize() {
+        let dir = tmpdir("flow");
+        let out = run(&args(&[
+            "generate", "--bench", "fft_2", "--scale", "100", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let aux = dir.join("fft_2.aux");
+        let stats = run(&args(&["stats", "--aux", aux.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("movable cells"));
+        let legal = run(&args(&["legalize", "--aux", aux.to_str().unwrap()])).unwrap();
+        assert!(legal.contains("legalized"));
+        assert!(legal.contains("displacement"));
+    }
+
+    #[test]
+    fn legalize_writes_outputs_and_svg() {
+        let dir = tmpdir("outputs");
+        run(&args(&[
+            "generate", "--bench", "fft_a", "--scale", "100", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_a.aux");
+        let svg = dir.join("plot.svg");
+        let out_dir = dir.join("legalized");
+        let out = run(&args(&[
+            "legalize",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote legalized placement"));
+        assert!(svg.exists());
+        // The written placement round-trips and passes `check`.
+        let legal_aux = out_dir.join("fft_a.aux");
+        let check = run(&args(&["check", "--aux", legal_aux.to_str().unwrap()])).unwrap();
+        assert!(check.contains("legal"));
+    }
+
+    #[test]
+    fn legalize_with_refine_and_detail() {
+        let dir = tmpdir("refine");
+        run(&args(&[
+            "generate", "--bench", "fft_2", "--scale", "100", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let out = run(&args(&[
+            "legalize",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--refine",
+            "--detail",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("row re-packing"), "{out}");
+        assert!(out.contains("detailed placement (1 passes)"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_illegal_placement() {
+        let dir = tmpdir("illegal");
+        run(&args(&[
+            "generate", "--bench", "fft_b", "--scale", "200", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The raw generated GP is overlapping/off-grid: check must fail.
+        let aux = dir.join("fft_b.aux");
+        let err = run(&args(&["check", "--aux", aux.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("violations"));
+    }
+
+    #[test]
+    fn gp_command_writes_placement() {
+        let dir = tmpdir("gp");
+        run(&args(&[
+            "generate", "--bench", "fft_a", "--scale", "200", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_a.aux");
+        let out_dir = dir.join("gp_out");
+        let out = run(&args(&[
+            "gp",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--iterations",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("global placement"));
+        assert!(out_dir.join("fft_a.aux").exists());
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let dir = tmpdir("convert");
+        run(&args(&[
+            "generate", "--bench", "fft_a", "--scale", "200", "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_a.aux");
+        let out_dir = dir.join("as_lefdef");
+        run(&args(&[
+            "convert",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--format",
+            "lefdef",
+        ]))
+        .unwrap();
+        assert!(out_dir.join("fft_a.lef").exists());
+        assert!(out_dir.join("fft_a.def").exists());
+    }
+
+    #[test]
+    fn bad_usage_reports_errors() {
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["legalize"])).is_err());
+        assert!(run(&args(&["generate", "--bench", "nope", "--out", "/tmp"])).is_err());
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("legalize"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Cell instances: movable standard cells, fixed macros, blockages.
+
+use mrl_geom::PowerRail;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an instance participates in legalization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// A standard cell the legalizer may move.
+    #[default]
+    Movable,
+    /// A pre-placed macro; its footprint blocks placement sites.
+    Fixed,
+    /// A placement blockage; like `Fixed` but carries no pins and no name in
+    /// physical formats.
+    Blockage,
+}
+
+impl CellKind {
+    /// True for [`CellKind::Movable`].
+    pub const fn is_movable(self) -> bool {
+        matches!(self, CellKind::Movable)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CellKind::Movable => "movable",
+            CellKind::Fixed => "fixed",
+            CellKind::Blockage => "blockage",
+        })
+    }
+}
+
+/// A cell instance.
+///
+/// Dimensions are in site units: `width` in site widths, `height` in rows.
+/// Per Section 2 of the paper, all cell widths are multiples of the site
+/// width and all cell heights are multiples of the row height, so integers
+/// suffice. `rail` is the polarity of the rail on the cell's bottom edge in
+/// its unflipped orientation; it drives the alternate-row constraint for
+/// even-height cells.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    name: String,
+    width: i32,
+    height: i32,
+    rail: PowerRail,
+    kind: CellKind,
+}
+
+impl Cell {
+    /// Creates a cell instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        width: i32,
+        height: i32,
+        rail: PowerRail,
+        kind: CellKind,
+    ) -> Self {
+        assert!(width > 0, "cell width must be positive");
+        assert!(height > 0, "cell height must be positive");
+        Self {
+            name: name.into(),
+            width,
+            height,
+            rail,
+            kind,
+        }
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in site widths.
+    pub const fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Height in rows.
+    pub const fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Bottom-edge rail polarity in the unflipped orientation.
+    pub const fn rail(&self) -> PowerRail {
+        self.rail
+    }
+
+    /// How the instance participates in legalization.
+    pub const fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// True if the legalizer may move this instance.
+    pub const fn is_movable(&self) -> bool {
+        self.kind.is_movable()
+    }
+
+    /// True if the cell spans more than one row.
+    pub const fn is_multi_row(&self) -> bool {
+        self.height > 1
+    }
+
+    /// Footprint area in sites.
+    pub fn area(&self) -> i64 {
+        i64::from(self.width) * i64::from(self.height)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{} {})",
+            self.name, self.width, self.height, self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reflect_construction() {
+        let c = Cell::new("ff_1", 4, 2, PowerRail::Vss, CellKind::Movable);
+        assert_eq!(c.name(), "ff_1");
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.rail(), PowerRail::Vss);
+        assert!(c.is_movable());
+        assert!(c.is_multi_row());
+        assert_eq!(c.area(), 8);
+    }
+
+    #[test]
+    fn single_row_cell_is_not_multi_row() {
+        let c = Cell::new("inv", 1, 1, PowerRail::Vdd, CellKind::Movable);
+        assert!(!c.is_multi_row());
+    }
+
+    #[test]
+    fn fixed_and_blockage_are_immovable() {
+        let m = Cell::new("ram", 50, 8, PowerRail::Vdd, CellKind::Fixed);
+        let b = Cell::new("blk", 10, 2, PowerRail::Vdd, CellKind::Blockage);
+        assert!(!m.is_movable());
+        assert!(!b.is_movable());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = Cell::new("bad", 0, 1, PowerRail::Vdd, CellKind::Movable);
+    }
+
+    #[test]
+    #[should_panic(expected = "height must be positive")]
+    fn zero_height_panics() {
+        let _ = Cell::new("bad", 1, 0, PowerRail::Vdd, CellKind::Movable);
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let c = Cell::new("a", 3, 1, PowerRail::Vdd, CellKind::Movable);
+        assert_eq!(c.to_string(), "a (3x1 movable)");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for database operations.
+
+use crate::CellId;
+use mrl_geom::{SitePoint, SiteRect};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by design construction and placement-state mutation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// A cell's footprint is not fully contained in segments at a position.
+    OutsideSegments {
+        /// The cell being placed.
+        cell: CellId,
+        /// The attempted lower-left position.
+        at: SitePoint,
+    },
+    /// Placing a cell would overlap an already placed cell.
+    Overlap {
+        /// The cell being placed.
+        cell: CellId,
+        /// The cell already occupying part of the footprint.
+        occupant: CellId,
+        /// The attempted footprint.
+        rect: SiteRect,
+    },
+    /// An operation expected the cell to be placed but it is not.
+    NotPlaced(CellId),
+    /// An operation expected the cell to be unplaced but it is placed.
+    AlreadyPlaced(CellId),
+    /// The position violates the power-rail parity constraint for the cell.
+    RailMismatch {
+        /// The cell being placed.
+        cell: CellId,
+        /// The offending bottom row.
+        row: i32,
+    },
+    /// The position violates a fence region constraint (member outside its
+    /// region, or non-member inside one).
+    FenceViolation {
+        /// The cell being placed.
+        cell: CellId,
+        /// The attempted footprint.
+        rect: SiteRect,
+    },
+    /// A design-level validation failure with a human-readable reason.
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::OutsideSegments { cell, at } => {
+                write!(f, "cell {cell} at {at} is not contained in row segments")
+            }
+            DbError::Overlap {
+                cell,
+                occupant,
+                rect,
+            } => write!(f, "cell {cell} at {rect} overlaps cell {occupant}"),
+            DbError::NotPlaced(cell) => write!(f, "cell {cell} is not placed"),
+            DbError::AlreadyPlaced(cell) => write!(f, "cell {cell} is already placed"),
+            DbError::RailMismatch { cell, row } => {
+                write!(f, "cell {cell} violates power-rail parity on row {row}")
+            }
+            DbError::FenceViolation { cell, rect } => {
+                write!(f, "cell {cell} at {rect} violates a fence region")
+            }
+            DbError::Invalid(reason) => write!(f, "invalid design: {reason}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = DbError::NotPlaced(CellId::new(7));
+        assert_eq!(e.to_string(), "cell c7 is not placed");
+        let e = DbError::RailMismatch {
+            cell: CellId::new(1),
+            row: 3,
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbError>();
+    }
+}

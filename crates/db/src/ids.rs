@@ -1,0 +1,111 @@
+//! Typed indices into the design's entity tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw table index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Creates an id from a `usize` table index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index exceeds u32"))
+            }
+
+            /// The raw table index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cell instance (movable cell, fixed macro, or blockage).
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a net.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a pin.
+    PinId,
+    "p"
+);
+id_type!(
+    /// Identifier of a segment in the floorplan's flattened segment table.
+    SegId,
+    "s"
+);
+id_type!(
+    /// Identifier of a fence region.
+    RegionId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(CellId::from_usize(42), id);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ids_of_different_kinds_are_distinct_types() {
+        // Purely a compile-time property; this test documents the intent.
+        let c = CellId::new(1);
+        let n = NetId::new(1);
+        assert_eq!(c.index(), n.index());
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(CellId::new(3).to_string(), "c3");
+        assert_eq!(SegId::new(8).to_string(), "s8");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn from_usize_overflow_panics() {
+        let _ = CellId::from_usize(usize::MAX);
+    }
+}

@@ -1,0 +1,580 @@
+//! The mutable placement state: cell positions plus per-segment cell lists.
+//!
+//! Per Section 2.1.2 of the paper, each segment keeps a list of the cells on
+//! it ordered by x-coordinate; a placed cell of height `h` appears in the
+//! lists of all `h` segments it spans, and an unplaced cell appears in no
+//! list. All legalization algorithms read and mutate placements through this
+//! structure, which maintains the invariants:
+//!
+//! * every placed cell is fully contained in one segment per spanned row,
+//! * per-segment lists are strictly ordered by x and overlap-free,
+//! * even-height cells sit only on rail-compatible rows.
+
+use crate::{CellId, DbError, Design, SegId};
+use mrl_geom::{Orient, SitePoint, SiteRect};
+
+/// Current placement of a design's movable cells.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Clone, Debug)]
+pub struct PlacementState {
+    pos: Vec<Option<SitePoint>>,
+    orient: Vec<Orient>,
+    seg_cells: Vec<Vec<CellId>>,
+}
+
+impl PlacementState {
+    /// Creates an empty placement (every movable cell unplaced) for a
+    /// design.
+    pub fn new(design: &Design) -> Self {
+        Self {
+            pos: vec![None; design.num_cells()],
+            orient: vec![Orient::North; design.num_cells()],
+            seg_cells: vec![Vec::new(); design.floorplan().segments().len()],
+        }
+    }
+
+    /// The current position of a cell, if placed.
+    pub fn position(&self, cell: CellId) -> Option<SitePoint> {
+        self.pos[cell.index()]
+    }
+
+    /// The current orientation of a cell (meaningful only when placed).
+    pub fn orient(&self, cell: CellId) -> Orient {
+        self.orient[cell.index()]
+    }
+
+    /// True if the cell is currently placed.
+    pub fn is_placed(&self, cell: CellId) -> bool {
+        self.pos[cell.index()].is_some()
+    }
+
+    /// Number of placed cells.
+    pub fn num_placed(&self) -> usize {
+        self.pos.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The footprint of a placed cell.
+    pub fn rect_of(&self, design: &Design, cell: CellId) -> Option<SiteRect> {
+        self.pos[cell.index()].map(|p| {
+            let c = design.cell(cell);
+            SiteRect::new(p.x, p.y, c.width(), c.height())
+        })
+    }
+
+    /// The ordered cell list of a segment.
+    pub fn segment_cells(&self, seg: SegId) -> &[CellId] {
+        &self.seg_cells[seg.index()]
+    }
+
+    /// The segment id covering `(row, x)`, if any.
+    pub fn segment_at(&self, design: &Design, row: i32, x: i32) -> Option<SegId> {
+        let fp = design.floorplan();
+        let base = fp.row_segment_base(row)?;
+        let segs = fp.segments_in_row(row);
+        let idx = segs.partition_point(|s| s.right() <= x);
+        segs.get(idx)
+            .filter(|s| s.x <= x)
+            .map(|_| SegId::from_usize(base + idx))
+    }
+
+    /// Cells of `seg` whose spans intersect the open interval `(x0, x1)`,
+    /// as a subslice of the ordered list.
+    pub fn cells_intersecting(&self, design: &Design, seg: SegId, x0: i32, x1: i32) -> &[CellId] {
+        let list = &self.seg_cells[seg.index()];
+        // First cell whose right edge is > x0.
+        let lo = list.partition_point(|&c| {
+            let p = self.pos[c.index()].expect("listed cell must be placed");
+            p.x + design.cell(c).width() <= x0
+        });
+        // First cell whose left edge is >= x1.
+        let hi = list.partition_point(|&c| {
+            let p = self.pos[c.index()].expect("listed cell must be placed");
+            p.x < x1
+        });
+        &list[lo..hi.max(lo)]
+    }
+
+    /// The nearest cell of `seg` entirely at or left of `x` (its right edge
+    /// ≤ `x`), if any.
+    pub fn left_neighbor(&self, design: &Design, seg: SegId, x: i32) -> Option<CellId> {
+        let list = &self.seg_cells[seg.index()];
+        let idx = list.partition_point(|&c| {
+            let p = self.pos[c.index()].expect("listed cell must be placed");
+            p.x + design.cell(c).width() <= x
+        });
+        idx.checked_sub(1).map(|i| list[i])
+    }
+
+    /// True if `rect` lies inside segments on every spanned row and no
+    /// placed cell overlaps it.
+    pub fn is_free(&self, design: &Design, rect: &SiteRect) -> bool {
+        self.span_check(design, rect).is_ok()
+    }
+
+    fn span_check(&self, design: &Design, rect: &SiteRect) -> Result<Vec<SegId>, DbError> {
+        let fp = design.floorplan();
+        let mut segs = Vec::with_capacity(rect.h as usize);
+        for row in rect.rows() {
+            let seg_id = self
+                .segment_at(design, row, rect.x)
+                .ok_or(DbError::OutsideSegments {
+                    cell: CellId::new(u32::MAX),
+                    at: rect.origin(),
+                })?;
+            let seg = &fp.segments()[seg_id.index()];
+            if !seg.contains_span(rect.x, rect.right()) {
+                return Err(DbError::OutsideSegments {
+                    cell: CellId::new(u32::MAX),
+                    at: rect.origin(),
+                });
+            }
+            let occupants = self.cells_intersecting(design, seg_id, rect.x, rect.right());
+            if let Some(&occ) = occupants.first() {
+                return Err(DbError::Overlap {
+                    cell: CellId::new(u32::MAX),
+                    occupant: occ,
+                    rect: *rect,
+                });
+            }
+            segs.push(seg_id);
+        }
+        Ok(segs)
+    }
+
+    /// Places an unplaced cell at `at`, enforcing all legality constraints.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::AlreadyPlaced`] if the cell is placed.
+    /// * [`DbError::RailMismatch`] if an even-height cell lands on an
+    ///   incompatible row.
+    /// * [`DbError::OutsideSegments`] if the footprint leaves the segments.
+    /// * [`DbError::Overlap`] if another cell occupies part of the
+    ///   footprint.
+    pub fn place(&mut self, design: &Design, cell: CellId, at: SitePoint) -> Result<(), DbError> {
+        self.place_impl(design, cell, at, true)
+    }
+
+    /// Like [`PlacementState::place`] but without the power-rail parity
+    /// check — used by the paper's relaxed-alignment experiment (Section 6)
+    /// where every cell may sit on any row.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlacementState::place`] except [`DbError::RailMismatch`]
+    /// is never returned.
+    pub fn place_ignoring_rails(
+        &mut self,
+        design: &Design,
+        cell: CellId,
+        at: SitePoint,
+    ) -> Result<(), DbError> {
+        self.place_impl(design, cell, at, false)
+    }
+
+    fn place_impl(
+        &mut self,
+        design: &Design,
+        cell: CellId,
+        at: SitePoint,
+        enforce_rails: bool,
+    ) -> Result<(), DbError> {
+        if self.is_placed(cell) {
+            return Err(DbError::AlreadyPlaced(cell));
+        }
+        let c = design.cell(cell);
+        let fp = design.floorplan();
+        if enforce_rails && !fp.rail_compatible(c.rail(), c.height(), at.y) {
+            return Err(DbError::RailMismatch { cell, row: at.y });
+        }
+        let rect = SiteRect::new(at.x, at.y, c.width(), c.height());
+        if !design.fence_allows(design.region_of(cell), &rect) {
+            return Err(DbError::FenceViolation { cell, rect });
+        }
+        let segs = self.span_check(design, &rect).map_err(|e| match e {
+            DbError::OutsideSegments { at, .. } => DbError::OutsideSegments { cell, at },
+            DbError::Overlap { occupant, rect, .. } => DbError::Overlap {
+                cell,
+                occupant,
+                rect,
+            },
+            other => other,
+        })?;
+        for seg in segs {
+            let list = &mut self.seg_cells[seg.index()];
+            let idx = list.partition_point(|&other| {
+                let p = self.pos[other.index()].expect("listed cell must be placed");
+                p.x < at.x
+            });
+            list.insert(idx, cell);
+        }
+        self.pos[cell.index()] = Some(at);
+        self.orient[cell.index()] = fp.parity().orient_on_row(c.rail(), c.height(), at.y);
+        Ok(())
+    }
+
+    /// Removes a placed cell from the placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NotPlaced`] if the cell is not placed.
+    pub fn remove(&mut self, design: &Design, cell: CellId) -> Result<SitePoint, DbError> {
+        let at = self.pos[cell.index()].ok_or(DbError::NotPlaced(cell))?;
+        let c = design.cell(cell);
+        for row in at.y..at.y + c.height() {
+            let seg = self
+                .segment_at(design, row, at.x)
+                .expect("placed cell must be on segments");
+            let list = &mut self.seg_cells[seg.index()];
+            let idx = list
+                .iter()
+                .position(|&other| other == cell)
+                .expect("placed cell must be listed");
+            list.remove(idx);
+        }
+        self.pos[cell.index()] = None;
+        Ok(at)
+    }
+
+    /// Applies a batch of horizontal moves that preserve each cell's row,
+    /// segment, and relative order — the only kind of move the MLL
+    /// realization step produces. All moves are validated together; on error
+    /// nothing is changed.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::NotPlaced`] if a moved cell is unplaced.
+    /// * [`DbError::OutsideSegments`] if a new span leaves its segment.
+    /// * [`DbError::Overlap`] if, after all moves, a moved cell overlaps or
+    ///   passes a list neighbor.
+    pub fn shift_batch(&mut self, design: &Design, moves: &[(CellId, i32)]) -> Result<(), DbError> {
+        // Validate containment and collect old positions.
+        let fp = design.floorplan();
+        let mut old = Vec::with_capacity(moves.len());
+        for &(cell, new_x) in moves {
+            let at = self.pos[cell.index()].ok_or(DbError::NotPlaced(cell))?;
+            let c = design.cell(cell);
+            for row in at.y..at.y + c.height() {
+                let seg_id = self
+                    .segment_at(design, row, at.x)
+                    .expect("placed cell must be on segments");
+                let seg = &fp.segments()[seg_id.index()];
+                if !seg.contains_span(new_x, new_x + c.width()) {
+                    return Err(DbError::OutsideSegments {
+                        cell,
+                        at: SitePoint::new(new_x, at.y),
+                    });
+                }
+            }
+            let new_rect = SiteRect::new(new_x, at.y, c.width(), c.height());
+            if !design.fence_allows(design.region_of(cell), &new_rect) {
+                return Err(DbError::FenceViolation {
+                    cell,
+                    rect: new_rect,
+                });
+            }
+            old.push((cell, at));
+        }
+        // Record the list coordinates before mutating positions.
+        let mut touched: Vec<(SegId, usize)> = Vec::new();
+        for &(cell, at) in &old {
+            let c = design.cell(cell);
+            for row in at.y..at.y + c.height() {
+                let seg = self
+                    .segment_at(design, row, at.x)
+                    .expect("placed cell must be on segments");
+                let idx = self.seg_cells[seg.index()]
+                    .iter()
+                    .position(|&other| other == cell)
+                    .expect("placed cell must be listed");
+                touched.push((seg, idx));
+            }
+        }
+        // Apply.
+        for &(cell, new_x) in moves {
+            let at = self.pos[cell.index()].expect("validated above");
+            self.pos[cell.index()] = Some(SitePoint::new(new_x, at.y));
+        }
+        // Verify order and non-overlap against list neighbors.
+        let violation = touched.iter().any(|&(seg, idx)| {
+            let list = &self.seg_cells[seg.index()];
+            let rect_at = |i: usize| {
+                let id = list[i];
+                let p = self.pos[id.index()].expect("listed cell must be placed");
+                (p.x, p.x + design.cell(id).width())
+            };
+            let (x0, x1) = rect_at(idx);
+            let bad_left = idx > 0 && rect_at(idx - 1).1 > x0;
+            let bad_right = idx + 1 < list.len() && x1 > rect_at(idx + 1).0;
+            bad_left || bad_right
+        });
+        if violation {
+            // Roll back.
+            for &(cell, at) in &old {
+                self.pos[cell.index()] = Some(at);
+            }
+            return Err(DbError::Overlap {
+                cell: moves[0].0,
+                occupant: moves[0].0,
+                rect: SiteRect::new(0, 0, 0, 0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ids and positions of all placed cells.
+    pub fn iter_placed(&self) -> impl Iterator<Item = (CellId, SitePoint)> + '_ {
+        self.pos
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (CellId::from_usize(i), p)))
+    }
+
+    /// Position of a cell in fractional site units, falling back to the
+    /// design's input position when unplaced — the resolver used for HPWL
+    /// evaluation during legalization.
+    pub fn position_or_input(&self, design: &Design, cell: CellId) -> (f64, f64) {
+        match self.pos[cell.index()] {
+            Some(p) => (f64::from(p.x), f64::from(p.y)),
+            None => design.input_position(cell),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+    use mrl_geom::PowerRail;
+
+    /// 4 rows x 20 sites, cells: a(3x1), b(2x2), c(4x1), d(2x2, VSS rail).
+    fn fixture() -> (Design, CellId, CellId, CellId, CellId) {
+        let mut b = DesignBuilder::new(4, 20);
+        let a = b.add_cell("a", 3, 1);
+        let bb = b.add_cell("b", 2, 2);
+        let c = b.add_cell("c", 4, 1);
+        let d = b.add_cell_with_rail("d", 2, 2, PowerRail::Vss);
+        let design = b.finish().unwrap();
+        (design, a, bb, c, d)
+    }
+
+    #[test]
+    fn place_and_query() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap();
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
+        assert_eq!(s.num_placed(), 2);
+        assert_eq!(s.rect_of(&d, b), Some(SiteRect::new(5, 0, 2, 2)));
+        // b spans rows 0 and 1, so it is listed in both segments.
+        let seg0 = s.segment_at(&d, 0, 0).unwrap();
+        let seg1 = s.segment_at(&d, 1, 0).unwrap();
+        assert_eq!(s.segment_cells(seg0), &[a, b]);
+        assert_eq!(s.segment_cells(seg1), &[b]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        let err = s.place(&d, b, SitePoint::new(2, 0)).unwrap_err();
+        assert!(matches!(err, DbError::Overlap { occupant, .. } if occupant == a));
+        // Nothing was half-inserted.
+        assert!(!s.is_placed(b));
+        assert_eq!(s.segment_cells(s.segment_at(&d, 1, 0).unwrap()), &[]);
+    }
+
+    #[test]
+    fn abutment_is_legal() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(3, 0)).unwrap();
+        assert!(s.is_placed(b));
+    }
+
+    #[test]
+    fn multi_row_overlap_detected_on_upper_row() {
+        let (d, _, b, _, dd) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, b, SitePoint::new(0, 0)).unwrap(); // rows 0-1
+        // d is even-height with VSS bottom rail: row 1 is compatible.
+        let err = s.place(&d, dd, SitePoint::new(1, 1)).unwrap_err();
+        assert!(matches!(err, DbError::Overlap { .. }));
+        s.place(&d, dd, SitePoint::new(2, 1)).unwrap();
+    }
+
+    #[test]
+    fn rail_parity_enforced_for_even_height() {
+        let (d, _, b, _, dd) = fixture();
+        let mut s = PlacementState::new(&d);
+        // b has VDD bottom rail: rows 0 and 2 are compatible, row 1 is not.
+        assert!(matches!(
+            s.place(&d, b, SitePoint::new(0, 1)),
+            Err(DbError::RailMismatch { row: 1, .. })
+        ));
+        s.place(&d, b, SitePoint::new(0, 2)).unwrap();
+        // d has VSS bottom rail: row 0 incompatible, row 1 compatible.
+        assert!(matches!(
+            s.place(&d, dd, SitePoint::new(10, 0)),
+            Err(DbError::RailMismatch { .. })
+        ));
+        s.place(&d, dd, SitePoint::new(10, 1)).unwrap();
+    }
+
+    #[test]
+    fn odd_height_cell_flips_instead_of_failing() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 1)).unwrap();
+        assert_eq!(s.orient(a), Orient::FlippedSouth);
+    }
+
+    #[test]
+    fn out_of_floorplan_rejected() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        assert!(matches!(
+            s.place(&d, a, SitePoint::new(18, 0)),
+            Err(DbError::OutsideSegments { .. })
+        ));
+        assert!(matches!(
+            s.place(&d, a, SitePoint::new(0, 4)),
+            Err(DbError::OutsideSegments { .. })
+        ));
+        assert!(matches!(
+            s.place(&d, a, SitePoint::new(-1, 0)),
+            Err(DbError::OutsideSegments { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_unlists_from_all_rows() {
+        let (d, _, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, b, SitePoint::new(0, 0)).unwrap();
+        let at = s.remove(&d, b).unwrap();
+        assert_eq!(at, SitePoint::new(0, 0));
+        assert!(!s.is_placed(b));
+        assert!(s.segment_cells(s.segment_at(&d, 0, 0).unwrap()).is_empty());
+        assert!(s.segment_cells(s.segment_at(&d, 1, 0).unwrap()).is_empty());
+        assert!(matches!(s.remove(&d, b), Err(DbError::NotPlaced(_))));
+    }
+
+    #[test]
+    fn double_place_rejected() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        assert!(matches!(
+            s.place(&d, a, SitePoint::new(5, 0)),
+            Err(DbError::AlreadyPlaced(_))
+        ));
+    }
+
+    #[test]
+    fn cells_intersecting_finds_span_overlaps() {
+        let (d, a, b, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap(); // [0,3)
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap(); // [5,7)
+        s.place(&d, c, SitePoint::new(10, 0)).unwrap(); // [10,14)
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(s.cells_intersecting(&d, seg, 3, 5), &[]);
+        assert_eq!(s.cells_intersecting(&d, seg, 2, 6), &[a, b]);
+        assert_eq!(s.cells_intersecting(&d, seg, 0, 20), &[a, b, c]);
+        assert_eq!(s.cells_intersecting(&d, seg, 13, 14), &[c]);
+    }
+
+    #[test]
+    fn left_neighbor_respects_edge_touching() {
+        let (d, a, _, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap(); // [0,3)
+        s.place(&d, c, SitePoint::new(6, 0)).unwrap(); // [6,10)
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(s.left_neighbor(&d, seg, 3), Some(a));
+        assert_eq!(s.left_neighbor(&d, seg, 2), None);
+        assert_eq!(s.left_neighbor(&d, seg, 15), Some(c));
+    }
+
+    #[test]
+    fn shift_batch_moves_chain() {
+        let (d, a, b, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(3, 0)).unwrap();
+        s.place(&d, c, SitePoint::new(5, 0)).unwrap();
+        // Shift the whole chain right by 2 (order preserved).
+        s.shift_batch(&d, &[(a, 2), (b, 5), (c, 7)]).unwrap();
+        assert_eq!(s.position(b), Some(SitePoint::new(5, 0)));
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(s.segment_cells(seg), &[a, b, c]);
+    }
+
+    #[test]
+    fn shift_batch_rejects_overlap_and_rolls_back() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(3, 0)).unwrap();
+        let err = s.shift_batch(&d, &[(a, 2)]).unwrap_err();
+        assert!(matches!(err, DbError::Overlap { .. }));
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
+    }
+
+    #[test]
+    fn shift_batch_rejects_leaving_segment() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        assert!(matches!(
+            s.shift_batch(&d, &[(a, 18)]),
+            Err(DbError::OutsideSegments { .. })
+        ));
+    }
+
+    #[test]
+    fn segments_respect_blockages() {
+        let mut b = DesignBuilder::new(1, 20);
+        let a = b.add_cell("a", 3, 1);
+        b.add_blockage(SiteRect::new(5, 0, 3, 1));
+        let d = b.finish().unwrap();
+        let mut s = PlacementState::new(&d);
+        // Spanning the blockage is rejected.
+        assert!(matches!(
+            s.place(&d, a, SitePoint::new(4, 0)),
+            Err(DbError::OutsideSegments { .. })
+        ));
+        s.place(&d, a, SitePoint::new(8, 0)).unwrap();
+        // Distinct segments have distinct ids.
+        assert_ne!(
+            s.segment_at(&d, 0, 0).unwrap(),
+            s.segment_at(&d, 0, 8).unwrap()
+        );
+        assert_eq!(s.segment_at(&d, 0, 6), None);
+    }
+
+    #[test]
+    fn position_or_input_falls_back() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        assert_eq!(s.position_or_input(&d, a), (0.0, 0.0));
+        s.place(&d, a, SitePoint::new(4, 2)).unwrap();
+        assert_eq!(s.position_or_input(&d, a), (4.0, 2.0));
+    }
+
+    #[test]
+    fn iter_placed_lists_all() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap();
+        let placed: Vec<_> = s.iter_placed().collect();
+        assert_eq!(placed.len(), 2);
+        assert!(placed.contains(&(a, SitePoint::new(0, 0))));
+    }
+}

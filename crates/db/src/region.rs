@@ -1,0 +1,166 @@
+//! Fence regions (ISPD2015-style placement constraints).
+//!
+//! A *fence* region is a union of rectangles with exclusive semantics
+//! (DEF `+ FENCE`): cells assigned to the region must be placed entirely
+//! inside the union, and cells not assigned to it must not overlap it at
+//! all. The ISPD2015 contest benchmarks the paper evaluates on carry such
+//! regions ("Benchmarks with Fence Regions and Routing Blockages").
+
+use mrl_geom::SiteRect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fence region: a named union of rectangles.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FenceRegion {
+    name: String,
+    rects: Vec<SiteRect>,
+}
+
+impl FenceRegion {
+    /// Creates a fence region from its rectangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rects` is empty or contains an empty rectangle.
+    pub fn new(name: impl Into<String>, rects: Vec<SiteRect>) -> Self {
+        assert!(!rects.is_empty(), "fence region needs at least one rect");
+        assert!(
+            rects.iter().all(|r| !r.is_empty()),
+            "fence rectangles must be non-empty"
+        );
+        Self {
+            name: name.into(),
+            rects,
+        }
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rectangles forming the region.
+    pub fn rects(&self) -> &[SiteRect] {
+        &self.rects
+    }
+
+    /// True if `rect` lies entirely inside the union of the region's
+    /// rectangles (covered area equals `rect`'s area; rectangles may abut).
+    pub fn covers(&self, rect: &SiteRect) -> bool {
+        if rect.is_empty() {
+            return true;
+        }
+        // Sweep row by row: within each spanned row the covered x-ranges
+        // must contain [rect.x, rect.right()).
+        for row in rect.rows() {
+            let row_slice = SiteRect::new(rect.x, row, rect.w, 1);
+            let mut spans: Vec<(i32, i32)> = self
+                .rects
+                .iter()
+                .filter_map(|r| r.intersection(&row_slice))
+                .map(|r| (r.x, r.right()))
+                .collect();
+            spans.sort_unstable();
+            let mut cursor = rect.x;
+            for (a, b) in spans {
+                if a > cursor {
+                    return false;
+                }
+                cursor = cursor.max(b);
+            }
+            if cursor < rect.right() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if `rect` overlaps any of the region's rectangles.
+    pub fn overlaps(&self, rect: &SiteRect) -> bool {
+        self.rects.iter().any(|r| r.overlaps(rect))
+    }
+
+    /// Bounding box of the region.
+    pub fn bounds(&self) -> SiteRect {
+        self.rects
+            .iter()
+            .fold(SiteRect::new(0, 0, 0, 0), |acc, r| {
+                if acc.is_empty() {
+                    *r
+                } else {
+                    acc.union(r)
+                }
+            })
+    }
+}
+
+impl fmt::Display for FenceRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fence {} ({} rects)", self.name, self.rects.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> FenceRegion {
+        // ██
+        // ████
+        FenceRegion::new(
+            "L",
+            vec![SiteRect::new(0, 0, 8, 1), SiteRect::new(0, 1, 4, 1)],
+        )
+    }
+
+    #[test]
+    fn covers_inside_single_rect() {
+        let r = l_shape();
+        assert!(r.covers(&SiteRect::new(1, 0, 3, 1)));
+        assert!(r.covers(&SiteRect::new(0, 0, 8, 1)));
+    }
+
+    #[test]
+    fn covers_across_abutting_rects() {
+        let r = FenceRegion::new(
+            "two",
+            vec![SiteRect::new(0, 0, 4, 2), SiteRect::new(4, 0, 4, 2)],
+        );
+        // Spans the seam.
+        assert!(r.covers(&SiteRect::new(2, 0, 4, 2)));
+    }
+
+    #[test]
+    fn covers_rejects_overhang() {
+        let r = l_shape();
+        assert!(!r.covers(&SiteRect::new(6, 0, 4, 1))); // x overhang
+        assert!(!r.covers(&SiteRect::new(2, 0, 3, 2))); // row 1 only 0..4
+        assert!(r.covers(&SiteRect::new(2, 0, 2, 2)));
+        assert!(!r.covers(&SiteRect::new(0, 1, 5, 1)));
+    }
+
+    #[test]
+    fn overlaps_detects_any_intersection() {
+        let r = l_shape();
+        assert!(r.overlaps(&SiteRect::new(7, 0, 3, 1)));
+        assert!(!r.overlaps(&SiteRect::new(8, 0, 2, 1)));
+        assert!(!r.overlaps(&SiteRect::new(4, 1, 2, 1)));
+    }
+
+    #[test]
+    fn bounds_unions_rects() {
+        assert_eq!(l_shape().bounds(), SiteRect::new(0, 0, 8, 2));
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(l_shape().to_string(), "fence L (2 rects)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rect")]
+    fn empty_region_panics() {
+        let _ = FenceRegion::new("x", vec![]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The site/micron unit system of a floorplan.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical dimensions of one placement site, tying site-unit coordinates to
+/// microns.
+///
+/// All algorithms in this workspace operate on integer site units
+/// (Figure 2(b) of the paper); [`SiteGrid`] converts at the boundaries —
+/// parsing physical benchmarks in, and reporting displacement or wirelength
+/// in microns or site-widths out.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_geom::SiteGrid;
+///
+/// let grid = SiteGrid::new(0.2, 1.6); // 0.2 µm sites, 1.6 µm rows
+/// assert_eq!(grid.x_um(10), 2.0);
+/// assert_eq!(grid.y_um(2), 3.2);
+/// // One row of vertical movement costs 8 site widths of displacement.
+/// assert_eq!(grid.rows_as_site_widths(1), 8.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteGrid {
+    site_width_um: f64,
+    row_height_um: f64,
+}
+
+impl SiteGrid {
+    /// Creates a unit system with the given site width and row height in
+    /// microns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(site_width_um: f64, row_height_um: f64) -> Self {
+        assert!(
+            site_width_um > 0.0 && site_width_um.is_finite(),
+            "site width must be positive"
+        );
+        assert!(
+            row_height_um > 0.0 && row_height_um.is_finite(),
+            "row height must be positive"
+        );
+        Self {
+            site_width_um,
+            row_height_um,
+        }
+    }
+
+    /// The ISPD2015-style default: 0.2 µm site width, 1.6 µm row height.
+    pub fn ispd2015() -> Self {
+        Self::new(0.2, 1.6)
+    }
+
+    /// Site width in microns.
+    pub fn site_width_um(&self) -> f64 {
+        self.site_width_um
+    }
+
+    /// Row (site) height in microns.
+    pub fn row_height_um(&self) -> f64 {
+        self.row_height_um
+    }
+
+    /// Rows-to-site-widths aspect ratio (`Siteh / Sitew`).
+    pub fn aspect(&self) -> f64 {
+        self.row_height_um / self.site_width_um
+    }
+
+    /// Horizontal site count to microns.
+    pub fn x_um(&self, sites: i32) -> f64 {
+        f64::from(sites) * self.site_width_um
+    }
+
+    /// Vertical row count to microns.
+    pub fn y_um(&self, rows: i32) -> f64 {
+        f64::from(rows) * self.row_height_um
+    }
+
+    /// Converts a vertical distance in rows to the equivalent number of site
+    /// widths, the unit Table 1 of the paper reports displacement in.
+    pub fn rows_as_site_widths(&self, rows: i32) -> f64 {
+        f64::from(rows) * self.aspect()
+    }
+
+    /// Manhattan displacement between two site points, in site widths.
+    pub fn displacement_site_widths(&self, dx: i32, dy: i32) -> f64 {
+        f64::from(dx.abs()) + self.rows_as_site_widths(dy.abs())
+    }
+
+    /// Manhattan displacement between two site points, in microns.
+    pub fn displacement_um(&self, dx: i32, dy: i32) -> f64 {
+        self.x_um(dx.abs()) + self.y_um(dy.abs())
+    }
+
+    /// Nearest site index for a physical x coordinate in microns.
+    pub fn x_to_sites(&self, um: f64) -> i32 {
+        (um / self.site_width_um).round() as i32
+    }
+
+    /// Nearest row index for a physical y coordinate in microns.
+    pub fn y_to_rows(&self, um: f64) -> i32 {
+        (um / self.row_height_um).round() as i32
+    }
+}
+
+impl Default for SiteGrid {
+    fn default() -> Self {
+        Self::ispd2015()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let g = SiteGrid::new(0.25, 2.0);
+        assert_eq!(g.x_to_sites(g.x_um(13)), 13);
+        assert_eq!(g.y_to_rows(g.y_um(-7)), -7);
+    }
+
+    #[test]
+    fn displacement_weights_vertical_by_aspect() {
+        let g = SiteGrid::new(0.5, 2.0); // aspect 4
+        assert_eq!(g.displacement_site_widths(3, 2), 3.0 + 8.0);
+        assert_eq!(g.displacement_um(3, 2), 1.5 + 4.0);
+    }
+
+    #[test]
+    fn displacement_is_absolute() {
+        let g = SiteGrid::ispd2015();
+        assert_eq!(
+            g.displacement_site_widths(-3, -1),
+            g.displacement_site_widths(3, 1)
+        );
+    }
+
+    #[test]
+    fn rounding_picks_nearest_site() {
+        let g = SiteGrid::new(1.0, 1.0);
+        assert_eq!(g.x_to_sites(2.4), 2);
+        assert_eq!(g.x_to_sites(2.6), 3);
+    }
+
+    #[test]
+    fn default_is_ispd2015() {
+        assert_eq!(SiteGrid::default(), SiteGrid::ispd2015());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_site_width_panics() {
+        let _ = SiteGrid::new(0.0, 1.0);
+    }
+}

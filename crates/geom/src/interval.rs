@@ -1,0 +1,154 @@
+//! Closed integer intervals, including the "negative length" case of
+//! Section 5.1.1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` of x-coordinates in site widths.
+///
+/// Insertion intervals in the paper may have *negative length* (`hi < lo`),
+/// meaning no legal target position exists in the gap; such intervals are
+/// representable here and report [`Interval::is_empty`].
+///
+/// # Examples
+///
+/// ```
+/// use mrl_geom::Interval;
+///
+/// let feasible = Interval::new(2, 5);
+/// assert_eq!(feasible.len(), 3);
+/// assert!(feasible.contains(5));
+///
+/// let pinned = Interval::new(4, 4); // Figure 7(e): single legal position
+/// assert_eq!(pinned.len(), 0);
+/// assert!(!pinned.is_empty());
+///
+/// let infeasible = Interval::new(6, 3); // Figure 7(f): discard
+/// assert!(infeasible.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Leftmost feasible coordinate.
+    pub lo: i32,
+    /// Rightmost feasible coordinate.
+    pub hi: i32,
+}
+
+impl Interval {
+    /// Creates the closed interval `[lo, hi]`; `hi < lo` yields an empty
+    /// (infeasible) interval.
+    pub const fn new(lo: i32, hi: i32) -> Self {
+        Self { lo, hi }
+    }
+
+    /// An empty interval.
+    pub const fn empty() -> Self {
+        Self { lo: 0, hi: -1 }
+    }
+
+    /// Signed length `hi - lo`; zero means exactly one feasible coordinate.
+    pub const fn len(&self) -> i32 {
+        self.hi - self.lo
+    }
+
+    /// True if no coordinate is feasible (`hi < lo`).
+    pub const fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+
+    /// True if `x` lies in the closed interval.
+    pub const fn contains(&self, x: i32) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Intersection of two closed intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// The feasible coordinate nearest to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    pub fn clamp(&self, x: i32) -> i32 {
+        assert!(!self.is_empty(), "clamp on empty interval");
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_interval_is_single_point() {
+        let i = Interval::new(4, 4);
+        assert!(!i.is_empty());
+        assert_eq!(i.len(), 0);
+        assert!(i.contains(4));
+        assert!(!i.contains(3));
+    }
+
+    #[test]
+    fn negative_length_is_empty() {
+        let i = Interval::new(5, 2);
+        assert!(i.is_empty());
+        assert!(i.len() < 0);
+        assert!(!i.contains(3));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+    }
+
+    #[test]
+    fn intersect_touching_is_point() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 9);
+        let i = a.intersect(&b);
+        assert_eq!(i, Interval::new(5, 5));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Interval::new(0, 2);
+        let b = Interval::new(4, 9);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn clamp_picks_nearest_end() {
+        let i = Interval::new(3, 8);
+        assert_eq!(i.clamp(0), 3);
+        assert_eq!(i.clamp(5), 5);
+        assert_eq!(i.clamp(100), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp on empty interval")]
+    fn clamp_empty_panics() {
+        Interval::empty().clamp(0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Interval::default().is_empty());
+    }
+}

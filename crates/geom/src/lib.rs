@@ -1,0 +1,102 @@
+//! Site-unit geometry primitives for multi-row standard cell legalization.
+//!
+//! Following Section 2.1.1 of Chow, Pui & Young (DAC 2016), every location
+//! and dimension handled by the legalization algorithms is measured in
+//! **placement site units**: horizontal values count multiples of the site
+//! width and vertical values count multiples of the site height (= row
+//! height). Coordinates are plain `i32` site counts; conversion to physical
+//! microns happens only at the reporting boundary through [`SiteGrid`].
+//!
+//! The crate provides:
+//!
+//! * [`SitePoint`] / [`SiteRect`] — integer points and axis-aligned boxes,
+//! * [`Interval`] — possibly-empty closed intervals used for insertion
+//!   intervals (Section 5.1.1 of the paper allows "negative length"),
+//! * [`SiteGrid`] — the site/micron unit system of a floorplan,
+//! * [`PowerRail`] and [`RailParity`] — power-rail polarity used by the
+//!   alternate-row constraint on even-height cells,
+//! * [`Orient`] — the vertical cell flip that lets odd-height cells sit on
+//!   rows of either polarity.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_geom::{SiteRect, Interval};
+//!
+//! let a = SiteRect::new(0, 0, 4, 1);
+//! let b = SiteRect::new(3, 0, 2, 2);
+//! assert!(a.overlaps(&b));
+//! assert_eq!(a.intersection(&b), Some(SiteRect::new(3, 0, 1, 1)));
+//!
+//! let gap = Interval::new(2, 7);
+//! assert_eq!(gap.len(), 5);
+//! assert_eq!(gap.clamp(10), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod interval;
+mod point;
+mod rail;
+mod rect;
+
+pub use grid::SiteGrid;
+pub use interval::Interval;
+pub use point::SitePoint;
+pub use rail::{Orient, PowerRail, RailParity};
+pub use rect::SiteRect;
+
+/// Returns the median of a slice of values, defined (as in Section 5.2 of the
+/// paper) as the lower median for even-length inputs.
+///
+/// The slice is reordered internally; pass a scratch buffer you own.
+///
+/// # Panics
+///
+/// Panics if `values` is empty — the caller always has at least the target
+/// cell's own critical position.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mrl_geom::median(&mut [5, 1, 3]), 3);
+/// assert_eq!(mrl_geom::median(&mut [4, 1, 3, 2]), 2);
+/// ```
+pub fn median(values: &mut [i64]) -> i64 {
+    assert!(!values.is_empty(), "median of empty set");
+    let mid = (values.len() - 1) / 2;
+    *values.select_nth_unstable(mid).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_single() {
+        assert_eq!(median(&mut [7]), 7);
+    }
+
+    #[test]
+    fn median_odd_is_middle() {
+        assert_eq!(median(&mut [9, 2, 5, 1, 7]), 5);
+    }
+
+    #[test]
+    fn median_even_is_lower_middle() {
+        assert_eq!(median(&mut [10, 20, 30, 40]), 20);
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        assert_eq!(median(&mut [3, 3, 3, 1]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty set")]
+    fn median_empty_panics() {
+        median(&mut []);
+    }
+}

@@ -1,0 +1,100 @@
+//! Integer points on the placement site grid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the placement site grid.
+///
+/// `x` counts site widths from the floorplan origin; `y` counts rows (site
+/// heights). Cell and row positions refer to their lower-left corner.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_geom::SitePoint;
+///
+/// let p = SitePoint::new(3, 2);
+/// let q = SitePoint::new(5, 1);
+/// assert_eq!(p.manhattan(q), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SitePoint {
+    /// Horizontal coordinate in site widths.
+    pub x: i32,
+    /// Vertical coordinate in rows (site heights).
+    pub y: i32,
+}
+
+impl SitePoint {
+    /// Creates a point from site coordinates.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, in site units (x in site widths,
+    /// y in rows). Physical weighting of the vertical term is applied by the
+    /// metrics layer via [`crate::SiteGrid`].
+    pub fn manhattan(self, other: SitePoint) -> i64 {
+        (i64::from(self.x) - i64::from(other.x)).abs()
+            + (i64::from(self.y) - i64::from(other.y)).abs()
+    }
+
+    /// Component-wise translation.
+    pub const fn offset(self, dx: i32, dy: i32) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for SitePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for SitePoint {
+    fn from((x, y): (i32, i32)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = SitePoint::new(-4, 10);
+        let b = SitePoint::new(3, -2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 7 + 12);
+    }
+
+    #[test]
+    fn manhattan_to_self_is_zero() {
+        let a = SitePoint::new(100, 7);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn manhattan_does_not_overflow_i32() {
+        let a = SitePoint::new(i32::MAX, i32::MAX);
+        let b = SitePoint::new(i32::MIN + 1, i32::MIN + 1);
+        // Would overflow if computed in i32.
+        assert!(a.manhattan(b) > i64::from(i32::MAX));
+    }
+
+    #[test]
+    fn offset_moves_components() {
+        assert_eq!(SitePoint::new(1, 2).offset(-3, 4), SitePoint::new(-2, 6));
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(SitePoint::new(1, -2).to_string(), "(1, -2)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        assert_eq!(SitePoint::from((4, 5)), SitePoint::new(4, 5));
+    }
+}

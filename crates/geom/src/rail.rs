@@ -1,0 +1,193 @@
+//! Power-rail polarity and cell orientation.
+//!
+//! Standard cells carry a power rail on one horizontal edge and a ground rail
+//! on the other; placement rows alternate polarity so that vertically
+//! adjacent rows share rails. The consequences (Section 2 and Figure 1 of
+//! the paper):
+//!
+//! * **odd-row-height cells** can sit on any row, flipped vertically
+//!   ([`Orient::FlippedSouth`]) when the row's polarity is opposite to the
+//!   cell's native one;
+//! * **even-row-height cells** have the same rail on both edges, so they fit
+//!   only on every other row — the row's [`RailParity`] must match.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Polarity of the rail running along the *bottom* edge of a row or cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerRail {
+    /// VDD (power) on the bottom edge.
+    #[default]
+    Vdd,
+    /// VSS (ground) on the bottom edge.
+    Vss,
+}
+
+impl PowerRail {
+    /// The opposite polarity.
+    pub const fn flipped(self) -> Self {
+        match self {
+            PowerRail::Vdd => PowerRail::Vss,
+            PowerRail::Vss => PowerRail::Vdd,
+        }
+    }
+}
+
+impl fmt::Display for PowerRail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PowerRail::Vdd => "VDD",
+            PowerRail::Vss => "VSS",
+        })
+    }
+}
+
+/// The rail parity of a row index: rows with even index have the floorplan's
+/// base polarity on the bottom, odd rows the flipped one.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_geom::{PowerRail, RailParity};
+///
+/// let parity = RailParity::new(PowerRail::Vdd);
+/// assert_eq!(parity.bottom_rail_of_row(0), PowerRail::Vdd);
+/// assert_eq!(parity.bottom_rail_of_row(1), PowerRail::Vss);
+/// assert_eq!(parity.bottom_rail_of_row(2), PowerRail::Vdd);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RailParity {
+    base: PowerRail,
+}
+
+impl RailParity {
+    /// Parity scheme whose row 0 has `base` on its bottom edge.
+    pub const fn new(base: PowerRail) -> Self {
+        Self { base }
+    }
+
+    /// Bottom-edge rail of the row with the given index (negative indices
+    /// extend the alternation consistently).
+    pub const fn bottom_rail_of_row(self, row: i32) -> PowerRail {
+        if row.rem_euclid(2) == 0 {
+            self.base
+        } else {
+            self.base.flipped()
+        }
+    }
+
+    /// Whether a cell whose native bottom rail is `cell_rail` and whose
+    /// height is `height` rows may be placed with its bottom on `row`
+    /// (flipping is allowed for odd heights, impossible for even heights).
+    pub const fn cell_fits_row(self, cell_rail: PowerRail, height: i32, row: i32) -> bool {
+        if height % 2 == 1 {
+            // An odd-height cell can always be flipped to match.
+            true
+        } else {
+            matches!(
+                (self.bottom_rail_of_row(row), cell_rail),
+                (PowerRail::Vdd, PowerRail::Vdd) | (PowerRail::Vss, PowerRail::Vss)
+            )
+        }
+    }
+
+    /// The orientation an odd-height cell needs on `row`; even-height cells
+    /// are never flipped (they either fit or they do not).
+    pub const fn orient_on_row(self, cell_rail: PowerRail, height: i32, row: i32) -> Orient {
+        if height % 2 == 1 {
+            match (self.bottom_rail_of_row(row), cell_rail) {
+                (PowerRail::Vdd, PowerRail::Vdd) | (PowerRail::Vss, PowerRail::Vss) => {
+                    Orient::North
+                }
+                _ => Orient::FlippedSouth,
+            }
+        } else {
+            Orient::North
+        }
+    }
+}
+
+/// Vertical orientation of a placed cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orient {
+    /// Unflipped (DEF `N`).
+    #[default]
+    North,
+    /// Flipped about the x-axis (DEF `FS`).
+    FlippedSouth,
+}
+
+impl fmt::Display for Orient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Orient::North => "N",
+            Orient::FlippedSouth => "FS",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_alternate_by_row() {
+        let p = RailParity::new(PowerRail::Vss);
+        assert_eq!(p.bottom_rail_of_row(0), PowerRail::Vss);
+        assert_eq!(p.bottom_rail_of_row(1), PowerRail::Vdd);
+        assert_eq!(p.bottom_rail_of_row(5), PowerRail::Vdd);
+        assert_eq!(p.bottom_rail_of_row(6), PowerRail::Vss);
+    }
+
+    #[test]
+    fn negative_rows_alternate_consistently() {
+        let p = RailParity::new(PowerRail::Vdd);
+        assert_eq!(p.bottom_rail_of_row(-1), PowerRail::Vss);
+        assert_eq!(p.bottom_rail_of_row(-2), PowerRail::Vdd);
+    }
+
+    #[test]
+    fn odd_height_cells_fit_everywhere() {
+        let p = RailParity::new(PowerRail::Vdd);
+        for row in -3..4 {
+            assert!(p.cell_fits_row(PowerRail::Vdd, 1, row));
+            assert!(p.cell_fits_row(PowerRail::Vss, 3, row));
+        }
+    }
+
+    #[test]
+    fn even_height_cells_fit_alternate_rows_only() {
+        let p = RailParity::new(PowerRail::Vdd);
+        // A double-height cell with VDD at the bottom fits rows 0, 2, 4, ...
+        assert!(p.cell_fits_row(PowerRail::Vdd, 2, 0));
+        assert!(!p.cell_fits_row(PowerRail::Vdd, 2, 1));
+        assert!(p.cell_fits_row(PowerRail::Vdd, 2, 2));
+        // ... and the VSS-bottom variant fits the complementary rows.
+        assert!(!p.cell_fits_row(PowerRail::Vss, 2, 0));
+        assert!(p.cell_fits_row(PowerRail::Vss, 2, 1));
+    }
+
+    #[test]
+    fn quad_height_behaves_like_double() {
+        let p = RailParity::new(PowerRail::Vdd);
+        assert!(p.cell_fits_row(PowerRail::Vdd, 4, 2));
+        assert!(!p.cell_fits_row(PowerRail::Vdd, 4, 3));
+    }
+
+    #[test]
+    fn orientation_flips_odd_height_on_mismatch() {
+        let p = RailParity::new(PowerRail::Vdd);
+        assert_eq!(p.orient_on_row(PowerRail::Vdd, 1, 0), Orient::North);
+        assert_eq!(p.orient_on_row(PowerRail::Vdd, 1, 1), Orient::FlippedSouth);
+        assert_eq!(p.orient_on_row(PowerRail::Vss, 1, 1), Orient::North);
+        // Even heights are reported unflipped.
+        assert_eq!(p.orient_on_row(PowerRail::Vdd, 2, 0), Orient::North);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PowerRail::Vdd.to_string(), "VDD");
+        assert_eq!(Orient::FlippedSouth.to_string(), "FS");
+    }
+}

@@ -1,0 +1,249 @@
+//! Axis-aligned rectangles on the site grid.
+
+use crate::SitePoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle on the site grid, stored as lower-left corner
+/// plus non-negative extents.
+///
+/// The occupied site range is half-open: a cell at `x = 3` with `w = 2`
+/// covers sites 3 and 4, so two cells overlap only if their half-open ranges
+/// intersect in both axes — exactly constraint (1) of the paper's problem
+/// formulation.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_geom::SiteRect;
+///
+/// let cell = SiteRect::new(3, 1, 2, 2); // a 2x2 double-row cell
+/// assert_eq!(cell.right(), 5);
+/// assert_eq!(cell.top(), 3);
+/// assert!(!cell.overlaps(&SiteRect::new(5, 1, 1, 1))); // abutting is legal
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SiteRect {
+    /// Lower-left x in site widths.
+    pub x: i32,
+    /// Lower-left y in rows.
+    pub y: i32,
+    /// Width in site widths (non-negative).
+    pub w: i32,
+    /// Height in rows (non-negative).
+    pub h: i32,
+}
+
+impl SiteRect {
+    /// Creates a rectangle from lower-left corner and extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative.
+    pub fn new(x: i32, y: i32, w: i32, h: i32) -> Self {
+        assert!(w >= 0 && h >= 0, "rectangle extents must be non-negative");
+        Self { x, y, w, h }
+    }
+
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn from_corners(a: SitePoint, b: SitePoint) -> Self {
+        let x = a.x.min(b.x);
+        let y = a.y.min(b.y);
+        Self::new(x, y, (a.x - b.x).abs(), (a.y - b.y).abs())
+    }
+
+    /// The lower-left corner.
+    pub const fn origin(&self) -> SitePoint {
+        SitePoint::new(self.x, self.y)
+    }
+
+    /// Exclusive right edge (`x + w`).
+    pub const fn right(&self) -> i32 {
+        self.x + self.w
+    }
+
+    /// Exclusive top edge (`y + h`).
+    pub const fn top(&self) -> i32 {
+        self.y + self.h
+    }
+
+    /// Area in sites.
+    pub fn area(&self) -> i64 {
+        i64::from(self.w) * i64::from(self.h)
+    }
+
+    /// Whether the rectangle covers zero sites.
+    pub const fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// True if the interiors intersect. Rectangles that merely share an edge
+    /// (abutting cells) do not overlap.
+    pub fn overlaps(&self, other: &SiteRect) -> bool {
+        // Empty rectangles overlap nothing; the strict comparisons alone
+        // would claim a zero-extent rect strictly inside another overlaps.
+        !self.is_empty()
+            && !other.is_empty()
+            && self.right() > other.x
+            && other.right() > self.x
+            && self.top() > other.y
+            && other.top() > self.y
+    }
+
+    /// The common area of two rectangles, if any.
+    pub fn intersection(&self, other: &SiteRect) -> Option<SiteRect> {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let r = self.right().min(other.right());
+        let t = self.top().min(other.top());
+        if x < r && y < t {
+            Some(SiteRect::new(x, y, r - x, t - y))
+        } else {
+            None
+        }
+    }
+
+    /// True if `other` lies entirely inside `self` (edges may touch).
+    pub fn contains_rect(&self, other: &SiteRect) -> bool {
+        self.x <= other.x
+            && self.y <= other.y
+            && other.right() <= self.right()
+            && other.top() <= self.top()
+    }
+
+    /// True if the site-grid point lies inside the half-open site range.
+    pub fn contains_point(&self, p: SitePoint) -> bool {
+        self.x <= p.x && p.x < self.right() && self.y <= p.y && p.y < self.top()
+    }
+
+    /// The smallest rectangle containing both inputs.
+    pub fn union(&self, other: &SiteRect) -> SiteRect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let r = self.right().max(other.right());
+        let t = self.top().max(other.top());
+        SiteRect::new(x, y, r - x, t - y)
+    }
+
+    /// The rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: i32, dy: i32) -> SiteRect {
+        SiteRect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+
+    /// Inclusive range of row indices the rectangle spans.
+    pub fn rows(&self) -> impl Iterator<Item = i32> {
+        self.y..self.top()
+    }
+}
+
+impl fmt::Display for SiteRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} @ ({}, {})]", self.w, self.h, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abutting_rects_do_not_overlap() {
+        let a = SiteRect::new(0, 0, 3, 1);
+        let b = SiteRect::new(3, 0, 3, 1);
+        assert!(!a.overlaps(&b));
+        let c = SiteRect::new(0, 1, 3, 1);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn overlapping_rects_detected() {
+        let a = SiteRect::new(0, 0, 3, 2);
+        let b = SiteRect::new(2, 1, 3, 2);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert_eq!(a.intersection(&b), Some(SiteRect::new(2, 1, 1, 1)));
+    }
+
+    #[test]
+    fn empty_rect_never_overlaps() {
+        let a = SiteRect::new(0, 0, 0, 5);
+        let b = SiteRect::new(0, 0, 5, 5);
+        assert!(!a.overlaps(&b));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = SiteRect::new(0, 0, 2, 2);
+        let b = SiteRect::new(10, 10, 2, 2);
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn containment_allows_touching_edges() {
+        let outer = SiteRect::new(0, 0, 10, 4);
+        let inner = SiteRect::new(0, 0, 10, 1);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = SiteRect::new(0, 0, 2, 1);
+        let b = SiteRect::new(5, 3, 1, 1);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, SiteRect::new(0, 0, 6, 4));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = SiteRect::new(2, 2, 3, 3);
+        let e = SiteRect::new(50, 50, 0, 0);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let r = SiteRect::from_corners(SitePoint::new(5, 1), SitePoint::new(2, 4));
+        assert_eq!(r, SiteRect::new(2, 1, 3, 3));
+    }
+
+    #[test]
+    fn rows_iterates_spanned_rows() {
+        let r = SiteRect::new(0, 3, 1, 2);
+        assert_eq!(r.rows().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn contains_point_is_half_open() {
+        let r = SiteRect::new(1, 1, 2, 1);
+        assert!(r.contains_point(SitePoint::new(1, 1)));
+        assert!(r.contains_point(SitePoint::new(2, 1)));
+        assert!(!r.contains_point(SitePoint::new(3, 1)));
+        assert!(!r.contains_point(SitePoint::new(1, 2)));
+    }
+
+    #[test]
+    fn area_uses_wide_arithmetic() {
+        let r = SiteRect::new(0, 0, i32::MAX, 2);
+        assert_eq!(r.area(), i64::from(i32::MAX) * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_extent_panics() {
+        let _ = SiteRect::new(0, 0, -1, 1);
+    }
+}

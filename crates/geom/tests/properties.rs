@@ -1,0 +1,109 @@
+//! Property-based tests of the geometry primitives.
+
+use mrl_geom::{Interval, SiteRect};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = SiteRect> {
+    (-50..50i32, -50..50i32, 0..30i32, 0..30i32)
+        .prop_map(|(x, y, w, h)| SiteRect::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in rect(), b in rect()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn overlap_iff_intersection(a in rect(), b in rect()) {
+        prop_assert_eq!(a.overlaps(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in rect(), b in rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(!i.is_empty());
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        if !a.is_empty() {
+            prop_assert!(u.contains_rect(&a));
+        }
+        if !b.is_empty() {
+            prop_assert!(u.contains_rect(&b));
+        }
+    }
+
+    #[test]
+    fn union_area_at_least_max(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn translation_preserves_shape_and_overlap(
+        a in rect(),
+        b in rect(),
+        dx in -20..20i32,
+        dy in -20..20i32,
+    ) {
+        let at = a.translated(dx, dy);
+        let bt = b.translated(dx, dy);
+        prop_assert_eq!(at.area(), a.area());
+        prop_assert_eq!(a.overlaps(&b), at.overlaps(&bt));
+    }
+
+    #[test]
+    fn interval_intersect_commutes(
+        a_lo in -50..50i32, a_len in 0..40i32,
+        b_lo in -50..50i32, b_len in 0..40i32,
+    ) {
+        let a = Interval::new(a_lo, a_lo + a_len);
+        let b = Interval::new(b_lo, b_lo + b_len);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn interval_intersect_is_subset(
+        a_lo in -50..50i32, a_len in 0..40i32,
+        b_lo in -50..50i32, b_len in 0..40i32,
+    ) {
+        let a = Interval::new(a_lo, a_lo + a_len);
+        let b = Interval::new(b_lo, b_lo + b_len);
+        let i = a.intersect(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains(i.lo) && a.contains(i.hi));
+            prop_assert!(b.contains(i.lo) && b.contains(i.hi));
+        }
+    }
+
+    #[test]
+    fn clamp_lands_inside(
+        lo in -50..50i32, len in 0..40i32, x in -100..100i32,
+    ) {
+        let iv = Interval::new(lo, lo + len);
+        let c = iv.clamp(x);
+        prop_assert!(iv.contains(c));
+        // Clamp is the nearest feasible point.
+        if iv.contains(x) {
+            prop_assert_eq!(c, x);
+        }
+    }
+
+    #[test]
+    fn median_is_a_member(mut values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let m = mrl_geom::median(&mut values);
+        prop_assert!(values.contains(&m));
+        // At least half the values are >= m and at least half <= m
+        // (lower-median convention).
+        let le = values.iter().filter(|&&v| v <= m).count();
+        let ge = values.iter().filter(|&&v| v >= m).count();
+        prop_assert!(le * 2 >= values.len());
+        prop_assert!(ge * 2 >= values.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! The bound-to-bound (B2B) net model: one quadratic system per axis
+//! whose minimum approximates half-perimeter wirelength.
+//!
+//! For a net with `k` pins, the boundary pins (min and max along the
+//! axis) connect to every other pin with weight `2 / ((k−1)·len)` where
+//! `len` is the current pin distance — the classic linearization that
+//! makes repeated quadratic solves converge toward HPWL.
+
+use crate::sparse::SymMatrix;
+use mrl_db::{Design, PinLocation};
+
+const MIN_LEN: f64 = 1.0; // sites; avoids singular weights on short nets
+const BASE_ANCHOR: f64 = 1e-4; // keeps unconnected cells SPD-anchored
+
+/// Which axis a system describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Axis {
+    /// Horizontal (site widths).
+    X,
+    /// Vertical (rows).
+    Y,
+}
+
+/// One pin resolved against the current positions.
+struct ResolvedPin {
+    /// Coordinate along the axis.
+    pos: f64,
+    /// Movable-variable index, or `None` for a fixed location.
+    var: Option<usize>,
+    /// Pin offset from its cell origin along the axis (0 for fixed pins).
+    offset: f64,
+}
+
+/// Builds the B2B system for one axis.
+///
+/// `positions` holds current per-cell origins (all cells); `var_of` maps
+/// cell indices to variable indices (movables only); `anchors` are the
+/// spreading targets blended in with `anchor_w` (ignored when `anchor_w`
+/// is 0).
+pub(crate) fn build_system(
+    design: &Design,
+    positions: &[(f64, f64)],
+    var_of: &[Option<usize>],
+    num_vars: usize,
+    axis: Axis,
+    anchors: Option<&[f64]>,
+    anchor_w: f64,
+) -> (SymMatrix, Vec<f64>) {
+    let netlist = design.netlist();
+    let mut a = SymMatrix::new(num_vars);
+    let mut rhs = vec![0.0; num_vars];
+
+    let pick = |p: (f64, f64)| match axis {
+        Axis::X => p.0,
+        Axis::Y => p.1,
+    };
+
+    for net in netlist.nets() {
+        let pins = net.pins();
+        if pins.len() < 2 {
+            continue;
+        }
+        let resolved: Vec<ResolvedPin> = pins
+            .iter()
+            .map(|&p| match netlist.pin(p).location {
+                PinLocation::Fixed { x, y } => ResolvedPin {
+                    pos: pick((x, y)),
+                    var: None,
+                    offset: 0.0,
+                },
+                PinLocation::OnCell { cell, dx, dy } => {
+                    let origin = positions[cell.index()];
+                    let offset = pick((dx, dy));
+                    ResolvedPin {
+                        pos: pick(origin) + offset,
+                        var: var_of[cell.index()],
+                        offset,
+                    }
+                }
+            })
+            .collect();
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for (i, pin) in resolved.iter().enumerate() {
+            if pin.pos < resolved[lo].pos {
+                lo = i;
+            }
+            if pin.pos > resolved[hi].pos {
+                hi = i;
+            }
+        }
+        let k = resolved.len();
+        let connect = |a_mat: &mut SymMatrix, rhs: &mut [f64], i: usize, j: usize| {
+            if i == j {
+                return;
+            }
+            let (p, q) = (&resolved[i], &resolved[j]);
+            let w = 2.0 / ((k as f64 - 1.0) * (p.pos - q.pos).abs().max(MIN_LEN));
+            match (p.var, q.var) {
+                (Some(vi), Some(vj)) if vi != vj => {
+                    a_mat.add_spring(vi, vj, w);
+                    // Offsets shift the equilibrium: cost w(x_i+o_i-x_j-o_j)^2.
+                    rhs[vi] += w * (q.offset - p.offset);
+                    rhs[vj] += w * (p.offset - q.offset);
+                }
+                (Some(vi), Some(_)) => {
+                    // Two pins of the same cell: rigid, nothing to do but
+                    // keep the diagonal regular.
+                    a_mat.add_anchor(vi, 0.0);
+                }
+                (Some(vi), None) => {
+                    a_mat.add_anchor(vi, w);
+                    rhs[vi] += w * (q.pos - p.offset);
+                }
+                (None, Some(vj)) => {
+                    a_mat.add_anchor(vj, w);
+                    rhs[vj] += w * (p.pos - q.offset);
+                }
+                (None, None) => {}
+            }
+        };
+        for o in 0..k {
+            connect(&mut a, &mut rhs, lo, o);
+        }
+        for o in 0..k {
+            if o != lo {
+                connect(&mut a, &mut rhs, hi, o);
+            }
+        }
+    }
+
+    // Base anchors keep every variable strictly positive-definite and pull
+    // toward the spreading targets when requested.
+    for (cell_idx, v) in var_of.iter().enumerate() {
+        let Some(v) = *v else { continue };
+        a.add_anchor(v, BASE_ANCHOR);
+        rhs[v] += BASE_ANCHOR * pick(positions[cell_idx]);
+        if let (Some(anchors), true) = (anchors, anchor_w > 0.0) {
+            a.add_anchor(v, anchor_w);
+            rhs[v] += anchor_w * anchors[v];
+        }
+    }
+    a.finalize();
+    (a, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+
+    /// Two movable cells on a net with two fixed end pins: the quadratic
+    /// minimum spaces them evenly between the pads.
+    #[test]
+    fn chain_spreads_between_fixed_pins() {
+        let mut b = DesignBuilder::new(2, 100);
+        let c0 = b.add_cell("a", 1, 1);
+        let c1 = b.add_cell("b", 1, 1);
+        let n0 = b.add_net("n0");
+        b.add_fixed_pin(n0, 0.0, 0.0);
+        b.add_cell_pin(n0, c0, 0.0, 0.0);
+        let n1 = b.add_net("n1");
+        b.add_cell_pin(n1, c0, 0.0, 0.0);
+        b.add_cell_pin(n1, c1, 0.0, 0.0);
+        let n2 = b.add_net("n2");
+        b.add_cell_pin(n2, c1, 0.0, 0.0);
+        b.add_fixed_pin(n2, 30.0, 0.0);
+        let design = b.finish().unwrap();
+
+        let var_of = vec![Some(0), Some(1)];
+        let mut positions = vec![(15.0, 0.0), (15.0, 0.0)];
+        // A few reweighting iterations.
+        for _ in 0..5 {
+            let (a, rhs) =
+                build_system(&design, &positions, &var_of, 2, Axis::X, None, 0.0);
+            let mut x = vec![positions[0].0, positions[1].0];
+            a.solve_cg(&rhs, &mut x, 1e-10, 1000);
+            positions[0].0 = x[0];
+            positions[1].0 = x[1];
+        }
+        // B2B converges toward an HPWL-optimal solution: any monotone
+        // arrangement strictly between the pads is optimal (total 30).
+        assert!(positions[0].0 <= positions[1].0 + 1e-9, "{positions:?}");
+        assert!(positions[0].0 > 1.0 && positions[1].0 < 29.0, "{positions:?}");
+    }
+
+    #[test]
+    fn pin_offsets_shift_equilibrium() {
+        // One net between a fixed pin at 10 and a cell pin with offset 2:
+        // the cell origin settles near 8.
+        let mut b = DesignBuilder::new(1, 50);
+        let c0 = b.add_cell("a", 4, 1);
+        let n = b.add_net("n");
+        b.add_cell_pin(n, c0, 2.0, 0.0);
+        b.add_fixed_pin(n, 10.0, 0.0);
+        let design = b.finish().unwrap();
+        let var_of = vec![Some(0)];
+        let mut positions = vec![(0.0, 0.0)];
+        for _ in 0..4 {
+            let (a, rhs) =
+                build_system(&design, &positions, &var_of, 1, Axis::X, None, 0.0);
+            let mut x = vec![positions[0].0];
+            a.solve_cg(&rhs, &mut x, 1e-10, 200);
+            positions[0].0 = x[0];
+        }
+        assert!((positions[0].0 - 8.0).abs() < 0.5, "{positions:?}");
+    }
+
+    #[test]
+    fn anchors_pull_toward_targets() {
+        let mut b = DesignBuilder::new(1, 50);
+        let c0 = b.add_cell("a", 1, 1);
+        let n = b.add_net("n");
+        b.add_cell_pin(n, c0, 0.0, 0.0);
+        b.add_fixed_pin(n, 0.0, 0.0);
+        let design = b.finish().unwrap();
+        let var_of = vec![Some(0)];
+        let positions = vec![(0.0, 0.0)];
+        let anchors = vec![40.0];
+        // Strong anchor dominates the net spring.
+        let (a, rhs) =
+            build_system(&design, &positions, &var_of, 1, Axis::X, Some(&anchors), 100.0);
+        let mut x = vec![0.0];
+        a.solve_cg(&rhs, &mut x, 1e-10, 200);
+        assert!(x[0] > 35.0, "{x:?}");
+    }
+
+    #[test]
+    fn unconnected_cells_stay_put() {
+        let mut b = DesignBuilder::new(1, 50);
+        let c0 = b.add_cell("lonely", 1, 1);
+        let _ = c0;
+        let design = b.finish().unwrap();
+        let var_of = vec![Some(0)];
+        let positions = vec![(12.0, 0.0)];
+        let (a, rhs) = build_system(&design, &positions, &var_of, 1, Axis::X, None, 0.0);
+        let mut x = vec![12.0];
+        a.solve_cg(&rhs, &mut x, 1e-10, 100);
+        assert!((x[0] - 12.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quadratic global placement — the substrate that produces the
+//! "global placement solution" the paper's legalization problem takes as
+//! input (Section 2: "It is assumed that a global placement solution has
+//! good distribution of cells").
+//!
+//! The placer follows the classic analytic recipe:
+//!
+//! 1. **Quadratic wirelength minimization** with the bound-to-bound (B2B)
+//!    net model: each net contributes springs between its boundary and
+//!    inner pins; the resulting sparse, symmetric positive-definite system
+//!    is solved per axis with Jacobi-preconditioned conjugate gradient
+//!    ([`sparse`]). Fixed pins and pre-placed macros anchor the system.
+//! 2. **Spreading**: a bin grid measures utilization; cells in overfull
+//!    bins are diffused toward underfull neighbours, and the next
+//!    quadratic solve is anchored toward the spread positions with a
+//!    growing pseudo-net weight (Eisenmann-style iteration, the `spread` module).
+//!
+//! The result is exactly what MLL wants: evenly distributed, overlapping,
+//! off-grid positions. Use [`Design::with_input_positions`] to feed them
+//! to the legalizer.
+//!
+//! [`Design::with_input_positions`]: mrl_db::Design::with_input_positions
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_synth::{BenchmarkSpec, GeneratorConfig, generate};
+//! use mrl_gp::{GlobalPlacer, GpConfig};
+//!
+//! let spec = BenchmarkSpec::new("gp_demo", 300, 30, 0.5, 0.0);
+//! let design = generate(&spec, &GeneratorConfig::default())?;
+//! let result = GlobalPlacer::new(GpConfig::default()).place(&design);
+//! let placed = design.with_input_positions(result.positions);
+//! assert!(placed.num_movable() == design.num_movable());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod b2b;
+mod placer;
+pub mod sparse;
+mod spread;
+
+pub use placer::{GlobalPlacer, GpConfig, GpResult};

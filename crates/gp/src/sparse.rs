@@ -1,0 +1,212 @@
+//! Sparse symmetric linear algebra: a triplet-built matrix and a
+//! Jacobi-preconditioned conjugate gradient solver.
+
+/// A sparse symmetric positive-definite matrix assembled from triplets.
+///
+/// Only the structure needed by the quadratic placer: accumulate
+/// `add(i, j, v)` entries (symmetric pairs added by the caller), then
+/// multiply. Duplicate coordinates accumulate.
+#[derive(Clone, Debug, Default)]
+pub struct SymMatrix {
+    n: usize,
+    /// Per-row (column, value) lists.
+    rows: Vec<Vec<(u32, f64)>>,
+    diag: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![Vec::new(); n],
+            diag: vec![0.0; n],
+        }
+    }
+
+    /// Dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a 0 x 0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `v` at `(i, j)`; off-diagonal entries are stored once (the
+    /// caller adds both halves or relies on [`SymMatrix::add_spring`]).
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        if i == j {
+            self.diag[i] += v;
+        } else {
+            self.rows[i].push((j as u32, v));
+        }
+    }
+
+    /// Adds a two-point spring of weight `w` between `i` and `j`:
+    /// `+w` on both diagonals, `−w` on both off-diagonals.
+    pub fn add_spring(&mut self, i: usize, j: usize, w: f64) {
+        self.diag[i] += w;
+        self.diag[j] += w;
+        self.rows[i].push((j as u32, -w));
+        self.rows[j].push((i as u32, -w));
+    }
+
+    /// Adds an anchor spring of weight `w` at `i` (diagonal only; the
+    /// right-hand side carries `w * anchor_position`).
+    pub fn add_anchor(&mut self, i: usize, w: f64) {
+        self.diag[i] += w;
+    }
+
+    /// Compacts duplicate entries; call once after assembly.
+    pub fn finalize(&mut self) {
+        for row in &mut self.rows {
+            row.sort_unstable_by_key(|&(j, _)| j);
+            row.dedup_by(|b, a| {
+                if a.0 == b.0 {
+                    a.1 += b.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+
+    /// `y = A x`.
+    pub fn mul(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = self.diag[i] * x[i];
+            for &(j, v) in &self.rows[i] {
+                acc += v * x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Solves `A x = b` by Jacobi-preconditioned conjugate gradient,
+    /// starting from `x0`. Returns the iteration count used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any diagonal entry is not strictly positive (the placer
+    /// guarantees positive definiteness by anchoring every component).
+    pub fn solve_cg(&self, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -> usize {
+        let n = self.n;
+        assert!(self.diag.iter().all(|&d| d > 0.0), "matrix must be SPD");
+        let inv_d: Vec<f64> = self.diag.iter().map(|d| 1.0 / d).collect();
+        let mut r = vec![0.0; n];
+        let mut ax = vec![0.0; n];
+        self.mul(x, &mut ax);
+        for i in 0..n {
+            r[i] = b[i] - ax[i];
+        }
+        let mut z: Vec<f64> = r.iter().zip(&inv_d).map(|(r, d)| r * d).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let mut ap = vec![0.0; n];
+        for iter in 0..max_iters {
+            let r_norm: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if r_norm <= tol * b_norm {
+                return iter;
+            }
+            self.mul(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-300 {
+                return iter;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = r[i] * inv_d[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        max_iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = SymMatrix::new(3);
+        for i in 0..3 {
+            a.add(i, i, 1.0);
+        }
+        a.finalize();
+        let b = [3.0, -1.0, 0.5];
+        let mut x = [0.0; 3];
+        a.solve_cg(&b, &mut x, 1e-10, 100);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solves_spring_chain() {
+        // Three nodes, springs 0-1 and 1-2, anchors at 0 (pos 0) and 2
+        // (pos 10): node 1 settles at the midpoint.
+        let mut a = SymMatrix::new(3);
+        a.add_spring(0, 1, 1.0);
+        a.add_spring(1, 2, 1.0);
+        a.add_anchor(0, 100.0);
+        a.add_anchor(2, 100.0);
+        a.finalize();
+        let b = [100.0 * 0.0, 0.0, 100.0 * 10.0];
+        let mut x = [0.0; 3];
+        a.solve_cg(&b, &mut x, 1e-10, 500);
+        assert!((x[0] - 0.0).abs() < 0.1, "{x:?}");
+        assert!((x[1] - 5.0).abs() < 0.2, "{x:?}");
+        assert!((x[2] - 10.0).abs() < 0.1, "{x:?}");
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let mut a = SymMatrix::new(2);
+        a.add(0, 0, 1.0);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, -0.5);
+        a.add(0, 1, -0.5);
+        a.add(1, 0, -1.0);
+        a.add(1, 1, 2.0);
+        a.finalize();
+        let mut y = [0.0; 2];
+        a.mul(&[1.0, 1.0], &mut y);
+        assert!((y[0] - 1.0).abs() < 1e-12); // 2*1 + (-1)*1
+        assert!((y[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_converges_instantly() {
+        let mut a = SymMatrix::new(2);
+        a.add(0, 0, 2.0);
+        a.add(1, 1, 4.0);
+        a.finalize();
+        let b = [2.0, 8.0];
+        let mut x = [1.0, 2.0]; // exact solution
+        let iters = a.solve_cg(&b, &mut x, 1e-9, 100);
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPD")]
+    fn zero_diagonal_panics() {
+        let a = SymMatrix::new(1);
+        let mut x = [0.0];
+        a.solve_cg(&[1.0], &mut x, 1e-9, 10);
+    }
+}

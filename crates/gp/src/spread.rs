@@ -1,0 +1,333 @@
+//! Kraftwerk-style cell spreading: per-axis bin equalization.
+//!
+//! A coarse bin grid measures movable-area utilization against free
+//! capacity (row sites minus blockages). Each spreading step stretches the
+//! coordinate axis piecewise-linearly inside every bin strip so that
+//! utilization equalizes, then blends the stretched positions with the
+//! current ones. The result is used both directly and as anchor targets
+//! for the next quadratic solve.
+
+use mrl_db::Design;
+
+/// A uniform bin grid over the floorplan.
+#[derive(Clone, Debug)]
+pub(crate) struct BinGrid {
+    pub nx: usize,
+    pub ny: usize,
+    pub x0: f64,
+    pub y0: f64,
+    pub bw: f64,
+    pub bh: f64,
+    /// Free placement capacity per bin (sites).
+    pub capacity: Vec<f64>,
+}
+
+impl BinGrid {
+    /// Builds a grid with roughly `target_bins` bins, capacity-corrected
+    /// for blockages.
+    pub fn new(design: &Design, target_bins: usize) -> Self {
+        let bounds = design.floorplan().bounds();
+        let aspect = (f64::from(bounds.w) / f64::from(bounds.h).max(1.0)).max(0.1);
+        let ny = (((target_bins as f64) / aspect).sqrt().round() as usize).max(1);
+        let nx = (target_bins / ny).max(1);
+        let bw = f64::from(bounds.w) / nx as f64;
+        let bh = f64::from(bounds.h) / ny as f64;
+        let mut capacity = vec![0.0; nx * ny];
+        // Capacity from segments: each segment contributes its sites to the
+        // bins it crosses.
+        for seg in design.floorplan().segments() {
+            let y = f64::from(seg.row) + 0.5;
+            let by = (((y - f64::from(bounds.y)) / bh) as usize).min(ny - 1);
+            let (mut x, end) = (f64::from(seg.x), f64::from(seg.right()));
+            while x < end {
+                let bx = (((x - f64::from(bounds.x)) / bw) as usize).min(nx - 1);
+                let bin_end = f64::from(bounds.x) + (bx as f64 + 1.0) * bw;
+                let span = (end.min(bin_end) - x).max(0.0);
+                capacity[by * nx + bx] += span;
+                x += span.max(1e-9);
+            }
+        }
+        Self {
+            nx,
+            ny,
+            x0: f64::from(bounds.x),
+            y0: f64::from(bounds.y),
+            bw,
+            bh,
+            capacity,
+        }
+    }
+
+    fn bin_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let bx = (((x - self.x0) / self.bw) as usize).min(self.nx - 1);
+        let by = (((y - self.y0) / self.bh) as usize).min(self.ny - 1);
+        (bx, by)
+    }
+
+    /// Movable-area utilization per bin for the given positions.
+    pub fn utilization(&self, design: &Design, positions: &[(f64, f64)]) -> Vec<f64> {
+        let mut util = vec![0.0; self.nx * self.ny];
+        for (i, cell) in design.cells().iter().enumerate() {
+            if !cell.is_movable() {
+                continue;
+            }
+            let (x, y) = positions[i];
+            let (bx, by) = self.bin_of(
+                x + f64::from(cell.width()) / 2.0,
+                y + f64::from(cell.height()) / 2.0,
+            );
+            util[by * self.nx + bx] += cell.area() as f64;
+        }
+        util
+    }
+
+    /// Peak utilization / capacity ratio (∞ for occupied zero-capacity
+    /// bins); the quantity spreading drives down.
+    pub fn max_overflow(&self, design: &Design, positions: &[(f64, f64)]) -> f64 {
+        let util = self.utilization(design, positions);
+        util.iter()
+            .zip(&self.capacity)
+            .map(|(&u, &c)| if c > 1e-9 { u / c } else if u > 0.0 { f64::INFINITY } else { 0.0 })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One spreading step: equalizes utilization along x within every bin row,
+/// then along y within every bin column, blending by `strength ∈ (0, 1]`.
+/// Returns the spread positions (same length/order as `positions`).
+pub(crate) fn spread_step(
+    design: &Design,
+    grid: &BinGrid,
+    positions: &[(f64, f64)],
+    strength: f64,
+) -> Vec<(f64, f64)> {
+    let util = grid.utilization(design, positions);
+    let mut out = positions.to_vec();
+
+    // --- x within each bin row -------------------------------------------
+    for by in 0..grid.ny {
+        let row_util: Vec<f64> = (0..grid.nx).map(|bx| util[by * grid.nx + bx]).collect();
+        let row_cap: Vec<f64> = (0..grid.nx)
+            .map(|bx| grid.capacity[by * grid.nx + bx])
+            .collect();
+        let map = equalize(&row_util, &row_cap);
+        for (i, cell) in design.cells().iter().enumerate() {
+            if !cell.is_movable() {
+                continue;
+            }
+            let (x, y) = positions[i];
+            let cy = y + f64::from(cell.height()) / 2.0;
+            if grid.bin_of(x, cy).1 != by {
+                continue;
+            }
+            let rel = (x - grid.x0) / grid.bw;
+            let new_rel = piecewise(&map, rel);
+            let new_x = grid.x0 + new_rel * grid.bw;
+            out[i].0 = x + strength * (new_x - x);
+        }
+    }
+
+    // --- y within each bin column (on the x-updated positions) -----------
+    let util = grid.utilization(design, &out);
+    for bx in 0..grid.nx {
+        let col_util: Vec<f64> = (0..grid.ny).map(|by| util[by * grid.nx + bx]).collect();
+        let col_cap: Vec<f64> = (0..grid.ny)
+            .map(|by| grid.capacity[by * grid.nx + bx])
+            .collect();
+        let map = equalize(&col_util, &col_cap);
+        for (i, cell) in design.cells().iter().enumerate() {
+            if !cell.is_movable() {
+                continue;
+            }
+            let (x, y) = out[i];
+            let cx = x + f64::from(cell.width()) / 2.0;
+            if grid.bin_of(cx, y).0 != bx {
+                continue;
+            }
+            let rel = (y - grid.y0) / grid.bh;
+            let new_rel = piecewise(&map, rel);
+            let new_y = grid.y0 + new_rel * grid.bh;
+            out[i].1 = y + strength * (new_y - y);
+        }
+    }
+    out
+}
+
+/// Moves every movable cell whose center sits in a (nearly) zero-capacity
+/// bin — a macro shadow — to the nearest bin with free capacity. The
+/// quadratic solve can pull cells back over macros; this keeps the final
+/// placement legalizable and the overflow metric meaningful.
+pub(crate) fn evict_blocked(
+    design: &Design,
+    grid: &BinGrid,
+    positions: &mut [(f64, f64)],
+) {
+    let nominal = grid.bw; // sites per fully-free bin row-slice
+    let blocked: Vec<bool> = grid.capacity.iter().map(|&c| c < 0.05 * nominal).collect();
+    for (i, cell) in design.cells().iter().enumerate() {
+        if !cell.is_movable() {
+            continue;
+        }
+        let (x, y) = positions[i];
+        let cx = x + f64::from(cell.width()) / 2.0;
+        let cy = y + f64::from(cell.height()) / 2.0;
+        let (bx, by) = {
+            let bx = (((cx - grid.x0) / grid.bw) as usize).min(grid.nx - 1);
+            let by = (((cy - grid.y0) / grid.bh) as usize).min(grid.ny - 1);
+            (bx, by)
+        };
+        if !blocked[by * grid.nx + bx] {
+            continue;
+        }
+        // Ring search for the nearest free bin.
+        let mut best: Option<(i64, usize, usize)> = None;
+        for (k, &is_blocked) in blocked.iter().enumerate() {
+            if is_blocked {
+                continue;
+            }
+            let (kx, ky) = (k % grid.nx, k / grid.nx);
+            let d = (kx as i64 - bx as i64).abs() + (ky as i64 - by as i64).abs();
+            if best.is_none_or(|(bd, ..)| d < bd) {
+                best = Some((d, kx, ky));
+            }
+        }
+        if let Some((_, kx, ky)) = best {
+            positions[i].0 = grid.x0 + (kx as f64 + 0.5) * grid.bw
+                - f64::from(cell.width()) / 2.0;
+            positions[i].1 = grid.y0 + (ky as f64 + 0.5) * grid.bh
+                - f64::from(cell.height()) / 2.0;
+        }
+    }
+}
+
+/// Given per-bin utilization and capacity along one axis, returns new bin
+/// boundary positions (in bin units, length n+1) such that utilization per
+/// capacity equalizes: the inverse-cumulative remap of Kraftwerk cell
+/// shifting.
+fn equalize(util: &[f64], cap: &[f64]) -> Vec<f64> {
+    let n = util.len();
+    let total_util: f64 = util.iter().sum();
+    let total_cap: f64 = cap.iter().sum();
+    if total_util <= 1e-9 || total_cap <= 1e-9 {
+        return (0..=n).map(|i| i as f64).collect();
+    }
+    // Desired utilization per bin is proportional to its capacity.
+    let desired: Vec<f64> = cap.iter().map(|c| total_util * c / total_cap).collect();
+    // Cumulative curves.
+    let mut cum_u = vec![0.0; n + 1];
+    let mut cum_d = vec![0.0; n + 1];
+    for i in 0..n {
+        cum_u[i + 1] = cum_u[i] + util[i];
+        cum_d[i + 1] = cum_d[i] + desired[i];
+    }
+    // New boundary b'_i = position (in old coordinates) where cumulative
+    // utilization equals cum_d[i]; inverting cum_u piecewise-linearly.
+    let mut bounds = Vec::with_capacity(n + 1);
+    for target in cum_d.iter().take(n + 1) {
+        // Find segment of cum_u containing `target`.
+        let j = cum_u.partition_point(|&v| v < *target - 1e-12).min(n);
+        let j = j.max(1);
+        let (u0, u1) = (cum_u[j - 1], cum_u[j]);
+        let frac = if u1 - u0 > 1e-12 {
+            (target - u0) / (u1 - u0)
+        } else {
+            0.0
+        };
+        bounds.push((j - 1) as f64 + frac.clamp(0.0, 1.0));
+    }
+    // `bounds[i]` is where the i-th NEW boundary sits in OLD coordinates;
+    // the remap must send old coordinate bounds[i] -> i. Keep monotone.
+    for i in 1..bounds.len() {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+    bounds
+}
+
+/// Maps an old coordinate (bin units) through the boundary remap: old
+/// position `bounds[i] -> i`, linear in between.
+fn piecewise(bounds: &[f64], x: f64) -> f64 {
+    let n = bounds.len() - 1;
+    let x = x.clamp(bounds[0], bounds[n]);
+    // Find i with bounds[i] <= x <= bounds[i+1].
+    let mut i = bounds.partition_point(|&b| b <= x);
+    i = i.clamp(1, n);
+    let (b0, b1) = (bounds[i - 1], bounds[i]);
+    if b1 - b0 < 1e-12 {
+        (i - 1) as f64
+    } else {
+        (i - 1) as f64 + (x - b0) / (b1 - b0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+
+    #[test]
+    fn equalize_uniform_is_identity() {
+        let map = equalize(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0, 1.0]);
+        for (i, b) in map.iter().enumerate() {
+            assert!((b - i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equalize_moves_mass_out_of_hot_bins() {
+        // All mass in bin 0 of four: the first new boundary lands inside
+        // bin 0 so its content spreads right.
+        let map = equalize(&[4.0, 0.0, 0.0, 0.0], &[1.0; 4]);
+        assert!(map[1] < 1.0, "{map:?}");
+        // Remap of a point inside bin 0 moves right.
+        let moved = piecewise(&map, 0.6);
+        assert!(moved > 0.6, "{moved}");
+    }
+
+    #[test]
+    fn piecewise_is_monotone() {
+        let map = equalize(&[3.0, 1.0, 0.0, 0.0], &[1.0; 4]);
+        let mut last = -1.0;
+        for k in 0..=40 {
+            let v = piecewise(&map, k as f64 / 10.0);
+            assert!(v >= last - 1e-9, "not monotone at {k}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn spreading_reduces_overflow() {
+        // 400 unit cells piled in a corner of a 20x20 chip.
+        let mut b = DesignBuilder::new(20, 160);
+        for i in 0..400 {
+            b.add_cell(format!("c{i}"), 2, 1);
+        }
+        let design = b.finish().unwrap();
+        let positions: Vec<(f64, f64)> = (0..design.num_cells())
+            .map(|i| (1.0 + (i % 10) as f64 * 0.2, 1.0 + (i / 40) as f64 * 0.1))
+            .collect();
+        let grid = BinGrid::new(&design, 64);
+        let before = grid.max_overflow(&design, &positions);
+        let mut pos = positions;
+        for _ in 0..8 {
+            pos = spread_step(&design, &grid, &pos, 0.8);
+        }
+        let after = grid.max_overflow(&design, &pos);
+        assert!(
+            after < before * 0.5,
+            "overflow before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn capacity_excludes_blockages() {
+        let mut b = DesignBuilder::new(4, 40);
+        b.add_cell("a", 2, 1);
+        b.add_blockage(mrl_geom::SiteRect::new(0, 0, 40, 2));
+        let design = b.finish().unwrap();
+        let grid = BinGrid::new(&design, 16);
+        let total: f64 = grid.capacity.iter().sum();
+        assert!((total - 80.0).abs() < 1e-6, "capacity {total}");
+    }
+}

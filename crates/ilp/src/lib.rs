@@ -1,0 +1,43 @@
+//! A small mixed-integer linear programming solver.
+//!
+//! This crate plays the role `lpsolve` plays in the paper's ILP baseline:
+//! an exact solver for the local legalization subproblem. It implements,
+//! from scratch:
+//!
+//! * a dense **two-phase primal simplex** with Bland's anti-cycling rule
+//!   ([`solve_lp`]), and
+//! * **branch-and-bound** over integer variables with incumbent pruning
+//!   ([`Model::solve`]).
+//!
+//! It is written for *small* models (tens of variables, hundreds of
+//! constraints) solved many times — exactly the shape of MLL's local
+//! windows — and favours robustness over speed. With ordering binaries
+//! fixed, the local-legalization LP is a system of difference constraints
+//! (totally unimodular), so every LP relaxation solved during
+//! branch-and-bound has an integral optimal basis and the search only
+//! branches on the binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_ilp::{Model, Op};
+//!
+//! // min  -x - 2y   s.t.  x + y <= 4,  x <= 3,  y <= 2,  x,y >= 0
+//! let mut m = Model::new();
+//! let x = m.add_var(0.0, 3.0, -1.0);
+//! let y = m.add_var(0.0, 2.0, -2.0);
+//! m.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Le, 4.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective - (-6.0)).abs() < 1e-6); // x=2, y=2
+//! assert!((sol[x] - 2.0).abs() < 1e-6);
+//! # Ok::<(), mrl_ilp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod simplex;
+
+pub use model::{Model, Op, Solution, SolveError, VarId};
+pub use simplex::solve_lp;

@@ -1,0 +1,433 @@
+//! The user-facing model layer: bounded variables, integrality, and
+//! branch-and-bound.
+
+use crate::simplex::{solve_raw, RawLp};
+use std::error::Error;
+use std::fmt;
+use std::ops::Index;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Constraint comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// Identifier of a model variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// The variable's index in [`Solution`] order.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Solver failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// No feasible point satisfies the constraints (and integrality).
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The simplex iteration cap was hit (numerical trouble).
+    IterationLimit,
+    /// The branch-and-bound node budget was exhausted.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolveError::Infeasible => "model is infeasible",
+            SolveError::Unbounded => "objective is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit reached",
+            SolveError::NodeLimit => "branch-and-bound node limit reached",
+        })
+    }
+}
+
+impl Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// The optimal objective value.
+    pub objective: f64,
+    /// Variable values in creation order.
+    pub values: Vec<f64>,
+}
+
+impl Index<VarId> for Solution {
+    type Output = f64;
+
+    fn index(&self, var: VarId) -> &f64 {
+        &self.values[var.0]
+    }
+}
+
+/// One linear constraint: sparse terms, operator, right-hand side.
+type ConstraintRow = (Vec<(usize, f64)>, Op, f64);
+
+#[derive(Clone, Debug)]
+struct Var {
+    lower: f64,
+    upper: f64,
+    cost: f64,
+    integer: bool,
+}
+
+/// A mixed-integer linear program: `min c·x` over box-bounded continuous
+/// and integer variables with linear constraints.
+///
+/// See the [crate-level example](crate).
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    vars: Vec<Var>,
+    rows: Vec<ConstraintRow>,
+    node_limit: usize,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self {
+            vars: Vec::new(),
+            rows: Vec::new(),
+            node_limit: 200_000,
+        }
+    }
+
+    /// Caps the number of branch-and-bound nodes (default 200 000).
+    pub fn set_node_limit(&mut self, limit: usize) -> &mut Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and the
+    /// given objective coefficient. `upper` may be `f64::INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or `lower` is not finite.
+    pub fn add_var(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(lower <= upper, "empty variable domain");
+        self.vars.push(Var {
+            lower,
+            upper,
+            cost,
+            integer: false,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds an integer variable with inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::add_var`].
+    pub fn add_integer_var(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        let id = self.add_var(lower, upper, cost);
+        self.vars[id.0].integer = true;
+        id
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn add_binary_var(&mut self, cost: f64) -> VarId {
+        self.add_integer_var(0.0, 1.0, cost)
+    }
+
+    /// Adds the constraint `Σ coeff·var op rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable does not belong to this model.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], op: Op, rhs: f64) -> &mut Self {
+        let terms: Vec<(usize, f64)> = terms
+            .iter()
+            .map(|&(v, c)| {
+                assert!(v.0 < self.vars.len(), "foreign variable");
+                (v.0, c)
+            })
+            .collect();
+        self.rows.push((terms, op, rhs));
+        self
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the model to optimality.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::IterationLimit`], or [`SolveError::NodeLimit`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        // Branch-and-bound over (tightened) integer bounds.
+        let base_bounds: Vec<(f64, f64)> =
+            self.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let mut stack = vec![base_bounds];
+        let mut incumbent: Option<Solution> = None;
+        let mut nodes = 0usize;
+        let mut any_feasible_relaxation = false;
+        let mut saw_unbounded = false;
+
+        while let Some(bounds) = stack.pop() {
+            nodes += 1;
+            if nodes > self.node_limit {
+                return Err(SolveError::NodeLimit);
+            }
+            let relaxed = match self.solve_relaxation(&bounds) {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(SolveError::Unbounded) => {
+                    saw_unbounded = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            any_feasible_relaxation = true;
+            if let Some(inc) = &incumbent {
+                if relaxed.objective >= inc.objective - 1e-9 {
+                    continue; // bound: cannot improve
+                }
+            }
+            // Find a fractional integer variable.
+            let frac = self.vars.iter().enumerate().find(|(i, v)| {
+                v.integer && (relaxed.values[*i] - relaxed.values[*i].round()).abs() > INT_TOL
+            });
+            match frac {
+                None => {
+                    let better = incumbent
+                        .as_ref()
+                        .is_none_or(|inc| relaxed.objective < inc.objective - 1e-9);
+                    if better {
+                        incumbent = Some(relaxed);
+                    }
+                }
+                Some((i, _)) => {
+                    let v = relaxed.values[i];
+                    let mut down = bounds.clone();
+                    down[i].1 = down[i].1.min(v.floor());
+                    let mut up = bounds;
+                    up[i].0 = up[i].0.max(v.ceil());
+                    if down[i].0 <= down[i].1 {
+                        stack.push(down);
+                    }
+                    if up[i].0 <= up[i].1 {
+                        stack.push(up);
+                    }
+                }
+            }
+        }
+        match incumbent {
+            Some(s) => Ok(s),
+            None if saw_unbounded && !any_feasible_relaxation => Err(SolveError::Unbounded),
+            None if saw_unbounded => Err(SolveError::Unbounded),
+            None => Err(SolveError::Infeasible),
+        }
+    }
+
+    /// Solves the LP relaxation under the given bounds by shifting each
+    /// variable to `x' = x − lower ≥ 0` and adding finite upper bounds as
+    /// rows.
+    fn solve_relaxation(&self, bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
+        let n = self.vars.len();
+        let mut rows: Vec<(Vec<f64>, Op, f64)> = Vec::with_capacity(self.rows.len() + n);
+        for (terms, op, rhs) in &self.rows {
+            let mut coeffs = vec![0.0; n];
+            let mut shift = 0.0;
+            for &(i, c) in terms {
+                coeffs[i] += c;
+                shift += c * bounds[i].0;
+            }
+            rows.push((coeffs, *op, rhs - shift));
+        }
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if hi.is_finite() && hi - lo >= 0.0 {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                rows.push((coeffs, Op::Le, hi - lo));
+            }
+        }
+        let costs: Vec<f64> = self.vars.iter().map(|v| v.cost).collect();
+        let shifted = solve_raw(&RawLp {
+            costs: costs.clone(),
+            rows,
+        })?;
+        let values: Vec<f64> = shifted
+            .iter()
+            .zip(bounds)
+            .map(|(x, &(lo, _))| x + lo)
+            .collect();
+        let objective = values
+            .iter()
+            .zip(&costs)
+            .map(|(x, c)| x * c)
+            .sum::<f64>();
+        Ok(Solution { objective, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn pure_lp_with_bounds() {
+        // min -x - 2y, x in [0,3], y in [0,2], x + y <= 4.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 3.0, -1.0);
+        let y = m.add_var(0.0, 2.0, -2.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Le, 4.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, -6.0);
+        assert_close(s[x], 2.0);
+        assert_close(s[y], 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds_shifted() {
+        // min x, x in [-5, 5], x >= -2.5.
+        let mut m = Model::new();
+        let x = m.add_var(-5.0, 5.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Op::Ge, -2.5);
+        let s = m.solve().unwrap();
+        assert_close(s[x], -2.5);
+    }
+
+    #[test]
+    fn knapsack_binary() {
+        // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 8 (binaries)
+        // -> a=1, c=1 (value 14); b=1,c=1 value 10; a=1,b=0,c=1: weight 8 ok.
+        let mut m = Model::new();
+        let a = m.add_binary_var(-10.0);
+        let b = m.add_binary_var(-6.0);
+        let c = m.add_binary_var(-4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Op::Le, 8.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, -14.0);
+        assert_close(s[a], 1.0);
+        assert_close(s[b], 0.0);
+        assert_close(s[c], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5, integers -> LP opt 2.5, IP opt 2.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 10.0, -1.0);
+        let y = m.add_integer_var(0.0, 10.0, -1.0);
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], Op::Le, 5.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, -2.0);
+        assert!((s[x].round() - s[x]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, x integer.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Op::Ge, 0.4);
+        m.add_constraint(&[(x, 1.0)], Op::Le, 0.6);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_model() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, f64::INFINITY, -1.0);
+        let _ = x;
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // min x + y s.t. x + 2y = 7, both integer >= 0: y=3,x=1 -> 4? or
+        // y=2,x=3 -> 5; y=3 gives x=1, cost 4. y must be <= 3.5.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 100.0, 1.0);
+        let y = m.add_integer_var(0.0, 100.0, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 2.0)], Op::Eq, 7.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 4.0);
+        assert_close(s[x], 1.0);
+        assert_close(s[y], 3.0);
+    }
+
+    #[test]
+    fn displacement_style_absolute_value() {
+        // The local-legalization pattern: minimize |x - 6| via d >= x-6,
+        // d >= 6-x with 0 <= x <= 4 -> x=4, d=2.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 4.0, 0.0);
+        let d = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(d, 1.0), (x, -1.0)], Op::Ge, -6.0);
+        m.add_constraint(&[(d, 1.0), (x, 1.0)], Op::Ge, 6.0);
+        let s = m.solve().unwrap();
+        assert_close(s[x], 4.0);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn big_m_disjunction() {
+        // Either x <= 2 or x >= 8, choose nearest to 7: with binary z,
+        // x <= 2 + M z, x >= 8 - M(1-z); minimize |x-7|.
+        let m_big = 100.0;
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 0.0);
+        let z = m.add_binary_var(0.0);
+        let d = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (z, -m_big)], Op::Le, 2.0);
+        m.add_constraint(&[(x, 1.0), (z, -m_big)], Op::Ge, 8.0 - m_big);
+        m.add_constraint(&[(d, 1.0), (x, -1.0)], Op::Ge, -7.0);
+        m.add_constraint(&[(d, 1.0), (x, 1.0)], Op::Ge, 7.0);
+        let s = m.solve().unwrap();
+        assert_close(s[x], 8.0);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = Model::new();
+        m.set_node_limit(1);
+        // Needs branching: two fractional-forcing integers.
+        let x = m.add_integer_var(0.0, 10.0, -1.0);
+        let y = m.add_integer_var(0.0, 10.0, -1.0);
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], Op::Le, 5.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::NodeLimit);
+    }
+
+    #[test]
+    fn solution_indexing() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 1.0, 1.0);
+        let s = m.solve().unwrap();
+        assert_close(s[x], 1.0);
+        assert_eq!(x.index(), 0);
+        assert_eq!(m.num_vars(), 1);
+        assert_eq!(m.num_constraints(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min c·x  s.t.  A x {≤,=,≥} b,  x ≥ 0` on a dense tableau.
+//! Bland's rule guarantees termination; a generous iteration cap guards
+//! against numerical stalls. Variable bounds are *not* handled here — the
+//! [`crate::Model`] layer shifts lower bounds to zero and adds upper
+//! bounds as explicit rows before calling in.
+
+use crate::model::{Op, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// A raw LP in `x ≥ 0` form.
+#[derive(Clone, Debug)]
+pub(crate) struct RawLp {
+    /// Objective coefficients (length = #vars).
+    pub costs: Vec<f64>,
+    /// Constraint rows: coefficients, operator, right-hand side.
+    pub rows: Vec<(Vec<f64>, Op, f64)>,
+}
+
+/// Solves `min c·x, A x op b, x ≥ 0`; returns the optimal `x`.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+/// [`SolveError::IterationLimit`].
+pub(crate) fn solve_raw(lp: &RawLp) -> Result<Vec<f64>, SolveError> {
+    let n = lp.costs.len();
+    let m = lp.rows.len();
+    // Column layout: [structural 0..n | slack/surplus | artificial], one
+    // slack or surplus per inequality, one artificial where needed.
+    let mut slack_cols = 0usize;
+    for (_, op, _) in &lp.rows {
+        if *op != Op::Eq {
+            slack_cols += 1;
+        }
+    }
+    let total = n + slack_cols + m; // artificials allocated per row (some unused)
+    let mut tableau = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let art_base = n + slack_cols;
+
+    for (i, (coeffs, op, rhs)) in lp.rows.iter().enumerate() {
+        let (mut row_coeffs, mut op, mut rhs) = (coeffs.clone(), *op, *rhs);
+        if rhs < 0.0 {
+            for c in &mut row_coeffs {
+                *c = -*c;
+            }
+            rhs = -rhs;
+            op = match op {
+                Op::Le => Op::Ge,
+                Op::Ge => Op::Le,
+                Op::Eq => Op::Eq,
+            };
+        }
+        tableau[i][..n].copy_from_slice(&row_coeffs);
+        tableau[i][total] = rhs;
+        match op {
+            Op::Le => {
+                tableau[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Op::Ge => {
+                tableau[i][next_slack] = -1.0;
+                next_slack += 1;
+                tableau[i][art_base + i] = 1.0;
+                basis[i] = art_base + i;
+            }
+            Op::Eq => {
+                tableau[i][art_base + i] = 1.0;
+                basis[i] = art_base + i;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    let has_artificials = basis.iter().any(|&b| b >= art_base);
+    if has_artificials {
+        let mut z = vec![0.0f64; total + 1];
+        for (i, &b) in basis.iter().enumerate() {
+            if b >= art_base {
+                for (zc, tc) in z.iter_mut().zip(tableau[i].iter()) {
+                    *zc += tc;
+                }
+            }
+        }
+        pivot_until_optimal(&mut tableau, &mut basis, &mut z, art_base, total)?;
+        if z[total] > 1e-6 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive leftover degenerate artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= art_base {
+                if let Some(col) = (0..art_base).find(|&c| tableau[i][c].abs() > EPS) {
+                    pivot(&mut tableau, &mut basis, i, col, total);
+                } else {
+                    // Redundant row.
+                    basis[i] = usize::MAX;
+                }
+            }
+        }
+    }
+
+    // Phase 2: original objective. Express reduced costs.
+    let mut z = vec![0.0f64; total + 1];
+    for (c, &cost) in z.iter_mut().zip(lp.costs.iter()) {
+        *c = -cost;
+    }
+    for (i, &b) in basis.iter().enumerate() {
+        if b != usize::MAX && b < n {
+            let coeff = lp.costs[b];
+            if coeff != 0.0 {
+                let row = tableau[i].clone();
+                for (zc, rc) in z.iter_mut().zip(row.iter()) {
+                    *zc += coeff * rc;
+                }
+            }
+        }
+    }
+    pivot_until_optimal(&mut tableau, &mut basis, &mut z, art_base, total)?;
+
+    let mut x = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b != usize::MAX && b < n {
+            x[b] = tableau[i][total];
+        }
+    }
+    Ok(x)
+}
+
+/// Runs primal simplex pivots (Bland's rule) until the reduced-cost row
+/// `z` has no positive entry among non-artificial columns.
+fn pivot_until_optimal(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    art_base: usize,
+    total: usize,
+) -> Result<(), SolveError> {
+    let max_iters = 200 * (tableau.len() + total + 1);
+    for _ in 0..max_iters {
+        // Bland: entering column = smallest index with positive reduced cost.
+        let Some(col) = (0..art_base).find(|&c| z[c] > EPS) else {
+            return Ok(());
+        };
+        // Ratio test, Bland tie-break on basis index.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (i, row) in tableau.iter().enumerate() {
+            if basis[i] == usize::MAX {
+                continue;
+            }
+            let a = row[col];
+            if a > EPS {
+                let ratio = row[total] / a;
+                let better = match best {
+                    None => true,
+                    Some((r, _, b)) => {
+                        ratio < r - EPS || (ratio < r + EPS && basis[i] < b)
+                    }
+                };
+                if better {
+                    best = Some((ratio, i, basis[i]));
+                }
+            }
+        }
+        let Some((_, row, _)) = best else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot_with_z(tableau, basis, z, row, col, total);
+    }
+    Err(SolveError::IterationLimit)
+}
+
+fn pivot_with_z(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    pivot(tableau, basis, row, col, total);
+    let factor = z[col];
+    if factor.abs() > 0.0 {
+        for c in 0..=total {
+            z[c] -= factor * tableau[row][c];
+        }
+    }
+}
+
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let pivot_val = tableau[row][col];
+    debug_assert!(pivot_val.abs() > EPS, "pivot on ~zero element");
+    let _ = total;
+    for v in tableau[row].iter_mut() {
+        *v /= pivot_val;
+    }
+    let pivot_row = tableau[row].clone();
+    for (i, r) in tableau.iter_mut().enumerate() {
+        if i != row {
+            let factor = r[col];
+            if factor.abs() > 0.0 {
+                for c in 0..=total {
+                    r[c] -= factor * pivot_row[c];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Convenience wrapper solving a raw-form LP directly; exposed for tests
+/// and for callers who build `x ≥ 0` models themselves.
+///
+/// # Errors
+///
+/// Same as the model-level solver: infeasible, unbounded, or iteration
+/// limit.
+pub fn solve_lp(
+    costs: &[f64],
+    rows: &[(Vec<f64>, Op, f64)],
+) -> Result<Vec<f64>, SolveError> {
+    solve_raw(&RawLp {
+        costs: costs.to_vec(),
+        rows: rows.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6 -> min -(x+y).
+        let x = solve_lp(
+            &[-1.0, -1.0],
+            &[
+                (vec![1.0, 2.0], Op::Le, 4.0),
+                (vec![3.0, 1.0], Op::Le, 6.0),
+            ],
+        )
+        .unwrap();
+        // Optimum at intersection: x = 1.6, y = 1.2.
+        assert_close(x[0], 1.6);
+        assert_close(x[1], 1.2);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> x=3, y=2.
+        let x = solve_lp(
+            &[1.0, 1.0],
+            &[
+                (vec![1.0, 1.0], Op::Eq, 5.0),
+                (vec![1.0, -1.0], Op::Eq, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_close(x[0], 3.0);
+        assert_close(x[1], 2.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 -> x=4? y=0: cost 8; x=1,y=3:
+        // cost 11. Optimum x=4, y=0.
+        let x = solve_lp(
+            &[2.0, 3.0],
+            &[
+                (vec![1.0, 1.0], Op::Ge, 4.0),
+                (vec![1.0, 0.0], Op::Ge, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_close(x[0], 4.0);
+        assert_close(x[1], 0.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let r = solve_lp(
+            &[1.0],
+            &[
+                (vec![1.0], Op::Le, 1.0),
+                (vec![1.0], Op::Ge, 2.0),
+            ],
+        );
+        assert_eq!(r.unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unconstrained above.
+        let r = solve_lp(&[-1.0], &[(vec![1.0], Op::Ge, 0.0)]);
+        assert_eq!(r.unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let x = solve_lp(&[1.0], &[(vec![-1.0], Op::Le, -3.0)]).unwrap();
+        assert_close(x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let x = solve_lp(
+            &[-1.0, -1.0],
+            &[
+                (vec![1.0, 0.0], Op::Le, 1.0),
+                (vec![1.0, 0.0], Op::Le, 1.0),
+                (vec![0.0, 1.0], Op::Le, 1.0),
+                (vec![1.0, 1.0], Op::Le, 2.0),
+            ],
+        )
+        .unwrap();
+        assert_close(x[0] + x[1], 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // x + y = 2 stated twice.
+        let x = solve_lp(
+            &[1.0, 2.0],
+            &[
+                (vec![1.0, 1.0], Op::Eq, 2.0),
+                (vec![2.0, 2.0], Op::Eq, 4.0),
+            ],
+        )
+        .unwrap();
+        assert_close(x[0], 2.0);
+        assert_close(x[1], 0.0);
+    }
+}

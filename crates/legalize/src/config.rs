@@ -1,0 +1,179 @@
+//! Configuration of the legalizer.
+
+use std::fmt;
+
+/// Whether the power-rail alignment constraint is enforced.
+///
+/// The paper's second experiment (Section 6) relaxes the constraint to
+/// quantify its displacement cost: relaxed mode lets every cell sit on any
+/// row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PowerRailMode {
+    /// Enforce rail parity: even-height cells only on alternate rows
+    /// (constraint 4 of the problem formulation).
+    #[default]
+    Aligned,
+    /// Ignore rail parity entirely.
+    Relaxed,
+}
+
+impl PowerRailMode {
+    /// True for [`PowerRailMode::Aligned`].
+    pub const fn is_aligned(self) -> bool {
+        matches!(self, PowerRailMode::Aligned)
+    }
+}
+
+/// How insertion points are scored (Section 5.2 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// The paper's fast approximation: only the ≤ 2·h cells adjacent to the
+    /// chosen gaps contribute critical positions.
+    #[default]
+    Approximate,
+    /// Exact O(|C_W|) evaluation: critical positions of every local cell
+    /// are derived by propagating push chains through the neighbor DAG.
+    Exact,
+}
+
+/// The order in which Algorithm 1 visits cells ("an arbitrary order" in the
+/// paper; exposed for the cell-order ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CellOrder {
+    /// The order cells were added to the design.
+    #[default]
+    Input,
+    /// Ascending global-placement x (classic left-to-right sweep).
+    ByX,
+    /// Descending cell area, so large multi-row cells claim space first.
+    ByAreaDesc,
+    /// A seeded random shuffle.
+    Shuffled,
+}
+
+/// Tuning knobs of the MLL legalizer.
+///
+/// The defaults replicate the paper's implementation: `Rx = 30`, `Ry = 5`,
+/// approximate insertion-point evaluation, power rails aligned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LegalizerConfig {
+    /// Horizontal half-extent of the local window, in sites (`Rx`).
+    pub rx: i32,
+    /// Vertical half-extent of the local window, in rows (`Ry`).
+    pub ry: i32,
+    /// Power-rail constraint handling.
+    pub rail_mode: PowerRailMode,
+    /// Insertion-point scoring mode.
+    pub eval_mode: EvalMode,
+    /// Cell visit order for the driver loop.
+    pub order: CellOrder,
+    /// Seed for the retry offsets (`Rand_x`, `Rand_y`) and shuffling.
+    pub seed: u64,
+    /// Upper bound on retry iterations before the driver gives up. The
+    /// paper loops until success; a bound keeps pathological inputs from
+    /// hanging and is never reached on sane densities.
+    pub max_retry_iters: u32,
+    /// Safety cap on insertion points examined per MLL call; `usize::MAX`
+    /// disables the cap. Only very tall targets in dense regions can hit
+    /// combinatorial blow-up.
+    pub max_insertion_points: usize,
+}
+
+impl Default for LegalizerConfig {
+    fn default() -> Self {
+        Self {
+            rx: 30,
+            ry: 5,
+            rail_mode: PowerRailMode::Aligned,
+            eval_mode: EvalMode::Approximate,
+            order: CellOrder::Input,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            max_retry_iters: 4096,
+            max_insertion_points: usize::MAX,
+        }
+    }
+}
+
+impl LegalizerConfig {
+    /// The paper's configuration (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Returns `self` with the window half-extents replaced.
+    pub fn with_window(mut self, rx: i32, ry: i32) -> Self {
+        self.rx = rx;
+        self.ry = ry;
+        self
+    }
+
+    /// Returns `self` with the rail mode replaced.
+    pub fn with_rail_mode(mut self, mode: PowerRailMode) -> Self {
+        self.rail_mode = mode;
+        self
+    }
+
+    /// Returns `self` with the evaluation mode replaced.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// Returns `self` with the cell order replaced.
+    pub fn with_order(mut self, order: CellOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Returns `self` with the RNG seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl fmt::Display for LegalizerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Rx={} Ry={} rails={:?} eval={:?} order={:?}",
+            self.rx, self.ry, self.rail_mode, self.eval_mode, self.order
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = LegalizerConfig::default();
+        assert_eq!(c.rx, 30);
+        assert_eq!(c.ry, 5);
+        assert_eq!(c.rail_mode, PowerRailMode::Aligned);
+        assert_eq!(c.eval_mode, EvalMode::Approximate);
+        assert_eq!(LegalizerConfig::paper(), c);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = LegalizerConfig::default()
+            .with_window(10, 2)
+            .with_rail_mode(PowerRailMode::Relaxed)
+            .with_eval_mode(EvalMode::Exact)
+            .with_order(CellOrder::ByX)
+            .with_seed(7);
+        assert_eq!((c.rx, c.ry, c.seed), (10, 2, 7));
+        assert!(!c.rail_mode.is_aligned());
+        assert_eq!(c.eval_mode, EvalMode::Exact);
+        assert_eq!(c.order, CellOrder::ByX);
+    }
+
+    #[test]
+    fn display_mentions_window() {
+        let s = LegalizerConfig::default().to_string();
+        assert!(s.contains("Rx=30"));
+        assert!(s.contains("Ry=5"));
+    }
+}

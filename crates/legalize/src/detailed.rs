@@ -1,0 +1,391 @@
+//! Wirelength-driven detailed placement with instant legalization — the
+//! application the paper's abstract and introduction motivate MLL with
+//! (and the style of refs. [11] and [12]: every intermediate placement is
+//! legal because each cell move is an MLL insertion).
+//!
+//! Each pass visits every movable cell, computes its wirelength-optimal
+//! position (the median of its nets' other-pin bounding boxes), rips the
+//! cell up, and re-inserts it near the optimum via one [`mll_transacted`]
+//! call. The move is kept only when the half-perimeter wirelength of the
+//! affected nets improves; otherwise the transaction rolls back and the
+//! cell returns to its previous spot — try-and-revert at zero risk, which
+//! is exactly what local legalization buys.
+
+use crate::config::LegalizerConfig;
+use crate::legalizer::Legalizer;
+use crate::mll::mll_transacted;
+use mrl_db::{CellId, DbError, Design, NetId, PlacementState, PinLocation};
+use std::collections::HashMap;
+
+/// Detailed placement statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DetailedStats {
+    /// Cell moves attempted (cells whose optimal region was far enough).
+    pub tried: usize,
+    /// Moves kept.
+    pub accepted: usize,
+    /// Total HPWL before, in microns.
+    pub hpwl_before_um: f64,
+    /// Total HPWL after, in microns.
+    pub hpwl_after_um: f64,
+}
+
+impl DetailedStats {
+    /// Relative HPWL improvement (positive = better).
+    pub fn improvement(&self) -> f64 {
+        if self.hpwl_before_um == 0.0 {
+            0.0
+        } else {
+            1.0 - self.hpwl_after_um / self.hpwl_before_um
+        }
+    }
+}
+
+/// Configuration of the detailed placer.
+#[derive(Clone, Debug)]
+pub struct DetailedConfig {
+    /// Legalizer settings used for the per-move MLL calls.
+    pub legalizer: LegalizerConfig,
+    /// Number of passes over all cells.
+    pub passes: usize,
+    /// Skip cells whose optimal position is closer than this (site
+    /// widths), they have nothing to gain.
+    pub min_move_sites: f64,
+}
+
+impl Default for DetailedConfig {
+    fn default() -> Self {
+        Self {
+            legalizer: LegalizerConfig::default(),
+            passes: 1,
+            min_move_sites: 1.0,
+        }
+    }
+}
+
+/// The MLL-based detailed placer.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_db::{DesignBuilder, PlacementState};
+/// use mrl_legalize::{DetailedConfig, DetailedPlacer, Legalizer};
+///
+/// let mut b = DesignBuilder::new(4, 40);
+/// let cells: Vec<_> = (0..8).map(|i| b.add_cell(format!("c{i}"), 2, 1)).collect();
+/// let net = b.add_net("n");
+/// for (i, &c) in cells.iter().enumerate() {
+///     b.set_input_position(c, 4.0 * i as f64, (i % 4) as f64);
+///     b.add_cell_pin(net, c, 1.0, 0.5);
+/// }
+/// let design = b.finish()?;
+/// let mut state = PlacementState::new(&design);
+/// Legalizer::default().legalize(&design, &mut state)?;
+/// let stats = DetailedPlacer::new(DetailedConfig::default()).improve(&design, &mut state)?;
+/// assert!(stats.hpwl_after_um <= stats.hpwl_before_um);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DetailedPlacer {
+    cfg: DetailedConfig,
+}
+
+impl DetailedPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(cfg: DetailedConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Improves the wirelength of a fully placed design in place. Every
+    /// intermediate placement is legal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors (e.g. cells expected to be placed).
+    pub fn improve(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+    ) -> Result<DetailedStats, DbError> {
+        let legalizer = Legalizer::new(self.cfg.legalizer.clone());
+        let mut stats = DetailedStats {
+            hpwl_before_um: design.hpwl_um(|c| state.position_or_input(design, c)),
+            ..DetailedStats::default()
+        };
+        let aspect = design.grid().aspect();
+        for _ in 0..self.cfg.passes {
+            for cell in design.movable_cells().collect::<Vec<_>>() {
+                let Some(cur) = state.position(cell) else { continue };
+                let Some((ox, oy)) = optimal_position(design, state, cell) else {
+                    continue;
+                };
+                let dist =
+                    (ox - f64::from(cur.x)).abs() + (oy - f64::from(cur.y)).abs() * aspect;
+                if dist < self.cfg.min_move_sites {
+                    continue;
+                }
+                stats.tried += 1;
+                // Rip up and try to re-insert near the optimum.
+                let old = state.remove(design, cell)?;
+                let snapped = legalizer.snap(design, cell, ox, oy);
+                let Some(tx) =
+                    mll_transacted(design, state, &self.cfg.legalizer, cell, snapped)?
+                else {
+                    // No room near the optimum: put the cell back.
+                    restore(design, state, cell, old, &self.cfg.legalizer)?;
+                    continue;
+                };
+                // HPWL of affected nets, before (override resolver) vs now.
+                let mut overrides: HashMap<CellId, (f64, f64)> = tx
+                    .undo_moves
+                    .iter()
+                    .map(|&(c, old_x)| {
+                        let p = state.position(c).expect("shifted cell placed");
+                        (c, (f64::from(old_x), f64::from(p.y)))
+                    })
+                    .collect();
+                overrides.insert(cell, (f64::from(old.x), f64::from(old.y)));
+                let nets = affected_nets(design, tx.touched_cells());
+                let before = nets_hpwl_um(design, &nets, |c| {
+                    overrides
+                        .get(&c)
+                        .copied()
+                        .unwrap_or_else(|| state.position_or_input(design, c))
+                });
+                let after = nets_hpwl_um(design, &nets, |c| state.position_or_input(design, c));
+                if after < before {
+                    stats.accepted += 1;
+                } else {
+                    tx.rollback(design, state)?;
+                    restore(design, state, cell, old, &self.cfg.legalizer)?;
+                }
+            }
+        }
+        stats.hpwl_after_um = design.hpwl_um(|c| state.position_or_input(design, c));
+        Ok(stats)
+    }
+}
+
+fn restore(
+    design: &Design,
+    state: &mut PlacementState,
+    cell: CellId,
+    at: mrl_geom::SitePoint,
+    cfg: &LegalizerConfig,
+) -> Result<(), DbError> {
+    if cfg.rail_mode.is_aligned() {
+        state.place(design, cell, at)
+    } else {
+        state.place_ignoring_rails(design, cell, at)
+    }
+}
+
+/// The wirelength-optimal lower-left position of `cell`: the median of its
+/// nets' other-pin bounding box edges, shifted by the cell's mean pin
+/// offset. `None` when the cell has no connected pins.
+fn optimal_position(
+    design: &Design,
+    state: &PlacementState,
+    cell: CellId,
+) -> Option<(f64, f64)> {
+    let netlist = design.netlist();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut off_x = 0.0;
+    let mut off_y = 0.0;
+    let mut own_pins = 0usize;
+    for net in netlist.nets_of_cell(cell) {
+        let mut lo_x = f64::INFINITY;
+        let mut hi_x = f64::NEG_INFINITY;
+        let mut lo_y = f64::INFINITY;
+        let mut hi_y = f64::NEG_INFINITY;
+        let mut others = 0;
+        for &pin in netlist.net(net).pins() {
+            match netlist.pin(pin).location {
+                PinLocation::OnCell { cell: c, dx, dy } if c == cell => {
+                    off_x += dx;
+                    off_y += dy;
+                    own_pins += 1;
+                }
+                PinLocation::OnCell { cell: c, dx, dy } => {
+                    let (x, y) = state.position_or_input(design, c);
+                    lo_x = lo_x.min(x + dx);
+                    hi_x = hi_x.max(x + dx);
+                    lo_y = lo_y.min(y + dy);
+                    hi_y = hi_y.max(y + dy);
+                    others += 1;
+                }
+                PinLocation::Fixed { x, y } => {
+                    lo_x = lo_x.min(x);
+                    hi_x = hi_x.max(x);
+                    lo_y = lo_y.min(y);
+                    hi_y = hi_y.max(y);
+                    others += 1;
+                }
+            }
+        }
+        if others > 0 {
+            xs.push(lo_x);
+            xs.push(hi_x);
+            ys.push(lo_y);
+            ys.push(hi_y);
+        }
+    }
+    if xs.is_empty() || own_pins == 0 {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let med = |v: &[f64]| v[(v.len() - 1) / 2];
+    Some((
+        med(&xs) - off_x / own_pins as f64,
+        med(&ys) - off_y / own_pins as f64,
+    ))
+}
+
+fn affected_nets(design: &Design, cells: impl Iterator<Item = CellId>) -> Vec<NetId> {
+    let mut nets: Vec<NetId> = cells
+        .flat_map(|c| design.netlist().nets_of_cell(c))
+        .collect();
+    nets.sort_unstable();
+    nets.dedup();
+    nets
+}
+
+fn nets_hpwl_um<F>(design: &Design, nets: &[NetId], mut pos: F) -> f64
+where
+    F: FnMut(CellId) -> (f64, f64),
+{
+    let grid = design.grid();
+    let netlist = design.netlist();
+    let mut total = 0.0;
+    for &net in nets {
+        let pins = netlist.net(net).pins();
+        if pins.len() < 2 {
+            continue;
+        }
+        let mut lo_x = f64::INFINITY;
+        let mut hi_x = f64::NEG_INFINITY;
+        let mut lo_y = f64::INFINITY;
+        let mut hi_y = f64::NEG_INFINITY;
+        for &pin in pins {
+            let (x, y) = match netlist.pin(pin).location {
+                PinLocation::Fixed { x, y } => (x, y),
+                PinLocation::OnCell { cell, dx, dy } => {
+                    let (cx, cy) = pos(cell);
+                    (cx + dx, cy + dy)
+                }
+            };
+            lo_x = lo_x.min(x);
+            hi_x = hi_x.max(x);
+            lo_y = lo_y.min(y);
+            hi_y = hi_y.max(y);
+        }
+        total += (hi_x - lo_x) * grid.site_width_um() + (hi_y - lo_y) * grid.row_height_um();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PowerRailMode;
+    use mrl_db::DesignBuilder;
+    use mrl_geom::SitePoint;
+
+    /// Two connected cells placed far apart; detailed placement should
+    /// pull one toward the other.
+    #[test]
+    fn pulls_connected_cells_together() {
+        let mut b = DesignBuilder::new(2, 60);
+        let a = b.add_cell("a", 2, 1);
+        let c = b.add_cell("c", 2, 1);
+        // Pad the design so a has somewhere to go.
+        let net = b.add_net("n");
+        b.add_cell_pin(net, a, 1.0, 0.5);
+        b.add_cell_pin(net, c, 1.0, 0.5);
+        // Anchor c with a fixed pin so it stays put.
+        let anchor = b.add_net("anchor");
+        b.add_cell_pin(anchor, c, 1.0, 0.5);
+        b.add_fixed_pin(anchor, 51.0, 0.5);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(0, 0)).unwrap();
+        state.place(&design, c, SitePoint::new(50, 0)).unwrap();
+        let before = design.hpwl_um(|x| state.position_or_input(&design, x));
+        let cfg = DetailedConfig {
+            legalizer: LegalizerConfig::default().with_rail_mode(PowerRailMode::Relaxed),
+            ..DetailedConfig::default()
+        };
+        let stats = DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
+        assert!(stats.accepted >= 1, "{stats:?}");
+        assert!(stats.hpwl_after_um < before);
+        // a moved toward c.
+        assert!(state.position(a).unwrap().x > 30);
+    }
+
+    #[test]
+    fn never_worsens_total_hpwl() {
+        let mut b = DesignBuilder::new(4, 40);
+        let cells: Vec<_> = (0..10).map(|i| b.add_cell(format!("c{i}"), 2, 1)).collect();
+        for chunk in cells.chunks(3) {
+            let n = b.add_net("n");
+            for &c in chunk {
+                b.add_cell_pin(n, c, 1.0, 0.5);
+            }
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            b.set_input_position(c, (i as f64 * 3.7) % 36.0, (i % 4) as f64);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        Legalizer::default().legalize(&design, &mut state).unwrap();
+        let cfg = DetailedConfig {
+            passes: 2,
+            ..DetailedConfig::default()
+        };
+        let stats = DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
+        assert!(stats.hpwl_after_um <= stats.hpwl_before_um + 1e-9, "{stats:?}");
+    }
+
+    #[test]
+    fn unconnected_cells_are_skipped() {
+        let mut b = DesignBuilder::new(1, 20);
+        let a = b.add_cell("a", 2, 1);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(0, 0)).unwrap();
+        let stats = DetailedPlacer::default().improve(&design, &mut state).unwrap();
+        assert_eq!(stats.tried, 0);
+        assert_eq!(state.position(a), Some(SitePoint::new(0, 0)));
+    }
+
+    #[test]
+    fn rejected_moves_restore_positions() {
+        // A cell already at its optimum: any trial is rejected and the
+        // placement must be byte-identical afterwards.
+        let mut b = DesignBuilder::new(1, 30);
+        let a = b.add_cell("a", 2, 1);
+        let c = b.add_cell("c", 2, 1);
+        let n = b.add_net("n");
+        b.add_cell_pin(n, a, 1.0, 0.5);
+        b.add_cell_pin(n, c, 1.0, 0.5);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(10, 0)).unwrap();
+        state.place(&design, c, SitePoint::new(12, 0)).unwrap();
+        let cfg = DetailedConfig {
+            min_move_sites: 0.0, // force trials
+            ..DetailedConfig::default()
+        };
+        let before: Vec<_> = state.iter_placed().collect();
+        DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
+        let mut after: Vec<_> = state.iter_placed().collect();
+        let mut before = before;
+        before.sort();
+        after.sort();
+        // Positions may legitimately change if HPWL strictly improved;
+        // for two abutting cells on one net it cannot, so state is intact.
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,539 @@
+//! Valid insertion point enumeration (Sections 5.1.2–5.1.3, Figure 8).
+//!
+//! An *insertion point* for a target cell of height `h` is a choice of one
+//! insertion interval in each of `h` vertically consecutive rows such that
+//! the intervals share a common cutline (a common feasible x). When
+//! multi-row local cells exist, intervals on opposite sides of such a cell
+//! must not combine even if their ranges overlap (Figure 8).
+//!
+//! The scanline works over interval endpoints in ascending order (left
+//! endpoints before right endpoints at equal x). A queue `Q[a][s]` holds
+//! the currently open intervals of row `s` that may pair with intervals of
+//! row `a`. Processing the left endpoint of interval `I` on row `a`:
+//!
+//! 1. if `I`'s left cell is a multi-row cell `M` spanning rows `S`, every
+//!    `Q[a][s]` with `s ∈ S` is purged of intervals on the left side of `M`
+//!    (those whose left cell is not `M`);
+//! 2. all insertion points `{I} × Π_s Q[a][s]` over windows of `h`
+//!    consecutive rows containing `a` are emitted (each combination is
+//!    emitted exactly once, at the largest left endpoint among its
+//!    intervals);
+//! 3. `I` joins `Q[r][a]` for every row `r` within `h − 1` of `a`.
+//!
+//! Right endpoints remove the interval from all queues. Power-rail
+//! filtering simply skips windows whose bottom row cannot host the target.
+
+use crate::config::{EvalMode, LegalizerConfig, PowerRailMode};
+use crate::evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
+use crate::interval::InsInterval;
+use crate::region::LocalRegion;
+use mrl_db::Design;
+
+/// A scored valid insertion point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertionPoint {
+    /// Local row index of the bottom spanned row.
+    pub bottom_row: usize,
+    /// The chosen intervals, bottom-up (`target.h` of them).
+    pub intervals: Vec<InsInterval>,
+    /// The optimal target x and the total displacement cost.
+    pub eval: Evaluation,
+}
+
+/// Enumerates and scores every valid insertion point for `target` in the
+/// region. Intended for diagnostics and tests; the legalizer uses
+/// [`find_best_insertion_point`] which keeps only the minimum.
+pub fn enumerate_insertion_points(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+) -> Vec<InsertionPoint> {
+    let mut out = Vec::new();
+    scan(region, design, target, cfg, |t, combo, eval| {
+        out.push(InsertionPoint {
+            bottom_row: t,
+            intervals: combo.iter().map(|&iv| *iv).collect(),
+            eval,
+        });
+    });
+    out
+}
+
+/// Returns the minimum-cost valid insertion point, if any exists.
+pub fn find_best_insertion_point(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+) -> Option<InsertionPoint> {
+    let mut best: Option<InsertionPoint> = None;
+    scan(region, design, target, cfg, |t, combo, eval| {
+        let better = match &best {
+            Some(b) => eval.cost < b.eval.cost,
+            None => true,
+        };
+        if better {
+            best = Some(InsertionPoint {
+                bottom_row: t,
+                intervals: combo.iter().map(|&iv| *iv).collect(),
+                eval,
+            });
+        }
+    });
+    best
+}
+
+/// The scanline core: invokes `emit(t, combo, eval)` for every valid
+/// insertion point, up to the configured cap.
+#[allow(clippy::needless_range_loop)] // row indices are the domain here
+fn scan<F>(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    mut emit: F,
+) where
+    F: FnMut(usize, &[&InsInterval], Evaluation),
+{
+    let ht = target.h as usize;
+    let hw = region.height();
+    if ht == 0 || hw < ht {
+        return;
+    }
+    let intervals = region.insertion_intervals(target.w);
+    if intervals.is_empty() {
+        return;
+    }
+    let aspect = design.grid().aspect();
+    let fp = design.floorplan();
+    // Precompute which windows' bottom rows pass the rail filter.
+    let rail_ok: Vec<bool> = (0..hw)
+        .map(|t| {
+            cfg.rail_mode == PowerRailMode::Relaxed
+                || fp.rail_compatible(target.rail, target.h, region.bottom_row + t as i32)
+        })
+        .collect();
+
+    #[derive(Clone, Copy)]
+    struct Event {
+        x: i32,
+        close: bool,
+        idx: u32,
+    }
+    let mut events = Vec::with_capacity(intervals.len() * 2);
+    for (i, iv) in intervals.iter().enumerate() {
+        events.push(Event {
+            x: iv.range.lo,
+            close: false,
+            idx: i as u32,
+        });
+        events.push(Event {
+            x: iv.range.hi,
+            close: true,
+            idx: i as u32,
+        });
+    }
+    // Left endpoints precede right endpoints at equal x so touching
+    // intervals (zero-width common cutline) still combine.
+    events.sort_by_key(|e| (e.x, e.close));
+
+    // queues[a][s]: open interval ids of row s pairable with row a.
+    let mut queues: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); hw]; hw];
+    let pair_lo = |a: usize| a.saturating_sub(ht - 1);
+    let pair_hi = |a: usize| (a + ht - 1).min(hw - 1);
+
+    let mut emitted = 0usize;
+    let mut combo: Vec<&InsInterval> = Vec::with_capacity(ht);
+
+    'events: for ev in events {
+        let iv = &intervals[ev.idx as usize];
+        let a = iv.row;
+        if ev.close {
+            for r in pair_lo(a)..=pair_hi(a) {
+                if r != a {
+                    queues[r][a].retain(|&j| j != ev.idx);
+                }
+            }
+            continue;
+        }
+        // (1) Multi-row blocking: purge intervals on the far side of the
+        // left cell.
+        if let Some(ci) = iv.left {
+            let c = &region.cells[ci as usize];
+            if c.h > 1 {
+                for row in c.y..c.y + c.h {
+                    let s = (row - region.bottom_row) as usize;
+                    if s != a && s >= pair_lo(a) && s <= pair_hi(a) {
+                        queues[a][s].retain(|&j| intervals[j as usize].left == Some(ci));
+                    }
+                }
+            }
+        }
+        // (2) Emit {I} x product of queues over each window containing `a`.
+        if ht == 1 {
+            if rail_ok[a] {
+                combo.clear();
+                combo.push(iv);
+                let eval = score(region, &combo, target, region.bottom_row + a as i32, aspect, cfg);
+                emit(a, &combo, eval);
+                emitted += 1;
+                if emitted >= cfg.max_insertion_points {
+                    break 'events;
+                }
+            }
+        } else {
+            let t_lo = a.saturating_sub(ht - 1);
+            let t_hi = a.min(hw - ht);
+            for t in t_lo..=t_hi {
+                if !rail_ok[t] {
+                    continue;
+                }
+                // Depth-first product over rows t..t+ht.
+                if !product_emit(
+                    region, target, cfg, &queues, &intervals, iv, a, t, ht, aspect,
+                    &mut combo, &mut emitted, &mut emit,
+                ) {
+                    break 'events;
+                }
+            }
+        }
+        // (3) Publish the interval for future pairings.
+        for r in pair_lo(a)..=pair_hi(a) {
+            if r != a {
+                queues[r][a].push(ev.idx);
+            }
+        }
+    }
+}
+
+/// Emits all combinations for one window `t`; returns `false` when the cap
+/// is hit.
+#[allow(clippy::too_many_arguments)]
+fn product_emit<'r, F>(
+    region: &'r LocalRegion,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    queues: &[Vec<Vec<u32>>],
+    intervals: &'r [InsInterval],
+    current: &'r InsInterval,
+    a: usize,
+    t: usize,
+    ht: usize,
+    aspect: f64,
+    combo: &mut Vec<&'r InsInterval>,
+    emitted: &mut usize,
+    emit: &mut F,
+) -> bool
+where
+    F: FnMut(usize, &[&InsInterval], Evaluation),
+{
+    fn rec<'r, F>(
+        region: &'r LocalRegion,
+        target: &TargetSpec,
+        cfg: &LegalizerConfig,
+        queues: &[Vec<Vec<u32>>],
+        intervals: &'r [InsInterval],
+        current: &'r InsInterval,
+        a: usize,
+        t: usize,
+        ht: usize,
+        s: usize,
+        aspect: f64,
+        combo: &mut Vec<&'r InsInterval>,
+        emitted: &mut usize,
+        emit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(usize, &[&InsInterval], Evaluation),
+    {
+        if s == t + ht {
+            // The paper's queue clearing makes pairs sharing a row with the
+            // generating interval side-consistent, which is complete for
+            // h ≤ 2. For taller targets a pair of *other* rows can still
+            // straddle a multi-row cell (e.g. rows 1/2 of a 3-row window
+            // generated from row 3), so verify explicitly.
+            if ht >= 3 && !combo_is_side_consistent(region, combo) {
+                return true;
+            }
+            let eval = score(region, combo, target, region.bottom_row + t as i32, aspect, cfg);
+            emit(t, combo, eval);
+            *emitted += 1;
+            return *emitted < cfg.max_insertion_points;
+        }
+        if s == a {
+            combo.push(current);
+            let go = rec(
+                region, target, cfg, queues, intervals, current, a, t, ht, s + 1, aspect,
+                combo, emitted, emit,
+            );
+            combo.pop();
+            return go;
+        }
+        for &j in &queues[a][s] {
+            combo.push(&intervals[j as usize]);
+            let go = rec(
+                region, target, cfg, queues, intervals, current, a, t, ht, s + 1, aspect,
+                combo, emitted, emit,
+            );
+            combo.pop();
+            if !go {
+                return false;
+            }
+        }
+        true
+    }
+    combo.clear();
+    rec(
+        region, target, cfg, queues, intervals, current, a, t, ht, t, aspect,
+        combo, emitted, emit,
+    )
+}
+
+/// True if no multi-row local cell has combo intervals on both of its
+/// sides. An interval on row `lr` is left of cell `M` (spanning `lr`) when
+/// its gap index does not exceed `M`'s list position on that row.
+pub(crate) fn combo_is_side_consistent(region: &LocalRegion, combo: &[&InsInterval]) -> bool {
+    for iv in combo {
+        for &ci in region.rows[iv.row]
+            .as_ref()
+            .expect("combo rows have segments")
+            .cells
+            .iter()
+        {
+            let cell = &region.cells[ci as usize];
+            if cell.h <= 1 {
+                continue;
+            }
+            let mut side: Option<bool> = None; // Some(true) = all left of cell
+            for other in combo {
+                let row = region.bottom_row + other.row as i32;
+                if row < cell.y || row >= cell.y + cell.h {
+                    continue;
+                }
+                let pos = cell.pos_in_row[(row - cell.y) as usize] as usize;
+                let is_left = other.gap <= pos;
+                match side {
+                    None => side = Some(is_left),
+                    Some(s) if s != is_left => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    true
+}
+
+fn score(
+    region: &LocalRegion,
+    combo: &[&InsInterval],
+    target: &TargetSpec,
+    bottom_row_global: i32,
+    aspect: f64,
+    cfg: &LegalizerConfig,
+) -> Evaluation {
+    match cfg.eval_mode {
+        EvalMode::Approximate => evaluate(region, combo, target, bottom_row_global, aspect),
+        EvalMode::Exact => evaluate_exact(region, combo, target, bottom_row_global, aspect),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::{CellId, DesignBuilder, PlacementState};
+    use mrl_geom::{PowerRail, SitePoint, SiteRect};
+
+    fn setup(
+        rows: i32,
+        width: i32,
+        cells: &[(i32, i32, i32, i32)],
+    ) -> (LocalRegion, Vec<CellId>, Design) {
+        let mut b = DesignBuilder::new(rows, width);
+        let ids: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h, ..))| b.add_cell(format!("c{i}"), w, h))
+            .collect();
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
+            // Rails are irrelevant to these fixtures' placements.
+            state
+                .place_ignoring_rails(&design, id, SitePoint::new(x, y))
+                .unwrap();
+        }
+        let region =
+            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        (region, ids, design)
+    }
+
+    fn target(w: i32, h: i32, x: i32, y: i32) -> TargetSpec {
+        TargetSpec {
+            w,
+            h,
+            x,
+            y,
+            rail: PowerRail::Vdd,
+        }
+    }
+
+    fn relaxed() -> LegalizerConfig {
+        LegalizerConfig::default().with_rail_mode(PowerRailMode::Relaxed)
+    }
+
+    #[test]
+    fn single_row_target_gets_one_point_per_interval() {
+        let (region, _, design) = setup(2, 12, &[(2, 1, 4, 0), (3, 1, 2, 1)]);
+        let t = target(2, 1, 5, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());
+        let n_intervals = region.insertion_intervals(2).len();
+        assert_eq!(pts.len(), n_intervals);
+    }
+
+    #[test]
+    fn double_row_target_combines_consecutive_rows() {
+        // Empty 3-row region, width 10, target 2x2: windows (0,1) and (1,2),
+        // one interval per row -> 2 insertion points.
+        let (region, _, design) = setup(3, 10, &[]);
+        let t = target(2, 2, 4, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());
+        assert_eq!(pts.len(), 2);
+        let bottoms: Vec<_> = pts.iter().map(|p| p.bottom_row).collect();
+        assert!(bottoms.contains(&0) && bottoms.contains(&1));
+        assert!(pts.iter().all(|p| p.intervals.len() == 2));
+    }
+
+    #[test]
+    fn figure8_opposite_sides_of_multi_row_cell_do_not_combine() {
+        // Two rows [0,20), multi-row a(2x2)@9 with slack on both sides.
+        let (region, ids, design) = setup(2, 20, &[(2, 2, 9, 0)]);
+        let a = region.local_index_of(ids[0]).unwrap();
+        let t = target(2, 2, 5, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());
+        // Only all-left or all-right combinations are valid.
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            let sides: Vec<bool> = p
+                .intervals
+                .iter()
+                .map(|iv| iv.right == Some(a)) // true = left of a
+                .collect();
+            assert!(
+                sides.iter().all(|&s| s) || sides.iter().all(|&s| !s),
+                "mixed-side insertion point {:?}",
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn figure8_mixed_sides_allowed_without_multi_row_cell() {
+        // Same geometry but two independent single-row cells: mixed
+        // combinations are now valid.
+        let (region, _, design) = setup(2, 20, &[(2, 1, 9, 0), (2, 1, 9, 1)]);
+        let t = target(2, 2, 5, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());
+        // 2x2 gap choices, all with common cutlines.
+        assert_eq!(pts.len(), 4);
+    }
+
+    #[test]
+    fn rail_filter_restricts_even_height_targets() {
+        let (region, _, design) = setup(4, 10, &[]);
+        // VDD-bottom double-height target: bottom rows 0 and 2 only.
+        let t = target(2, 2, 4, 0);
+        let aligned = LegalizerConfig::default();
+        let pts = enumerate_insertion_points(&region, &design, &t, &aligned);
+        let bottoms: Vec<_> = pts.iter().map(|p| p.bottom_row).collect();
+        assert_eq!(bottoms, vec![0, 2]);
+        // VSS-bottom variant gets the complementary rows.
+        let t_vss = TargetSpec {
+            rail: PowerRail::Vss,
+            ..t
+        };
+        let pts = enumerate_insertion_points(&region, &design, &t_vss, &aligned);
+        let bottoms: Vec<_> = pts.iter().map(|p| p.bottom_row).collect();
+        assert_eq!(bottoms, vec![1]);
+        // Odd-height targets are unrestricted.
+        let t_odd = target(2, 1, 4, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t_odd, &aligned);
+        assert_eq!(pts.len(), 4);
+    }
+
+    #[test]
+    fn no_insertion_point_when_target_cannot_fit() {
+        // Row [0,6) fully packed by one 6-wide cell.
+        let (region, _, design) = setup(1, 6, &[(6, 1, 0, 0)]);
+        let t = target(2, 1, 2, 0);
+        assert!(find_best_insertion_point(&region, &design, &t, &relaxed()).is_none());
+    }
+
+    #[test]
+    fn best_point_prefers_zero_displacement_gap() {
+        // Row [0,20): cells at 0..2 and 10..12; target w2 wants x=14 — the
+        // gap right of the second cell costs nothing.
+        let (region, ids, design) = setup(1, 20, &[(2, 1, 0, 0), (2, 1, 10, 0)]);
+        let t = target(2, 1, 14, 0);
+        let best = find_best_insertion_point(&region, &design, &t, &relaxed()).unwrap();
+        assert_eq!(best.eval.cost, 0.0);
+        assert_eq!(best.eval.x, 14);
+        let b = region.local_index_of(ids[1]).unwrap();
+        assert_eq!(best.intervals[0].left, Some(b));
+    }
+
+    #[test]
+    fn taller_target_than_region_yields_nothing() {
+        let (region, _, design) = setup(2, 10, &[]);
+        let t = target(2, 3, 0, 0);
+        assert!(enumerate_insertion_points(&region, &design, &t, &relaxed()).is_empty());
+    }
+
+    #[test]
+    fn cap_limits_emissions() {
+        let (region, _, design) = setup(1, 30, &[(2, 1, 5, 0), (2, 1, 10, 0), (2, 1, 15, 0)]);
+        let t = target(2, 1, 8, 0);
+        let mut cfg = relaxed();
+        cfg.max_insertion_points = 2;
+        let pts = enumerate_insertion_points(&region, &design, &t, &cfg);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn triple_row_target_with_multi_row_cell_blocking() {
+        // Figure 5 family: 4 rows, a multi-row cell on rows 1-2, target 3
+        // rows tall. Combinations crossing the multi-row cell must agree on
+        // side.
+        let (region, ids, design) = setup(
+            4,
+            20,
+            &[(2, 2, 9, 1), (2, 1, 3, 0), (2, 1, 14, 3)],
+        );
+        let m = region.local_index_of(ids[0]).unwrap();
+        let t = target(2, 3, 6, 0);
+        let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());
+        assert!(!pts.is_empty());
+        for p in &pts {
+            let sides: Vec<Option<bool>> = p
+                .intervals
+                .iter()
+                .map(|iv| {
+                    if iv.left == Some(m) {
+                        Some(false) // right of m
+                    } else if iv.right == Some(m) {
+                        Some(true) // left of m
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let lefts = sides.iter().flatten().filter(|&&s| s).count();
+            let rights = sides.iter().flatten().filter(|&&s| !s).count();
+            assert!(
+                lefts == 0 || rights == 0,
+                "insertion point mixes sides of the multi-row cell: {:?}",
+                p
+            );
+        }
+    }
+}

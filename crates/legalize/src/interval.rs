@@ -1,0 +1,205 @@
+//! Insertion intervals (Section 5.1.1, Figure 7).
+//!
+//! For a target cell of width `w_t`, every gap between consecutive local
+//! cells of a row (or between a cell and the local-segment boundary) induces
+//! an *insertion interval* `(r, i, j, x_i, x_j)`: the closed range of
+//! x-coordinates the target could occupy in that gap, derived from the
+//! leftmost placement of the left cell and the rightmost placement of the
+//! right cell. Negative-length intervals (Figure 7(f)) are discarded at
+//! construction.
+
+use crate::region::LocalRegion;
+use mrl_geom::Interval;
+
+/// One insertion interval: a gap on a local row with the feasible x-range
+/// for the target cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsInterval {
+    /// Local row index of the segment the gap lies on.
+    pub row: usize,
+    /// Gap index: the target would be inserted before the `gap`-th cell of
+    /// the row's ordered list (`gap == len` means after the last cell).
+    pub gap: usize,
+    /// Local index of the cell on the left (`None` = segment boundary, the
+    /// paper's `L`).
+    pub left: Option<u32>,
+    /// Local index of the cell on the right (`None` = segment boundary,
+    /// the paper's `R`).
+    pub right: Option<u32>,
+    /// Feasible x-range `[x_i, x_j]` for the target's left edge.
+    pub range: Interval,
+}
+
+impl LocalRegion {
+    /// Builds all feasible insertion intervals for a target cell of width
+    /// `target_w`, in (row, gap) order.
+    ///
+    /// Following Section 5.1.1: for a gap between cells `i` and `j`,
+    /// `x_i = xL_i + w_i` and `x_j = xR_j − w_t`; segment boundaries
+    /// substitute the segment ends. Intervals with `x_j < x_i` cannot host
+    /// the target and are dropped.
+    pub fn insertion_intervals(&self, target_w: i32) -> Vec<InsInterval> {
+        let mut out = Vec::new();
+        for (row, seg) in self.rows.iter().enumerate() {
+            let Some(seg) = seg else { continue };
+            for gap in 0..=seg.cells.len() {
+                let (left, lo) = match gap.checked_sub(1).map(|k| seg.cells[k]) {
+                    Some(ci) => {
+                        let c = &self.cells[ci as usize];
+                        (Some(ci), c.x_left + c.w)
+                    }
+                    None => (None, seg.x0),
+                };
+                let (right, hi) = match seg.cells.get(gap).copied() {
+                    Some(ci) => {
+                        let c = &self.cells[ci as usize];
+                        (Some(ci), c.x_right - target_w)
+                    }
+                    None => (None, seg.x1 - target_w),
+                };
+                let range = Interval::new(lo, hi);
+                if !range.is_empty() {
+                    out.push(InsInterval {
+                        row,
+                        gap,
+                        left,
+                        right,
+                        range,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
+    use mrl_geom::{SitePoint, SiteRect};
+
+    fn region_for(
+        rows: i32,
+        width: i32,
+        cells: &[(i32, i32, i32, i32)],
+    ) -> (LocalRegion, Vec<CellId>, Design) {
+        let mut b = DesignBuilder::new(rows, width);
+        let ids: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h, ..))| b.add_cell(format!("c{i}"), w, h))
+            .collect();
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
+            state.place(&design, id, SitePoint::new(x, y)).unwrap();
+        }
+        let region =
+            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        (region, ids, design)
+    }
+
+    #[test]
+    fn empty_row_has_single_boundary_interval() {
+        let (region, _, _) = region_for(1, 10, &[]);
+        let ivs = region.insertion_intervals(3);
+        assert_eq!(ivs.len(), 1);
+        let iv = ivs[0];
+        assert_eq!((iv.left, iv.right), (None, None));
+        assert_eq!(iv.range, Interval::new(0, 7));
+        assert_eq!(iv.gap, 0);
+    }
+
+    #[test]
+    fn gaps_between_cells_use_leftmost_and_rightmost() {
+        // Row [0,12): a(w2)@3, b(w3)@7. Target w2.
+        let (region, ids, _) = region_for(1, 12, &[(2, 1, 3, 0), (3, 1, 7, 0)]);
+        let ivs = region.insertion_intervals(2);
+        // Gaps: (L,a), (a,b), (b,R).
+        assert_eq!(ivs.len(), 3);
+        let a = region.local_index_of(ids[0]).unwrap();
+        let b = region.local_index_of(ids[1]).unwrap();
+        // (L, a): [seg.x0, xR_a - 2] = [0, 7 - 2] = [0, 5].
+        assert_eq!(ivs[0].left, None);
+        assert_eq!(ivs[0].right, Some(a));
+        assert_eq!(ivs[0].range, Interval::new(0, 5));
+        // (a, b): [xL_a + 2, xR_b - 2] = [0 + 2, 9 - 2] = [2, 7].
+        assert_eq!(ivs[1].range, Interval::new(2, 7));
+        assert_eq!((ivs[1].left, ivs[1].right), (Some(a), Some(b)));
+        // (b, R): [xL_b + 3, 12 - 2] = [2 + 3, 10] = [5, 10].
+        assert_eq!(ivs[2].range, Interval::new(5, 10));
+        assert_eq!((ivs[2].left, ivs[2].right), (Some(b), None));
+    }
+
+    #[test]
+    fn figure7_negative_length_interval_discarded() {
+        // Row [0,8): a(w3)@0, b(w3)@5 leave a 2-site gap; a target of
+        // width 3 cannot fit anywhere: total free = 2.
+        let (region, _, _) = region_for(1, 8, &[(3, 1, 0, 0), (3, 1, 5, 0)]);
+        let ivs = region.insertion_intervals(3);
+        assert!(ivs.is_empty());
+    }
+
+    #[test]
+    fn figure7_zero_length_interval_kept() {
+        // Row [0,9): a(w3)@0, b(w3)@6; target w3 fits exactly between
+        // leftmost-a (0..3) and rightmost-b (6..9): the middle interval is
+        // the single point [3,3]. The two boundary gaps are also single
+        // points (cells shift as a block).
+        let (region, ids, _) = region_for(1, 9, &[(3, 1, 0, 0), (3, 1, 6, 0)]);
+        let ivs = region.insertion_intervals(3);
+        assert_eq!(ivs.len(), 3);
+        let a = region.local_index_of(ids[0]).unwrap();
+        let b = region.local_index_of(ids[1]).unwrap();
+        let mid = ivs
+            .iter()
+            .find(|iv| iv.left == Some(a) && iv.right == Some(b))
+            .unwrap();
+        assert_eq!(mid.range, Interval::new(3, 3));
+        assert_eq!(mid.range.len(), 0);
+    }
+
+    #[test]
+    fn figure7_positive_length_interval() {
+        // Row [0,12): a(w2)@0, b(w2)@10; target w4 between them: [2, 6].
+        let (region, ids, _) = region_for(1, 12, &[(2, 1, 0, 0), (2, 1, 10, 0)]);
+        let ivs = region.insertion_intervals(4);
+        let a = region.local_index_of(ids[0]).unwrap();
+        let b = region.local_index_of(ids[1]).unwrap();
+        let mid = ivs
+            .iter()
+            .find(|iv| iv.left == Some(a) && iv.right == Some(b))
+            .unwrap();
+        assert_eq!(mid.range, Interval::new(2, 6));
+        assert!(!mid.range.is_empty());
+    }
+
+    #[test]
+    fn rows_without_segment_produce_no_intervals() {
+        let mut b = DesignBuilder::new(2, 10);
+        b.add_blockage(SiteRect::new(0, 1, 10, 1));
+        let design = b.finish().unwrap();
+        let state = PlacementState::new(&design);
+        let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 10, 2));
+        let ivs = region.insertion_intervals(2);
+        assert!(ivs.iter().all(|iv| iv.row == 0));
+    }
+
+    #[test]
+    fn multi_row_cells_bound_gaps_on_each_row() {
+        // rows 0-1, width 10: m(2x2)@4. Target w2.
+        let (region, ids, _) = region_for(2, 10, &[(2, 2, 4, 0)]);
+        let ivs = region.insertion_intervals(2);
+        let m = region.local_index_of(ids[0]).unwrap();
+        // Each row: (L, m) and (m, R).
+        assert_eq!(ivs.len(), 4);
+        assert!(ivs
+            .iter()
+            .all(|iv| iv.left == Some(m) || iv.right == Some(m)));
+        let row0: Vec<_> = ivs.iter().filter(|iv| iv.row == 0).collect();
+        // (L,m): [0, xR_m - 2] = [0, 8 - 2]; (m,R): [xL_m + 2, 8] = [2, 8].
+        assert_eq!(row0[0].range, Interval::new(0, 6));
+        assert_eq!(row0[1].range, Interval::new(2, 8));
+    }
+}

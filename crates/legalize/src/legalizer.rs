@@ -1,0 +1,430 @@
+//! The legalization driver (Algorithm 1 of the paper).
+//!
+//! Every movable cell is visited once and placed at the site-aligned,
+//! rail-compatible position nearest its global-placement input; cells whose
+//! direct placement overlaps trigger [`mll`]. Cells that still fail are
+//! retried with uniformly random offsets whose radius grows with the
+//! iteration number (`Rand_x(k) ∈ [−Rx·(k−1), Rx·(k−1)]`, similarly for y)
+//! until everything is placed.
+
+use crate::config::{CellOrder, LegalizerConfig};
+use crate::mll::{mll, MllOutcome};
+use mrl_db::{CellId, DbError, Design, PlacementState};
+use mrl_geom::SitePoint;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Counters describing one legalization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LegalizeStats {
+    /// Cells placed (movable cells that were unplaced at entry).
+    pub placed: usize,
+    /// Cells placed directly at their snapped position without MLL.
+    pub direct: usize,
+    /// Cells placed by MLL.
+    pub via_mll: usize,
+    /// Number of retry rounds (`k` at loop exit; 0 when the first pass
+    /// placed everything).
+    pub retry_rounds: u32,
+    /// Total MLL invocations, including failed ones.
+    pub mll_calls: usize,
+}
+
+/// Error returned when legalization cannot complete.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LegalizeError {
+    /// A cell exhausted the retry budget.
+    Unplaceable {
+        /// The offending cell.
+        cell: CellId,
+        /// Retry rounds performed.
+        rounds: u32,
+    },
+    /// A database inconsistency surfaced mid-run (indicates a bug).
+    Db(DbError),
+}
+
+impl fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalizeError::Unplaceable { cell, rounds } => {
+                write!(f, "cell {cell} could not be placed after {rounds} retry rounds")
+            }
+            LegalizeError::Db(e) => write!(f, "database error during legalization: {e}"),
+        }
+    }
+}
+
+impl Error for LegalizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LegalizeError::Db(e) => Some(e),
+            LegalizeError::Unplaceable { .. } => None,
+        }
+    }
+}
+
+impl From<DbError> for LegalizeError {
+    fn from(e: DbError) -> Self {
+        LegalizeError::Db(e)
+    }
+}
+
+/// The multi-row legalizer (Algorithm 1 wrapping MLL).
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Clone, Debug)]
+pub struct Legalizer {
+    cfg: LegalizerConfig,
+}
+
+impl Legalizer {
+    /// Creates a legalizer with the given configuration.
+    pub fn new(cfg: LegalizerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LegalizerConfig {
+        &self.cfg
+    }
+
+    /// Snaps a fractional-site position to the nearest site-aligned,
+    /// rail-compatible, in-bounds position for `cell`.
+    pub fn snap(&self, design: &Design, cell: CellId, fx: f64, fy: f64) -> SitePoint {
+        let c = design.cell(cell);
+        let fp = design.floorplan();
+        let bounds = fp.bounds();
+        // Fence members aim at their region's bounding box so the local
+        // window lands where legal positions exist.
+        let (fx, fy) = match design.region_of(cell) {
+            Some(r) => {
+                let rb = design.region(r).bounds();
+                (
+                    fx.clamp(f64::from(rb.x), f64::from((rb.right() - c.width()).max(rb.x))),
+                    fy.clamp(f64::from(rb.y), f64::from((rb.top() - c.height()).max(rb.y))),
+                )
+            }
+            None => (fx, fy),
+        };
+        let x = (fx.round() as i32).clamp(bounds.x, (bounds.right() - c.width()).max(bounds.x));
+        let max_row = (fp.num_rows() - c.height()).max(0);
+        let row0 = (fy.round() as i32).clamp(0, max_row);
+        let row = if self.cfg.rail_mode.is_aligned() {
+            // Walk outward from row0 to the nearest compatible row.
+            (0..=max_row)
+                .map(|d| [row0 - d, row0 + d])
+                .flat_map(|c| c.into_iter())
+                .find(|&r| {
+                    (0..=max_row).contains(&r)
+                        && fp.rail_compatible(c.rail(), c.height(), r)
+                })
+                .unwrap_or(row0)
+        } else {
+            row0
+        };
+        SitePoint::new(x, row)
+    }
+
+    /// One placement attempt for an unplaced cell at a fractional-site
+    /// position: direct placement if the snapped footprint is free,
+    /// otherwise MLL. Returns whether the cell is now placed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors (e.g. the cell is already placed).
+    pub fn try_place(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        cell: CellId,
+        fx: f64,
+        fy: f64,
+        stats: &mut LegalizeStats,
+    ) -> Result<bool, LegalizeError> {
+        let pos = self.snap(design, cell, fx, fy);
+        let direct = if self.cfg.rail_mode.is_aligned() {
+            state.place(design, cell, pos)
+        } else {
+            state.place_ignoring_rails(design, cell, pos)
+        };
+        match direct {
+            Ok(()) => {
+                stats.direct += 1;
+                stats.placed += 1;
+                Ok(true)
+            }
+            Err(DbError::AlreadyPlaced(c)) => Err(DbError::AlreadyPlaced(c).into()),
+            Err(_) => {
+                stats.mll_calls += 1;
+                match mll(design, state, &self.cfg, cell, pos)? {
+                    MllOutcome::Placed(_) => {
+                        stats.via_mll += 1;
+                        stats.placed += 1;
+                        Ok(true)
+                    }
+                    MllOutcome::NoInsertionPoint => Ok(false),
+                }
+            }
+        }
+    }
+
+    /// Legalizes every unplaced movable cell of the design (Algorithm 1).
+    /// Already placed cells are kept and respected.
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::Unplaceable`] if a cell exhausts the retry budget
+    /// (`max_retry_iters`); [`LegalizeError::Db`] on internal
+    /// inconsistencies.
+    pub fn legalize(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+    ) -> Result<LegalizeStats, LegalizeError> {
+        let mut stats = LegalizeStats::default();
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut unplaced: Vec<CellId> = design
+            .movable_cells()
+            .filter(|&c| !state.is_placed(c))
+            .collect();
+        match self.cfg.order {
+            CellOrder::Input => {}
+            CellOrder::ByX => unplaced.sort_by(|&a, &b| {
+                design
+                    .input_position(a)
+                    .0
+                    .total_cmp(&design.input_position(b).0)
+            }),
+            CellOrder::ByAreaDesc => {
+                unplaced.sort_by_key(|&c| std::cmp::Reverse(design.cell(c).area()))
+            }
+            CellOrder::Shuffled => unplaced.shuffle(&mut rng),
+        }
+
+        // First pass at the input positions (lines 2–7).
+        let mut remaining = Vec::new();
+        for cell in unplaced {
+            let (fx, fy) = design.input_position(cell);
+            if !self.try_place(design, state, cell, fx, fy, &mut stats)? {
+                remaining.push(cell);
+            }
+        }
+
+        // Retry loop with growing random offsets (lines 9–17).
+        let mut k = 1u32;
+        while !remaining.is_empty() {
+            if k > self.cfg.max_retry_iters {
+                return Err(LegalizeError::Unplaceable {
+                    cell: remaining[0],
+                    rounds: k - 1,
+                });
+            }
+            stats.retry_rounds = k;
+            let radius_x = i64::from(self.cfg.rx) * i64::from(k - 1);
+            let radius_y = i64::from(self.cfg.ry) * i64::from(k - 1);
+            let mut still = Vec::new();
+            for cell in remaining {
+                let (fx, fy) = design.input_position(cell);
+                let dx = if radius_x > 0 {
+                    rng.gen_range(-radius_x..=radius_x) as f64
+                } else {
+                    0.0
+                };
+                let dy = if radius_y > 0 {
+                    rng.gen_range(-radius_y..=radius_y) as f64
+                } else {
+                    0.0
+                };
+                if !self.try_place(design, state, cell, fx + dx, fy + dy, &mut stats)? {
+                    still.push(cell);
+                }
+            }
+            remaining = still;
+            k += 1;
+        }
+        Ok(stats)
+    }
+}
+
+impl Default for Legalizer {
+    fn default() -> Self {
+        Self::new(LegalizerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PowerRailMode;
+    use mrl_db::DesignBuilder;
+
+    #[test]
+    fn legalizes_overlapping_cluster() {
+        let mut b = DesignBuilder::new(4, 40);
+        for i in 0..10 {
+            let c = b.add_cell(format!("c{i}"), 3, 1);
+            b.set_input_position(c, 15.0 + 0.1 * i as f64, 1.5);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.placed, 10);
+        assert_eq!(state.num_placed(), 10);
+        // All placements legal by construction of PlacementState; verify
+        // all cells got distinct positions.
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in state.iter_placed() {
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn legalizes_mixed_heights() {
+        let mut b = DesignBuilder::new(6, 30);
+        for i in 0..6 {
+            let c = b.add_cell(format!("s{i}"), 2, 1);
+            b.set_input_position(c, 10.0, 2.0);
+        }
+        for i in 0..4 {
+            let c = b.add_cell(format!("d{i}"), 2, 2);
+            b.set_input_position(c, 12.0, 2.0);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.placed, 10);
+        // Double-height VDD cells must all be on even rows.
+        for c in design.movable_cells() {
+            if design.cell(c).height() == 2 {
+                assert_eq!(state.position(c).unwrap().y % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_uses_odd_rows_for_double_height() {
+        let mut b = DesignBuilder::new(4, 12);
+        let c0 = b.add_cell("d0", 2, 2);
+        b.set_input_position(c0, 5.0, 1.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let cfg = LegalizerConfig::default().with_rail_mode(PowerRailMode::Relaxed);
+        Legalizer::new(cfg).legalize(&design, &mut state).unwrap();
+        assert_eq!(state.position(c0).unwrap().y, 1);
+    }
+
+    #[test]
+    fn snap_clamps_and_finds_compatible_row() {
+        let mut b = DesignBuilder::new(4, 20);
+        let d = b.add_cell("d", 2, 2); // VDD bottom: rows 0, 2
+        let design = b.finish().unwrap();
+        let lg = Legalizer::default();
+        // y = 1.2 rounds to row 1 (incompatible) -> nearest compatible 0 or 2.
+        let p = lg.snap(&design, d, -5.0, 1.2);
+        assert_eq!(p.x, 0);
+        assert!(p.y == 0 || p.y == 2);
+        // Far right clamps x so the cell still fits.
+        let p = lg.snap(&design, d, 100.0, 0.0);
+        assert_eq!(p.x, 18);
+    }
+
+    #[test]
+    fn preplaced_cells_stay_placed_and_legal() {
+        // A cell placed before legalization may be *shifted* by MLL (that
+        // is the point of local legalization) but must remain placed and
+        // overlap-free.
+        let mut b = DesignBuilder::new(2, 20);
+        let pre = b.add_cell("pre", 4, 1);
+        let new = b.add_cell("new", 4, 1);
+        b.set_input_position(new, 2.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, pre, SitePoint::new(2, 0)).unwrap();
+        let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+        // Only `new` counted: `pre` was not legalized, just respected.
+        assert_eq!(stats.placed, 1);
+        assert!(state.is_placed(pre));
+        let a = state.rect_of(&design, pre).unwrap();
+        let b = state.rect_of(&design, new).unwrap();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn dense_design_eventually_places_all() {
+        // 90% density single row: heavy pushing required.
+        let mut b = DesignBuilder::new(1, 100);
+        for i in 0..30 {
+            let c = b.add_cell(format!("c{i}"), 3, 1);
+            b.set_input_position(c, 50.0, 0.0); // everyone wants the middle
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.placed, 30);
+    }
+
+    #[test]
+    fn unplaceable_reports_error() {
+        // Two 3-wide cells in one 4-wide row: capacity validation passes at
+        // the design level only if area fits; so use two rows but a target
+        // that can never fit: a 2x2 cell with rail alignment in a floorplan
+        // where compatible rows are blocked.
+        let mut b = DesignBuilder::new(3, 10);
+        let d = b.add_cell("d", 2, 2);
+        b.set_input_position(d, 4.0, 0.0);
+        // Block row 0 and row 2 entirely: only bottom row 1 remains for a
+        // double-height cell, which is rail-incompatible (VDD cell).
+        b.add_blockage(mrl_geom::SiteRect::new(0, 0, 10, 1));
+        b.add_blockage(mrl_geom::SiteRect::new(0, 2, 10, 1));
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let cfg = LegalizerConfig {
+            max_retry_iters: 3,
+            ..LegalizerConfig::default()
+        };
+        let err = Legalizer::new(cfg).legalize(&design, &mut state).unwrap_err();
+        assert!(matches!(err, LegalizeError::Unplaceable { cell, .. } if cell == d));
+    }
+
+    #[test]
+    fn cell_orders_all_converge() {
+        for order in [
+            CellOrder::Input,
+            CellOrder::ByX,
+            CellOrder::ByAreaDesc,
+            CellOrder::Shuffled,
+        ] {
+            let mut b = DesignBuilder::new(4, 30);
+            for i in 0..8 {
+                let c = b.add_cell(format!("c{i}"), 2, 1 + (i % 2));
+                b.set_input_position(c, 10.0 + i as f64 * 0.2, 1.0);
+            }
+            let design = b.finish().unwrap();
+            let mut state = PlacementState::new(&design);
+            let cfg = LegalizerConfig::default().with_order(order);
+            let stats = Legalizer::new(cfg).legalize(&design, &mut state).unwrap();
+            assert_eq!(stats.placed, 8, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn stats_distinguish_direct_and_mll() {
+        let mut b = DesignBuilder::new(1, 40);
+        let a = b.add_cell("a", 3, 1);
+        let c = b.add_cell("c", 3, 1);
+        b.set_input_position(a, 5.0, 0.0);
+        b.set_input_position(c, 5.0, 0.0); // collides with a
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+        assert_eq!(stats.direct, 1);
+        assert_eq!(stats.via_mll, 1);
+        assert_eq!(stats.mll_calls, 1);
+        assert_eq!(stats.retry_rounds, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Optimal fixed-order single-row re-packing (the classic detailed
+//! placement primitive of refs. \[8\]/\[9\] of the paper: "solving a fixed
+//! order single row placement problem optimally").
+//!
+//! For a run of single-row cells in fixed order, minimizing total
+//! displacement `Σ |x_i − x*_i|` subject to non-overlap is solved exactly
+//! by *clumping*: place each cell at its target, and while two neighbours
+//! overlap merge them into a cluster positioned at the weighted median of
+//! its members' (offset-adjusted) targets.
+//!
+//! The paper's Section 1 observes that this technique "cannot be modified
+//! easily to handle multi-row height cells" — an overlap-free solution in
+//! one row may create overlaps in the rows above or below. The sound
+//! adaptation implemented here therefore treats every multi-row cell as a
+//! fixed barrier and re-packs only the single-row runs between barriers,
+//! which is optimal per run and provably cannot disturb other rows. Used
+//! as a cheap displacement-recovery pass after MLL legalization.
+
+use mrl_db::{CellId, DbError, Design, PlacementState};
+
+/// Statistics of one refinement pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RefineStats {
+    /// Cells whose position changed.
+    pub moved: usize,
+    /// Total displacement (site widths) against the input positions,
+    /// before the pass.
+    pub disp_before: f64,
+    /// Total displacement after the pass.
+    pub disp_after: f64,
+}
+
+/// One clumping cluster.
+struct Cluster {
+    /// Cells in order with their widths.
+    cells: Vec<(CellId, i32)>,
+    /// Offset-adjusted targets (x*_i − prefix width before i in cluster).
+    targets: Vec<f64>,
+    /// Total width.
+    width: i32,
+    /// Current optimal x (unclamped median, then clamped).
+    x: i32,
+}
+
+impl Cluster {
+    fn optimal_x(&mut self, lo: i32, hi: i32) -> i32 {
+        // Lower median minimizes the sum of absolute deviations.
+        let mut t = self.targets.clone();
+        t.sort_by(f64::total_cmp);
+        let med = t[(t.len() - 1) / 2].round() as i32;
+        self.x = med.clamp(lo, (hi - self.width).max(lo));
+        self.x
+    }
+}
+
+/// Optimally re-packs every maximal run of single-row cells between
+/// multi-row cells, segment boundaries, and blockages, minimizing total
+/// displacement to the design's input positions while keeping cell order.
+/// Never moves multi-row cells. Returns per-pass statistics.
+///
+/// # Errors
+///
+/// Propagates database errors from committing the moves (cannot occur for
+/// legal inputs; the computed positions respect order and bounds).
+pub fn refine_rows(design: &Design, state: &mut PlacementState) -> Result<RefineStats, DbError> {
+    let fp = design.floorplan();
+    let mut stats = RefineStats::default();
+    let mut moves: Vec<(CellId, i32)> = Vec::new();
+
+    for row in 0..fp.num_rows() {
+        // Fence x-intervals crossing this row, sorted: run boundaries in
+        // addition to multi-row cells (fences are exclusive, so a run may
+        // never clump across a fence edge in either direction).
+        let mut fences: Vec<(i32, i32)> = design
+            .regions()
+            .iter()
+            .flat_map(|r| r.rects())
+            .filter(|r| r.y <= row && row < r.top())
+            .map(|r| (r.x, r.right()))
+            .collect();
+        fences.sort_unstable();
+        // Zone of an x position: Some(k) inside fence k, None outside —
+        // plus the bin between fences so free zones on either side differ.
+        let zone_of = |x: i32| -> (usize, bool) {
+            let idx = fences.partition_point(|&(_, b)| b <= x);
+            match fences.get(idx) {
+                Some(&(a, _)) if x >= a => (idx, true), // inside fence idx
+                _ => (idx, false),                      // free gap before fence idx
+            }
+        };
+        for (si, seg) in fp.segments_in_row(row).iter().enumerate() {
+            let base = fp.row_segment_base(row).expect("row exists");
+            let seg_id = mrl_db::SegId::from_usize(base + si);
+            // Split the ordered list into runs of single-row cells bounded
+            // by multi-row cells and fence-zone changes.
+            let list: Vec<CellId> = state.segment_cells(seg_id).to_vec();
+            let mut run: Vec<CellId> = Vec::new();
+            let mut run_lo = seg.x;
+            let mut run_zone: Option<(usize, bool)> = None;
+            let zone_bounds = |zone: (usize, bool)| -> (i32, i32) {
+                let (idx, inside) = zone;
+                if inside {
+                    (fences[idx].0, fences[idx].1)
+                } else {
+                    let lo = if idx == 0 { i32::MIN } else { fences[idx - 1].1 };
+                    let hi = fences.get(idx).map(|&(a, _)| a).unwrap_or(i32::MAX);
+                    (lo, hi)
+                }
+            };
+            let flush = |run: &mut Vec<CellId>,
+                         run_lo: i32,
+                         run_hi: i32,
+                         zone: Option<(usize, bool)>,
+                         moves: &mut Vec<(CellId, i32)>| {
+                if !run.is_empty() {
+                    let (zlo, zhi) = zone.map(&zone_bounds).unwrap_or((i32::MIN, i32::MAX));
+                    repack_run(run_lo.max(zlo), run_hi.min(zhi), design, run, moves);
+                }
+                run.clear();
+            };
+            for &cell in &list {
+                let c = design.cell(cell);
+                let p = state.position(cell).expect("listed cell placed");
+                if c.height() > 1 {
+                    flush(&mut run, run_lo, p.x, run_zone, &mut moves);
+                    run_lo = p.x + c.width();
+                    run_zone = None;
+                    continue;
+                }
+                let zone = zone_of(p.x);
+                if run_zone.is_some() && run_zone != Some(zone) {
+                    // Zone change: close the previous run at the current
+                    // cell's zone boundary.
+                    flush(&mut run, run_lo, i32::MAX, run_zone, &mut moves);
+                    run_lo = seg.x.max(zone_bounds(zone).0);
+                }
+                run_zone = Some(zone);
+                run.push(cell);
+            }
+            flush(&mut run, run_lo, seg.right(), run_zone, &mut moves);
+        }
+    }
+
+    // Measure, commit, re-measure.
+    let aspect = design.grid().aspect();
+    let disp = |state: &PlacementState| -> f64 {
+        design
+            .movable_cells()
+            .filter_map(|c| {
+                let p = state.position(c)?;
+                let (ix, iy) = design.input_position(c);
+                Some((f64::from(p.x) - ix).abs() + (f64::from(p.y) - iy).abs() * aspect)
+            })
+            .sum()
+    };
+    stats.disp_before = disp(state);
+    let moves: Vec<(CellId, i32)> = moves
+        .into_iter()
+        .filter(|&(c, x)| state.position(c).map(|p| p.x) != Some(x))
+        .collect();
+    stats.moved = moves.len();
+    state.shift_batch(design, &moves)?;
+    stats.disp_after = disp(state);
+    debug_assert!(stats.disp_after <= stats.disp_before + 1e-9);
+    Ok(stats)
+}
+
+/// Clumps one run of single-row cells into `[lo, hi)` and records moves.
+/// The caller guarantees the bounds respect segments, multi-row barriers,
+/// and fence zones.
+fn repack_run(
+    lo: i32,
+    hi: i32,
+    design: &Design,
+    run: &[CellId],
+    moves: &mut Vec<(CellId, i32)>,
+) {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for &cell in run {
+        let c = design.cell(cell);
+        let (tx, _) = design.input_position(cell);
+        let mut cur = Cluster {
+            cells: vec![(cell, c.width())],
+            targets: vec![tx],
+            width: c.width(),
+            x: 0,
+        };
+        cur.optimal_x(lo, hi);
+        // Merge with predecessors while overlapping.
+        while let Some(prev) = clusters.last_mut() {
+            if prev.x + prev.width <= cur.x {
+                break;
+            }
+            let prev = clusters.pop().expect("non-empty");
+            // Prepend prev: adjust cur's targets by prev.width.
+            let mut targets = prev.targets;
+            targets.extend(cur.targets.iter().map(|t| t - f64::from(prev.width)));
+            let mut cells = prev.cells;
+            cells.extend(cur.cells);
+            cur = Cluster {
+                width: prev.width + cur.width,
+                cells,
+                targets,
+                x: 0,
+            };
+            cur.optimal_x(lo, hi);
+        }
+        clusters.push(cur);
+    }
+    for cluster in &clusters {
+        let mut x = cluster.x;
+        for &(cell, w) in &cluster.cells {
+            moves.push((cell, x));
+            x += w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Legalizer, LegalizerConfig};
+    use mrl_db::DesignBuilder;
+    use mrl_geom::SitePoint;
+    use mrl_metrics::{check_legal, displacement_stats, RailCheck};
+
+    #[test]
+    fn repacks_single_row_toward_targets() {
+        // Cells legalized away from their targets; refinement recovers.
+        let mut b = DesignBuilder::new(1, 30);
+        let c0 = b.add_cell("a", 3, 1);
+        let c1 = b.add_cell("b", 3, 1);
+        b.set_input_position(c0, 10.0, 0.0);
+        b.set_input_position(c1, 13.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c0, SitePoint::new(0, 0)).unwrap();
+        state.place(&design, c1, SitePoint::new(20, 0)).unwrap();
+        let stats = refine_rows(&design, &mut state).unwrap();
+        assert_eq!(stats.moved, 2);
+        assert_eq!(state.position(c0), Some(SitePoint::new(10, 0)));
+        assert_eq!(state.position(c1), Some(SitePoint::new(13, 0)));
+        assert!(stats.disp_after < stats.disp_before);
+    }
+
+    #[test]
+    fn clumps_overlapping_targets_at_median() {
+        // Three cells all wanting x = 10: optimal packing centers the
+        // clump so the median cell hits its target.
+        let mut b = DesignBuilder::new(1, 30);
+        let ids: Vec<_> = (0..3).map(|i| b.add_cell(format!("c{i}"), 2, 1)).collect();
+        for &c in &ids {
+            b.set_input_position(c, 10.0, 0.0);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        for (i, &c) in ids.iter().enumerate() {
+            state
+                .place(&design, c, SitePoint::new(i as i32 * 9, 0))
+                .unwrap();
+        }
+        refine_rows(&design, &mut state).unwrap();
+        // Total width 6; optimal cluster x minimizes |x-10|+|x+2-10|+|x+4-10|
+        // -> median of {10, 8, 6} = 8.
+        assert_eq!(state.position(ids[0]), Some(SitePoint::new(8, 0)));
+        assert_eq!(state.position(ids[1]), Some(SitePoint::new(10, 0)));
+        assert_eq!(state.position(ids[2]), Some(SitePoint::new(12, 0)));
+    }
+
+    #[test]
+    fn multi_row_cells_are_barriers() {
+        let mut b = DesignBuilder::new(2, 20);
+        let s0 = b.add_cell("s0", 2, 1);
+        let m = b.add_cell("m", 2, 2);
+        let s1 = b.add_cell("s1", 2, 1);
+        b.set_input_position(s0, 15.0, 0.0); // wants to cross the barrier
+        b.set_input_position(s1, 0.0, 0.0); // wants to cross back
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, s0, SitePoint::new(0, 0)).unwrap();
+        state.place(&design, m, SitePoint::new(8, 0)).unwrap();
+        state.place(&design, s1, SitePoint::new(14, 0)).unwrap();
+        refine_rows(&design, &mut state).unwrap();
+        // The barrier never moves; runs stay on their side of it.
+        assert_eq!(state.position(m), Some(SitePoint::new(8, 0)));
+        assert_eq!(state.position(s0), Some(SitePoint::new(6, 0)));
+        assert_eq!(state.position(s1), Some(SitePoint::new(10, 0)));
+        check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    }
+
+    #[test]
+    fn never_worsens_displacement_after_legalization() {
+        use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+        let spec = BenchmarkSpec::new("refine_e2e", 600, 60, 0.6, 0.0);
+        let design = generate(&spec, &GeneratorConfig::default()).unwrap();
+        let mut state = PlacementState::new(&design);
+        Legalizer::new(LegalizerConfig::default())
+            .legalize(&design, &mut state)
+            .unwrap();
+        let before = displacement_stats(&design, &state).avg_sites;
+        let stats = refine_rows(&design, &mut state).unwrap();
+        let after = displacement_stats(&design, &state).avg_sites;
+        assert!(after <= before + 1e-9, "{before} -> {after}");
+        assert!(stats.disp_after <= stats.disp_before);
+        check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    }
+
+    #[test]
+    fn respects_fence_bounds() {
+        let mut b = DesignBuilder::new(2, 40);
+        let f = b.add_region("f", vec![mrl_geom::SiteRect::new(10, 0, 10, 2)]);
+        let m0 = b.add_cell("m0", 3, 1);
+        b.assign_region(m0, f);
+        // Target far left of the fence; refinement must stop at the edge.
+        b.set_input_position(m0, 0.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, m0, SitePoint::new(15, 0)).unwrap();
+        refine_rows(&design, &mut state).unwrap();
+        assert_eq!(state.position(m0), Some(SitePoint::new(10, 0)));
+        check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    }
+
+    #[test]
+    fn idempotent_on_refined_placement() {
+        let mut b = DesignBuilder::new(1, 30);
+        let c0 = b.add_cell("a", 3, 1);
+        b.set_input_position(c0, 7.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c0, SitePoint::new(0, 0)).unwrap();
+        refine_rows(&design, &mut state).unwrap();
+        let stats = refine_rows(&design, &mut state).unwrap();
+        assert_eq!(stats.moved, 0);
+    }
+}

@@ -1,0 +1,592 @@
+//! Local region extraction (Section 2.1.3) and the leftmost/rightmost
+//! placements (Section 5.1.1, Figure 6).
+//!
+//! Given a window `W` around the target position, the extraction freezes
+//! every cell that is not completely inside `W`, splits each row of `W` at
+//! frozen cells and blockages, keeps per row the one free run closest to the
+//! window center (the *local segment*), and finally keeps as *local cells*
+//! exactly those cells fully contained in the local segments of **all** rows
+//! they span. A cell inside `W` that violates the last condition (e.g. a
+//! multi-row cell sticking into a non-chosen run — cells `i`/`c` of
+//! Figure 3) is itself frozen, which may split segments further; extraction
+//! therefore iterates to a fixpoint.
+//!
+//! The paper leaves this procedure unspecified ("due to page limit"); the
+//! fixpoint above is the minimal procedure consistent with every property
+//! the paper states.
+
+use mrl_db::{CellId, Design, PlacementState, RegionId, SegId};
+use mrl_geom::SiteRect;
+use std::collections::HashMap;
+
+/// A local cell: a movable cell that MLL may shift horizontally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalCell {
+    /// The design-level cell id.
+    pub id: CellId,
+    /// Current x (site units).
+    pub x: i32,
+    /// Global bottom row.
+    pub y: i32,
+    /// Width in sites.
+    pub w: i32,
+    /// Height in rows.
+    pub h: i32,
+    /// x in the leftmost placement (`xL` in the paper).
+    pub x_left: i32,
+    /// x in the rightmost placement (`xR` in the paper).
+    pub x_right: i32,
+    /// For each spanned local row (bottom up), this cell's index in that
+    /// row's ordered cell list.
+    pub pos_in_row: Vec<u32>,
+}
+
+impl LocalCell {
+    /// Local row index of the cell's bottom row within a region whose
+    /// lowest row is `bottom_row`.
+    pub fn local_bottom(&self, bottom_row: i32) -> usize {
+        (self.y - bottom_row) as usize
+    }
+}
+
+/// The local segment of one row: a contiguous run of free sites bounded by
+/// frozen cells, blockages, or the window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalSeg {
+    /// Global segment the run lies on.
+    pub seg: Option<SegId>,
+    /// Leftmost site of the run.
+    pub x0: i32,
+    /// Exclusive right end of the run.
+    pub x1: i32,
+    /// Local cells on the run, ordered by x.
+    pub cells: Vec<u32>,
+}
+
+impl LocalSeg {
+    /// Width of the run in sites.
+    pub const fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+}
+
+/// An extracted local region: the sub-problem MLL solves.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalRegion {
+    /// Global row index of local row 0.
+    pub bottom_row: i32,
+    /// One entry per row of the (clipped) window; `None` when the row has
+    /// no free run inside the window.
+    pub rows: Vec<Option<LocalSeg>>,
+    /// The local cells.
+    pub cells: Vec<LocalCell>,
+}
+
+/// A chosen free run on one row: global segment id plus `[x0, x1)`.
+type ChosenRun = (Option<SegId>, i32, i32);
+
+impl LocalRegion {
+    /// Extracts the local region for `window` from the current placement,
+    /// for a target cell that belongs to no fence region.
+    ///
+    /// The returned region has leftmost/rightmost placements already
+    /// computed. Rows of the window outside the floorplan are clipped.
+    pub fn extract(design: &Design, state: &PlacementState, window: SiteRect) -> LocalRegion {
+        Self::extract_masked(design, state, window, None)
+    }
+
+    /// Like [`LocalRegion::extract`] but for a target with the given fence
+    /// membership: for a member the local segments are clipped to its
+    /// region's rectangles, otherwise every fence area is excluded. Cells
+    /// not fully inside the clipped runs are frozen, so only cells with
+    /// compatible membership become local.
+    pub fn extract_masked(
+        design: &Design,
+        state: &PlacementState,
+        window: SiteRect,
+        target_region: Option<RegionId>,
+    ) -> LocalRegion {
+        let fp = design.floorplan();
+        let r0 = window.y.max(0);
+        let r1 = window.top().min(fp.num_rows());
+        if r0 >= r1 || window.w <= 0 {
+            return LocalRegion::default();
+        }
+        let h_w = (r1 - r0) as usize;
+        // Doubled window-center x, for exact nearest-run comparisons.
+        let center2 = 2 * window.x + window.w;
+
+        // Candidate cells: placed cells intersecting the clipped window,
+        // classified once as inside/outside.
+        let mut inside: HashMap<CellId, SiteRect> = HashMap::new();
+        let mut frozen: Vec<SiteRect> = Vec::new();
+        let mut seen: HashMap<CellId, ()> = HashMap::new();
+        for row in r0..r1 {
+            for seg in fp.segments_in_row(row) {
+                let x0 = seg.x.max(window.x);
+                let x1 = seg.right().min(window.right());
+                if x0 >= x1 {
+                    continue;
+                }
+                let base = fp.row_segment_base(row).expect("row in range");
+                let idx = fp.segments_in_row(row)
+                    .iter()
+                    .position(|s| s == seg)
+                    .expect("segment of its own row");
+                let seg_id = SegId::from_usize(base + idx);
+                for &cell in state.cells_intersecting(design, seg_id, x0, x1) {
+                    if seen.insert(cell, ()).is_some() {
+                        continue;
+                    }
+                    let rect = state.rect_of(design, cell).expect("listed cell placed");
+                    if window.contains_rect(&rect) {
+                        inside.insert(cell, rect);
+                    } else {
+                        frozen.push(rect);
+                    }
+                }
+            }
+        }
+
+        // Fixpoint: choose runs, demote violating inside-cells to frozen.
+        let chosen: Vec<Option<ChosenRun>> = loop {
+            let mut chosen: Vec<Option<ChosenRun>> = vec![None; h_w];
+            for row in r0..r1 {
+                let mut best: Option<(i64, ChosenRun)> = None;
+                for (idx, seg) in fp.segments_in_row(row).iter().enumerate() {
+                    let sx0 = seg.x.max(window.x);
+                    let sx1 = seg.right().min(window.right());
+                    if sx0 >= sx1 {
+                        continue;
+                    }
+                    let base = fp.row_segment_base(row).expect("row in range");
+                    let seg_id = SegId::from_usize(base + idx);
+                    // Blocked spans on this row from frozen cells.
+                    let mut blocked: Vec<(i32, i32)> = frozen
+                        .iter()
+                        .filter(|c| c.y <= row && row < c.top())
+                        .map(|c| (c.x.max(sx0), c.right().min(sx1)))
+                        .filter(|(a, b)| a < b)
+                        .collect();
+                    // Fence clipping: members may only use their region's
+                    // area, everyone else must avoid every fence.
+                    match target_region {
+                        Some(r) => {
+                            // Block the complement of the region's rects.
+                            let mut allowed: Vec<(i32, i32)> = design
+                                .region(r)
+                                .rects()
+                                .iter()
+                                .filter(|fr| fr.y <= row && row < fr.top())
+                                .map(|fr| (fr.x.max(sx0), fr.right().min(sx1)))
+                                .filter(|(a, b)| a < b)
+                                .collect();
+                            allowed.sort_unstable();
+                            let mut cursor = sx0;
+                            for (a, b) in allowed {
+                                if a > cursor {
+                                    blocked.push((cursor, a));
+                                }
+                                cursor = cursor.max(b);
+                            }
+                            if cursor < sx1 {
+                                blocked.push((cursor, sx1));
+                            }
+                        }
+                        None => {
+                            for fr in design.regions() {
+                                for fr_rect in fr.rects() {
+                                    if fr_rect.y <= row && row < fr_rect.top() {
+                                        let a = fr_rect.x.max(sx0);
+                                        let b = fr_rect.right().min(sx1);
+                                        if a < b {
+                                            blocked.push((a, b));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    blocked.sort_unstable();
+                    let mut cursor = sx0;
+                    let mut runs: Vec<(i32, i32)> = Vec::new();
+                    for (bx0, bx1) in blocked {
+                        if bx0 > cursor {
+                            runs.push((cursor, bx0));
+                        }
+                        cursor = cursor.max(bx1);
+                    }
+                    if cursor < sx1 {
+                        runs.push((cursor, sx1));
+                    }
+                    for (x0, x1) in runs {
+                        // Distance of the run to the (doubled) center.
+                        let d = if 2 * x0 <= center2 && center2 <= 2 * x1 {
+                            0
+                        } else if 2 * x1 < center2 {
+                            i64::from(center2) - i64::from(2 * x1)
+                        } else {
+                            i64::from(2 * x0) - i64::from(center2)
+                        };
+                        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                            best = Some((d, (Some(seg_id), x0, x1)));
+                        }
+                    }
+                }
+                chosen[(row - r0) as usize] = best.map(|(_, run)| run);
+            }
+
+            // Demote any inside-cell not contained in the chosen runs of all
+            // rows it spans.
+            let mut newly_frozen = Vec::new();
+            for (&cell, rect) in &inside {
+                let ok = rect.rows().all(|row| {
+                    if row < r0 || row >= r1 {
+                        return false;
+                    }
+                    match &chosen[(row - r0) as usize] {
+                        Some((_, x0, x1)) => *x0 <= rect.x && rect.right() <= *x1,
+                        None => false,
+                    }
+                });
+                if !ok {
+                    newly_frozen.push(cell);
+                }
+            }
+            if newly_frozen.is_empty() {
+                break chosen;
+            }
+            for cell in newly_frozen {
+                let rect = inside.remove(&cell).expect("was inside");
+                frozen.push(rect);
+            }
+        };
+
+        // Assemble: local cells and per-row ordered lists.
+        let mut cells: Vec<LocalCell> = inside
+            .iter()
+            .map(|(&id, rect)| LocalCell {
+                id,
+                x: rect.x,
+                y: rect.y,
+                w: rect.w,
+                h: rect.h,
+                x_left: rect.x,
+                x_right: rect.x,
+                pos_in_row: Vec::new(),
+            })
+            .collect();
+        cells.sort_by_key(|c| (c.x, c.y, c.id));
+        let mut rows: Vec<Option<LocalSeg>> = chosen
+            .into_iter()
+            .map(|run| {
+                run.map(|(seg, x0, x1)| LocalSeg {
+                    seg,
+                    x0,
+                    x1,
+                    cells: Vec::new(),
+                })
+            })
+            .collect();
+        // Populate row lists bottom-up; `cells` is x-sorted so lists are too.
+        for (i, cell) in cells.iter().enumerate() {
+            for row in cell.y..cell.y + cell.h {
+                let lr = (row - r0) as usize;
+                rows[lr]
+                    .as_mut()
+                    .expect("local cell rows have chosen runs")
+                    .cells
+                    .push(i as u32);
+            }
+        }
+        // Record each cell's index within every row list it belongs to.
+        let mut pos_map: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
+        for row in rows.iter().flatten() {
+            for (pos, &ci) in row.cells.iter().enumerate() {
+                pos_map[ci as usize].push(pos as u32);
+            }
+        }
+        for (cell, poses) in cells.iter_mut().zip(pos_map) {
+            cell.pos_in_row = poses;
+        }
+        let mut region = LocalRegion {
+            bottom_row: r0,
+            rows,
+            cells,
+        };
+        region.compute_leftmost_rightmost();
+        region
+    }
+
+    /// Number of (clipped) window rows.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The local row list a cell occupies on local row `lr`, with the
+    /// cell's index in it.
+    fn row_cells(&self, lr: usize) -> &[u32] {
+        self.rows[lr]
+            .as_ref()
+            .map(|s| s.cells.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The immediate left neighbor of local cell `ci` on local row `lr`.
+    pub fn left_neighbor_of(&self, ci: u32, lr: usize) -> Option<u32> {
+        let cell = &self.cells[ci as usize];
+        let k = cell.pos_in_row[lr - cell.local_bottom(self.bottom_row)] as usize;
+        k.checked_sub(1).map(|k| self.row_cells(lr)[k])
+    }
+
+    /// The immediate right neighbor of local cell `ci` on local row `lr`.
+    pub fn right_neighbor_of(&self, ci: u32, lr: usize) -> Option<u32> {
+        let cell = &self.cells[ci as usize];
+        let k = cell.pos_in_row[lr - cell.local_bottom(self.bottom_row)] as usize;
+        self.row_cells(lr).get(k + 1).copied()
+    }
+
+    /// Computes `xL` and `xR` for every local cell (Figure 6): the legal
+    /// placements with every cell as far left (right) as possible while
+    /// keeping the current relative order in every row.
+    pub fn compute_leftmost_rightmost(&mut self) {
+        // Cells are x-sorted, which is a topological order of the
+        // left-neighbor DAG (a left neighbor always has strictly smaller x).
+        let order: Vec<u32> = (0..self.cells.len() as u32).collect();
+        for &ci in &order {
+            let (y, h) = {
+                let c = &self.cells[ci as usize];
+                (c.y, c.h)
+            };
+            let mut x_left = i32::MIN;
+            for row in y..y + h {
+                let lr = (row - self.bottom_row) as usize;
+                let bound = match self.left_neighbor_of(ci, lr) {
+                    Some(p) => {
+                        let p = &self.cells[p as usize];
+                        p.x_left + p.w
+                    }
+                    None => self.rows[lr].as_ref().expect("occupied row").x0,
+                };
+                x_left = x_left.max(bound);
+            }
+            self.cells[ci as usize].x_left = x_left;
+            debug_assert!(x_left <= self.cells[ci as usize].x);
+        }
+        for &ci in order.iter().rev() {
+            let (y, h, w) = {
+                let c = &self.cells[ci as usize];
+                (c.y, c.h, c.w)
+            };
+            let mut x_right = i32::MAX;
+            for row in y..y + h {
+                let lr = (row - self.bottom_row) as usize;
+                let bound = match self.right_neighbor_of(ci, lr) {
+                    Some(n) => self.cells[n as usize].x_right,
+                    None => self.rows[lr].as_ref().expect("occupied row").x1,
+                };
+                x_right = x_right.min(bound);
+            }
+            self.cells[ci as usize].x_right = x_right - w;
+            debug_assert!(self.cells[ci as usize].x_right >= self.cells[ci as usize].x);
+        }
+    }
+
+    /// Looks up a local cell by design id (linear; test/diagnostic use).
+    pub fn local_index_of(&self, id: CellId) -> Option<u32> {
+        self.cells.iter().position(|c| c.id == id).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+    use mrl_geom::SitePoint;
+
+    /// Builds a design with the given movable cells `(w, h)` placed at the
+    /// given positions on a `rows x width` floorplan.
+    fn placed_design(
+        rows: i32,
+        width: i32,
+        cells: &[(i32, i32, i32, i32)], // (w, h, x, y)
+    ) -> (Design, PlacementState, Vec<CellId>) {
+        let mut b = DesignBuilder::new(rows, width);
+        let ids: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h, ..))| b.add_cell(format!("c{i}"), w, h))
+            .collect();
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
+            state.place(&design, id, SitePoint::new(x, y)).unwrap();
+        }
+        (design, state, ids)
+    }
+
+    #[test]
+    fn empty_window_yields_empty_region() {
+        let (design, state, _) = placed_design(2, 10, &[]);
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 5, 4, 2));
+        assert!(r.rows.is_empty());
+        assert!(r.cells.is_empty());
+    }
+
+    #[test]
+    fn fully_inside_cells_are_local() {
+        let (design, state, ids) = placed_design(3, 20, &[(3, 1, 5, 1), (2, 2, 9, 0)]);
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(2, 0, 14, 3));
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.bottom_row, 0);
+        assert!(r.local_index_of(ids[0]).is_some());
+        assert!(r.local_index_of(ids[1]).is_some());
+        // Row 1 contains both cells ordered by x.
+        let row1 = r.rows[1].as_ref().unwrap();
+        assert_eq!(row1.cells.len(), 2);
+        let first = &r.cells[row1.cells[0] as usize];
+        assert_eq!(first.id, ids[0]);
+    }
+
+    #[test]
+    fn straddling_cell_is_frozen_and_splits_row() {
+        // Cell at x=8..14 sticks out of the window (window right edge 12).
+        let (design, state, ids) =
+            placed_design(1, 30, &[(6, 1, 8, 0), (2, 1, 2, 0)]);
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 1));
+        // The frozen cell bounds the local segment on the right.
+        let seg = r.rows[0].as_ref().unwrap();
+        assert_eq!((seg.x0, seg.x1), (0, 8));
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].id, ids[1]);
+    }
+
+    #[test]
+    fn figure3_like_cell_beyond_divider_is_excluded() {
+        // Window [0, 20); a frozen straddler at x=18..24 splits row 0 into
+        // [0,18). A second run would exist only if another divider existed;
+        // here, place a divider in the middle: frozen cell c_mid is taller
+        // than the window so it is not fully inside (y-span).
+        let (design, state, ids) = placed_design(
+            3,
+            40,
+            &[
+                (4, 3, 8, 0),  // tall divider, fully inside in x, spans all rows
+                (2, 1, 3, 0),  // left of divider
+                (2, 1, 14, 0), // right of divider
+            ],
+        );
+        // Window covers rows 0..2 only, so the 3-row divider is frozen.
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 20, 2));
+        let seg = r.rows[0].as_ref().unwrap();
+        // Center x = 10; runs are [0,8) and [12,20); distance of [0,8) is
+        // 2*10-16 = 4, of [12,20) is 24-20 = 4 — tie broken to the first,
+        // i.e. [0,8).
+        assert_eq!((seg.x0, seg.x1), (0, 8));
+        // The cell on the non-chosen run is excluded despite being inside W.
+        assert!(r.local_index_of(ids[2]).is_none());
+        assert!(r.local_index_of(ids[1]).is_some());
+    }
+
+    #[test]
+    fn multi_row_cell_in_non_chosen_run_is_demoted_fixpoint() {
+        // Row 0 has a frozen divider; row 1 does not. A double-row cell to
+        // the right of the divider is inside W and inside row 1's chosen
+        // run but outside row 0's chosen run -> must be demoted, and its
+        // footprint then bounds row 1's run.
+        let (design, state, ids) = placed_design(
+            3,
+            40,
+            &[
+                (4, 3, 8, 0),  // tall frozen divider (rows 0..3)
+                (2, 2, 14, 0), // double-row cell right of divider
+                (2, 1, 3, 1),  // plain local cell left of divider on row 1
+            ],
+        );
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 20, 2));
+        assert!(r.local_index_of(ids[1]).is_none(), "demoted");
+        assert!(r.local_index_of(ids[2]).is_some());
+        // Row 1's run is bounded by the divider (the demoted cell lies
+        // right of it, beyond the chosen run).
+        let seg1 = r.rows[1].as_ref().unwrap();
+        assert_eq!((seg1.x0, seg1.x1), (0, 8));
+    }
+
+    #[test]
+    fn window_clips_to_floorplan_rows() {
+        let (design, state, _) = placed_design(2, 10, &[]);
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, -3, 10, 8));
+        assert_eq!(r.bottom_row, 0);
+        assert_eq!(r.height(), 2);
+    }
+
+    #[test]
+    fn figure6_leftmost_rightmost_single_row() {
+        // Segment [0, 12); cells at 3 (w2) and 7 (w3).
+        let (design, state, ids) = placed_design(1, 12, &[(2, 1, 3, 0), (3, 1, 7, 0)]);
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 1));
+        let a = &r.cells[r.local_index_of(ids[0]).unwrap() as usize];
+        let b = &r.cells[r.local_index_of(ids[1]).unwrap() as usize];
+        assert_eq!((a.x_left, a.x_right), (0, 12 - 3 - 2));
+        assert_eq!((b.x_left, b.x_right), (2, 12 - 3));
+    }
+
+    #[test]
+    fn figure6_leftmost_rightmost_with_multi_row_coupling() {
+        // Rows 0-1, width 12.
+        // row1:  m(2x2)@4  s(2x1)@8
+        // row0:  a(3x1)@0  m
+        let (design, state, ids) = placed_design(
+            2,
+            12,
+            &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)],
+        );
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 2));
+        let m = &r.cells[r.local_index_of(ids[0]).unwrap() as usize];
+        let s = &r.cells[r.local_index_of(ids[1]).unwrap() as usize];
+        let a = &r.cells[r.local_index_of(ids[2]).unwrap() as usize];
+        // Leftmost: a -> 0, m -> max(seg0 after a = 3, seg1 start 0) = 3,
+        // s -> m.xL + 2 = 5.
+        assert_eq!(a.x_left, 0);
+        assert_eq!(m.x_left, 3);
+        assert_eq!(s.x_left, 5);
+        // Rightmost: s -> 10, m -> min(12, s.xR = 10) - 2 = 8, a -> m.xR - 3 = 5.
+        assert_eq!(s.x_right, 10);
+        assert_eq!(m.x_right, 8);
+        assert_eq!(a.x_right, 5);
+    }
+
+    #[test]
+    fn neighbors_follow_row_lists() {
+        let (design, state, ids) = placed_design(
+            2,
+            12,
+            &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)],
+        );
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 2));
+        let m = r.local_index_of(ids[0]).unwrap();
+        let s = r.local_index_of(ids[1]).unwrap();
+        let a = r.local_index_of(ids[2]).unwrap();
+        assert_eq!(r.left_neighbor_of(m, 0), Some(a));
+        assert_eq!(r.left_neighbor_of(m, 1), None);
+        assert_eq!(r.right_neighbor_of(m, 1), Some(s));
+        assert_eq!(r.right_neighbor_of(m, 0), None);
+        assert_eq!(r.left_neighbor_of(s, 1), Some(m));
+    }
+
+    #[test]
+    fn blockages_bound_local_segments() {
+        let mut b = DesignBuilder::new(1, 20);
+        let c = b.add_cell("c", 2, 1);
+        b.add_blockage(SiteRect::new(10, 0, 2, 1));
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c, SitePoint::new(2, 0)).unwrap();
+        let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 20, 1));
+        // Center 10 falls on the blockage; runs [0,10) and [12,20):
+        // distance of [0,10) is 0 (2*10 <= 20 <= 2*10? 20 == 20 yes).
+        let seg = r.rows[0].as_ref().unwrap();
+        assert_eq!((seg.x0, seg.x1), (0, 10));
+        assert_eq!(r.cells.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Displacement statistics — the primary quality metric of the paper
+//! (Table 1, "Disp. (sites)").
+
+use mrl_db::{Design, PlacementState};
+use serde::{Deserialize, Serialize};
+
+/// Displacement of a legalized placement relative to the global-placement
+/// input positions.
+///
+/// Horizontal displacement is measured in site widths; vertical
+/// displacement in rows is converted to site widths through the grid's
+/// aspect ratio, matching the unit of Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisplacementStats {
+    /// Number of placed movable cells the statistics cover.
+    pub cells: usize,
+    /// Movable cells that are unplaced (excluded from the averages).
+    pub unplaced: usize,
+    /// Average displacement in site widths.
+    pub avg_sites: f64,
+    /// Maximum displacement in site widths.
+    pub max_sites: f64,
+    /// Total displacement in site widths.
+    pub total_sites: f64,
+    /// Total displacement in microns.
+    pub total_um: f64,
+}
+
+/// Computes displacement statistics of the placed movable cells against
+/// the design's input positions.
+pub fn displacement_stats(design: &Design, state: &PlacementState) -> DisplacementStats {
+    let grid = design.grid();
+    let aspect = grid.aspect();
+    let mut stats = DisplacementStats::default();
+    for id in design.movable_cells() {
+        let Some(p) = state.position(id) else {
+            stats.unplaced += 1;
+            continue;
+        };
+        let (ix, iy) = design.input_position(id);
+        let dx = (f64::from(p.x) - ix).abs();
+        let dy = (f64::from(p.y) - iy).abs();
+        let sites = dx + dy * aspect;
+        stats.cells += 1;
+        stats.total_sites += sites;
+        stats.total_um += dx * grid.site_width_um() + dy * grid.row_height_um();
+        if sites > stats.max_sites {
+            stats.max_sites = sites;
+        }
+    }
+    if stats.cells > 0 {
+        stats.avg_sites = stats.total_sites / stats.cells as f64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+    use mrl_geom::{SiteGrid, SitePoint};
+
+    #[test]
+    fn zero_displacement_when_on_input() {
+        let mut b = DesignBuilder::new(1, 10);
+        let c = b.add_cell("a", 2, 1);
+        b.set_input_position(c, 4.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c, SitePoint::new(4, 0)).unwrap();
+        let s = displacement_stats(&design, &state);
+        assert_eq!(s.cells, 1);
+        assert_eq!(s.avg_sites, 0.0);
+        assert_eq!(s.total_um, 0.0);
+    }
+
+    #[test]
+    fn vertical_moves_weighted_by_aspect() {
+        let mut b = DesignBuilder::new(3, 10);
+        b.set_grid(SiteGrid::new(0.5, 2.0)); // aspect 4
+        let c = b.add_cell("a", 2, 1);
+        b.set_input_position(c, 1.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c, SitePoint::new(2, 2)).unwrap();
+        let s = displacement_stats(&design, &state);
+        // dx = 1 site, dy = 2 rows -> 1 + 2*4 = 9 site widths.
+        assert!((s.avg_sites - 9.0).abs() < 1e-12);
+        assert!((s.total_um - (0.5 + 4.0)).abs() < 1e-12);
+        assert_eq!(s.max_sites, s.avg_sites);
+    }
+
+    #[test]
+    fn fractional_inputs_count_partial_sites() {
+        let mut b = DesignBuilder::new(1, 10);
+        let c = b.add_cell("a", 2, 1);
+        b.set_input_position(c, 3.25, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c, SitePoint::new(3, 0)).unwrap();
+        let s = displacement_stats(&design, &state);
+        assert!((s.avg_sites - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unplaced_cells_counted_separately() {
+        let mut b = DesignBuilder::new(1, 20);
+        let c0 = b.add_cell("a", 2, 1);
+        let _c1 = b.add_cell("b", 2, 1);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c0, SitePoint::new(0, 0)).unwrap();
+        let s = displacement_stats(&design, &state);
+        assert_eq!(s.cells, 1);
+        assert_eq!(s.unplaced, 1);
+    }
+
+    #[test]
+    fn averages_over_multiple_cells() {
+        let mut b = DesignBuilder::new(1, 30);
+        let c0 = b.add_cell("a", 2, 1);
+        let c1 = b.add_cell("b", 2, 1);
+        b.set_input_position(c0, 0.0, 0.0);
+        b.set_input_position(c1, 10.0, 0.0);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, c0, SitePoint::new(1, 0)).unwrap();
+        state.place(&design, c1, SitePoint::new(13, 0)).unwrap();
+        let s = displacement_stats(&design, &state);
+        assert!((s.avg_sites - 2.0).abs() < 1e-12);
+        assert!((s.max_sites - 3.0).abs() < 1e-12);
+        assert!((s.total_sites - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Half-perimeter wirelength and ΔHPWL against the global placement.
+
+use mrl_db::{Design, PlacementState};
+use serde::{Deserialize, Serialize};
+
+/// HPWL before/after legalization, in microns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HpwlReport {
+    /// HPWL of the global-placement input.
+    pub input_um: f64,
+    /// HPWL of the legalized placement.
+    pub placed_um: f64,
+}
+
+impl HpwlReport {
+    /// Relative change `(placed − input) / input`; 0 for empty netlists.
+    pub fn delta(&self) -> f64 {
+        if self.input_um == 0.0 {
+            0.0
+        } else {
+            (self.placed_um - self.input_um) / self.input_um
+        }
+    }
+}
+
+/// HPWL of the global-placement input positions, in microns.
+pub fn hpwl_of_input(design: &Design) -> f64 {
+    design.hpwl_um(|c| design.input_position(c))
+}
+
+/// HPWL of the current placement in microns; unplaced cells fall back to
+/// their input positions.
+pub fn hpwl_of_state(design: &Design, state: &PlacementState) -> f64 {
+    design.hpwl_um(|c| state.position_or_input(design, c))
+}
+
+/// Both HPWL values as a report.
+pub fn hpwl_change(design: &Design, state: &PlacementState) -> HpwlReport {
+    HpwlReport {
+        input_um: hpwl_of_input(design),
+        placed_um: hpwl_of_state(design, state),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+    use mrl_geom::SitePoint;
+
+    fn two_cell_net() -> (Design, mrl_db::CellId, mrl_db::CellId) {
+        let mut b = DesignBuilder::new(1, 100);
+        let a = b.add_cell("a", 1, 1);
+        let c = b.add_cell("b", 1, 1);
+        b.set_input_position(a, 0.0, 0.0);
+        b.set_input_position(c, 10.0, 0.0);
+        let n = b.add_net("n");
+        b.add_cell_pin(n, a, 0.0, 0.0);
+        b.add_cell_pin(n, c, 0.0, 0.0);
+        (b.finish().unwrap(), a, c)
+    }
+
+    #[test]
+    fn input_hpwl_uses_gp_positions() {
+        let (design, ..) = two_cell_net();
+        let expected = 10.0 * design.grid().site_width_um();
+        assert!((hpwl_of_input(&design) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placed_hpwl_tracks_movement() {
+        let (design, a, c) = two_cell_net();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(0, 0)).unwrap();
+        state.place(&design, c, SitePoint::new(15, 0)).unwrap();
+        let report = hpwl_change(&design, &state);
+        assert!((report.placed_um - 15.0 * design.grid().site_width_um()).abs() < 1e-9);
+        assert!((report.delta() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unplaced_cells_fall_back_to_input() {
+        let (design, a, _) = two_cell_net();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(2, 0)).unwrap();
+        let report = hpwl_change(&design, &state);
+        // a moved from 0 to 2; c stays at its input 10.
+        assert!((report.placed_um - 8.0 * design.grid().site_width_um()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist_delta_is_zero() {
+        let mut b = DesignBuilder::new(1, 10);
+        b.add_cell("a", 1, 1);
+        let design = b.finish().unwrap();
+        let state = PlacementState::new(&design);
+        let report = hpwl_change(&design, &state);
+        assert_eq!(report.delta(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Legality checking, displacement and wirelength metrics, and plain-text
+//! result tables for the multi-row legalization workspace.
+//!
+//! The [`check_legal`] checker re-verifies the four constraints of the paper's
+//! problem formulation (Section 2) *independently* of the invariants
+//! `mrl_db::PlacementState` maintains, so tests can cross-check the two
+//! implementations against each other. The [`displacement_stats`] and [`hpwl_change`]
+//! functions compute the quantities Table 1 of the paper reports: average
+//! cell displacement in site widths, and relative HPWL change against the
+//! global placement input.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_db::{DesignBuilder, PlacementState};
+//! use mrl_metrics::{check_legal, displacement_stats, RailCheck};
+//! use mrl_geom::SitePoint;
+//!
+//! let mut b = DesignBuilder::new(2, 10);
+//! let c = b.add_cell("c", 2, 1);
+//! b.set_input_position(c, 3.4, 0.0);
+//! let design = b.finish()?;
+//! let mut state = PlacementState::new(&design);
+//! state.place(&design, c, SitePoint::new(3, 0))?;
+//!
+//! assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
+//! let stats = displacement_stats(&design, &state);
+//! assert!((stats.avg_sites - 0.4).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod displacement;
+mod hpwl;
+mod svg;
+mod table;
+
+pub use check::{check_legal, CheckReport, RailCheck, Violation};
+pub use displacement::{displacement_stats, DisplacementStats};
+pub use hpwl::{hpwl_of_input, hpwl_of_state, hpwl_change, HpwlReport};
+pub use svg::{render_svg, SvgOptions};
+pub use table::Table;

@@ -1,0 +1,183 @@
+//! SVG rendering of placements — the debugging view every placement tool
+//! grows: rows, blockages, fence regions, cells colored by height, and
+//! optional displacement whiskers back to the global-placement input.
+
+use mrl_db::{Design, PlacementState};
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Pixels per site width.
+    pub scale_x: f64,
+    /// Pixels per row.
+    pub scale_y: f64,
+    /// Draw a line from each cell to its global-placement input position.
+    pub displacement_whiskers: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            scale_x: 4.0,
+            scale_y: 12.0,
+            displacement_whiskers: false,
+        }
+    }
+}
+
+/// Color for a cell of the given row height.
+fn fill_for_height(h: i32) -> &'static str {
+    match h {
+        1 => "#7aa6da",
+        2 => "#e7a23c",
+        3 => "#b075d8",
+        _ => "#d0564f",
+    }
+}
+
+/// Renders the placement as an SVG document string.
+///
+/// Unplaced cells are skipped; fixed cells and blockages render dark grey,
+/// fence regions as translucent green outlines. The y-axis is flipped so
+/// row 0 is at the bottom, like placement plots in papers.
+pub fn render_svg(design: &Design, state: &PlacementState, opts: &SvgOptions) -> String {
+    let bounds = design.floorplan().bounds();
+    let width = f64::from(bounds.w) * opts.scale_x;
+    let height = f64::from(bounds.h) * opts.scale_y;
+    let x = |v: f64| (v - f64::from(bounds.x)) * opts.scale_x;
+    let y = |v: f64| height - (v - f64::from(bounds.y)) * opts.scale_y;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.2} {height:.2}">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect x="0" y="0" width="{width:.2}" height="{height:.2}" fill="#fafafa"/>"##
+    );
+    // Row lines.
+    for r in 0..=design.floorplan().num_rows() {
+        let yy = y(f64::from(r));
+        let _ = writeln!(
+            svg,
+            r##"<line x1="0" y1="{yy:.2}" x2="{width:.2}" y2="{yy:.2}" stroke="#e0e0e0" stroke-width="0.5"/>"##
+        );
+    }
+    // Blockages (includes fixed-cell footprints).
+    for b in design.floorplan().blockages() {
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="#555" fill-opacity="0.8"/>"##,
+            x(f64::from(b.x)),
+            y(f64::from(b.top())),
+            f64::from(b.w) * opts.scale_x,
+            f64::from(b.h) * opts.scale_y,
+        );
+    }
+    // Fence regions.
+    for region in design.regions() {
+        for r in region.rects() {
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="#44aa44" fill-opacity="0.12" stroke="#2a7f2a" stroke-width="1" stroke-dasharray="4 2"/>"##,
+                x(f64::from(r.x)),
+                y(f64::from(r.top())),
+                f64::from(r.w) * opts.scale_x,
+                f64::from(r.h) * opts.scale_y,
+            );
+        }
+    }
+    // Cells.
+    for (id, pos) in state.iter_placed() {
+        let cell = design.cell(id);
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" fill-opacity="0.85" stroke="#333" stroke-width="0.3"/>"##,
+            x(f64::from(pos.x)),
+            y(f64::from(pos.y + cell.height())),
+            f64::from(cell.width()) * opts.scale_x,
+            f64::from(cell.height()) * opts.scale_y,
+            fill_for_height(cell.height()),
+        );
+        if opts.displacement_whiskers {
+            let (ix, iy) = design.input_position(id);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#cc3333" stroke-width="0.4" stroke-opacity="0.6"/>"##,
+                x(f64::from(pos.x)),
+                y(f64::from(pos.y)),
+                x(ix),
+                y(iy),
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_db::DesignBuilder;
+    use mrl_geom::{SitePoint, SiteRect};
+
+    fn sample() -> (Design, PlacementState) {
+        let mut b = DesignBuilder::new(4, 20);
+        let a = b.add_cell("a", 3, 1);
+        let d = b.add_cell("d", 2, 2);
+        b.add_fixed("m", SiteRect::new(10, 0, 4, 2));
+        b.add_region("f", vec![SiteRect::new(0, 2, 8, 2)]);
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, a, SitePoint::new(0, 0)).unwrap();
+        state.place(&design, d, SitePoint::new(4, 0)).unwrap();
+        (design, state)
+    }
+
+    #[test]
+    fn renders_all_layers() {
+        let (design, state) = sample();
+        let svg = render_svg(&design, &state, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // Two cells with height colors, one blockage, one fence.
+        assert!(svg.contains("#7aa6da"));
+        assert!(svg.contains("#e7a23c"));
+        assert!(svg.contains(r##"fill="#555""##));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn whiskers_only_on_request() {
+        let (design, state) = sample();
+        let plain = render_svg(&design, &state, &SvgOptions::default());
+        assert!(!plain.contains("#cc3333"));
+        let with = render_svg(
+            &design,
+            &state,
+            &SvgOptions {
+                displacement_whiskers: true,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(with.contains("#cc3333"));
+    }
+
+    #[test]
+    fn unplaced_cells_are_skipped() {
+        let mut b = DesignBuilder::new(1, 10);
+        b.add_cell("a", 2, 1);
+        let design = b.finish().unwrap();
+        let state = PlacementState::new(&design);
+        let svg = render_svg(&design, &state, &SvgOptions::default());
+        assert!(!svg.contains("#7aa6da"));
+    }
+
+    #[test]
+    fn tall_cells_get_distinct_colors() {
+        assert_ne!(fill_for_height(1), fill_for_height(2));
+        assert_ne!(fill_for_height(3), fill_for_height(4));
+    }
+}

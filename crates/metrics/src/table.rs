@@ -1,0 +1,143 @@
+//! Minimal fixed-width text tables for experiment output.
+
+use std::fmt;
+
+/// A plain-text table with a header row, column-aligned like the paper's
+/// Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use mrl_metrics::Table;
+///
+/// let mut t = Table::new(&["bench", "disp", "runtime"]);
+/// t.row(&["fft_1", "1.81", "1.1"]);
+/// t.row(&["superblue12", "1.63", "106.5"]);
+/// let s = t.to_string();
+/// assert!(s.lines().count() == 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing trailing cells render empty, extra cells are
+    /// kept and widen the table.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, w) in widths.iter().enumerate() {
+                if !first {
+                    f.write_str("  ")?;
+                }
+                first = false;
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".-+%xe".contains(c))
+                    && !cell.is_empty();
+                if numeric {
+                    write!(f, "{cell:>w$}")?;
+                } else {
+                    write!(f, "{cell:<w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["x", "1.0"]);
+        t.row(&["longer_name", "20.5"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with(" 1.0"));
+        assert!(lines[3].ends_with("20.5"));
+    }
+
+    #[test]
+    fn short_rows_pad_with_empty_cells() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only"]);
+        let s = t.to_string();
+        assert!(s.contains("only"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["h1", "h2"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

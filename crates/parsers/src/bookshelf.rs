@@ -1,0 +1,550 @@
+//! Bookshelf (`.aux`, `.nodes`, `.nets`, `.pl`, `.scl`) reader and writer.
+//!
+//! Conventions implemented (the common GSRC/ISPD dialect):
+//!
+//! * `.nodes` — `name width height [terminal]`; terminals are fixed
+//!   macros whose footprints block placement sites,
+//! * `.nets` — `NetDegree : k name` headers followed by
+//!   `cell I/O/B : dx dy` pin lines with offsets **from the cell center**,
+//! * `.pl` — `name x y : ORIENT [/FIXED]`; movable cells carry their
+//!   (possibly fractional, off-grid) global-placement positions,
+//! * `.scl` — `CoreRow` records; `Height` and `Sitewidth` are normalized
+//!   away so the in-memory design is in site units.
+//!
+//! Bookshelf cannot express power-rail polarity; cells read back get the
+//! default (VDD-bottom) rail. Everything else round-trips exactly; see
+//! the crate-level example.
+
+use crate::ParseError;
+use mrl_db::{CellId, Design, DesignBuilder};
+use mrl_geom::SiteRect;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Writes `design` as `<base>.aux` plus the four data files into `dir`.
+///
+/// # Errors
+///
+/// Any I/O failure while creating or writing the files.
+pub fn write(design: &Design, dir: &Path, base: &str) -> Result<(), ParseError> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join(format!("{base}.aux")),
+        format!("RowBasedPlacement : {base}.nodes {base}.nets {base}.pl {base}.scl\n"),
+    )?;
+    fs::write(dir.join(format!("{base}.nodes")), nodes_text(design))?;
+    fs::write(dir.join(format!("{base}.nets")), nets_text(design))?;
+    fs::write(dir.join(format!("{base}.pl")), pl_text(design))?;
+    fs::write(dir.join(format!("{base}.scl")), scl_text(design))?;
+    Ok(())
+}
+
+fn nodes_text(design: &Design) -> String {
+    let mut out = String::from("UCLA nodes 1.0\n\n");
+    let terminals = design
+        .cells()
+        .iter()
+        .filter(|c| !c.is_movable())
+        .count();
+    let _ = writeln!(out, "NumNodes : {}", design.num_cells());
+    let _ = writeln!(out, "NumTerminals : {terminals}");
+    for cell in design.cells() {
+        if cell.is_movable() {
+            let _ = writeln!(out, "  {} {} {}", cell.name(), cell.width(), cell.height());
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} {} {} terminal",
+                cell.name(),
+                cell.width(),
+                cell.height()
+            );
+        }
+    }
+    out
+}
+
+fn nets_text(design: &Design) -> String {
+    let netlist = design.netlist();
+    let mut out = String::from("UCLA nets 1.0\n\n");
+    let _ = writeln!(out, "NumNets : {}", netlist.num_nets());
+    let _ = writeln!(out, "NumPins : {}", netlist.pins().len());
+    for net in netlist.nets() {
+        let _ = writeln!(out, "NetDegree : {} {}", net.degree(), net.name());
+        for &pin in net.pins() {
+            match netlist.pin(pin).location {
+                mrl_db::PinLocation::OnCell { cell, dx, dy } => {
+                    let c = design.cell(cell);
+                    // Bookshelf offsets are from the cell center.
+                    let cdx = dx - f64::from(c.width()) / 2.0;
+                    let cdy = dy - f64::from(c.height()) / 2.0;
+                    let _ = writeln!(out, "  {} B : {cdx:.6} {cdy:.6}", c.name());
+                }
+                mrl_db::PinLocation::Fixed { x, y } => {
+                    // Fixed pins are modelled as zero-size pseudo
+                    // terminals; rare in our flows, encoded via a
+                    // reserved name.
+                    let _ = writeln!(out, "  __fixed__ B : {x:.6} {y:.6}");
+                }
+            }
+        }
+    }
+    out
+}
+
+fn pl_text(design: &Design) -> String {
+    let mut out = String::from("UCLA pl 1.0\n\n");
+    for (i, cell) in design.cells().iter().enumerate() {
+        let id = CellId::from_usize(i);
+        let (x, y) = design.input_position(id);
+        if cell.is_movable() {
+            let _ = writeln!(out, "{} {x:.6} {y:.6} : N", cell.name());
+        } else {
+            let _ = writeln!(out, "{} {x:.6} {y:.6} : N /FIXED", cell.name());
+        }
+    }
+    out
+}
+
+fn scl_text(design: &Design) -> String {
+    let fp = design.floorplan();
+    let mut out = String::from("UCLA scl 1.0\n\n");
+    let _ = writeln!(out, "NumRows : {}", fp.num_rows());
+    for (i, row) in fp.rows().iter().enumerate() {
+        let _ = writeln!(out, "CoreRow Horizontal");
+        let _ = writeln!(out, "  Coordinate : {i}");
+        let _ = writeln!(out, "  Height : 1");
+        let _ = writeln!(out, "  Sitewidth : 1");
+        let _ = writeln!(out, "  Sitespacing : 1");
+        let _ = writeln!(out, "  Siteorient : 1");
+        let _ = writeln!(out, "  Sitesymmetry : 1");
+        let _ = writeln!(out, "  SubrowOrigin : {}  NumSites : {}", row.x, row.width);
+        let _ = writeln!(out, "End");
+    }
+    out
+}
+
+/// Reads a design from a `.aux` file.
+///
+/// # Errors
+///
+/// [`ParseError::Io`] on missing files, [`ParseError::Syntax`] on
+/// malformed content, [`ParseError::Semantic`] when the files are
+/// mutually inconsistent or fail design validation.
+pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
+    let aux = fs::read_to_string(aux_path)?;
+    let dir = aux_path.parent().unwrap_or(Path::new("."));
+    let mut nodes_file = None;
+    let mut nets_file = None;
+    let mut pl_file = None;
+    let mut scl_file = None;
+    for token in aux.split_whitespace() {
+        if token.ends_with(".nodes") {
+            nodes_file = Some(dir.join(token));
+        } else if token.ends_with(".nets") {
+            nets_file = Some(dir.join(token));
+        } else if token.ends_with(".pl") {
+            pl_file = Some(dir.join(token));
+        } else if token.ends_with(".scl") {
+            scl_file = Some(dir.join(token));
+        }
+    }
+    let missing = |what: &str| ParseError::syntax(aux_path, 1, format!("no {what} file listed"));
+    let nodes_file = nodes_file.ok_or_else(|| missing(".nodes"))?;
+    let nets_file = nets_file.ok_or_else(|| missing(".nets"))?;
+    let pl_file = pl_file.ok_or_else(|| missing(".pl"))?;
+    let scl_file = scl_file.ok_or_else(|| missing(".scl"))?;
+
+    // --- .scl -----------------------------------------------------------
+    let scl = fs::read_to_string(&scl_file)?;
+    #[derive(Default, Clone)]
+    struct RawRow {
+        coordinate: f64,
+        height: f64,
+        site_width: f64,
+        origin: f64,
+        num_sites: f64,
+    }
+    let mut rows: Vec<RawRow> = Vec::new();
+    let mut cur: Option<RawRow> = None;
+    for (lno, line) in scl.lines().enumerate() {
+        let lno = lno + 1;
+        let line = strip_comment(line);
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("CoreRow") => {
+                cur = Some(RawRow {
+                    site_width: 1.0,
+                    height: 1.0,
+                    ..RawRow::default()
+                })
+            }
+            Some("End") => {
+                if let Some(r) = cur.take() {
+                    rows.push(r);
+                }
+            }
+            Some(key) => {
+                if let Some(r) = cur.as_mut() {
+                    let rest: Vec<&str> = line.split(':').collect();
+                    let val = |idx: usize| -> Result<f64, ParseError> {
+                        rest.get(idx)
+                            .and_then(|s| s.split_whitespace().next())
+                            .and_then(|s| s.parse::<f64>().ok())
+                            .ok_or_else(|| {
+                                ParseError::syntax(&scl_file, lno, "expected numeric value")
+                            })
+                    };
+                    match key {
+                        "Coordinate" => r.coordinate = val(1)?,
+                        "Height" => r.height = val(1)?,
+                        "Sitewidth" => r.site_width = val(1)?,
+                        "SubrowOrigin" => {
+                            r.origin = val(1)?;
+                            // `SubrowOrigin : x NumSites : n`
+                            r.num_sites = val(2)?;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    if rows.is_empty() {
+        return Err(ParseError::syntax(&scl_file, 0, "no CoreRow records"));
+    }
+    rows.sort_by(|a, b| a.coordinate.total_cmp(&b.coordinate));
+    let row_h = rows[0].height;
+    let site_w = rows[0].site_width;
+    if row_h <= 0.0 || site_w <= 0.0 {
+        return Err(ParseError::syntax(&scl_file, 0, "non-positive row geometry"));
+    }
+    let to_rows = |v: f64| -> Result<i32, ParseError> {
+        let r = v / row_h;
+        if (r - r.round()).abs() > 1e-6 {
+            return Err(ParseError::Semantic(format!(
+                "vertical value {v} is not a multiple of the row height {row_h}"
+            )));
+        }
+        Ok(r.round() as i32)
+    };
+    let to_sites = |v: f64| -> Result<i32, ParseError> {
+        let s = v / site_w;
+        if (s - s.round()).abs() > 1e-6 {
+            return Err(ParseError::Semantic(format!(
+                "horizontal value {v} is not a multiple of the site width {site_w}"
+            )));
+        }
+        Ok(s.round() as i32)
+    };
+    let base_row = to_rows(rows[0].coordinate)?;
+    let mut design_rows = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        if (r.height - row_h).abs() > 1e-9 || (r.site_width - site_w).abs() > 1e-9 {
+            return Err(ParseError::Semantic(
+                "rows with mixed heights or site widths are not supported".into(),
+            ));
+        }
+        if to_rows(r.coordinate)? - base_row != i as i32 {
+            return Err(ParseError::Semantic(
+                "rows must be vertically contiguous".into(),
+            ));
+        }
+        design_rows.push(mrl_db::Row::new(to_sites(r.origin)?, r.num_sites as i32));
+    }
+    let mut builder = DesignBuilder::with_rows(design_rows);
+    builder.set_name(
+        aux_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "bookshelf".into()),
+    );
+
+    // --- .nodes ----------------------------------------------------------
+    let nodes = fs::read_to_string(&nodes_file)?;
+    struct RawNode {
+        w: i32,
+        h: i32,
+        terminal: bool,
+    }
+    let mut raw_nodes: Vec<(String, RawNode)> = Vec::new();
+    for (lno, line) in nodes.lines().enumerate() {
+        let lno = lno + 1;
+        let line = strip_comment(line);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty()
+            || tokens[0] == "UCLA"
+            || tokens[0] == "NumNodes"
+            || tokens[0] == "NumTerminals"
+        {
+            continue;
+        }
+        if tokens.len() < 3 {
+            return Err(ParseError::syntax(&nodes_file, lno, "expected: name w h"));
+        }
+        let w: f64 = tokens[1]
+            .parse()
+            .map_err(|_| ParseError::syntax(&nodes_file, lno, "bad width"))?;
+        let h: f64 = tokens[2]
+            .parse()
+            .map_err(|_| ParseError::syntax(&nodes_file, lno, "bad height"))?;
+        raw_nodes.push((
+            tokens[0].to_string(),
+            RawNode {
+                w: to_sites(w)?,
+                h: to_rows(h)?,
+                terminal: tokens.get(3).is_some_and(|t| t.eq_ignore_ascii_case("terminal")),
+            },
+        ));
+    }
+
+    // --- .pl -------------------------------------------------------------
+    let pl = fs::read_to_string(&pl_file)?;
+    let mut positions: HashMap<String, (f64, f64)> = HashMap::new();
+    for (lno, line) in pl.lines().enumerate() {
+        let lno = lno + 1;
+        let line = strip_comment(line);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() || tokens[0] == "UCLA" {
+            continue;
+        }
+        if tokens.len() < 3 {
+            return Err(ParseError::syntax(&pl_file, lno, "expected: name x y"));
+        }
+        let x: f64 = tokens[1]
+            .parse()
+            .map_err(|_| ParseError::syntax(&pl_file, lno, "bad x"))?;
+        let y: f64 = tokens[2]
+            .parse()
+            .map_err(|_| ParseError::syntax(&pl_file, lno, "bad y"))?;
+        positions.insert(tokens[0].to_string(), (x / site_w, y / row_h - f64::from(base_row)));
+    }
+
+    // Create cells.
+    let mut ids: HashMap<String, CellId> = HashMap::new();
+    for (name, node) in &raw_nodes {
+        if node.terminal {
+            let &(x, y) = positions.get(name).ok_or_else(|| {
+                ParseError::Semantic(format!("terminal {name} has no .pl position"))
+            })?;
+            let id = builder.add_fixed(
+                name.clone(),
+                SiteRect::new(x.round() as i32, y.round() as i32, node.w, node.h.max(1)),
+            );
+            ids.insert(name.clone(), id);
+        } else {
+            let id = builder.add_cell(name.clone(), node.w, node.h);
+            if let Some(&(x, y)) = positions.get(name) {
+                builder.set_input_position(id, x, y);
+            }
+            ids.insert(name.clone(), id);
+        }
+    }
+
+    // --- .nets -----------------------------------------------------------
+    let nets = fs::read_to_string(&nets_file)?;
+    let mut current_net = None;
+    for (lno, line) in nets.lines().enumerate() {
+        let lno = lno + 1;
+        let line = strip_comment(line);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() || tokens[0] == "UCLA" || tokens[0] == "NumNets" || tokens[0] == "NumPins"
+        {
+            continue;
+        }
+        if tokens[0] == "NetDegree" {
+            let name = tokens
+                .last()
+                .filter(|t| !t.chars().next().unwrap_or('0').is_ascii_digit())
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("net_{lno}"));
+            current_net = Some(builder.add_net(name));
+            continue;
+        }
+        let Some(net) = current_net else {
+            return Err(ParseError::syntax(&nets_file, lno, "pin before NetDegree"));
+        };
+        // `name dir : dx dy` (offsets optional).
+        let name = tokens[0];
+        let after_colon: Vec<&str> = line
+            .split(':')
+            .nth(1)
+            .map(|s| s.split_whitespace().collect())
+            .unwrap_or_default();
+        let dx: f64 = after_colon.first().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+        let dy: f64 = after_colon.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+        if name == "__fixed__" {
+            builder.add_fixed_pin(net, dx, dy);
+            continue;
+        }
+        let &id = ids
+            .get(name)
+            .ok_or_else(|| ParseError::Semantic(format!("pin references unknown cell {name}")))?;
+        let (idx, _) = (id, ());
+        let cell_w;
+        let cell_h;
+        {
+            let node = &raw_nodes[idx.index()].1;
+            cell_w = node.w;
+            cell_h = node.h.max(1);
+        }
+        // Center offsets back to corner offsets, in site units.
+        builder.add_cell_pin(
+            net,
+            id,
+            dx / site_w + f64::from(cell_w) / 2.0,
+            dy / row_h + f64::from(cell_h) / 2.0,
+        );
+    }
+
+    Ok(builder.finish()?)
+}
+
+fn strip_comment(line: &str) -> &str {
+    line.split('#').next().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrl_bookshelf_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_design() -> Design {
+        let spec = BenchmarkSpec::new("bk_test", 60, 6, 0.4, 0.0);
+        generate(&spec, &GeneratorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let design = sample_design();
+        let dir = tmpdir("rt");
+        write(&design, &dir, "bk_test").unwrap();
+        let back = read(&dir.join("bk_test.aux")).unwrap();
+        assert_eq!(back.num_cells(), design.num_cells());
+        assert_eq!(back.num_movable(), design.num_movable());
+        assert_eq!(back.netlist().num_nets(), design.netlist().num_nets());
+        assert_eq!(
+            back.floorplan().num_rows(),
+            design.floorplan().num_rows()
+        );
+        // Cell geometry round-trips exactly.
+        for (a, b) in design.cells().iter().zip(back.cells()) {
+            assert_eq!((a.name(), a.width(), a.height()), (b.name(), b.width(), b.height()));
+            assert_eq!(a.is_movable(), b.is_movable());
+        }
+        // Input positions round-trip to printed precision.
+        for c in design.movable_cells() {
+            let (x0, y0) = design.input_position(c);
+            let (x1, y1) = back.input_position(c);
+            assert!((x0 - x1).abs() < 1e-5 && (y0 - y1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_hpwl() {
+        let design = sample_design();
+        let dir = tmpdir("hpwl");
+        write(&design, &dir, "bk_test").unwrap();
+        let back = read(&dir.join("bk_test.aux")).unwrap();
+        let a = design.hpwl_um(|c| design.input_position(c));
+        let b = back.hpwl_um(|c| back.input_position(c));
+        assert!((a - b).abs() / a.max(1.0) < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn scaled_units_are_normalized() {
+        // Hand-written bookshelf with Height 9, Sitewidth 2.
+        let dir = tmpdir("units");
+        std::fs::write(
+            dir.join("u.aux"),
+            "RowBasedPlacement : u.nodes u.nets u.pl u.scl\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("u.nodes"),
+            "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n a 4 9\n b 6 18\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("u.nets"), "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n").unwrap();
+        std::fs::write(
+            dir.join("u.pl"),
+            "UCLA pl 1.0\na 8.0 9.0 : N\nb 0.0 0.0 : N\n",
+        )
+        .unwrap();
+        let mut scl = String::from("UCLA scl 1.0\nNumRows : 3\n");
+        for i in 0..3 {
+            scl.push_str(&format!(
+                "CoreRow Horizontal\n  Coordinate : {}\n  Height : 9\n  Sitewidth : 2\n  SubrowOrigin : 0  NumSites : 50\nEnd\n",
+                i * 9
+            ));
+        }
+        std::fs::write(dir.join("u.scl"), scl).unwrap();
+        let d = read(&dir.join("u.aux")).unwrap();
+        assert_eq!(d.floorplan().num_rows(), 3);
+        let a = d.cells().iter().find(|c| c.name() == "a").unwrap();
+        assert_eq!((a.width(), a.height()), (2, 1));
+        let b = d.cells().iter().find(|c| c.name() == "b").unwrap();
+        assert_eq!((b.width(), b.height()), (3, 2));
+        let a_id = mrl_db::CellId::new(0);
+        assert_eq!(d.input_position(a_id), (4.0, 1.0));
+    }
+
+    #[test]
+    fn terminal_without_position_is_semantic_error() {
+        let dir = tmpdir("badterm");
+        std::fs::write(dir.join("t.aux"), "RowBasedPlacement : t.nodes t.nets t.pl t.scl\n")
+            .unwrap();
+        std::fs::write(
+            dir.join("t.nodes"),
+            "UCLA nodes 1.0\n m 4 1 terminal\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("t.nets"), "UCLA nets 1.0\n").unwrap();
+        std::fs::write(dir.join("t.pl"), "UCLA pl 1.0\n").unwrap();
+        std::fs::write(
+            dir.join("t.scl"),
+            "UCLA scl 1.0\nCoreRow Horizontal\n  Coordinate : 0\n  Height : 1\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 10\nEnd\n",
+        )
+        .unwrap();
+        let err = read(&dir.join("t.aux")).unwrap_err();
+        assert!(matches!(err, ParseError::Semantic(_)));
+    }
+
+    #[test]
+    fn missing_file_reference_is_syntax_error() {
+        let dir = tmpdir("noref");
+        std::fs::write(dir.join("x.aux"), "RowBasedPlacement : x.nodes\n").unwrap();
+        let err = read(&dir.join("x.aux")).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let dir = tmpdir("comments");
+        std::fs::write(dir.join("c.aux"), "RowBasedPlacement : c.nodes c.nets c.pl c.scl\n")
+            .unwrap();
+        std::fs::write(
+            dir.join("c.nodes"),
+            "UCLA nodes 1.0\n# a comment line\n a 2 1 # trailing\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("c.nets"), "UCLA nets 1.0\n").unwrap();
+        std::fs::write(dir.join("c.pl"), "UCLA pl 1.0\na 0 0 : N\n").unwrap();
+        std::fs::write(
+            dir.join("c.scl"),
+            "UCLA scl 1.0\nCoreRow Horizontal\n  Coordinate : 0\n  Height : 1\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 10\nEnd\n",
+        )
+        .unwrap();
+        let d = read(&dir.join("c.aux")).unwrap();
+        assert_eq!(d.num_movable(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parse errors with file/line context.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Error while reading a benchmark file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content at a specific location.
+    Syntax {
+        /// The offending file.
+        file: PathBuf,
+        /// 1-based line number (0 when not line-specific).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed data is inconsistent (e.g. a pin references an unknown
+    /// cell) or fails design validation.
+    Semantic(String),
+}
+
+impl ParseError {
+    pub(crate) fn syntax(file: impl Into<PathBuf>, line: usize, message: impl Into<String>) -> Self {
+        ParseError::Syntax {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax { file, line, message } => {
+                write!(f, "{}:{line}: {message}", file.display())
+            }
+            ParseError::Semantic(message) => write!(f, "inconsistent benchmark: {message}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<mrl_db::DbError> for ParseError {
+    fn from(e: mrl_db::DbError) -> Self {
+        ParseError::Semantic(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::syntax("x.nodes", 12, "bad token");
+        assert_eq!(e.to_string(), "x.nodes:12: bad token");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: ParseError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,775 @@
+//! Simplified LEF/DEF writer and reader.
+//!
+//! Implements the subset of LEF/DEF the ISPD2015 contest flow needs for
+//! legalization experiments:
+//!
+//! * **LEF** — `UNITS`, one `SITE` (the placement site), and `MACRO`
+//!   blocks with `CLASS CORE`/`BLOCK` and `SIZE w BY h` in microns,
+//!   including nested `PIN`/`PORT`/`RECT` blocks whose rectangle centers
+//!   become pin offsets (so contest-style DEF net pins resolve to real
+//!   locations). The writer emits one macro per distinct cell footprint
+//!   and encodes pin offsets in pin names (`PIN_<dx>_<dy>`); the reader
+//!   accepts both dialects.
+//! * **DEF** — `UNITS DISTANCE MICRONS`, `DIEAREA`, `ROW` statements,
+//!   `COMPONENTS` with `PLACED`/`FIXED`/`UNPLACED` state, and `NETS` with
+//!   component pins. Global-placement coordinates are written through
+//!   `PLACED`, so off-grid positions survive the round trip at DEF
+//!   database-unit resolution.
+//!
+//! Like Bookshelf, these files do not model power-rail polarity; cells
+//! read back get the default rail.
+
+use crate::ParseError;
+use mrl_db::{CellId, Design, DesignBuilder, Row};
+use mrl_geom::{SiteGrid, SiteRect};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+const DBU: f64 = 1000.0; // database units per micron
+
+/// Writes `design` as `<base>.lef` and `<base>.def` into `dir`.
+///
+/// # Errors
+///
+/// Any I/O failure while creating or writing the files.
+pub fn write(design: &Design, dir: &Path, base: &str) -> Result<(), ParseError> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{base}.lef")), lef_text(design))?;
+    fs::write(dir.join(format!("{base}.def")), def_text(design))?;
+    Ok(())
+}
+
+/// The macro name used for a cell footprint.
+fn macro_name(w: i32, h: i32, movable: bool) -> String {
+    if movable {
+        format!("CORE_W{w}H{h}")
+    } else {
+        format!("BLOCK_W{w}H{h}")
+    }
+}
+
+fn lef_text(design: &Design) -> String {
+    let grid = design.grid();
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "UNITS\n  DATABASE MICRONS {DBU} ;\nEND UNITS\n");
+    let _ = writeln!(
+        out,
+        "SITE core\n  SIZE {:.4} BY {:.4} ;\n  CLASS CORE ;\nEND core\n",
+        grid.site_width_um(),
+        grid.row_height_um()
+    );
+    let mut seen: HashMap<(i32, i32, bool), ()> = HashMap::new();
+    for cell in design.cells() {
+        let key = (cell.width(), cell.height(), cell.is_movable());
+        if seen.insert(key, ()).is_some() {
+            continue;
+        }
+        let name = macro_name(cell.width(), cell.height(), cell.is_movable());
+        let class = if cell.is_movable() { "CORE" } else { "BLOCK" };
+        let _ = writeln!(
+            out,
+            "MACRO {name}\n  CLASS {class} ;\n  SIZE {:.4} BY {:.4} ;\nEND {name}\n",
+            grid.x_um(cell.width()),
+            grid.y_um(cell.height())
+        );
+    }
+    out.push_str("END LIBRARY\n");
+    out
+}
+
+fn def_text(design: &Design) -> String {
+    let grid = design.grid();
+    let fp = design.floorplan();
+    let sx = |sites: f64| (sites * grid.site_width_um() * DBU).round() as i64;
+    let sy = |rows: f64| (rows * grid.row_height_um() * DBU).round() as i64;
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {} ;", design.name());
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {DBU} ;");
+    let bounds = fp.bounds();
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        sx(f64::from(bounds.x)),
+        sy(f64::from(bounds.y)),
+        sx(f64::from(bounds.right())),
+        sy(f64::from(bounds.top()))
+    );
+    for (i, row) in fp.rows().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "ROW row_{i} core {} {} N DO {} BY 1 STEP {} 0 ;",
+            sx(f64::from(row.x)),
+            sy(i as f64),
+            row.width,
+            sx(1.0)
+        );
+    }
+    if !design.regions().is_empty() {
+        let _ = writeln!(out, "REGIONS {} ;", design.regions().len());
+        for region in design.regions() {
+            let _ = write!(out, "- {}", region.name());
+            for r in region.rects() {
+                let _ = write!(
+                    out,
+                    " ( {} {} ) ( {} {} )",
+                    sx(f64::from(r.x)),
+                    sy(f64::from(r.y)),
+                    sx(f64::from(r.right())),
+                    sy(f64::from(r.top()))
+                );
+            }
+            let _ = writeln!(out, " + TYPE FENCE ;");
+        }
+        let _ = writeln!(out, "END REGIONS");
+    }
+    let _ = writeln!(out, "COMPONENTS {} ;", design.num_cells());
+    for (i, cell) in design.cells().iter().enumerate() {
+        let id = CellId::from_usize(i);
+        let (x, y) = design.input_position(id);
+        let mname = macro_name(cell.width(), cell.height(), cell.is_movable());
+        if cell.is_movable() {
+            let _ = writeln!(
+                out,
+                "- {} {} + PLACED ( {} {} ) N ;",
+                cell.name(),
+                mname,
+                sx(x),
+                sy(y)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "- {} {} + FIXED ( {} {} ) N ;",
+                cell.name(),
+                mname,
+                sx(x),
+                sy(y)
+            );
+        }
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    let netlist = design.netlist();
+    let _ = writeln!(out, "NETS {} ;", netlist.num_nets());
+    for net in netlist.nets() {
+        let _ = write!(out, "- {}", net.name());
+        for &pin in net.pins() {
+            match netlist.pin(pin).location {
+                mrl_db::PinLocation::OnCell { cell, dx, dy } => {
+                    // Pin offsets encoded in the pin name (our simplified
+                    // dialect): PIN_<dx_dbu>_<dy_dbu>.
+                    let _ = write!(
+                        out,
+                        " ( {} PIN_{}_{} )",
+                        design.cell(cell).name(),
+                        sx(dx),
+                        sy(dy)
+                    );
+                }
+                mrl_db::PinLocation::Fixed { x, y } => {
+                    let _ = write!(out, " ( PIN FIXED_{}_{} )", sx(x), sy(y));
+                }
+            }
+        }
+        let _ = writeln!(out, " ;");
+    }
+    let _ = writeln!(out, "END NETS");
+    if !design.regions().is_empty() {
+        let _ = writeln!(out, "GROUPS {} ;", design.regions().len());
+        for (ri, region) in design.regions().iter().enumerate() {
+            let _ = write!(out, "- grp_{}", region.name());
+            for (i, cell) in design.cells().iter().enumerate() {
+                if design.region_of(CellId::from_usize(i)) == Some(mrl_db::RegionId::from_usize(ri))
+                {
+                    let _ = write!(out, " {}", cell.name());
+                }
+            }
+            let _ = writeln!(out, " + REGION {} ;", region.name());
+        }
+        let _ = writeln!(out, "END GROUPS");
+    }
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+/// Reads a design from a LEF + DEF pair.
+///
+/// # Errors
+///
+/// [`ParseError::Io`] on missing files, [`ParseError::Syntax`] on
+/// malformed content, [`ParseError::Semantic`] on inconsistencies.
+pub fn read(lef_path: &Path, def_path: &Path) -> Result<Design, ParseError> {
+    // --- LEF: site size + macro footprints in microns --------------------
+    let lef = fs::read_to_string(lef_path)?;
+    let mut site: Option<(f64, f64)> = None;
+    let mut macros: HashMap<String, (f64, f64, bool)> = HashMap::new();
+    // Per-macro pin centers in microns (from PIN ... PORT RECT blocks).
+    let mut macro_pins: HashMap<String, HashMap<String, (f64, f64)>> = HashMap::new();
+    let mut cur: Option<(String, bool)> = None; // name, is_site
+    let mut cur_class_block = false;
+    let mut cur_size: Option<(f64, f64)> = None;
+    let mut cur_pin: Option<(String, Option<(f64, f64)>)> = None;
+    for (lno, line) in lef.lines().enumerate() {
+        let lno = lno + 1;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["SITE", name, ..] => cur = Some((name.to_string(), true)),
+            ["MACRO", name, ..] => {
+                cur = Some((name.to_string(), false));
+                cur_class_block = false;
+                cur_size = None;
+                cur_pin = None;
+            }
+            ["PIN", name, ..] if cur.is_some() => {
+                cur_pin = Some((name.to_string(), None));
+            }
+            ["CLASS", class, ..] => {
+                cur_class_block = class.eq_ignore_ascii_case("BLOCK");
+            }
+            ["RECT", x0, y0, x1, y1, ..] if cur_pin.is_some() => {
+                let parse = |v: &str| {
+                    v.parse::<f64>()
+                        .map_err(|_| ParseError::syntax(lef_path, lno, "bad RECT coord"))
+                };
+                let (x0, y0, x1, y1) = (parse(x0)?, parse(y0)?, parse(x1)?, parse(y1)?);
+                if let Some((_, center)) = cur_pin.as_mut() {
+                    // First port rect wins; pins are tiny, the center is
+                    // a fine abstraction for placement.
+                    center.get_or_insert(((x0 + x1) / 2.0, (y0 + y1) / 2.0));
+                }
+            }
+            ["SIZE", w, "BY", h, ..] => {
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| ParseError::syntax(lef_path, lno, "bad SIZE width"))?;
+                let h: f64 = h
+                    .parse()
+                    .map_err(|_| ParseError::syntax(lef_path, lno, "bad SIZE height"))?;
+                cur_size = Some((w, h));
+            }
+            ["END", name, ..] => {
+                // Innermost block first: a PIN closes before its MACRO.
+                if let Some((pname, center)) = cur_pin.take() {
+                    if &pname == name {
+                        if let (Some((mname, _)), Some(center)) = (cur.as_ref(), center) {
+                            macro_pins
+                                .entry(mname.clone())
+                                .or_default()
+                                .insert(pname, center);
+                        }
+                        continue;
+                    }
+                    // Not the pin's end (e.g. END PORT): keep the pin open.
+                    if *name != "PORT" {
+                        cur_pin = Some((pname, center));
+                    } else {
+                        cur_pin = Some((pname, center));
+                        continue;
+                    }
+                }
+                if let Some((cname, is_site)) = cur.take() {
+                    if &cname == name {
+                        if let Some(size) = cur_size.take() {
+                            if is_site {
+                                site = Some(size);
+                            } else {
+                                macros.insert(cname, (size.0, size.1, cur_class_block));
+                            }
+                        } else if is_site {
+                            return Err(ParseError::syntax(lef_path, lno, "SITE without SIZE"));
+                        }
+                    } else {
+                        // Unrelated END (LIBRARY, UNITS, ...): keep the
+                        // enclosing block open.
+                        cur = Some((cname, is_site));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let (site_w_um, row_h_um) =
+        site.ok_or_else(|| ParseError::Semantic("LEF defines no SITE".into()))?;
+    let grid = SiteGrid::new(site_w_um, row_h_um);
+
+    // --- DEF --------------------------------------------------------------
+    let def = fs::read_to_string(def_path)?;
+    let mut dbu = DBU;
+    let mut rows: Vec<(i64, i64, i32)> = Vec::new(); // (x_dbu, y_dbu, num_sites)
+    let mut builder: Option<DesignBuilder> = None;
+    let mut ids: HashMap<String, CellId> = HashMap::new();
+    let mut comp_macro: HashMap<String, String> = HashMap::new();
+    let mut design_name = String::from("lefdef");
+    // Collect statements first; DEF statements end with ';' but may span
+    // lines — normalize by splitting on ';'.
+    let mut in_components = false;
+    let mut in_nets = false;
+    let mut in_regions = false;
+    let mut in_groups = false;
+    /// A raw region rect in database units: (x0, y0, x1, y1).
+    type RawRect = (i64, i64, i64, i64);
+    // Region statements seen before the floorplan/builder exist.
+    let mut pending_regions: Vec<(String, Vec<RawRect>)> = Vec::new();
+    let mut region_ids: HashMap<String, mrl_db::RegionId> = HashMap::new();
+    for raw_stmt in def.split(';') {
+        let stmt = raw_stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut tokens: Vec<&str> = stmt.split_whitespace().collect();
+        // Section terminators carry no ';' in DEF, so they prefix the next
+        // statement after splitting; peel them off.
+        loop {
+            match tokens.as_slice() {
+                ["END", "COMPONENTS", ..] => {
+                    in_components = false;
+                    tokens.drain(..2);
+                }
+                ["END", "NETS", ..] => {
+                    in_nets = false;
+                    tokens.drain(..2);
+                }
+                ["END", "REGIONS", ..] => {
+                    in_regions = false;
+                    tokens.drain(..2);
+                }
+                ["END", "GROUPS", ..] => {
+                    in_groups = false;
+                    tokens.drain(..2);
+                }
+                ["END", "DESIGN", ..] => {
+                    tokens.drain(..2);
+                }
+                _ => break,
+            }
+        }
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens.as_slice() {
+            ["DESIGN", name, ..] => design_name = name.to_string(),
+            ["UNITS", "DISTANCE", "MICRONS", v, ..] => {
+                dbu = v
+                    .parse()
+                    .map_err(|_| ParseError::Semantic("bad DEF units".into()))?;
+            }
+            ["ROW", _name, _site, x, y, _orient, "DO", n, "BY", "1", ..] => {
+                let x: i64 = x
+                    .parse()
+                    .map_err(|_| ParseError::Semantic("bad ROW x".into()))?;
+                let y: i64 = y
+                    .parse()
+                    .map_err(|_| ParseError::Semantic("bad ROW y".into()))?;
+                let n: i32 = n
+                    .parse()
+                    .map_err(|_| ParseError::Semantic("bad ROW site count".into()))?;
+                rows.push((x, y, n));
+            }
+            ["COMPONENTS", ..] => {
+                // Build the floorplan now: rows are known.
+                rows.sort_by_key(|&(_, y, _)| y);
+                let to_sites = |v: i64| ((v as f64 / dbu) / site_w_um).round() as i32;
+                let to_rows = |v: i64| ((v as f64 / dbu) / row_h_um).round() as i32;
+                let base = rows.first().map(|&(_, y, _)| to_rows(y)).unwrap_or(0);
+                let mut design_rows = Vec::with_capacity(rows.len());
+                for (i, &(x, y, n)) in rows.iter().enumerate() {
+                    if to_rows(y) - base != i as i32 {
+                        return Err(ParseError::Semantic(
+                            "DEF rows must be vertically contiguous".into(),
+                        ));
+                    }
+                    design_rows.push(Row::new(to_sites(x), n));
+                }
+                let mut b = DesignBuilder::with_rows(design_rows);
+                b.set_grid(grid);
+                b.set_name(design_name.clone());
+                for (name, rects) in pending_regions.drain(..) {
+                    let to_sites = |v: i64| ((v as f64 / dbu) / site_w_um).round() as i32;
+                    let to_rows = |v: i64| ((v as f64 / dbu) / row_h_um).round() as i32;
+                    let rects: Vec<mrl_geom::SiteRect> = rects
+                        .into_iter()
+                        .map(|(x0, y0, x1, y1)| {
+                            mrl_geom::SiteRect::new(
+                                to_sites(x0),
+                                to_rows(y0),
+                                (to_sites(x1) - to_sites(x0)).max(0),
+                                (to_rows(y1) - to_rows(y0)).max(0),
+                            )
+                        })
+                        .collect();
+                    let rid = b.add_region(name.clone(), rects);
+                    region_ids.insert(name, rid);
+                }
+                builder = Some(b);
+                in_components = true;
+            }
+            ["END", "COMPONENTS"] => in_components = false,
+            ["REGIONS", ..] => in_regions = true,
+            ["END", "REGIONS"] => in_regions = false,
+            ["GROUPS", ..] => in_groups = true,
+            ["END", "GROUPS"] => in_groups = false,
+            ["NETS", ..] if builder.is_some() => in_nets = true,
+            ["END", "NETS"] => in_nets = false,
+            ["-", rest @ ..] if in_regions => {
+                // `- name ( x y ) ( x y ) ... + TYPE FENCE`
+                let [name, coords @ ..] = rest else {
+                    return Err(ParseError::syntax(def_path, 0, "region needs a name"));
+                };
+                let nums: Vec<i64> = coords
+                    .iter()
+                    .take_while(|t| **t != "+")
+                    .filter(|t| **t != "(" && **t != ")")
+                    .map(|t| {
+                        t.parse::<i64>()
+                            .map_err(|_| ParseError::syntax(def_path, 0, "bad region coord"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if !nums.len().is_multiple_of(4) || nums.is_empty() {
+                    return Err(ParseError::syntax(def_path, 0, "region needs (x y)(x y) pairs"));
+                }
+                let rects = nums
+                    .chunks(4)
+                    .map(|c| (c[0], c[1], c[2], c[3]))
+                    .collect();
+                pending_regions.push((name.to_string(), rects));
+            }
+            ["-", rest @ ..] if in_groups => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseError::Semantic("GROUPS before COMPONENTS".into()))?;
+                // `- grp_name comp... + REGION region_name`
+                let [_grp, rest @ ..] = rest else {
+                    return Err(ParseError::syntax(def_path, 0, "group needs a name"));
+                };
+                let mut comps = Vec::new();
+                let mut region_name = None;
+                let mut it = rest.iter();
+                while let Some(&tok) = it.next() {
+                    if tok == "+" {
+                        if it.next() == Some(&"REGION") {
+                            region_name = it.next().map(|s| s.to_string());
+                        }
+                        break;
+                    }
+                    comps.push(tok.to_string());
+                }
+                let region_name = region_name
+                    .ok_or_else(|| ParseError::Semantic("group without + REGION".into()))?;
+                let &rid = region_ids.get(&region_name).ok_or_else(|| {
+                    ParseError::Semantic(format!("group references unknown region {region_name}"))
+                })?;
+                for comp in comps {
+                    let &cell = ids.get(&comp).ok_or_else(|| {
+                        ParseError::Semantic(format!("group references unknown component {comp}"))
+                    })?;
+                    b.assign_region(cell, rid);
+                }
+            }
+            ["-", rest @ ..] if in_components => {
+                let b = builder.as_mut().expect("components after floorplan");
+                parse_component(def_path, rest, &macros, grid, dbu, b, &mut ids)?;
+                if let [name, mname, ..] = rest {
+                    comp_macro.insert(name.to_string(), mname.to_string());
+                }
+            }
+            ["-", rest @ ..] if in_nets => {
+                let b = builder.as_mut().expect("nets after floorplan");
+                parse_net(
+                    def_path, rest, b, &ids, grid, dbu, &comp_macro, &macro_pins,
+                )?;
+            }
+            _ => {}
+        }
+    }
+    let builder = builder.ok_or_else(|| {
+        ParseError::Semantic("DEF contains no COMPONENTS section".into())
+    })?;
+    Ok(builder.finish()?)
+}
+
+fn parse_component(
+    def_path: &Path,
+    tokens: &[&str],
+    macros: &HashMap<String, (f64, f64, bool)>,
+    grid: SiteGrid,
+    dbu: f64,
+    b: &mut DesignBuilder,
+    ids: &mut HashMap<String, CellId>,
+) -> Result<(), ParseError> {
+    let [name, mname, rest @ ..] = tokens else {
+        return Err(ParseError::syntax(def_path, 0, "component needs name and macro"));
+    };
+    let &(w_um, h_um, is_block) = macros
+        .get(*mname)
+        .ok_or_else(|| ParseError::Semantic(format!("unknown macro {mname}")))?;
+    let w = (w_um / grid.site_width_um()).round() as i32;
+    let h = (h_um / grid.row_height_um()).round() as i32;
+    // Find `+ PLACED|FIXED ( x y )`.
+    let mut status = "UNPLACED";
+    let mut pos: Option<(f64, f64)> = None;
+    let mut iter = rest.iter().peekable();
+    while let Some(&tok) = iter.next() {
+        match tok {
+            "PLACED" | "FIXED" => {
+                status = if tok == "FIXED" { "FIXED" } else { "PLACED" };
+                // Expect: ( x y ) ORIENT
+                let open = iter.next();
+                let x = iter.next();
+                let y = iter.next();
+                if open != Some(&"(") {
+                    return Err(ParseError::syntax(def_path, 0, "expected ( after PLACED"));
+                }
+                let x: f64 = x
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::syntax(def_path, 0, "bad component x"))?;
+                let y: f64 = y
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::syntax(def_path, 0, "bad component y"))?;
+                pos = Some((
+                    (x / dbu) / grid.site_width_um(),
+                    (y / dbu) / grid.row_height_um(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    let movable = !is_block && status != "FIXED";
+    if movable {
+        let id = b.add_cell(name.to_string(), w, h);
+        if let Some((x, y)) = pos {
+            b.set_input_position(id, x, y);
+        }
+        ids.insert(name.to_string(), id);
+    } else {
+        let (x, y) = pos.ok_or_else(|| {
+            ParseError::Semantic(format!("fixed component {name} has no position"))
+        })?;
+        let id = b.add_fixed(
+            name.to_string(),
+            SiteRect::new(x.round() as i32, y.round() as i32, w, h),
+        );
+        ids.insert(name.to_string(), id);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_net(
+    def_path: &Path,
+    tokens: &[&str],
+    b: &mut DesignBuilder,
+    ids: &HashMap<String, CellId>,
+    grid: SiteGrid,
+    dbu: f64,
+    comp_macro: &HashMap<String, String>,
+    macro_pins: &HashMap<String, HashMap<String, (f64, f64)>>,
+) -> Result<(), ParseError> {
+    let [name, rest @ ..] = tokens else {
+        return Err(ParseError::syntax(def_path, 0, "net needs a name"));
+    };
+    let net = b.add_net(name.to_string());
+    let mut iter = rest.iter();
+    while let Some(&tok) = iter.next() {
+        if tok != "(" {
+            continue;
+        }
+        let comp = iter
+            .next()
+            .ok_or_else(|| ParseError::syntax(def_path, 0, "unterminated net pin"))?;
+        let pin = iter
+            .next()
+            .ok_or_else(|| ParseError::syntax(def_path, 0, "net pin needs a pin name"))?;
+        let close = iter.next();
+        if close != Some(&")") {
+            return Err(ParseError::syntax(def_path, 0, "expected ) after pin"));
+        }
+        let decode = |tag: &str, s: &str| -> Option<(f64, f64)> {
+            let rest = s.strip_prefix(tag)?;
+            let mut parts = rest.splitn(2, '_');
+            let dx: i64 = parts.next()?.parse().ok()?;
+            let dy: i64 = parts.next()?.parse().ok()?;
+            Some((
+                (dx as f64 / dbu) / grid.site_width_um(),
+                (dy as f64 / dbu) / grid.row_height_um(),
+            ))
+        };
+        if *comp == "PIN" {
+            let (x, y) = decode("FIXED_", pin).ok_or_else(|| {
+                ParseError::syntax(def_path, 0, "bad fixed pin encoding")
+            })?;
+            b.add_fixed_pin(net, x, y);
+            continue;
+        }
+        let &cell = ids
+            .get(*comp)
+            .ok_or_else(|| ParseError::Semantic(format!("net pin on unknown component {comp}")))?;
+        // Offset resolution: our compact dialect first, then real LEF pin
+        // geometry (micron centers -> site units), else the cell origin.
+        let (dx, dy) = decode("PIN_", pin)
+            .or_else(|| {
+                comp_macro
+                    .get(*comp)
+                    .and_then(|m| macro_pins.get(m))
+                    .and_then(|pins| pins.get(*pin))
+                    .map(|&(px, py)| (px / grid.site_width_um(), py / grid.row_height_um()))
+            })
+            .unwrap_or((0.0, 0.0));
+        b.add_cell_pin(net, cell, dx, dy);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrl_lefdef_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_design() -> Design {
+        let spec = BenchmarkSpec::new("ld_test", 60, 6, 0.4, 0.0);
+        generate(&spec, &GeneratorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let design = sample_design();
+        let dir = tmpdir("rt");
+        write(&design, &dir, "ld_test").unwrap();
+        let back = read(&dir.join("ld_test.lef"), &dir.join("ld_test.def")).unwrap();
+        assert_eq!(back.num_cells(), design.num_cells());
+        assert_eq!(back.num_movable(), design.num_movable());
+        assert_eq!(back.netlist().num_nets(), design.netlist().num_nets());
+        assert_eq!(back.floorplan().num_rows(), design.floorplan().num_rows());
+        assert_eq!(back.name(), design.name());
+        for (a, b) in design.cells().iter().zip(back.cells()) {
+            assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+            assert_eq!(a.is_movable(), b.is_movable());
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_positions_to_dbu_precision() {
+        let design = sample_design();
+        let dir = tmpdir("pos");
+        write(&design, &dir, "ld_test").unwrap();
+        let back = read(&dir.join("ld_test.lef"), &dir.join("ld_test.def")).unwrap();
+        for c in design.movable_cells() {
+            let (x0, y0) = design.input_position(c);
+            let (x1, y1) = back.input_position(c);
+            assert!((x0 - x1).abs() < 1e-2, "{x0} vs {x1}");
+            assert!((y0 - y1).abs() < 1e-2, "{y0} vs {y1}");
+        }
+    }
+
+    #[test]
+    fn grid_recovered_from_lef_site() {
+        let design = sample_design();
+        let dir = tmpdir("grid");
+        write(&design, &dir, "ld_test").unwrap();
+        let back = read(&dir.join("ld_test.lef"), &dir.join("ld_test.def")).unwrap();
+        assert!((back.grid().site_width_um() - design.grid().site_width_um()).abs() < 1e-9);
+        assert!((back.grid().row_height_um() - design.grid().row_height_um()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_style_lef_with_pins_parses() {
+        // A LEF in the contest style: nested PIN/PORT blocks inside MACRO,
+        // and a DEF whose net pins use the LEF pin names.
+        let dir = tmpdir("realpins");
+        std::fs::write(
+            dir.join("x.lef"),
+            "VERSION 5.8 ;\nUNITS\n DATABASE MICRONS 1000 ;\nEND UNITS\n\
+             SITE core\n SIZE 0.2 BY 1.6 ;\nEND core\n\
+             MACRO INVX1\n CLASS CORE ;\n SIZE 0.4 BY 1.6 ;\n\
+              PIN A\n  DIRECTION INPUT ;\n  PORT\n   LAYER M1 ;\n   RECT 0.05 0.2 0.15 0.4 ;\n  END\n END A\n\
+              PIN Y\n  PORT\n   RECT 0.25 1.0 0.35 1.2 ;\n  END\n END Y\n\
+             END INVX1\nEND LIBRARY\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("x.def"),
+            "VERSION 5.8 ;\nDESIGN t ;\nUNITS DISTANCE MICRONS 1000 ;\n\
+             ROW r0 core 0 0 N DO 50 BY 1 STEP 200 0 ;\nROW r1 core 0 1600 N DO 50 BY 1 STEP 200 0 ;\n\
+             COMPONENTS 2 ;\n- u1 INVX1 + PLACED ( 0 0 ) N ;\n- u2 INVX1 + PLACED ( 2000 1600 ) N ;\nEND COMPONENTS\n\
+             NETS 1 ;\n- n1 ( u1 Y ) ( u2 A ) ;\nEND NETS\nEND DESIGN\n",
+        )
+        .unwrap();
+        let d = read(&dir.join("x.lef"), &dir.join("x.def")).unwrap();
+        assert_eq!(d.num_movable(), 2);
+        assert_eq!(d.netlist().num_nets(), 1);
+        // Pin offsets resolved from the LEF geometry: Y center = (0.30,
+        // 1.1) um = (1.5 sites, 0.6875 rows).
+        let pin = d.netlist().pin(mrl_db::PinId::new(0));
+        match pin.location {
+            mrl_db::PinLocation::OnCell { dx, dy, .. } => {
+                assert!((dx - 1.5).abs() < 1e-9, "dx {dx}");
+                assert!((dy - 1.1 / 1.6).abs() < 1e-9, "dy {dy}");
+            }
+            other => panic!("unexpected pin {other:?}"),
+        }
+        // Input HPWL is finite and positive: both endpoints resolved.
+        assert!(d.hpwl_um(|c| d.input_position(c)) > 0.0);
+    }
+
+    #[test]
+    fn fence_regions_round_trip() {
+        let spec = BenchmarkSpec::new("ld_fence", 120, 12, 0.4, 0.0);
+        let cfg = GeneratorConfig::default().with_fence_regions(1);
+        let design = generate(&spec, &cfg).unwrap();
+        assert!(!design.regions().is_empty());
+        let members: Vec<String> = design
+            .movable_cells()
+            .filter(|&c| design.region_of(c).is_some())
+            .map(|c| design.cell(c).name().to_string())
+            .collect();
+        assert!(!members.is_empty());
+        let dir = tmpdir("fence");
+        write(&design, &dir, "ld_fence").unwrap();
+        let back = read(&dir.join("ld_fence.lef"), &dir.join("ld_fence.def")).unwrap();
+        assert_eq!(back.regions().len(), design.regions().len());
+        for (a, b) in design.regions().iter().zip(back.regions()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.rects(), b.rects());
+        }
+        let back_members: Vec<String> = back
+            .movable_cells()
+            .filter(|&c| back.region_of(c).is_some())
+            .map(|c| back.cell(c).name().to_string())
+            .collect();
+        assert_eq!(members, back_members);
+    }
+
+    #[test]
+    fn missing_site_is_semantic_error() {
+        let dir = tmpdir("nosite");
+        std::fs::write(dir.join("x.lef"), "VERSION 5.8 ;\nEND LIBRARY\n").unwrap();
+        std::fs::write(dir.join("x.def"), "VERSION 5.8 ;\n").unwrap();
+        let err = read(&dir.join("x.lef"), &dir.join("x.def")).unwrap_err();
+        assert!(matches!(err, ParseError::Semantic(_)));
+    }
+
+    #[test]
+    fn unknown_macro_is_semantic_error() {
+        let dir = tmpdir("nomacro");
+        std::fs::write(
+            dir.join("x.lef"),
+            "SITE core\n SIZE 0.2 BY 1.6 ;\nEND core\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("x.def"),
+            "DESIGN t ;\nUNITS DISTANCE MICRONS 1000 ;\nROW r core 0 0 N DO 10 BY 1 STEP 200 0 ;\nCOMPONENTS 1 ;\n- c1 GHOST + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n",
+        )
+        .unwrap();
+        let err = read(&dir.join("x.lef"), &dir.join("x.def")).unwrap_err();
+        assert!(matches!(err, ParseError::Semantic(_)));
+    }
+}

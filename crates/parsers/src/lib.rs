@@ -1,0 +1,41 @@
+//! Benchmark file I/O for multi-row legalization.
+//!
+//! The ISPD2015 contest the paper evaluates on distributes designs as
+//! LEF/DEF; academic placers also commonly exchange the older Bookshelf
+//! format. This crate implements readers and writers for both — a
+//! practical subset sufficient to round-trip every design this workspace
+//! generates:
+//!
+//! * [`bookshelf`] — `.aux` / `.nodes` / `.nets` / `.pl` / `.scl`,
+//! * [`lefdef`] — technology + macros (LEF) and floorplan + components +
+//!   nets (DEF).
+//!
+//! Both formats carry positions for fixed macros and the (possibly
+//! off-grid) global-placement positions of movable cells; reading returns
+//! an [`mrl_db::Design`] ready for legalization.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_synth::{BenchmarkSpec, GeneratorConfig, generate};
+//! use mrl_parsers::bookshelf;
+//!
+//! let spec = BenchmarkSpec::new("tiny", 50, 5, 0.4, 0.0);
+//! let design = generate(&spec, &GeneratorConfig::default())?;
+//! let dir = std::env::temp_dir().join("mrl_doc_bookshelf");
+//! std::fs::create_dir_all(&dir)?;
+//! bookshelf::write(&design, &dir, "tiny")?;
+//! let back = bookshelf::read(&dir.join("tiny.aux"))?;
+//! assert_eq!(back.num_movable(), design.num_movable());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bookshelf;
+pub mod lefdef;
+
+mod error;
+
+pub use error::ParseError;

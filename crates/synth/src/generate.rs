@@ -1,0 +1,567 @@
+//! The design generator: floorplan sizing, macro placement, cell sampling,
+//! clustered netlist, and the synthetic global placement.
+
+use crate::spec::BenchmarkSpec;
+use mrl_db::{CellId, DbError, Design, DesignBuilder};
+use mrl_geom::{PowerRail, SiteGrid, SiteRect};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Knobs of the synthetic generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed; everything is deterministic in it.
+    pub seed: u64,
+    /// Divisor applied to the spec's cell counts (1.0 = full size). Scaled
+    /// runs keep the spec's density.
+    pub scale: f64,
+    /// Fraction of chip area covered by fixed macros.
+    pub macro_fraction: f64,
+    /// Nets per movable cell.
+    pub nets_per_cell: f64,
+    /// Site/micron unit system.
+    pub grid: SiteGrid,
+    /// Number of fence regions to carve out (ISPD2015 designs carry such
+    /// regions; 0 = none). Cells packed inside a fence become members, and
+    /// a few members/outsiders are swapped so legalization has fence
+    /// violations to repair.
+    pub fence_regions: usize,
+    /// Fraction of single-row cells converted to 3–4 row tall cells (the
+    /// paper's "or even multiple-row height" direction; 0 = none).
+    pub tall_cell_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            scale: 1.0,
+            macro_fraction: 0.05,
+            nets_per_cell: 1.1,
+            grid: SiteGrid::ispd2015(),
+            fence_regions: 0,
+            tall_cell_fraction: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Returns `self` with the scale divisor replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale < 1.0`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 1.0, "scale is a divisor >= 1");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns `self` with the seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns `self` with the number of fence regions replaced.
+    pub fn with_fence_regions(mut self, fence_regions: usize) -> Self {
+        self.fence_regions = fence_regions;
+        self
+    }
+
+    /// Returns `self` with the tall-cell fraction replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn with_tall_cells(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        self.tall_cell_fraction = fraction;
+        self
+    }
+}
+
+/// Samples a single-row cell width (sites); the distribution loosely
+/// follows standard-cell libraries: mostly small cells, a tail of wide
+/// ones. All widths are even so the paper's double-height transform stays
+/// on the site grid.
+fn sample_single_width<R: Rng>(rng: &mut R) -> i32 {
+    match rng.gen_range(0..100) {
+        0..=29 => 2,
+        30..=59 => 4,
+        60..=79 => 6,
+        80..=92 => 8,
+        93..=97 => 10,
+        _ => 14,
+    }
+}
+
+/// Generates a design with the spec's statistics. See the
+/// [crate-level example](crate).
+///
+/// # Errors
+///
+/// Propagates [`DbError`] from design validation; cannot occur for sane
+/// configurations because the floorplan is sized from the requested
+/// density.
+pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, DbError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ hash_name(&spec.name));
+    let n_single = ((spec.single_cells as f64 / cfg.scale).round() as usize).max(1);
+    let n_double = ((spec.double_cells as f64 / cfg.scale).round() as usize).max(1);
+
+    // Cell dimensions: doubles are halved-width, doubled-height singles —
+    // the paper's sequential-cell transform.
+    let mut dims: Vec<(i32, i32)> = Vec::with_capacity(n_single + n_double);
+    for _ in 0..n_single {
+        dims.push((sample_single_width(&mut rng), 1));
+    }
+    for _ in 0..n_double {
+        let w = sample_single_width(&mut rng);
+        dims.push((w / 2, 2));
+    }
+    // Optional 3-4 row tall cells (large hard IP / complex sequential
+    // blocks), converted from singles.
+    let n_tall = ((n_single as f64) * cfg.tall_cell_fraction).round() as usize;
+    for dim in dims.iter_mut().take(n_tall) {
+        let h = if rng.gen_bool(0.5) { 3 } else { 4 };
+        *dim = (rng.gen_range(2..=4), h);
+    }
+    dims.shuffle(&mut rng);
+
+    let movable_area: i64 = dims.iter().map(|&(w, h)| i64::from(w) * i64::from(h)).sum();
+    // Free capacity required for the target density, inflated by the macro
+    // fraction to get total chip sites; square chip in physical microns.
+    let capacity = movable_area as f64 / spec.density;
+    let total_sites = capacity / (1.0 - cfg.macro_fraction);
+    let aspect = cfg.grid.aspect();
+    let num_rows = ((total_sites / aspect).sqrt().ceil() as i32).max(4);
+    let row_width = ((total_sites / f64::from(num_rows)).ceil() as i32).max(16);
+
+    let mut b = DesignBuilder::new(num_rows, row_width);
+    b.set_name(spec.name.clone());
+    b.set_grid(cfg.grid);
+
+    // Macros: random non-overlapping rectangles totalling ~macro_fraction
+    // of the chip.
+    let macro_budget =
+        (f64::from(row_width) * f64::from(num_rows) * cfg.macro_fraction) as i64;
+    let mut used: i64 = 0;
+    let mut macros: Vec<SiteRect> = Vec::new();
+    let mut attempts = 0;
+    while used < macro_budget && attempts < 10_000 {
+        attempts += 1;
+        // Realistic macro footprints: tens of sites wide, a handful of
+        // rows tall (SRAMs and hard IP), clamped for tiny floorplans.
+        let w = rng.gen_range(8.min(row_width / 4).max(1)..=120.min(row_width / 4).max(2));
+        let h = rng.gen_range(2.min(num_rows / 4).max(1)..=16.min(num_rows / 4).max(2));
+        if w >= row_width || h >= num_rows {
+            continue;
+        }
+        let x = rng.gen_range(0..=row_width - w);
+        let y = rng.gen_range(0..=num_rows - h);
+        let rect = SiteRect::new(x, y, w, h);
+        if used + rect.area() > macro_budget || macros.iter().any(|m| m.overlaps(&rect)) {
+            continue;
+        }
+        used += rect.area();
+        macros.push(rect);
+    }
+    for (i, rect) in macros.iter().enumerate() {
+        b.add_fixed(format!("macro_{i}"), *rect);
+    }
+
+    // Synthetic global placement: spread cells evenly at the target
+    // density by packing them onto rows with proportional slack (a
+    // converged GP distributes area well), then perturb with Gaussian
+    // jitter and fractional offsets so the input is overlapping and
+    // off-grid — the exact situation Section 2 of the paper assumes.
+    let spread = spread_positions(&dims, &macros, num_rows, row_width, spec.density, &mut rng);
+    let jitter_x = 0.8; // sites
+    let jitter_y = 0.15; // rows
+    let mut ids: Vec<CellId> = Vec::with_capacity(dims.len());
+    let mut cell_pos: Vec<(f64, f64)> = Vec::with_capacity(dims.len());
+    for (i, &(w, h)) in dims.iter().enumerate() {
+        let rail = if rng.gen_bool(0.5) {
+            PowerRail::Vdd
+        } else {
+            PowerRail::Vss
+        };
+        let name = if h > 1 { format!("ff_{i}") } else { format!("g_{i}") };
+        let id = b.add_cell_with_rail(name, w, h, rail);
+        let (px, py) = spread[i];
+        let fx = (px + gauss(&mut rng) * jitter_x)
+            .clamp(0.0, f64::from((row_width - w).max(1)));
+        let fy = (py + gauss(&mut rng) * jitter_y)
+            .clamp(0.0, f64::from((num_rows - h).max(1)));
+        b.set_input_position(id, fx, fy);
+        ids.push(id);
+        cell_pos.push((fx, fy));
+    }
+
+    // Fence regions: rectangular carve-outs away from macros. Cells whose
+    // GP position lies inside become members — except a small slice left
+    // unassigned, and an equal number of outsiders drafted in, so the
+    // legalizer has genuine fence violations to repair (as a real GP
+    // leaves behind).
+    if cfg.fence_regions > 0 {
+        let mut fence_rects: Vec<SiteRect> = Vec::new();
+        let mut attempts = 0;
+        while fence_rects.len() < cfg.fence_regions && attempts < 10_000 {
+            attempts += 1;
+            let w = rng.gen_range((row_width / 8).max(8)..=(row_width / 4).max(9));
+            let h = rng.gen_range((num_rows / 8).max(2)..=(num_rows / 4).max(3));
+            if w >= row_width || h >= num_rows {
+                continue;
+            }
+            let x = rng.gen_range(0..=row_width - w);
+            let y = rng.gen_range(0..=num_rows - h);
+            let rect = SiteRect::new(x, y, w, h);
+            if fence_rects.iter().any(|r| r.overlaps(&rect))
+                || macros.iter().any(|m| m.overlaps(&rect))
+            {
+                continue;
+            }
+            fence_rects.push(rect);
+        }
+        for (k, rect) in fence_rects.iter().enumerate() {
+            let region = b.add_region(format!("fence_{k}"), vec![*rect]);
+            let mut members = Vec::new();
+            let mut outsiders = Vec::new();
+            for (i, &(fx, fy)) in cell_pos.iter().enumerate() {
+                let (w, h) = dims[i];
+                let r = SiteRect::new(fx.round() as i32, fy.round() as i32, w, h);
+                if rect.contains_rect(&r) {
+                    members.push(i);
+                } else if !rect.overlaps(&r) {
+                    outsiders.push(i);
+                }
+            }
+            let swaps = (members.len() / 50).max(1).min(outsiders.len());
+            // Drop the first `swaps` members (they stay unassigned with a
+            // GP position inside the fence)...
+            for &i in members.iter().skip(swaps) {
+                b.assign_region(ids[i], region);
+            }
+            // ...and draft the same number of random outsiders in.
+            outsiders.shuffle(&mut rng);
+            for &i in outsiders.iter().take(swaps.min(members.len())) {
+                b.assign_region(ids[i], region);
+            }
+        }
+    }
+
+    // Clustered netlist: bucket cells on a coarse grid of their GP
+    // positions; each net connects cells from one bucket neighborhood so
+    // net spans are local, like a placed real netlist.
+    let buckets_per_side = (((ids.len() as f64).sqrt() / 4.0).ceil() as i64).max(1);
+    let bucket_of = |p: (f64, f64)| {
+        let bx = ((p.0 / f64::from(row_width)) * buckets_per_side as f64) as i64;
+        let by = ((p.1 / f64::from(num_rows)) * buckets_per_side as f64) as i64;
+        (
+            bx.clamp(0, buckets_per_side - 1),
+            by.clamp(0, buckets_per_side - 1),
+        )
+    };
+    let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, &p) in cell_pos.iter().enumerate() {
+        buckets.entry(bucket_of(p)).or_default().push(i);
+    }
+    let num_nets = (ids.len() as f64 * cfg.nets_per_cell).round() as usize;
+    for n in 0..num_nets {
+        let degree = match rng.gen_range(0..100) {
+            0..=54 => 2,
+            55..=79 => 3,
+            80..=92 => 4,
+            _ => 5,
+        };
+        let seed_cell = rng.gen_range(0..ids.len());
+        let (bx, by) = bucket_of(cell_pos[seed_cell]);
+        let net = b.add_net(format!("n{n}"));
+        let mut members = vec![seed_cell];
+        let mut guard = 0;
+        while members.len() < degree && guard < 20 {
+            guard += 1;
+            let nb = (
+                (bx + rng.gen_range(-1..=1)).clamp(0, buckets_per_side - 1),
+                (by + rng.gen_range(-1..=1)).clamp(0, buckets_per_side - 1),
+            );
+            if let Some(pool) = buckets.get(&nb) {
+                let pick = pool[rng.gen_range(0..pool.len())];
+                if !members.contains(&pick) {
+                    members.push(pick);
+                }
+            }
+        }
+        for &m in &members {
+            let (w, h) = dims[m];
+            let dx = rng.gen_range(0.0..f64::from(w));
+            let dy = rng.gen_range(0.0..f64::from(h));
+            b.add_cell_pin(net, ids[m], dx, dy);
+        }
+    }
+
+    b.finish()
+}
+
+/// Standard normal sample via the sum of twelve uniforms (Irwin–Hall);
+/// accurate enough for placement jitter and dependency-free.
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+/// Packs cells onto rows left-to-right with slack proportional to the
+/// target density, skipping macro footprints: an even area distribution
+/// like a converged global placement. Returns one (x, y) per cell in site
+/// units.
+fn spread_positions<R: Rng>(
+    dims: &[(i32, i32)],
+    macros: &[SiteRect],
+    num_rows: i32,
+    row_width: i32,
+    density: f64,
+    rng: &mut R,
+) -> Vec<(f64, f64)> {
+    // Blocked x-spans per row, sorted.
+    let mut blocked: Vec<Vec<(i32, i32)>> = vec![Vec::new(); num_rows as usize];
+    for m in macros {
+        for r in m.y.max(0)..m.top().min(num_rows) {
+            blocked[r as usize].push((m.x, m.right()));
+        }
+    }
+    for spans in &mut blocked {
+        spans.sort_unstable();
+    }
+    // Process cells in shuffled order, cycling through rows so fill stays
+    // balanced; each placement advances the row frontier by w / density.
+    let mut order: Vec<usize> = (0..dims.len()).collect();
+    order.shuffle(rng);
+    let mut frontier: Vec<f64> = vec![0.0; num_rows as usize];
+    let mut out = vec![(0.0, 0.0); dims.len()];
+    let mut ptr: i32 = 0;
+    for &i in &order {
+        let (w, h) = dims[i];
+        let max_bottom = (num_rows - h).max(0);
+        // Least-loaded of k *globally sampled* rows keeps per-row fill
+        // balanced even around wide macro bands (a cycling window can get
+        // trapped on rows whose budget the macros already consumed; plain
+        // round-robin overflows rows at high density).
+        let k = 8.min(max_bottom + 1);
+        let base = ptr.rem_euclid(max_bottom + 1);
+        ptr = ptr.wrapping_add(1);
+        let load = |r0: i32| {
+            (r0..r0 + h)
+                .map(|rr| frontier[rr as usize])
+                .fold(0.0f64, f64::max)
+        };
+        let r = std::iter::once(base)
+            .chain((1..k).map(|_| rng.gen_range(0..=max_bottom)))
+            .min_by(|&a, &b| load(a).total_cmp(&load(b)))
+            .expect("k >= 1");
+        // Start at the worst frontier among the spanned rows, then skip
+        // any macro spans.
+        let mut x = (r..r + h)
+            .map(|rr| frontier[rr as usize])
+            .fold(0.0f64, f64::max);
+        loop {
+            let mut bumped = false;
+            for rr in r..r + h {
+                for &(bx0, bx1) in &blocked[rr as usize] {
+                    if x < f64::from(bx1) && x + f64::from(w) > f64::from(bx0) {
+                        x = f64::from(bx1);
+                        bumped = true;
+                    }
+                }
+            }
+            if !bumped {
+                break;
+            }
+        }
+        let x = x.min(f64::from((row_width - w).max(0)));
+        out[i] = (x, f64::from(r));
+        // Slightly under-advance so rows statistically finish below their
+        // right edge; otherwise the unluckiest rows overflow and the
+        // clamped pile-up at the chip edge dominates tail displacement.
+        let advance = f64::from(w) / density.max(0.05) * 0.97;
+        for rr in r..r + h {
+            frontier[rr as usize] = frontier[rr as usize].max(x + advance);
+        }
+    }
+    out
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each benchmark gets an independent stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ispd2015_suite;
+
+    fn small_spec() -> BenchmarkSpec {
+        BenchmarkSpec::new("unit_test", 400, 40, 0.5, 0.0)
+    }
+
+    #[test]
+    fn respects_cell_counts_and_heights() {
+        let d = generate(&small_spec(), &GeneratorConfig::default()).unwrap();
+        let singles = d
+            .movable_cells()
+            .filter(|&c| d.cell(c).height() == 1)
+            .count();
+        let doubles = d
+            .movable_cells()
+            .filter(|&c| d.cell(c).height() == 2)
+            .count();
+        assert_eq!(singles, 400);
+        assert_eq!(doubles, 40);
+    }
+
+    #[test]
+    fn density_close_to_spec() {
+        let spec = small_spec();
+        let d = generate(&spec, &GeneratorConfig::default()).unwrap();
+        assert!(
+            (d.density() - spec.density).abs() < 0.08,
+            "density {} vs spec {}",
+            d.density(),
+            spec.density
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = small_spec();
+        let cfg = GeneratorConfig::default().with_seed(42);
+        let d1 = generate(&spec, &cfg).unwrap();
+        let d2 = generate(&spec, &cfg).unwrap();
+        assert_eq!(d1.num_cells(), d2.num_cells());
+        let a: Vec<_> = d1.movable_cells().map(|c| d1.input_position(c)).collect();
+        let b: Vec<_> = d2.movable_cells().map(|c| d2.input_position(c)).collect();
+        assert_eq!(a, b);
+        assert_eq!(d1.netlist().num_nets(), d2.netlist().num_nets());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = small_spec();
+        let d1 = generate(&spec, &GeneratorConfig::default().with_seed(1)).unwrap();
+        let d2 = generate(&spec, &GeneratorConfig::default().with_seed(2)).unwrap();
+        let a: Vec<_> = d1.movable_cells().map(|c| d1.input_position(c)).collect();
+        let b: Vec<_> = d2.movable_cells().map(|c| d2.input_position(c)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scale_divides_counts() {
+        let suite = ispd2015_suite();
+        let fft = suite.iter().find(|s| s.name == "fft_2").unwrap();
+        let cfg = GeneratorConfig::default().with_scale(100.0);
+        let d = generate(fft, &cfg).unwrap();
+        let total = d.num_movable();
+        assert!((300..=330).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn contains_macros_and_blockages() {
+        let d = generate(&small_spec(), &GeneratorConfig::default()).unwrap();
+        assert!(!d.floorplan().blockages().is_empty());
+        assert!(d.num_cells() > d.num_movable());
+    }
+
+    #[test]
+    fn netlist_is_spatially_local() {
+        let d = generate(&small_spec(), &GeneratorConfig::default()).unwrap();
+        assert!(d.netlist().num_nets() > 400);
+        // Net spans should be far below the chip width on average.
+        let chip_w = f64::from(d.floorplan().bounds().w);
+        let mut total_span = 0.0;
+        let mut counted = 0;
+        for i in 0..d.netlist().num_nets() {
+            let net = mrl_db::NetId::from_usize(i);
+            let hpwl = d.netlist().net_hpwl(net, |pin| match pin.location {
+                mrl_db::PinLocation::OnCell { cell, dx, dy } => {
+                    let (x, y) = d.input_position(cell);
+                    (x + dx, y + dy)
+                }
+                mrl_db::PinLocation::Fixed { x, y } => (x, y),
+            });
+            total_span += hpwl;
+            counted += 1;
+        }
+        let avg = total_span / counted as f64;
+        assert!(avg < chip_w / 2.0, "avg net span {avg} vs chip {chip_w}");
+    }
+
+    #[test]
+    fn gp_positions_are_off_grid_and_overlapping() {
+        let d = generate(&small_spec(), &GeneratorConfig::default()).unwrap();
+        let fractional = d
+            .movable_cells()
+            .filter(|&c| {
+                let (x, y) = d.input_position(c);
+                x.fract() != 0.0 || y.fract() != 0.0
+            })
+            .count();
+        assert!(fractional > d.num_movable() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale is a divisor")]
+    fn scale_below_one_panics() {
+        let _ = GeneratorConfig::default().with_scale(0.5);
+    }
+
+    #[test]
+    fn fence_regions_generated_with_members_and_violations() {
+        let cfg = GeneratorConfig::default().with_fence_regions(2);
+        let d = generate(&small_spec(), &cfg).unwrap();
+        assert_eq!(d.regions().len(), 2);
+        let members: Vec<_> = d
+            .movable_cells()
+            .filter(|&c| d.region_of(c).is_some())
+            .collect();
+        assert!(!members.is_empty(), "fences should have members");
+        // At least one member's GP position violates its fence (the
+        // drafted outsiders), so legalization has work to do.
+        let violating = members.iter().any(|&c| {
+            let (fx, fy) = d.input_position(c);
+            let cell = d.cell(c);
+            let r = mrl_geom::SiteRect::new(
+                fx.round() as i32,
+                fy.round() as i32,
+                cell.width(),
+                cell.height(),
+            );
+            !d.region(d.region_of(c).unwrap()).covers(&r)
+        });
+        assert!(violating, "expected drafted outsiders");
+    }
+
+    #[test]
+    fn tall_cells_generated_on_request() {
+        let cfg = GeneratorConfig::default().with_tall_cells(0.05);
+        let d = generate(&small_spec(), &cfg).unwrap();
+        let tall = d
+            .movable_cells()
+            .filter(|&c| d.cell(c).height() >= 3)
+            .count();
+        assert!((10..=30).contains(&tall), "tall cells: {tall}");
+        // Density bookkeeping includes the tall cells.
+        assert!((d.density() - 0.5).abs() < 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn tall_fraction_out_of_range_panics() {
+        let _ = GeneratorConfig::default().with_tall_cells(1.5);
+    }
+}

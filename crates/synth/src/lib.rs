@@ -1,0 +1,38 @@
+//! Synthetic benchmark generation for multi-row legalization experiments.
+//!
+//! The paper evaluates on the ISPD2015 detailed-routing-driven placement
+//! contest benchmarks, modified so that sequential cells (or a random 10%
+//! when sequential cells cannot be identified) are doubled in height and
+//! halved in width. Those benchmark files are not redistributable, so this
+//! crate generates designs with the **same observable statistics**: the
+//! 20 suite entries carry the paper's exact single/double cell counts and
+//! densities ([`ispd2015_suite`]), cells get realistic width
+//! distributions, floorplans contain macro blockages, netlists are
+//! spatially clustered, and the "global placement" input is a uniform
+//! good-area-distribution with overlaps and off-grid coordinates — the
+//! properties Section 2 of the paper assumes of a GP solution.
+//!
+//! Everything is deterministic in the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrl_synth::{ispd2015_suite, GeneratorConfig, generate};
+//!
+//! let spec = &ispd2015_suite()[5]; // fft_2
+//! let cfg = GeneratorConfig::default().with_scale(100.0); // 1/100 size
+//! let design = generate(spec, &cfg)?;
+//! assert!(design.num_movable() > 200);
+//! # Ok::<(), mrl_db::DbError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod spec;
+mod transform;
+
+pub use generate::{generate, GeneratorConfig};
+pub use spec::{ispd2015_suite, BenchmarkSpec};
+pub use transform::double_random_cells;

@@ -1,0 +1,86 @@
+//! The paper's benchmark modification: doubling sequential cells' height
+//! while halving their width.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Converts a `fraction` of the given `(width, height)` cells to
+/// double-height, half-width variants, exactly as Section 6 of the paper
+/// modifies the ISPD2015 benchmarks when sequential cells cannot be
+/// identified. Only single-height cells of even width are eligible (halving
+/// must keep an integral site width); the transform preserves each
+/// converted cell's area.
+///
+/// Returns the indices of the converted cells.
+pub fn double_random_cells<R: Rng>(
+    cells: &mut [(i32, i32)],
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut eligible: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, &(w, h))| h == 1 && w >= 2 && w % 2 == 0)
+        .map(|(i, _)| i)
+        .collect();
+    eligible.shuffle(rng);
+    let want = (cells.len() as f64 * fraction).round() as usize;
+    let take = want.min(eligible.len());
+    let chosen = &eligible[..take];
+    for &i in chosen {
+        let (w, h) = cells[i];
+        debug_assert_eq!(h, 1);
+        cells[i] = (w / 2, 2);
+    }
+    chosen.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_total_area() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut cells: Vec<(i32, i32)> = (0..100).map(|i| (2 + 2 * (i % 3), 1)).collect();
+        let before: i64 = cells.iter().map(|&(w, h)| i64::from(w) * i64::from(h)).sum();
+        let converted = double_random_cells(&mut cells, 0.1, &mut rng);
+        let after: i64 = cells.iter().map(|&(w, h)| i64::from(w) * i64::from(h)).sum();
+        assert_eq!(before, after);
+        assert_eq!(converted.len(), 10);
+        for &i in &converted {
+            assert_eq!(cells[i].1, 2);
+        }
+    }
+
+    #[test]
+    fn skips_odd_width_cells() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut cells = vec![(3, 1); 50];
+        let converted = double_random_cells(&mut cells, 0.5, &mut rng);
+        assert!(converted.is_empty());
+        assert!(cells.iter().all(|&c| c == (3, 1)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = vec![(4, 1); 40];
+        let mut b = vec![(4, 1); 40];
+        let ca = double_random_cells(&mut a, 0.25, &mut SmallRng::seed_from_u64(3));
+        let cb = double_random_cells(&mut b, 0.25, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fraction_of_total_not_of_eligible() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // 10 eligible + 10 ineligible; 10% of 20 = 2 conversions.
+        let mut cells: Vec<(i32, i32)> =
+            (0..20).map(|i| if i < 10 { (4, 1) } else { (3, 1) }).collect();
+        let converted = double_random_cells(&mut cells, 0.1, &mut rng);
+        assert_eq!(converted.len(), 2);
+    }
+}

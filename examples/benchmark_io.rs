@@ -1,0 +1,56 @@
+//! Benchmark file I/O: write a generated design as Bookshelf and as
+//! LEF/DEF, read both back, and legalize the parsed copy — the workflow a
+//! user with real ISPD2015-style files would follow.
+//!
+//! ```text
+//! cargo run --example benchmark_io
+//! ```
+
+use multirow_legalize::parsers::{bookshelf, lefdef};
+use multirow_legalize::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = BenchmarkSpec::new("io_demo", 800, 80, 0.45, 0.0);
+    let design = generate(&spec, &GeneratorConfig::default())?;
+    let dir = std::env::temp_dir().join("multirow_legalize_io_demo");
+    std::fs::create_dir_all(&dir)?;
+
+    // Bookshelf out + in.
+    bookshelf::write(&design, &dir, "io_demo")?;
+    let from_bookshelf = bookshelf::read(&dir.join("io_demo.aux"))?;
+    println!(
+        "bookshelf round trip: {} cells, {} nets, {} rows -> {}",
+        from_bookshelf.num_cells(),
+        from_bookshelf.netlist().num_nets(),
+        from_bookshelf.floorplan().num_rows(),
+        dir.join("io_demo.aux").display(),
+    );
+
+    // LEF/DEF out + in.
+    lefdef::write(&design, &dir, "io_demo")?;
+    let from_lefdef = lefdef::read(&dir.join("io_demo.lef"), &dir.join("io_demo.def"))?;
+    println!(
+        "lef/def round trip: {} cells, site {} um x {} um",
+        from_lefdef.num_cells(),
+        from_lefdef.grid().site_width_um(),
+        from_lefdef.grid().row_height_um(),
+    );
+
+    // A peek at the emitted files.
+    let def_text = std::fs::read_to_string(dir.join("io_demo.def"))?;
+    println!("\nfirst DEF lines:");
+    for line in def_text.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Legalize the parsed design exactly as if it came from disk.
+    let mut state = PlacementState::new(&from_lefdef);
+    let stats = Legalizer::default().legalize(&from_lefdef, &mut state)?;
+    check_legal(&from_lefdef, &state, RailCheck::Enforce).map_err(|r| format!("{r}"))?;
+    let disp = displacement_stats(&from_lefdef, &state);
+    println!(
+        "\nlegalized the parsed design: {} cells, avg displacement {:.2} sites",
+        stats.placed, disp.avg_sites
+    );
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! A guided tour of the MLL machinery on a Figure-5-style local region:
+//! prints the region, the insertion intervals of every row, every valid
+//! insertion point with its cost, and the realized placement of the best
+//! one — the pipeline of Sections 4 and 5 of the paper made visible.
+//!
+//! ```text
+//! cargo run --example figure_walkthrough
+//! ```
+
+use multirow_legalize::legalize::{
+    enumerate_insertion_points, realize, InsertionPoint, LocalRegion, TargetSpec,
+};
+use multirow_legalize::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Like Figure 5: four rows with five local cells, one of them
+    // (cell `a`) double-row height, and a 2-wide, 3-row-tall target.
+    let mut b = DesignBuilder::new(4, 16);
+    // `a` sits with its bottom on row 1, so its native rail is VSS.
+    let a = b.add_cell_with_rail("a", 2, 2, PowerRail::Vss);
+    let c2 = b.add_cell("b", 3, 1);
+    let c3 = b.add_cell("c", 2, 1);
+    let c4 = b.add_cell("d", 3, 1);
+    let c5 = b.add_cell("e", 2, 1);
+    let target = b.add_cell("t", 2, 3);
+    let design = b.finish()?;
+    let mut state = PlacementState::new(&design);
+    state.place(&design, a, SitePoint::new(6, 1))?;
+    state.place(&design, c2, SitePoint::new(10, 3))?;
+    state.place(&design, c3, SitePoint::new(2, 2))?;
+    state.place(&design, c4, SitePoint::new(1, 0))?;
+    state.place(&design, c5, SitePoint::new(10, 0))?;
+
+    println!("local region before insertion:");
+    draw(&design, &state, None);
+
+    // Extract the local region covering the whole (tiny) floorplan.
+    let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 16, 4));
+    let spec = TargetSpec {
+        w: 2,
+        h: 3,
+        x: 5,
+        y: 0,
+        rail: PowerRail::Vdd,
+    };
+
+    println!("\nleftmost/rightmost placements (Section 5.1.1):");
+    for cell in &region.cells {
+        println!(
+            "  {}: x = {}, xL = {}, xR = {}",
+            design.cell(cell.id).name(),
+            cell.x,
+            cell.x_left,
+            cell.x_right
+        );
+    }
+
+    println!("\ninsertion intervals for a {}x{} target:", spec.w, spec.h);
+    for iv in region.insertion_intervals(spec.w) {
+        let name = |c: Option<u32>| match c {
+            Some(i) => design.cell(region.cells[i as usize].id).name().to_string(),
+            None => "·".into(), // segment boundary (the paper's L/R)
+        };
+        println!(
+            "  row {}: ({}, {}) feasible x in {}",
+            iv.row,
+            name(iv.left),
+            name(iv.right),
+            iv.range
+        );
+    }
+
+    let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
+    let mut points = enumerate_insertion_points(&region, &design, &spec, &cfg);
+    points.sort_by(|x, y| x.eval.cost.total_cmp(&y.eval.cost));
+    println!("\nvalid insertion points (Section 5.1.3), best first:");
+    for p in &points {
+        println!("  {}", describe(&design, &region, p));
+    }
+
+    let best = points.first().expect("feasible problem");
+    let realization = realize(&region, best, &spec);
+    println!(
+        "\nrealizing the best insertion point: target at x = {}, row {}, {} cells shifted",
+        realization.target_x,
+        realization.target_row,
+        realization.moves.len()
+    );
+    state.shift_batch(&design, &realization.moves)?;
+    state.place_ignoring_rails(
+        &design,
+        target,
+        SitePoint::new(realization.target_x, realization.target_row),
+    )?;
+    println!("\nlocal region after insertion:");
+    draw(&design, &state, Some(target));
+    check_legal(&design, &state, RailCheck::Ignore).map_err(|r| format!("{r}"))?;
+    println!("\nresult verified legal");
+    Ok(())
+}
+
+fn describe(design: &Design, region: &LocalRegion, p: &InsertionPoint) -> String {
+    let gaps: Vec<String> = p
+        .intervals
+        .iter()
+        .map(|iv| {
+            let name = |c: Option<u32>| match c {
+                Some(i) => design.cell(region.cells[i as usize].id).name().to_string(),
+                None => "·".into(),
+            };
+            format!("({}, {}, {})", iv.row, name(iv.left), name(iv.right))
+        })
+        .collect();
+    format!(
+        "{{{}}} -> x = {}, cost = {}",
+        gaps.join(", "),
+        p.eval.x,
+        p.eval.cost
+    )
+}
+
+/// ASCII rendering: rows top-down, one character per site.
+fn draw(design: &Design, state: &PlacementState, highlight: Option<CellId>) {
+    let fp = design.floorplan();
+    let width = fp.bounds().w as usize;
+    let mut grid = vec![vec!['.'; width]; fp.num_rows() as usize];
+    for (id, pos) in state.iter_placed() {
+        let cell = design.cell(id);
+        let ch = if Some(id) == highlight {
+            'T'
+        } else {
+            cell.name().chars().next().unwrap_or('?')
+        };
+        for y in pos.y..pos.y + cell.height() {
+            for x in pos.x..pos.x + cell.width() {
+                grid[y as usize][x as usize] = ch;
+            }
+        }
+    }
+    for (y, row) in grid.iter().enumerate().rev() {
+        println!("  row {y}: {}", row.iter().collect::<String>());
+    }
+}

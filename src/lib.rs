@@ -1,0 +1,69 @@
+//! Multi-row height standard cell legalization.
+//!
+//! A Rust reproduction of Chow, Pui & Young, *"Legalization Algorithm for
+//! Multiple-Row Height Standard Cell Design"* (DAC 2016), packaged as a
+//! workspace of focused crates and re-exported here as one facade:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`geom`] | `mrl-geom` | site-unit geometry, power rails |
+//! | [`db`] | `mrl-db` | cells, netlist, rows/segments, placement state |
+//! | [`legalize`] | `mrl-legalize` | **the MLL algorithm** and driver |
+//! | [`baselines`] | `mrl-baselines` | ILP-optimal, Abacus, Tetris |
+//! | [`gp`] | `mrl-gp` | quadratic global placer (B2B + CG + spreading) |
+//! | [`ilp`] | `mrl-ilp` | small MILP solver (simplex + B&B) |
+//! | [`metrics`] | `mrl-metrics` | legality checks, displacement, HPWL |
+//! | [`synth`] | `mrl-synth` | ISPD2015-like synthetic benchmarks |
+//! | [`parsers`] | `mrl-parsers` | Bookshelf and LEF/DEF I/O |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multirow_legalize::prelude::*;
+//!
+//! // A 2000-cell clone of the paper's fft_2 benchmark at 1/16 scale.
+//! let spec = &ispd2015_suite()[5];
+//! let design = generate(spec, &GeneratorConfig::default().with_scale(16.0))?;
+//!
+//! // Legalize its synthetic global placement with MLL (Rx=30, Ry=5).
+//! let mut placement = PlacementState::new(&design);
+//! let stats = Legalizer::default().legalize(&design, &mut placement)?;
+//! assert_eq!(stats.placed, design.num_movable());
+//!
+//! // Verify all four constraints of the paper's problem formulation and
+//! // report the Table 1 metrics.
+//! check_legal(&design, &placement, RailCheck::Enforce)
+//!     .map_err(|report| format!("{report}"))?;
+//! let disp = displacement_stats(&design, &placement);
+//! println!("average displacement: {:.2} site widths", disp.avg_sites);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mrl_baselines as baselines;
+pub use mrl_db as db;
+pub use mrl_geom as geom;
+pub use mrl_gp as gp;
+pub use mrl_ilp as ilp;
+pub use mrl_legalize as legalize;
+pub use mrl_metrics as metrics;
+pub use mrl_parsers as parsers;
+pub use mrl_synth as synth;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mrl_baselines::{AbacusLegalizer, IlpLegalizer, LocalSolver, TetrisLegalizer};
+    pub use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
+    pub use mrl_geom::{PowerRail, SiteGrid, SitePoint, SiteRect};
+    pub use mrl_legalize::{
+        CellOrder, DetailedConfig, DetailedPlacer, EvalMode, LegalizeStats, Legalizer,
+        LegalizerConfig, PowerRailMode,
+    };
+    pub use mrl_metrics::{
+        check_legal, displacement_stats, hpwl_change, RailCheck, Table,
+    };
+    pub use mrl_gp::{GlobalPlacer, GpConfig};
+    pub use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
+}

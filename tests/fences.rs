@@ -1,0 +1,247 @@
+//! Fence region integration tests: the ISPD2015 contest constraint
+//! ("Benchmarks with Fence Regions and Routing Blockages") enforced across
+//! the database, the legalizer, the ILP baseline, and the checker.
+
+use multirow_legalize::prelude::*;
+use mrl_baselines::{IlpLegalizer, LocalSolver};
+use mrl_db::DbError;
+use mrl_metrics::Violation;
+use proptest::prelude::*;
+
+/// 8 rows x 60 sites with one fence `[30, 50) x [2, 6)`; `members` cells
+/// assigned to it and `outsiders` cells unassigned. All cells 3x1 plus one
+/// 2x2 per group.
+fn fenced_design(members: usize, outsiders: usize) -> (Design, Vec<CellId>, Vec<CellId>) {
+    let mut b = DesignBuilder::new(8, 60);
+    let fence = b.add_region("f0", vec![SiteRect::new(30, 2, 20, 4)]);
+    let mut m = Vec::new();
+    let mut o = Vec::new();
+    for i in 0..members {
+        let c = if i == 0 {
+            b.add_cell(format!("m{i}"), 2, 2)
+        } else {
+            b.add_cell(format!("m{i}"), 3, 1)
+        };
+        b.assign_region(c, fence);
+        // Members' GP positions deliberately OUTSIDE the fence.
+        b.set_input_position(c, 5.0 + i as f64, 0.5);
+        m.push(c);
+    }
+    for i in 0..outsiders {
+        let c = if i == 0 {
+            b.add_cell(format!("o{i}"), 2, 2)
+        } else {
+            b.add_cell(format!("o{i}"), 3, 1)
+        };
+        // Outsiders' GP positions deliberately INSIDE the fence.
+        b.set_input_position(c, 35.0 + i as f64, 3.5);
+        o.push(c);
+    }
+    (b.finish().expect("valid design"), m, o)
+}
+
+#[test]
+fn placement_state_enforces_fences() {
+    let (design, members, outsiders) = fenced_design(1, 1);
+    let mut state = PlacementState::new(&design);
+    // Member outside its fence: rejected.
+    assert!(matches!(
+        state.place(&design, members[0], SitePoint::new(0, 0)),
+        Err(DbError::FenceViolation { .. })
+    ));
+    // Member inside: accepted (row 2 is VDD-compatible).
+    state
+        .place(&design, members[0], SitePoint::new(32, 2))
+        .unwrap();
+    // Outsider overlapping the fence: rejected.
+    assert!(matches!(
+        state.place(&design, outsiders[0], SitePoint::new(48, 4)),
+        Err(DbError::FenceViolation { .. })
+    ));
+    // Outsider straddling the fence edge: rejected too.
+    assert!(matches!(
+        state.place(&design, outsiders[0], SitePoint::new(29, 2)),
+        Err(DbError::FenceViolation { .. })
+    ));
+    // Outsider fully outside: accepted.
+    state
+        .place(&design, outsiders[0], SitePoint::new(0, 0))
+        .unwrap();
+}
+
+#[test]
+fn legalizer_routes_members_into_their_fence() {
+    let (design, members, outsiders) = fenced_design(6, 8);
+    let mut state = PlacementState::new(&design);
+    let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+    assert_eq!(stats.placed, 14);
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    let fence = design.region(design.region_of(members[0]).unwrap());
+    for &c in &members {
+        let r = state.rect_of(&design, c).unwrap();
+        assert!(fence.covers(&r), "member {c} at {r} escaped its fence");
+    }
+    for &c in &outsiders {
+        let r = state.rect_of(&design, c).unwrap();
+        assert!(!fence.overlaps(&r), "outsider {c} at {r} entered the fence");
+    }
+}
+
+#[test]
+fn mll_pushes_stay_within_fences() {
+    // Fill the fence with members, then insert one more member: the pushes
+    // must keep every member inside.
+    let (design, _members, _) = fenced_design(10, 0);
+    let mut state = PlacementState::new(&design);
+    Legalizer::default().legalize(&design, &mut state).unwrap();
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+}
+
+#[test]
+fn ilp_baseline_honors_fences() {
+    let (design, members, outsiders) = fenced_design(4, 4);
+    let mut state = PlacementState::new(&design);
+    IlpLegalizer::new(LegalizerConfig::default(), LocalSolver::Milp)
+        .legalize(&design, &mut state)
+        .unwrap();
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    let fence = design.region(design.region_of(members[0]).unwrap());
+    for &c in &members {
+        assert!(fence.covers(&state.rect_of(&design, c).unwrap()));
+    }
+    for &c in &outsiders {
+        assert!(!fence.overlaps(&state.rect_of(&design, c).unwrap()));
+    }
+}
+
+#[test]
+fn checker_reports_fence_violations() {
+    // Construct an illegal state through a fence-free twin design.
+    let (design, ..) = fenced_design(1, 0);
+    let mut twin = DesignBuilder::new(8, 60);
+    let c = twin.add_cell("m0", 2, 2);
+    let twin = twin.finish().unwrap();
+    let mut state = PlacementState::new(&twin);
+    state.place(&twin, c, SitePoint::new(0, 0)).unwrap();
+    let report = check_legal(&design, &state, RailCheck::Enforce).unwrap_err();
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::FenceViolation(_))));
+}
+
+#[test]
+fn overlapping_fences_rejected_at_build_time() {
+    let mut b = DesignBuilder::new(4, 20);
+    b.add_region("a", vec![SiteRect::new(0, 0, 10, 2)]);
+    b.add_region("b", vec![SiteRect::new(5, 1, 10, 2)]);
+    b.add_cell("c", 2, 1);
+    assert!(matches!(b.finish(), Err(DbError::Invalid(_))));
+}
+
+#[test]
+fn row_refinement_respects_fences() {
+    // Legalize a fenced design, then run the optimal row re-packing pass:
+    // it must keep members in and outsiders out while never worsening
+    // displacement.
+    let (design, members, outsiders) = fenced_design(6, 8);
+    let mut state = PlacementState::new(&design);
+    Legalizer::default().legalize(&design, &mut state).unwrap();
+    let stats = mrl_legalize::refine_rows(&design, &mut state).unwrap();
+    assert!(stats.disp_after <= stats.disp_before + 1e-9);
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    let fence = design.region(design.region_of(members[0]).unwrap());
+    for &c in &members {
+        assert!(fence.covers(&state.rect_of(&design, c).unwrap()));
+    }
+    for &c in &outsiders {
+        assert!(!fence.overlaps(&state.rect_of(&design, c).unwrap()));
+    }
+}
+
+#[test]
+fn multi_rect_fence_hosts_cells_in_every_rect() {
+    let mut b = DesignBuilder::new(6, 40);
+    let fence = b.add_region(
+        "L",
+        vec![SiteRect::new(0, 0, 10, 2), SiteRect::new(0, 2, 24, 2)],
+    );
+    let mut cells = Vec::new();
+    for i in 0..10 {
+        let c = b.add_cell(format!("m{i}"), 4, 1);
+        b.assign_region(c, fence);
+        b.set_input_position(c, 30.0, 5.0); // far from the fence
+        cells.push(c);
+    }
+    let design = b.finish().unwrap();
+    let mut state = PlacementState::new(&design);
+    Legalizer::default().legalize(&design, &mut state).unwrap();
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    let f = design.region(design.region_of(cells[0]).unwrap());
+    for &c in &cells {
+        assert!(f.covers(&state.rect_of(&design, c).unwrap()));
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fenced designs: when legalization completes, members sit
+    /// inside their fence and outsiders outside, for any fence geometry.
+    #[test]
+    fn random_fenced_designs_legalize_legally(
+        fence_x in 5..30i32,
+        fence_w in 8..20i32,
+        fence_y in 0..4i32,
+        fence_h in 2..4i32,
+        members in 1..6usize,
+        outsiders in 0..8usize,
+        seed in any::<u64>(),
+    ) {
+        let mut b = DesignBuilder::new(8, 60);
+        let fence = b.add_region(
+            "f",
+            vec![SiteRect::new(fence_x, fence_y, fence_w, fence_h.min(8 - fence_y))],
+        );
+        let mut all = Vec::new();
+        for i in 0..members {
+            let c = b.add_cell(format!("m{i}"), 2, 1 + (i % 2) as i32);
+            b.assign_region(c, fence);
+            b.set_input_position(c, (seed % 50) as f64, (seed % 7) as f64);
+            all.push((c, true));
+        }
+        for i in 0..outsiders {
+            let c = b.add_cell(format!("o{i}"), 3, 1);
+            b.set_input_position(
+                c,
+                f64::from(fence_x) + 2.0 + i as f64 * 0.3,
+                f64::from(fence_y) + 0.5,
+            );
+            all.push((c, false));
+        }
+        let design = b.finish().expect("valid design");
+        let mut state = PlacementState::new(&design);
+        let mut cfg = LegalizerConfig::default().with_seed(seed);
+        cfg.max_retry_iters = 256;
+        match Legalizer::new(cfg).legalize(&design, &mut state) {
+            Ok(_) => {
+                prop_assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
+                let f = design.region(fence);
+                for &(c, is_member) in &all {
+                    let r = state.rect_of(&design, c).expect("placed");
+                    if is_member {
+                        prop_assert!(f.covers(&r), "member {c} at {r} escaped");
+                    } else {
+                        prop_assert!(!f.overlaps(&r), "outsider {c} at {r} inside");
+                    }
+                }
+            }
+            // Tiny adversarial fences can be infeasible (e.g. more member
+            // area than fence capacity on compatible rows); that must
+            // surface as Unplaceable, never as an illegal placement.
+            Err(mrl_legalize::LegalizeError::Unplaceable { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("db error: {e}"))),
+        }
+    }
+}

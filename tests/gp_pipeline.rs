@@ -1,0 +1,69 @@
+//! Full-flow tests: quadratic global placement → MLL legalization —
+//! the complete pipeline the paper's problem statement assumes, built
+//! entirely from this workspace's substrates.
+
+use multirow_legalize::prelude::*;
+
+fn pipeline_design() -> Design {
+    let spec = BenchmarkSpec::new("gp_pipe", 700, 70, 0.45, 0.0);
+    generate(&spec, &GeneratorConfig::default()).expect("generate")
+}
+
+#[test]
+fn gp_output_legalizes_cleanly() {
+    let design = pipeline_design();
+    let gp = GlobalPlacer::default().place(&design);
+    let placed = design.with_input_positions(gp.positions);
+    let mut state = PlacementState::new(&placed);
+    let stats = Legalizer::default().legalize(&placed, &mut state).unwrap();
+    assert_eq!(stats.placed, placed.num_movable());
+    check_legal(&placed, &state, RailCheck::Enforce).unwrap();
+}
+
+#[test]
+fn gp_then_legalize_preserves_wirelength_quality() {
+    // Legalization must not destroy the GP's wirelength: the paper's
+    // criterion is a small relative HPWL change.
+    let design = pipeline_design();
+    let gp = GlobalPlacer::default().place(&design);
+    let placed = design.with_input_positions(gp.positions);
+    let mut state = PlacementState::new(&placed);
+    Legalizer::default().legalize(&placed, &mut state).unwrap();
+    let report = hpwl_change(&placed, &state);
+    assert!(
+        report.delta().abs() < 0.25,
+        "HPWL change {:.1}% too large over a real GP",
+        report.delta() * 100.0
+    );
+}
+
+#[test]
+fn gp_improves_over_synthetic_jitter_hpwl() {
+    // The quadratic placer should produce better wirelength than the
+    // connectivity-oblivious synthetic spread for the same netlist.
+    let design = pipeline_design();
+    let synthetic_hpwl = design.hpwl_um(|c| design.input_position(c));
+    let gp = GlobalPlacer::default().place(&design);
+    let gp_hpwl = *gp.hpwl_trace.last().unwrap();
+    assert!(
+        gp_hpwl < synthetic_hpwl,
+        "gp {gp_hpwl} should beat jitter {synthetic_hpwl}"
+    );
+}
+
+#[test]
+fn gp_respects_density_enough_for_mll() {
+    // The paper assumes "good distribution of cells"; the legalizer's
+    // displacement on GP output must stay moderate (no collapsed blobs).
+    let design = pipeline_design();
+    let gp = GlobalPlacer::default().place(&design);
+    let placed = design.with_input_positions(gp.positions);
+    let mut state = PlacementState::new(&placed);
+    Legalizer::default().legalize(&placed, &mut state).unwrap();
+    let disp = displacement_stats(&placed, &state);
+    assert!(
+        disp.avg_sites < 40.0,
+        "displacement {} suggests the GP collapsed",
+        disp.avg_sites
+    );
+}

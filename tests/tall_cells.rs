@@ -1,0 +1,62 @@
+//! End-to-end tests with 3–4 row tall cells — the paper's "or even
+//! multiple-row height" direction, exercising the `h ≥ 3` enumeration
+//! path (including the side-consistency check the paper's queue-clearing
+//! rule alone cannot cover) at realistic scale.
+
+use multirow_legalize::prelude::*;
+
+fn tall_design(density: f64) -> Design {
+    let spec = BenchmarkSpec::new("tall_e2e", 800, 80, density, 0.0);
+    let cfg = GeneratorConfig::default().with_tall_cells(0.04);
+    generate(&spec, &cfg).expect("generate")
+}
+
+#[test]
+fn legalizes_designs_with_tall_cells() {
+    let design = tall_design(0.5);
+    let talls = design
+        .movable_cells()
+        .filter(|&c| design.cell(c).height() >= 3)
+        .count();
+    assert!(talls > 10, "want tall cells in the mix, got {talls}");
+    let mut state = PlacementState::new(&design);
+    let stats = Legalizer::default().legalize(&design, &mut state).unwrap();
+    assert_eq!(stats.placed, design.num_movable());
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+}
+
+#[test]
+fn tall_cells_respect_rail_parity() {
+    let design = tall_design(0.5);
+    let mut state = PlacementState::new(&design);
+    Legalizer::default().legalize(&design, &mut state).unwrap();
+    for c in design.movable_cells() {
+        let cell = design.cell(c);
+        if cell.height() == 4 {
+            // Quad-height cells behave like doubles: alternate rows only.
+            let y = state.position(c).unwrap().y;
+            assert!(design
+                .floorplan()
+                .rail_compatible(cell.rail(), cell.height(), y));
+        }
+    }
+}
+
+#[test]
+fn exact_mode_handles_tall_cells() {
+    let design = tall_design(0.6);
+    let mut state = PlacementState::new(&design);
+    let cfg = LegalizerConfig::default().with_eval_mode(EvalMode::Exact);
+    Legalizer::new(cfg).legalize(&design, &mut state).unwrap();
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+}
+
+#[test]
+fn dense_tall_mix_still_legalizes() {
+    let design = tall_design(0.75);
+    let mut state = PlacementState::new(&design);
+    Legalizer::default().legalize(&design, &mut state).unwrap();
+    check_legal(&design, &state, RailCheck::Enforce).unwrap();
+    let disp = displacement_stats(&design, &state);
+    assert!(disp.avg_sites < 25.0, "disp {}", disp.avg_sites);
+}
