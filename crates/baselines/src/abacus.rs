@@ -320,11 +320,7 @@ impl AbacusLegalizer {
 }
 
 /// Free `[a, b)` intervals of a row: segment runs minus placed cells.
-fn row_free_intervals(
-    design: &Design,
-    state: &PlacementState,
-    row: i32,
-) -> Vec<(i32, i32)> {
+fn row_free_intervals(design: &Design, state: &PlacementState, row: i32) -> Vec<(i32, i32)> {
     let fp = design.floorplan();
     let mut out = Vec::new();
     for (si, seg) in fp.segments_in_row(row).iter().enumerate() {
@@ -373,10 +369,7 @@ mod tests {
 
     #[test]
     fn intersect_intervals_basics() {
-        assert_eq!(
-            intersect_intervals(&[(0, 10)], &[(5, 15)]),
-            vec![(5, 10)]
-        );
+        assert_eq!(intersect_intervals(&[(0, 10)], &[(5, 15)]), vec![(5, 10)]);
         assert_eq!(
             intersect_intervals(&[(0, 4), (6, 10)], &[(2, 8)]),
             vec![(2, 4), (6, 8)]
@@ -393,7 +386,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        let stats = AbacusLegalizer::new().legalize(&design, &mut state).unwrap();
+        let stats = AbacusLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert_eq!(stats.placed, 4);
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
         // Cells cluster around x = 8 (total width 12 centered-ish).
@@ -414,7 +409,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        let stats = AbacusLegalizer::new().legalize(&design, &mut state).unwrap();
+        let stats = AbacusLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert_eq!(stats.placed, 12);
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
     }
@@ -430,7 +427,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        AbacusLegalizer::new().legalize(&design, &mut state).unwrap();
+        AbacusLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
     }
 
@@ -444,7 +443,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        AbacusLegalizer::new().legalize(&design, &mut state).unwrap();
+        AbacusLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
     }
 
@@ -469,6 +470,8 @@ mod tests {
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
         state.place(&design, c, SitePoint::new(0, 0)).unwrap();
-        assert!(AbacusLegalizer::new().legalize(&design, &mut state).is_err());
+        assert!(AbacusLegalizer::new()
+            .legalize(&design, &mut state)
+            .is_err());
     }
 }

@@ -77,10 +77,7 @@ impl IlpLegalizer {
         state: &mut PlacementState,
     ) -> Result<LegalizeStats, LegalizeError> {
         if self.solver == LocalSolver::ExhaustiveExact {
-            let cfg = self
-                .cfg
-                .clone()
-                .with_eval_mode(EvalMode::Exact);
+            let cfg = self.cfg.clone().with_eval_mode(EvalMode::Exact);
             return Legalizer::new(cfg).legalize(design, state);
         }
         // MILP driver: mirror Algorithm 1, with the MILP as local solver.
@@ -113,8 +110,16 @@ impl IlpLegalizer {
             let mut still = Vec::new();
             for cell in remaining {
                 let (fx, fy) = design.input_position(cell);
-                let dx = if rx > 0 { rng.gen_range(-rx..=rx) as f64 } else { 0.0 };
-                let dy = if ry > 0 { rng.gen_range(-ry..=ry) as f64 } else { 0.0 };
+                let dx = if rx > 0 {
+                    rng.gen_range(-rx..=rx) as f64
+                } else {
+                    0.0
+                };
+                let dy = if ry > 0 {
+                    rng.gen_range(-ry..=ry) as f64
+                } else {
+                    0.0
+                };
                 if !self.try_place(design, state, &helper, cell, fx + dx, fy + dy, &mut stats)? {
                     still.push(cell);
                 }
@@ -173,8 +178,7 @@ impl IlpLegalizer {
             2 * self.cfg.rx + w_t,
             2 * self.cfg.ry + h_t,
         );
-        let region =
-            LocalRegion::extract_masked(design, state, window, design.region_of(target));
+        let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
         let hw = region.height();
         let ht = h_t as usize;
         if hw < ht {
@@ -215,7 +219,9 @@ impl IlpLegalizer {
             .filter(|(c, &x)| c.x != x)
             .map(|(c, &x)| (c.id, x))
             .collect();
-        state.shift_batch(design, &moves).map_err(LegalizeError::Db)?;
+        state
+            .shift_batch(design, &moves)
+            .map_err(LegalizeError::Db)?;
         let at = SitePoint::new(xt, region.bottom_row + t as i32);
         let placed = if self.cfg.rail_mode.is_aligned() {
             state.place(design, target, at)
@@ -268,11 +274,7 @@ fn solve_window_milp(
         for pair in seg.cells.windows(2) {
             let (a, b) = (pair[0] as usize, pair[1] as usize);
             let w_a = f64::from(region.cells[a].w);
-            model.add_constraint(
-                &[(x_vars[a], 1.0), (x_vars[b], -1.0)],
-                Op::Le,
-                -w_a,
-            );
+            model.add_constraint(&[(x_vars[a], 1.0), (x_vars[b], -1.0)], Op::Le, -w_a);
         }
     }
 
@@ -329,10 +331,7 @@ fn solve_window_milp(
 
     match model.solve() {
         Ok(sol) => {
-            let xs: Vec<i32> = x_vars
-                .iter()
-                .map(|&v| sol[v].round() as i32)
-                .collect();
+            let xs: Vec<i32> = x_vars.iter().map(|&v| sol[v].round() as i32).collect();
             let xt = sol[x_t].round() as i32;
             Ok(Some((sol.objective, xs, xt)))
         }
@@ -430,7 +429,11 @@ mod tests {
         let MllOutcome::Placed(eval) = out else {
             panic!("mll failed")
         };
-        assert!((milp_cost - eval.cost).abs() < 1e-6, "{milp_cost} vs {}", eval.cost);
+        assert!(
+            (milp_cost - eval.cost).abs() < 1e-6,
+            "{milp_cost} vs {}",
+            eval.cost
+        );
         assert!((milp_cost - 2.0).abs() < 1e-6);
     }
 
@@ -451,7 +454,11 @@ mod tests {
         let MllOutcome::Placed(eval) = out else {
             panic!("mll failed")
         };
-        assert!((milp_cost - eval.cost).abs() < 1e-6, "{milp_cost} vs {}", eval.cost);
+        assert!(
+            (milp_cost - eval.cost).abs() < 1e-6,
+            "{milp_cost} vs {}",
+            eval.cost
+        );
     }
 
     #[test]

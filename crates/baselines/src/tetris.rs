@@ -66,9 +66,7 @@ impl TetrisLegalizer {
         let num_rows = fp.num_rows();
         let aspect = design.grid().aspect();
         // Frontier per row: nothing placed left of it is ever overlapped.
-        let mut frontier: Vec<i32> = (0..num_rows)
-            .map(|r| fp.rows()[r as usize].x)
-            .collect();
+        let mut frontier: Vec<i32> = (0..num_rows).map(|r| fp.rows()[r as usize].x).collect();
 
         let mut order: Vec<CellId> = design.movable_cells().collect();
         order.sort_by(|&a, &b| {
@@ -87,9 +85,7 @@ impl TetrisLegalizer {
                 return Err(LegalizeError::Unplaceable { cell, rounds: 0 });
             }
             for row in 0..=(num_rows - c.height()) {
-                if self.rail_mode.is_aligned()
-                    && !fp.rail_compatible(c.rail(), c.height(), row)
-                {
+                if self.rail_mode.is_aligned() && !fp.rail_compatible(c.rail(), c.height(), row) {
                     continue;
                 }
                 let dy = (f64::from(row) - fy).abs() * aspect;
@@ -176,7 +172,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        let stats = TetrisLegalizer::new().legalize(&design, &mut state).unwrap();
+        let stats = TetrisLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert_eq!(stats.placed, 6);
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
     }
@@ -190,7 +188,9 @@ mod tests {
         }
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        TetrisLegalizer::new().legalize(&design, &mut state).unwrap();
+        TetrisLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
         let rows_used: std::collections::HashSet<i32> =
             state.iter_placed().map(|(_, p)| p.y).collect();
@@ -206,7 +206,9 @@ mod tests {
         b.set_input_position(s, 1.0, 0.0); // would overlap m if frontier ignored
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        TetrisLegalizer::new().legalize(&design, &mut state).unwrap();
+        TetrisLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
         assert!(state.position(s).unwrap().x >= 4 || state.position(s).unwrap().y == 1);
     }
@@ -221,7 +223,9 @@ mod tests {
         b.add_blockage(SiteRect::new(6, 0, 4, 1));
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        TetrisLegalizer::new().legalize(&design, &mut state).unwrap();
+        TetrisLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap();
         assert!(check_legal(&design, &state, RailCheck::Enforce).is_ok());
     }
 
@@ -247,7 +251,9 @@ mod tests {
         b.add_blockage(SiteRect::new(0, 0, 20, 1));
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
-        let err = TetrisLegalizer::new().legalize(&design, &mut state).unwrap_err();
+        let err = TetrisLegalizer::new()
+            .legalize(&design, &mut state)
+            .unwrap_err();
         assert!(matches!(err, LegalizeError::Unplaceable { .. }));
     }
 }

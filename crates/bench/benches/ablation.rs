@@ -2,7 +2,7 @@
 //! approximate vs exact insertion-point evaluation, window size, and the
 //! driver's cell order.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrl_bench::timer::Bench;
 use mrl_db::{Design, PlacementState};
 use mrl_legalize::{CellOrder, EvalMode, Legalizer, LegalizerConfig};
 use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
@@ -12,65 +12,55 @@ fn fixture() -> Design {
     generate(&spec, &GeneratorConfig::default()).expect("generate")
 }
 
-fn bench_eval_modes(c: &mut Criterion) {
+fn bench_eval_modes() {
     let design = fixture();
-    let mut group = c.benchmark_group("evaluation_modes");
-    group.sample_size(10);
-    for (label, mode) in [("approximate", EvalMode::Approximate), ("exact", EvalMode::Exact)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut state = PlacementState::new(&design);
-                Legalizer::new(LegalizerConfig::paper().with_eval_mode(mode))
-                    .legalize(&design, &mut state)
-                    .expect("legalize")
-            })
+    let b = Bench::new("evaluation_modes").slow();
+    for (label, mode) in [
+        ("approximate", EvalMode::Approximate),
+        ("exact", EvalMode::Exact),
+    ] {
+        b.run(label, || {
+            let mut state = PlacementState::new(&design);
+            Legalizer::new(LegalizerConfig::paper().with_eval_mode(mode))
+                .legalize(&design, &mut state)
+                .expect("legalize")
         });
     }
-    group.finish();
 }
 
-fn bench_window_sizes(c: &mut Criterion) {
+fn bench_window_sizes() {
     let design = fixture();
-    let mut group = c.benchmark_group("window_size_rx");
-    group.sample_size(10);
+    let b = Bench::new("window_size_rx").slow();
     for rx in [10i32, 30, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(rx), &rx, |b, &rx| {
-            b.iter(|| {
-                let mut state = PlacementState::new(&design);
-                Legalizer::new(LegalizerConfig::paper().with_window(rx, 5))
-                    .legalize(&design, &mut state)
-                    .expect("legalize")
-            })
+        b.run(&format!("rx{rx}"), || {
+            let mut state = PlacementState::new(&design);
+            Legalizer::new(LegalizerConfig::paper().with_window(rx, 5))
+                .legalize(&design, &mut state)
+                .expect("legalize")
         });
     }
-    group.finish();
 }
 
-fn bench_cell_orders(c: &mut Criterion) {
+fn bench_cell_orders() {
     let design = fixture();
-    let mut group = c.benchmark_group("cell_order");
-    group.sample_size(10);
+    let b = Bench::new("cell_order").slow();
     for order in [
         CellOrder::Input,
         CellOrder::ByX,
         CellOrder::ByAreaDesc,
         CellOrder::Shuffled,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{order:?}")),
-            &order,
-            |b, &order| {
-                b.iter(|| {
-                    let mut state = PlacementState::new(&design);
-                    Legalizer::new(LegalizerConfig::paper().with_order(order))
-                        .legalize(&design, &mut state)
-                        .expect("legalize")
-                })
-            },
-        );
+        b.run(&format!("{order:?}"), || {
+            let mut state = PlacementState::new(&design);
+            Legalizer::new(LegalizerConfig::paper().with_order(order))
+                .legalize(&design, &mut state)
+                .expect("legalize")
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_eval_modes, bench_window_sizes, bench_cell_orders);
-criterion_main!(benches);
+fn main() {
+    bench_eval_modes();
+    bench_window_sizes();
+    bench_cell_orders();
+}

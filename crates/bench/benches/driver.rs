@@ -1,0 +1,48 @@
+//! Sequential vs parallel legalization driver on small and medium
+//! synthesized designs. The parallel cases sweep thread counts so the
+//! printed medians expose the scaling curve (on a single-core host the
+//! parallel driver should merely match the sequential one).
+
+use mrl_bench::timer::Bench;
+use mrl_db::{Design, PlacementState};
+use mrl_legalize::{Legalizer, LegalizerConfig};
+use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+
+fn fixture(cells: usize, density: f64) -> Design {
+    let spec = BenchmarkSpec::new(
+        format!("bench_driver_{cells}"),
+        cells - cells / 11,
+        cells / 11,
+        density,
+        0.0,
+    );
+    generate(&spec, &GeneratorConfig::default()).expect("generate")
+}
+
+fn bench_driver(label: &str, cells: usize, density: f64) {
+    let design = fixture(cells, density);
+    let legalizer = Legalizer::new(LegalizerConfig::paper());
+    let b = Bench::new(label).slow();
+    let seq = b.run("sequential", || {
+        let mut state = PlacementState::new(&design);
+        legalizer.legalize(&design, &mut state).expect("legalize")
+    });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1usize, 2, cores.max(4)] {
+        let par = b.run(&format!("parallel_t{threads}"), || {
+            let mut state = PlacementState::new(&design);
+            legalizer
+                .legalize_parallel(&design, &mut state, threads)
+                .expect("legalize_parallel")
+        });
+        println!(
+            "{label}: speedup over sequential at {threads} threads: {:.2}x",
+            seq.as_secs_f64() / par.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+fn main() {
+    bench_driver("driver_small", 4_000, 0.6);
+    bench_driver("driver_medium", 20_000, 0.7);
+}

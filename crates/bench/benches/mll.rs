@@ -2,7 +2,7 @@
 //! extraction, interval construction, insertion-point enumeration with
 //! evaluation, and realization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrl_bench::timer::Bench;
 use mrl_db::{Design, PlacementState};
 use mrl_geom::{PowerRail, SiteRect};
 use mrl_legalize::{
@@ -21,7 +21,7 @@ fn fixture() -> (Design, PlacementState) {
     (design, state)
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn bench_stages() {
     let (design, state) = fixture();
     let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
     let bounds = design.floorplan().bounds();
@@ -35,30 +35,31 @@ fn bench_stages(c: &mut Criterion) {
         rail: PowerRail::Vdd,
     };
 
-    c.bench_function("extract_local_region", |b| {
-        b.iter(|| LocalRegion::extract(&design, &state, window))
+    let b = Bench::new("mll_stages");
+    b.run("extract_local_region", || {
+        LocalRegion::extract(&design, &state, window)
     });
 
     let region = LocalRegion::extract(&design, &state, window);
-    c.bench_function("insertion_intervals", |b| {
-        b.iter(|| region.insertion_intervals(target.w))
+    b.run("insertion_intervals", || {
+        region.insertion_intervals(target.w)
     });
 
-    c.bench_function("find_best_insertion_point", |b| {
-        b.iter(|| find_best_insertion_point(&region, &design, &target, &cfg))
+    b.run("find_best_insertion_point", || {
+        find_best_insertion_point(&region, &design, &target, &cfg)
     });
 
     if let Some(point) = find_best_insertion_point(&region, &design, &target, &cfg) {
-        c.bench_function("realize", |b| b.iter(|| realize(&region, &point, &target)));
+        b.run("realize", || realize(&region, &point, &target));
     }
 }
 
-fn bench_target_heights(c: &mut Criterion) {
+fn bench_target_heights() {
     let (design, state) = fixture();
     let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
     let bounds = design.floorplan().bounds();
     let (cx, cy) = (bounds.w / 2, bounds.h / 2);
-    let mut group = c.benchmark_group("enumeration_by_target_height");
+    let b = Bench::new("enumeration_by_target_height");
     for h in [1i32, 2, 3] {
         let window = SiteRect::new(cx - cfg.rx, cy - cfg.ry, 2 * cfg.rx + 3, 2 * cfg.ry + h);
         let region = LocalRegion::extract(&design, &state, window);
@@ -69,12 +70,13 @@ fn bench_target_heights(c: &mut Criterion) {
             y: cy,
             rail: PowerRail::Vdd,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
-            b.iter(|| find_best_insertion_point(&region, &design, &target, &cfg))
+        b.run(&format!("h{h}"), || {
+            find_best_insertion_point(&region, &design, &target, &cfg)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_target_heights);
-criterion_main!(benches);
+fn main() {
+    bench_stages();
+    bench_target_heights();
+}

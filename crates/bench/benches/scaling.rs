@@ -1,9 +1,9 @@
 //! Complexity-claim benches: the paper states insertion-point enumeration
 //! is O(|C_W|^h), realization O(|C_W|), and the full legalization scales
 //! to million-cell designs in minutes. These groups measure each claim on
-//! growing inputs so the criterion report exposes the growth curves.
+//! growing inputs so the reported lines expose the growth curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrl_bench::timer::Bench;
 use mrl_db::{Design, DesignBuilder, PlacementState};
 use mrl_geom::{PowerRail, SitePoint, SiteRect};
 use mrl_legalize::{
@@ -30,9 +30,9 @@ fn row_region(n: usize) -> (Design, PlacementState) {
     (design, state)
 }
 
-fn bench_enumeration_scaling(c: &mut Criterion) {
+fn bench_enumeration_scaling() {
     let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
-    let mut group = c.benchmark_group("enumeration_scaling_cells");
+    let b = Bench::new("enumeration_scaling_cells");
     for n in [8usize, 16, 32, 64, 128] {
         let (design, state) = row_region(n);
         let bounds = design.floorplan().bounds();
@@ -44,18 +44,16 @@ fn bench_enumeration_scaling(c: &mut Criterion) {
             y: 0,
             rail: PowerRail::Vdd,
         };
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| find_best_insertion_point(&region, &design, &target, &cfg))
+        b.run(&format!("n{n}"), || {
+            find_best_insertion_point(&region, &design, &target, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_realization_scaling(c: &mut Criterion) {
+fn bench_realization_scaling() {
     // Worst case for realization: a packed chain that all shifts.
     let cfg = LegalizerConfig::paper().with_rail_mode(PowerRailMode::Relaxed);
-    let mut group = c.benchmark_group("realization_scaling_cells");
+    let bench = Bench::new("realization_scaling_cells");
     for n in [8usize, 32, 128, 512] {
         let width = (n as i32) * 3 + 16;
         let mut b = DesignBuilder::new(1, width);
@@ -89,17 +87,12 @@ fn bench_realization_scaling(c: &mut Criterion) {
             .find(|iv| iv.left.is_none())
             .expect("leftmost gap");
         forced.eval.x = 8;
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| realize(&region, &forced, &target))
-        });
+        bench.run(&format!("n{n}"), || realize(&region, &forced, &target));
     }
-    group.finish();
 }
 
-fn bench_end_to_end_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("legalize_end_to_end");
-    group.sample_size(10);
+fn bench_end_to_end_scaling() {
+    let b = Bench::new("legalize_end_to_end").slow();
     for cells in [2_000usize, 8_000, 32_000] {
         let spec = BenchmarkSpec::new(
             format!("scale_{cells}"),
@@ -109,20 +102,16 @@ fn bench_end_to_end_scaling(c: &mut Criterion) {
             0.0,
         );
         let design: Design = generate(&spec, &GeneratorConfig::default()).expect("generate");
-        group.throughput(Throughput::Elements(cells as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
-            b.iter(|| {
-                let mut state = PlacementState::new(&design);
-                Legalizer::default()
-                    .legalize(&design, &mut state)
-                    .expect("legalize")
-            })
+        b.run(&format!("cells{cells}"), || {
+            let mut state = PlacementState::new(&design);
+            Legalizer::default()
+                .legalize(&design, &mut state)
+                .expect("legalize")
         });
     }
-    group.finish();
 }
 
-fn bench_full_region_extraction(c: &mut Criterion) {
+fn bench_full_region_extraction() {
     // Extraction cost as window height grows (hits more rows/cells).
     let spec = BenchmarkSpec::new("extract_sweep", 8_000, 800, 0.6, 0.0);
     let design = generate(&spec, &GeneratorConfig::default()).expect("generate");
@@ -131,43 +120,31 @@ fn bench_full_region_extraction(c: &mut Criterion) {
         .legalize(&design, &mut state)
         .expect("legalize");
     let bounds = design.floorplan().bounds();
-    let mut group = c.benchmark_group("extraction_by_window_rows");
+    let b = Bench::new("extraction_by_window_rows");
     for ry in [2i32, 5, 10, 20] {
         let window = SiteRect::new(bounds.w / 2 - 30, bounds.h / 2 - ry, 63, 2 * ry + 2);
-        group.bench_with_input(BenchmarkId::from_parameter(ry), &ry, |b, _| {
-            b.iter(|| LocalRegion::extract(&design, &state, window))
+        b.run(&format!("ry{ry}"), || {
+            LocalRegion::extract(&design, &state, window)
         });
     }
-    group.finish();
 }
 
-fn bench_global_placement(c: &mut Criterion) {
+fn bench_global_placement() {
     // The GP substrate's scaling: quadratic solve + spreading iterations.
-    let mut group = c.benchmark_group("global_placement");
-    group.sample_size(10);
+    let b = Bench::new("global_placement").slow();
     for cells in [1_000usize, 4_000] {
-        let spec = BenchmarkSpec::new(
-            format!("gp_{cells}"),
-            cells * 10 / 11,
-            cells / 11,
-            0.5,
-            0.0,
-        );
+        let spec = BenchmarkSpec::new(format!("gp_{cells}"), cells * 10 / 11, cells / 11, 0.5, 0.0);
         let design: Design = generate(&spec, &GeneratorConfig::default()).expect("generate");
-        group.throughput(Throughput::Elements(cells as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
-            b.iter(|| mrl_gp::GlobalPlacer::default().place(&design))
+        b.run(&format!("cells{cells}"), || {
+            mrl_gp::GlobalPlacer::default().place(&design)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_enumeration_scaling,
-    bench_realization_scaling,
-    bench_end_to_end_scaling,
-    bench_full_region_extraction,
-    bench_global_placement
-);
-criterion_main!(benches);
+fn main() {
+    bench_enumeration_scaling();
+    bench_realization_scaling();
+    bench_end_to_end_scaling();
+    bench_full_region_extraction();
+    bench_global_placement();
+}

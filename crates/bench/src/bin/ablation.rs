@@ -84,8 +84,13 @@ fn ablate_eval(designs: &[Design], seed: u64) {
     println!("== insertion point evaluation: approximate (paper) vs exact ==");
     let mut t = Table::new(&["benchmark", "density", "mode", "disp", "time(s)"]);
     for d in designs {
-        for (label, mode) in [("approx", EvalMode::Approximate), ("exact", EvalMode::Exact)] {
-            let cfg = LegalizerConfig::paper().with_eval_mode(mode).with_seed(seed);
+        for (label, mode) in [
+            ("approx", EvalMode::Approximate),
+            ("exact", EvalMode::Exact),
+        ] {
+            let cfg = LegalizerConfig::paper()
+                .with_eval_mode(mode)
+                .with_seed(seed);
             let (disp, secs, legal) = measure(d, cfg);
             assert!(legal, "illegal result in ablation");
             t.row(&[
@@ -111,7 +116,11 @@ fn ablate_window(designs: &[Design], seed: u64) {
                 d.name().to_string(),
                 rx.to_string(),
                 ry.to_string(),
-                if legal { format!("{disp:.3}") } else { "fail".into() },
+                if legal {
+                    format!("{disp:.3}")
+                } else {
+                    "fail".into()
+                },
                 format!("{secs:.3}"),
             ]);
         }
@@ -134,7 +143,11 @@ fn ablate_order(designs: &[Design], seed: u64) {
             t.row(&[
                 d.name().to_string(),
                 format!("{order:?}"),
-                if legal { format!("{disp:.3}") } else { "fail".into() },
+                if legal {
+                    format!("{disp:.3}")
+                } else {
+                    "fail".into()
+                },
                 format!("{secs:.3}"),
             ]);
         }
@@ -144,7 +157,13 @@ fn ablate_order(designs: &[Design], seed: u64) {
 
 fn ablate_refine(designs: &[Design], seed: u64) {
     println!("== MLL vs MLL + optimal row re-packing ==");
-    let mut t = Table::new(&["benchmark", "density", "disp MLL", "disp +refine", "cells moved"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "density",
+        "disp MLL",
+        "disp +refine",
+        "cells moved",
+    ]);
     for d in designs {
         let mut state = PlacementState::new(d);
         Legalizer::new(LegalizerConfig::paper().with_seed(seed))
@@ -167,9 +186,21 @@ fn ablate_refine(designs: &[Design], seed: u64) {
 
 fn ablate_baselines(designs: &[Design], seed: u64) {
     println!("== MLL vs classic legalizers ==");
-    let mut t = Table::new(&["benchmark", "density", "method", "disp", "time(s)", "status"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "density",
+        "method",
+        "disp",
+        "time(s)",
+        "status",
+    ]);
     for d in designs {
-        for method in [Method::Mll, Method::IlpOracle, Method::Abacus, Method::Tetris] {
+        for method in [
+            Method::Mll,
+            Method::IlpOracle,
+            Method::Abacus,
+            Method::Tetris,
+        ] {
             let r = run_method(d, method, true, seed);
             t.row(&[
                 d.name().to_string(),

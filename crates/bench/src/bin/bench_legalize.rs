@@ -1,0 +1,203 @@
+//! Machine-readable legalization performance harness.
+//!
+//! Legalizes one synthesized design with the sequential driver and with the
+//! parallel stripe driver, prints a human summary, and emits a JSON report
+//! (default `BENCH_legalize.json`) with throughput, displacement, and the
+//! per-phase wall-clock breakdown.
+//!
+//! ```text
+//! bench_legalize [--cells N] [--density F] [--seed S] [--threads N]
+//!                [--bench NAME] [--scale N] [--json PATH] [--no-json]
+//! ```
+//!
+//! * `--cells N` — synthesize an ad-hoc design with `N` movable cells
+//!   (default 20 000; ~1/11 of them double-row height).
+//! * `--bench NAME --scale K` — instead clone the named Table-1 benchmark
+//!   at scale `1/K`.
+//! * `--threads N` — worker threads for the parallel run (default: all
+//!   available cores).
+
+use mrl_bench::json::Json;
+use mrl_db::{Design, PlacementState};
+use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig};
+use mrl_metrics::displacement_stats;
+use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
+
+fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -> Json {
+    let wall_s = stats.wall.as_secs_f64();
+    let disp = displacement_stats(design, state);
+    let p = &stats.phases;
+    let mut phases = Json::obj();
+    phases.set("extract_s", p.extract.as_secs_f64());
+    phases.set("extract_calls", p.extract_calls as f64);
+    phases.set("enumerate_s", p.enumerate.as_secs_f64());
+    phases.set("enumerate_calls", p.enumerate_calls as f64);
+    phases.set("evaluate_s", p.evaluate.as_secs_f64());
+    phases.set("evaluate_calls", p.evaluate_calls as f64);
+    phases.set("realize_s", p.realize.as_secs_f64());
+    phases.set("realize_calls", p.realize_calls as f64);
+    phases.set("retry_s", p.retry.as_secs_f64());
+    phases.set("retry_rounds", p.retry_rounds as f64);
+
+    let mut displacement = Json::obj();
+    displacement.set("avg_sites", disp.avg_sites);
+    displacement.set("max_sites", disp.max_sites);
+    displacement.set("total_sites", disp.total_sites);
+    displacement.set("total_um", disp.total_um);
+
+    let mut run = Json::obj();
+    run.set("threads", stats.threads as i64);
+    run.set("wall_s", wall_s);
+    run.set(
+        "cells_per_sec",
+        if wall_s > 0.0 {
+            stats.placed as f64 / wall_s
+        } else {
+            0.0
+        },
+    );
+    run.set("placed", stats.placed as i64);
+    run.set("direct", stats.direct as i64);
+    run.set("via_mll", stats.via_mll as i64);
+    run.set("mll_calls", stats.mll_calls as i64);
+    run.set("retry_rounds", i64::from(stats.retry_rounds));
+    run.set("stripes", stats.stripes as i64);
+    run.set("conflicts", stats.conflicts as i64);
+    run.set("residue", stats.residue as i64);
+    run.set("displacement", displacement);
+    run.set("phases", phases);
+    run
+}
+
+fn main() {
+    let mut cells = 20_000usize;
+    let mut density = 0.5f64;
+    let mut seed = 1u64;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut bench: Option<String> = None;
+    let mut scale = 20.0f64;
+    let mut json_path = Some("BENCH_legalize.json".to_string());
+
+    fn usage(msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: bench_legalize [--cells N] [--density F] [--seed S] [--threads N]\n\
+             \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]"
+        );
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--cells" => {
+                cells = val("--cells")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--cells must be a positive integer"));
+            }
+            "--density" => {
+                density = val("--density")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--density must be a number"));
+            }
+            "--seed" => {
+                seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"));
+            }
+            "--threads" => {
+                threads = val("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads must be a positive integer"));
+            }
+            "--bench" => bench = Some(val("--bench")),
+            "--scale" => {
+                scale = val("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale must be a number"));
+            }
+            "--json" => json_path = Some(val("--json")),
+            "--no-json" => json_path = None,
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let (spec, gen_cfg) = match bench {
+        Some(name) => {
+            let spec = ispd2015_suite()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| usage(&format!("unknown benchmark {name}")));
+            (
+                spec,
+                GeneratorConfig::default().with_scale(scale).with_seed(seed),
+            )
+        }
+        None => (
+            BenchmarkSpec::new(
+                format!("bench_legalize_{cells}"),
+                cells - cells / 11,
+                cells / 11,
+                density,
+                0.0,
+            ),
+            GeneratorConfig::default().with_seed(seed),
+        ),
+    };
+    let design = generate(&spec, &gen_cfg).expect("generate benchmark");
+    let legalizer = Legalizer::new(LegalizerConfig::paper().with_seed(seed));
+    let n = design.num_movable();
+    eprintln!(
+        "# bench_legalize: {} ({n} movable cells, density {:.2}), {threads} threads",
+        design.name(),
+        design.density()
+    );
+
+    let mut seq_state = PlacementState::new(&design);
+    let seq_stats = legalizer
+        .legalize(&design, &mut seq_state)
+        .expect("sequential legalization");
+    let seq_wall = seq_stats.wall.as_secs_f64();
+    println!(
+        "sequential: {:.3}s ({:.0} cells/s)",
+        seq_wall,
+        seq_stats.placed as f64 / seq_wall.max(1e-12)
+    );
+
+    let mut par_state = PlacementState::new(&design);
+    let par_stats = legalizer
+        .legalize_parallel(&design, &mut par_state, threads)
+        .expect("parallel legalization");
+    let par_wall = par_stats.wall.as_secs_f64();
+    let speedup = seq_wall / par_wall.max(1e-12);
+    println!(
+        "parallel:   {:.3}s ({:.0} cells/s) — {:.2}x speedup on {threads} threads, \
+         {} stripes, {} conflicts, {} residue",
+        par_wall,
+        par_stats.placed as f64 / par_wall.max(1e-12),
+        speedup,
+        par_stats.stripes,
+        par_stats.conflicts,
+        par_stats.residue
+    );
+
+    if let Some(path) = json_path {
+        let mut benchmark = Json::obj();
+        benchmark.set("name", design.name());
+        benchmark.set("movable_cells", n as i64);
+        benchmark.set("density", design.density());
+        benchmark.set("seed", seed as i64);
+
+        let mut root = Json::obj();
+        root.set("benchmark", benchmark);
+        root.set("threads", threads as i64);
+        root.set("sequential", run_to_json(&design, &seq_stats, &seq_state));
+        root.set("parallel", run_to_json(&design, &par_stats, &par_state));
+        root.set("speedup", speedup);
+        std::fs::write(&path, root.pretty()).expect("write json report");
+        eprintln!("report written to {path}");
+    }
+}

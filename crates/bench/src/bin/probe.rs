@@ -55,7 +55,11 @@ fn main() {
     let start = std::time::Instant::now();
     match Legalizer::new(cfg).legalize(&design, &mut state) {
         Ok(stats) => {
-            let rails = if relaxed { RailCheck::Ignore } else { RailCheck::Enforce };
+            let rails = if relaxed {
+                RailCheck::Ignore
+            } else {
+                RailCheck::Enforce
+            };
             let legal = check_legal(&design, &state, rails).is_ok();
             let disp = displacement_stats(&design, &state);
             println!(

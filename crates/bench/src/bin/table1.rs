@@ -100,7 +100,7 @@ fn main() {
     println!("{}", table1_rows(&results, &methods, false));
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("serializable results");
+        let json = mrl_bench::results_to_json(&results).pretty();
         std::fs::write(&path, json).expect("write json");
         eprintln!("raw results written to {path}");
     }

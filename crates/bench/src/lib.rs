@@ -27,11 +27,53 @@ use mrl_db::{Design, PlacementState};
 use mrl_legalize::{EvalMode, Legalizer, LegalizerConfig, PowerRailMode};
 use mrl_metrics::{check_legal, displacement_stats, hpwl_change, RailCheck, Table};
 use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+pub mod json;
+pub mod timer;
+
+use json::Json;
+
+/// Serialize a slice of [`BenchResult`]s as a JSON array (the `--json`
+/// artifact of the `table1` bin).
+pub fn results_to_json(results: &[BenchResult]) -> Json {
+    Json::Arr(
+        results
+            .iter()
+            .map(|r| {
+                let mut o = Json::obj();
+                o.set("name", r.name.clone())
+                    .set("single_cells", r.single_cells)
+                    .set("double_cells", r.double_cells)
+                    .set("density", r.density)
+                    .set("gp_hpwl_m", r.gp_hpwl_m)
+                    .set(
+                        "results",
+                        Json::Arr(
+                            r.results
+                                .iter()
+                                .map(|m| {
+                                    let mut mo = Json::obj();
+                                    mo.set("method", m.method.label())
+                                        .set("aligned", m.aligned)
+                                        .set("disp_sites", m.disp_sites)
+                                        .set("hpwl_delta", m.hpwl_delta)
+                                        .set("runtime_s", m.runtime_s)
+                                        .set("legal", m.legal)
+                                        .set("failed", m.failed);
+                                    mo
+                                })
+                                .collect(),
+                        ),
+                    );
+                o
+            })
+            .collect(),
+    )
+}
+
 /// A legalization method under measurement.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Method {
     /// The paper's MLL algorithm (approximate evaluation, the default).
     Mll,
@@ -64,7 +106,7 @@ impl Method {
 }
 
 /// Result of one (benchmark, method, rail-mode) measurement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MethodResult {
     /// Method measured.
     pub method: Method,
@@ -83,7 +125,7 @@ pub struct MethodResult {
 }
 
 /// One benchmark row: design statistics plus per-method results.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BenchResult {
     /// Benchmark name.
     pub name: String,
@@ -100,7 +142,7 @@ pub struct BenchResult {
 }
 
 /// Harness configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarnessConfig {
     /// Benchmark scale divisor (1.0 = paper-sized designs).
     pub scale: f64,
@@ -153,9 +195,7 @@ pub fn run_method(design: &Design, method: Method, aligned: bool, seed: u64) -> 
         Method::IlpOracle => {
             IlpLegalizer::new(cfg, LocalSolver::ExhaustiveExact).legalize(design, &mut state)
         }
-        Method::IlpMilp => {
-            IlpLegalizer::new(cfg, LocalSolver::Milp).legalize(design, &mut state)
-        }
+        Method::IlpMilp => IlpLegalizer::new(cfg, LocalSolver::Milp).legalize(design, &mut state),
         Method::Abacus => AbacusLegalizer::with_rail_mode(rail_mode).legalize(design, &mut state),
         Method::Tetris => TetrisLegalizer::with_rail_mode(rail_mode).legalize(design, &mut state),
     };

@@ -1,0 +1,123 @@
+//! A tiny micro-benchmark harness replacing `criterion` in the offline
+//! build. Each `[[bench]]` target is a plain `fn main()` (`harness = false`)
+//! that builds a [`Bench`] and calls [`Bench::run`] per case.
+//!
+//! The harness warms up, then takes `samples` timed samples of `iters`
+//! iterations each and reports min / median / mean per iteration. Output is
+//! one aligned text line per case, so `cargo bench` stays human-readable and
+//! grep-able without any report directory.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness settings for one group of cases.
+#[derive(Clone, Debug)]
+pub struct Bench {
+    /// Group label printed as a prefix of every case line.
+    pub group: String,
+    /// Timed samples per case.
+    pub samples: usize,
+    /// Warm-up iterations before sampling.
+    pub warmup_iters: usize,
+    /// Target wall-clock per sample; iteration count is derived from it.
+    pub sample_time: Duration,
+}
+
+impl Bench {
+    /// A new group with defaults suited to sub-millisecond cases.
+    pub fn new(group: impl Into<String>) -> Self {
+        Bench {
+            group: group.into(),
+            samples: 12,
+            warmup_iters: 3,
+            sample_time: Duration::from_millis(60),
+        }
+    }
+
+    /// Lower sampling effort for expensive (multi-second) cases.
+    pub fn slow(mut self) -> Self {
+        self.samples = 5;
+        self.warmup_iters = 1;
+        self.sample_time = Duration::from_millis(1);
+        self
+    }
+
+    /// Time `f`, printing one result line; returns the median per-iteration
+    /// time so callers can compute ratios (e.g. parallel speedup).
+    pub fn run<T>(&self, case: &str, mut f: impl FnMut() -> T) -> Duration {
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
+        // Calibrate how many iterations fit in one sample window.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.sample_time.as_nanos() / one.as_nanos()).clamp(1, 1 << 20) as usize;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{:<44} min {:>12} median {:>12} mean {:>12} ({} iters x {} samples)",
+            format!("{}/{case}", self.group),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            iters,
+            self.samples,
+        );
+        median
+    }
+}
+
+/// Human-readable duration with ns/µs/ms/s autoscaling.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_a_sane_median() {
+        let b = Bench {
+            group: "t".into(),
+            samples: 3,
+            warmup_iters: 1,
+            sample_time: Duration::from_micros(200),
+        };
+        let mut acc = 0u64;
+        let med = b.run("spin", || {
+            acc = acc.wrapping_add(1);
+            std::hint::black_box(acc)
+        });
+        assert!(med < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

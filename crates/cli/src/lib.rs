@@ -4,7 +4,8 @@
 //! ```text
 //! mrl generate --bench fft_2 --scale 20 --out DIR [--format bookshelf|lefdef]
 //! mrl legalize (--aux F | --lef F --def F) [--relaxed] [--exact]
-//!              [--rx N --ry N] [--refine] [--detail N] [--out DIR] [--svg FILE]
+//!              [--rx N --ry N] [--threads N] [--refine] [--detail N]
+//!              [--out DIR] [--svg FILE]
 //! mrl gp       (--aux F | --lef F --def F) --out DIR [--iterations N]
 //! mrl check    (--aux F | --lef F --def F) [--relaxed]
 //! mrl stats    (--aux F | --lef F --def F)
@@ -73,6 +74,7 @@ struct Opts {
     rx: Option<i32>,
     ry: Option<i32>,
     iterations: Option<usize>,
+    threads: Option<usize>,
     relaxed: bool,
     exact: bool,
     refine: bool,
@@ -88,7 +90,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| -> Result<&String, CliError> {
-            it.next().ok_or_else(|| fail(format!("{name} needs a value")))
+            it.next()
+                .ok_or_else(|| fail(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--aux" => o.aux = Some(PathBuf::from(val("--aux")?)),
@@ -105,8 +108,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--rx" => o.rx = Some(val("--rx")?.parse().map_err(|_| fail("bad --rx"))?),
             "--ry" => o.ry = Some(val("--ry")?.parse().map_err(|_| fail("bad --ry"))?),
             "--iterations" => {
-                o.iterations =
-                    Some(val("--iterations")?.parse().map_err(|_| fail("bad --iterations"))?)
+                o.iterations = Some(
+                    val("--iterations")?
+                        .parse()
+                        .map_err(|_| fail("bad --iterations"))?,
+                )
+            }
+            "--threads" => {
+                o.threads = Some(
+                    val("--threads")?
+                        .parse()
+                        .map_err(|_| fail("bad --threads"))?,
+                )
             }
             "--relaxed" => o.relaxed = true,
             "--exact" => o.exact = true,
@@ -123,8 +136,9 @@ fn load_design(o: &Opts) -> Result<Design, CliError> {
         (Some(aux), ..) => {
             bookshelf::read(aux).map_err(|e| fail(format!("cannot read {}: {e}", aux.display())))
         }
-        (None, Some(lef), Some(def)) => lefdef::read(lef, def)
-            .map_err(|e| fail(format!("cannot read lef/def: {e}"))),
+        (None, Some(lef), Some(def)) => {
+            lefdef::read(lef, def).map_err(|e| fail(format!("cannot read lef/def: {e}")))
+        }
         _ => Err(fail("need --aux FILE or both --lef FILE and --def FILE")),
     }
 }
@@ -210,7 +224,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let o = parse_opts(rest)?;
     match cmd.as_str() {
         "generate" => {
-            let name = o.bench.clone().ok_or_else(|| fail("--bench NAME required"))?;
+            let name = o
+                .bench
+                .clone()
+                .ok_or_else(|| fail("--bench NAME required"))?;
             let spec = ispd2015_suite()
                 .into_iter()
                 .find(|s| s.name == name)
@@ -224,10 +241,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let dir = o.out.clone().ok_or_else(|| fail("--out DIR required"))?;
             let format = o.format.clone().unwrap_or_else(|| "bookshelf".into());
             let path = write_design(&design, &dir, &format)?;
-            Ok(format!(
-                "{}wrote {path}\n",
-                stats_text(&design)
-            ))
+            Ok(format!("{}wrote {path}\n", stats_text(&design)))
         }
         "stats" => {
             let design = load_design(&o)?;
@@ -237,12 +251,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let design = load_design(&o)?;
             let cfg = legalizer_config(&o);
             let mut state = PlacementState::new(&design);
-            let t0 = std::time::Instant::now();
-            let stats = Legalizer::new(cfg)
-                .legalize(&design, &mut state)
-                .map_err(|e| fail(format!("legalization failed: {e}")))?;
-            let secs = t0.elapsed().as_secs_f64();
-            let rails = if o.relaxed { RailCheck::Ignore } else { RailCheck::Enforce };
+            let legalizer = Legalizer::new(cfg);
+            let stats = match o.threads {
+                Some(n) => legalizer.legalize_parallel(&design, &mut state, n),
+                None => legalizer.legalize(&design, &mut state),
+            }
+            .map_err(|e| fail(format!("legalization failed: {e}")))?;
+            let secs = stats.wall.as_secs_f64();
+            let rails = if o.relaxed {
+                RailCheck::Ignore
+            } else {
+                RailCheck::Enforce
+            };
             check_legal(&design, &state, rails)
                 .map_err(|r| fail(format!("result failed verification:\n{r}")))?;
             let mut out = String::new();
@@ -250,6 +270,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 out,
                 "legalized {} cells in {secs:.3}s ({} direct, {} via MLL, {} retry rounds)",
                 stats.placed, stats.direct, stats.via_mll, stats.retry_rounds
+            );
+            if o.threads.is_some() {
+                let _ = writeln!(
+                    out,
+                    "parallel driver: {} threads, {} stripes, {} conflicts, {} residue cells",
+                    stats.threads, stats.stripes, stats.conflicts, stats.residue
+                );
+            }
+            let p = &stats.phases;
+            let _ = writeln!(
+                out,
+                "phases: extract {:.3}s ({} calls), enumerate {:.3}s ({}), evaluate {:.3}s ({}), realize {:.3}s ({}), retry {:.3}s ({} rounds)",
+                p.extract.as_secs_f64(),
+                p.extract_calls,
+                p.enumerate.as_secs_f64(),
+                p.enumerate_calls,
+                p.evaluate.as_secs_f64(),
+                p.evaluate_calls,
+                p.realize.as_secs_f64(),
+                p.realize_calls,
+                p.retry.as_secs_f64(),
+                p.retry_rounds
             );
             if o.refine {
                 let r = refine_rows(&design, &mut state)
@@ -298,9 +340,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             );
             if let Some(dir) = &o.out {
                 let positions: Vec<(f64, f64)> = (0..design.num_cells())
-                    .map(|i| {
-                        state.position_or_input(&design, mrl_db::CellId::from_usize(i))
-                    })
+                    .map(|i| state.position_or_input(&design, mrl_db::CellId::from_usize(i)))
                     .collect();
                 let placed = design.with_input_positions(positions);
                 let format = o.format.clone().unwrap_or_else(|| "bookshelf".into());
@@ -405,7 +445,7 @@ commands:
   generate --bench NAME --out DIR [--scale N] [--seed S] [--fences K]
            [--tall F] [--format bookshelf|lefdef]
   legalize (--aux F | --lef F --def F) [--relaxed] [--exact] [--rx N --ry N]
-           [--refine] [--detail N] [--out DIR] [--svg FILE]
+           [--threads N] [--refine] [--detail N] [--out DIR] [--svg FILE]
            [--format bookshelf|lefdef]
   gp       (--aux F | --lef F --def F) --out DIR [--iterations N] [--seed S]
   check    (--aux F | --lef F --def F) [--relaxed]
@@ -431,7 +471,12 @@ mod tests {
     fn generate_then_stats_then_legalize() {
         let dir = tmpdir("flow");
         let out = run(&args(&[
-            "generate", "--bench", "fft_2", "--scale", "100", "--out",
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();
@@ -448,7 +493,12 @@ mod tests {
     fn legalize_writes_outputs_and_svg() {
         let dir = tmpdir("outputs");
         run(&args(&[
-            "generate", "--bench", "fft_a", "--scale", "100", "--out",
+            "generate",
+            "--bench",
+            "fft_a",
+            "--scale",
+            "100",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();
@@ -477,7 +527,12 @@ mod tests {
     fn legalize_with_refine_and_detail() {
         let dir = tmpdir("refine");
         run(&args(&[
-            "generate", "--bench", "fft_2", "--scale", "100", "--out",
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();
@@ -496,10 +551,52 @@ mod tests {
     }
 
     #[test]
+    fn legalize_with_threads_matches_single_thread() {
+        let dir = tmpdir("threads");
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let mut outputs = Vec::new();
+        for threads in ["1", "4"] {
+            let out_dir = dir.join(format!("par_{threads}"));
+            let out = run(&args(&[
+                "legalize",
+                "--aux",
+                aux.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--out",
+                out_dir.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("parallel driver"), "{out}");
+            assert!(out.contains("phases: extract"), "{out}");
+            outputs.push(std::fs::read_to_string(out_dir.join("fft_2.pl")).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "thread counts produced different .pl files"
+        );
+    }
+
+    #[test]
     fn check_flags_illegal_placement() {
         let dir = tmpdir("illegal");
         run(&args(&[
-            "generate", "--bench", "fft_b", "--scale", "200", "--out",
+            "generate",
+            "--bench",
+            "fft_b",
+            "--scale",
+            "200",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();
@@ -514,7 +611,12 @@ mod tests {
     fn gp_command_writes_placement() {
         let dir = tmpdir("gp");
         run(&args(&[
-            "generate", "--bench", "fft_a", "--scale", "200", "--out",
+            "generate",
+            "--bench",
+            "fft_a",
+            "--scale",
+            "200",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();
@@ -538,7 +640,12 @@ mod tests {
     fn convert_between_formats() {
         let dir = tmpdir("convert");
         run(&args(&[
-            "generate", "--bench", "fft_a", "--scale", "200", "--out",
+            "generate",
+            "--bench",
+            "fft_a",
+            "--scale",
+            "200",
+            "--out",
             dir.to_str().unwrap(),
         ]))
         .unwrap();

@@ -1,11 +1,10 @@
 //! Cell instances: movable standard cells, fixed macros, blockages.
 
 use mrl_geom::PowerRail;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How an instance participates in legalization.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// A standard cell the legalizer may move.
     #[default]
@@ -42,7 +41,7 @@ impl fmt::Display for CellKind {
 /// suffice. `rail` is the polarity of the rail on the cell's bottom edge in
 /// its unflipped orientation; it drives the alternate-row constraint for
 /// even-height cells.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cell {
     name: String,
     width: i32,

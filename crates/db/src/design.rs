@@ -2,11 +2,10 @@
 //! input.
 
 use crate::{
-    Cell, CellId, CellKind, DbError, FenceRegion, Floorplan, NetId, Netlist, PinLocation,
-    RegionId, Row,
+    Cell, CellId, CellKind, DbError, FenceRegion, Floorplan, NetId, Netlist, PinLocation, RegionId,
+    Row,
 };
 use mrl_geom::{PowerRail, SiteGrid, SiteRect};
-use serde::{Deserialize, Serialize};
 
 /// An immutable legalization problem instance: the floorplan, all cell
 /// instances, the netlist, and the (possibly overlapping and off-grid)
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// fractional site coordinates — a global placer is not bound to the site
 /// grid; the legalizer's whole job is to snap cells onto it with minimal
 /// total displacement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Design {
     name: String,
     grid: SiteGrid,
@@ -182,8 +181,8 @@ impl Design {
                 min_y = min_y.min(y);
                 max_y = max_y.max(y);
             }
-            total += (max_x - min_x) * grid.site_width_um()
-                + (max_y - min_y) * grid.row_height_um();
+            total +=
+                (max_x - min_x) * grid.site_width_um() + (max_y - min_y) * grid.row_height_um();
         }
         total
     }
@@ -229,7 +228,9 @@ impl DesignBuilder {
         Self {
             name: "design".into(),
             grid: SiteGrid::ispd2015(),
-            rows: (0..num_rows.max(0)).map(|_| Row::new(0, row_width)).collect(),
+            rows: (0..num_rows.max(0))
+                .map(|_| Row::new(0, row_width))
+                .collect(),
             blockages: Vec::new(),
             parity: mrl_geom::RailParity::new(PowerRail::Vdd),
             cells: Vec::new(),
@@ -348,7 +349,8 @@ impl DesignBuilder {
 
     /// Adds a pin on a cell at an offset from the cell's lower-left corner.
     pub fn add_cell_pin(&mut self, net: NetId, cell: CellId, dx: f64, dy: f64) -> &mut Self {
-        self.netlist.add_pin(net, PinLocation::OnCell { cell, dx, dy });
+        self.netlist
+            .add_pin(net, PinLocation::OnCell { cell, dx, dy });
         self
     }
 

@@ -6,12 +6,11 @@
 
 use crate::DbError;
 use mrl_geom::{PowerRail, RailParity, SiteRect};
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// One placement row: height is always one site height; rows are indexed by
 /// their y coordinate (row `i` spans `y ∈ [i, i+1)`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Row {
     /// Leftmost site x of the row.
     pub x: i32,
@@ -37,7 +36,7 @@ impl Row {
 }
 
 /// A maximal unblocked run of sites on one row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// Row index (= y coordinate of the segment's bottom edge).
     pub row: i32,
@@ -87,7 +86,7 @@ impl Segment {
 /// assert_eq!(fp.segments_in_row(1).len(), 2);
 /// # Ok::<(), mrl_db::DbError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Floorplan {
     rows: Vec<Row>,
     blockages: Vec<SiteRect>,
@@ -172,7 +171,10 @@ impl Floorplan {
     /// Segments of one row in ascending x order (empty slice if `row` is out
     /// of range).
     pub fn segments_in_row(&self, row: i32) -> &[Segment] {
-        match usize::try_from(row).ok().and_then(|r| self.row_ranges.get(r)) {
+        match usize::try_from(row)
+            .ok()
+            .and_then(|r| self.row_ranges.get(r))
+        {
             Some(range) => &self.segments[range.start as usize..range.end as usize],
             None => &[],
         }
@@ -279,23 +281,58 @@ mod tests {
         let fp = Floorplan::uniform(1, 20, &[SiteRect::new(5, 0, 3, 1)]).unwrap();
         let segs = fp.segments_in_row(0);
         assert_eq!(segs.len(), 2);
-        assert_eq!(segs[0], Segment { row: 0, x: 0, width: 5 });
-        assert_eq!(segs[1], Segment { row: 0, x: 8, width: 12 });
+        assert_eq!(
+            segs[0],
+            Segment {
+                row: 0,
+                x: 0,
+                width: 5
+            }
+        );
+        assert_eq!(
+            segs[1],
+            Segment {
+                row: 0,
+                x: 8,
+                width: 12
+            }
+        );
     }
 
     #[test]
     fn multi_row_blockage_splits_every_spanned_row() {
         let fp = Floorplan::uniform(4, 10, &[SiteRect::new(0, 1, 4, 2)]).unwrap();
         assert_eq!(fp.segments_in_row(0).len(), 1);
-        assert_eq!(fp.segments_in_row(1), &[Segment { row: 1, x: 4, width: 6 }]);
-        assert_eq!(fp.segments_in_row(2), &[Segment { row: 2, x: 4, width: 6 }]);
+        assert_eq!(
+            fp.segments_in_row(1),
+            &[Segment {
+                row: 1,
+                x: 4,
+                width: 6
+            }]
+        );
+        assert_eq!(
+            fp.segments_in_row(2),
+            &[Segment {
+                row: 2,
+                x: 4,
+                width: 6
+            }]
+        );
         assert_eq!(fp.segments_in_row(3).len(), 1);
     }
 
     #[test]
     fn blockage_at_row_edge_leaves_single_segment() {
         let fp = Floorplan::uniform(1, 10, &[SiteRect::new(0, 0, 3, 1)]).unwrap();
-        assert_eq!(fp.segments_in_row(0), &[Segment { row: 0, x: 3, width: 7 }]);
+        assert_eq!(
+            fp.segments_in_row(0),
+            &[Segment {
+                row: 0,
+                x: 3,
+                width: 7
+            }]
+        );
     }
 
     #[test]
@@ -306,9 +343,12 @@ mod tests {
 
     #[test]
     fn overlapping_blockages_merge() {
-        let fp =
-            Floorplan::uniform(1, 20, &[SiteRect::new(2, 0, 5, 1), SiteRect::new(4, 0, 6, 1)])
-                .unwrap();
+        let fp = Floorplan::uniform(
+            1,
+            20,
+            &[SiteRect::new(2, 0, 5, 1), SiteRect::new(4, 0, 6, 1)],
+        )
+        .unwrap();
         let segs = fp.segments_in_row(0);
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].width, 2);

@@ -1,10 +1,9 @@
 //! Nets, pins, and half-perimeter wirelength.
 
 use crate::{CellId, NetId, PinId};
-use serde::{Deserialize, Serialize};
 
 /// Where a pin sits.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PinLocation {
     /// On a cell, at a fractional-site offset from the cell's lower-left
     /// corner (offsets stay fixed under vertical flips for simplicity; pin
@@ -29,7 +28,7 @@ pub enum PinLocation {
 }
 
 /// A pin: one connection point of a net.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Pin {
     /// The net this pin belongs to.
     pub net: NetId,
@@ -38,7 +37,7 @@ pub struct Pin {
 }
 
 /// A net: a set of pins to be connected.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Net {
     name: String,
     pins: Vec<PinId>,
@@ -71,7 +70,7 @@ impl Net {
 
 /// The netlist: nets plus a flat pin table, with per-cell pin indices for
 /// fast incremental wirelength queries.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Netlist {
     nets: Vec<Net>,
     pins: Vec<Pin>,

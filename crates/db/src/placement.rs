@@ -9,6 +9,14 @@
 //! * every placed cell is fully contained in one segment per spanned row,
 //! * per-segment lists are strictly ordered by x and overlap-free,
 //! * even-height cells sit only on rail-compatible rows.
+//!
+//! In addition to the paper's cell lists, the state maintains a **segment
+//! occupancy index**: for every segment, the sorted list of maximal free
+//! gaps `[x0, x1)`. It is updated incrementally on every `place` / `remove`
+//! / `shift_batch` (O(log n) search + O(k) splice per spanned row) and lets
+//! window extraction and free-space queries avoid rescanning `seg_cells`.
+//! Under `debug_assertions` every mutation cross-checks the index against a
+//! recomputation from the cell lists.
 
 use crate::{CellId, DbError, Design, SegId};
 use mrl_geom::{Orient, SitePoint, SiteRect};
@@ -21,16 +29,118 @@ pub struct PlacementState {
     pos: Vec<Option<SitePoint>>,
     orient: Vec<Orient>,
     seg_cells: Vec<Vec<CellId>>,
+    /// Per-segment sorted disjoint maximal free intervals `[x0, x1)`.
+    gaps: Vec<Vec<(i32, i32)>>,
 }
 
 impl PlacementState {
     /// Creates an empty placement (every movable cell unplaced) for a
     /// design.
     pub fn new(design: &Design) -> Self {
+        let gaps = design
+            .floorplan()
+            .segments()
+            .iter()
+            .map(|s| vec![(s.x, s.right())])
+            .collect();
         Self {
             pos: vec![None; design.num_cells()],
             orient: vec![Orient::North; design.num_cells()],
             seg_cells: vec![Vec::new(); design.floorplan().segments().len()],
+            gaps,
+        }
+    }
+
+    /// The sorted maximal free gaps `[x0, x1)` of a segment — the occupancy
+    /// index consumed by window extraction and the parallel driver.
+    pub fn free_gaps(&self, seg: SegId) -> &[(i32, i32)] {
+        &self.gaps[seg.index()]
+    }
+
+    /// True if `[x0, x1)` lies entirely inside one free gap of `seg` —
+    /// an O(log gaps) occupancy query.
+    pub fn span_is_free(&self, seg: SegId, x0: i32, x1: i32) -> bool {
+        let gaps = &self.gaps[seg.index()];
+        let i = gaps.partition_point(|&(g0, _)| g0 <= x0);
+        i > 0 && gaps[i - 1].1 >= x1 && x0 < x1
+    }
+
+    /// Marks `[x0, x1)` occupied in the index: splits the containing gap.
+    fn gap_occupy(&mut self, seg: usize, x0: i32, x1: i32) {
+        let gaps = &mut self.gaps[seg];
+        let i = gaps.partition_point(|&(g0, _)| g0 <= x0);
+        debug_assert!(
+            i > 0 && gaps[i - 1].0 <= x0 && gaps[i - 1].1 >= x1,
+            "gap_occupy: [{x0},{x1}) not free in segment {seg}"
+        );
+        let (g0, g1) = gaps[i - 1];
+        match (g0 < x0, x1 < g1) {
+            (true, true) => {
+                gaps[i - 1].1 = x0;
+                gaps.insert(i, (x1, g1));
+            }
+            (true, false) => gaps[i - 1].1 = x0,
+            (false, true) => gaps[i - 1].0 = x1,
+            (false, false) => {
+                gaps.remove(i - 1);
+            }
+        }
+    }
+
+    /// Marks `[x0, x1)` free in the index: inserts a gap, merging with
+    /// adjacent gaps.
+    fn gap_free(&mut self, seg: usize, x0: i32, x1: i32) {
+        let gaps = &mut self.gaps[seg];
+        // First gap whose right edge reaches x0 (the only left-merge
+        // candidate); anything earlier ends strictly left of the span.
+        let i = gaps.partition_point(|&(_, g1)| g1 < x0);
+        let merge_left = i < gaps.len() && gaps[i].1 == x0;
+        let r = if merge_left { i + 1 } else { i };
+        let merge_right = r < gaps.len() && gaps[r].0 == x1;
+        debug_assert!(
+            (merge_left || i >= gaps.len() || gaps[i].0 >= x1)
+                && (!merge_left || r >= gaps.len() || gaps[r].0 >= x1),
+            "gap_free: [{x0},{x1}) overlaps an existing gap in segment {seg}"
+        );
+        match (merge_left, merge_right) {
+            (true, true) => {
+                gaps[i].1 = gaps[r].1;
+                gaps.remove(r);
+            }
+            (true, false) => gaps[i].1 = x1,
+            (false, true) => gaps[r].0 = x0,
+            (false, false) => gaps.insert(i, (x0, x1)),
+        }
+    }
+
+    /// Recomputes a segment's free gaps from its ordered cell list — the
+    /// slow path the incremental index is validated against.
+    pub fn recompute_gaps(&self, design: &Design, seg: SegId) -> Vec<(i32, i32)> {
+        let s = &design.floorplan().segments()[seg.index()];
+        let mut out = Vec::new();
+        let mut cursor = s.x;
+        for &cell in &self.seg_cells[seg.index()] {
+            let p = self.pos[cell.index()].expect("listed cell must be placed");
+            if p.x > cursor {
+                out.push((cursor, p.x));
+            }
+            cursor = p.x + design.cell(cell).width();
+        }
+        if cursor < s.right() {
+            out.push((cursor, s.right()));
+        }
+        out
+    }
+
+    /// Debug-only cross-check of the incremental index for `seg`.
+    fn debug_check_gaps(&self, design: &Design, seg: usize) {
+        if cfg!(debug_assertions) {
+            let seg_id = SegId::from_usize(seg);
+            debug_assert_eq!(
+                self.gaps[seg],
+                self.recompute_gaps(design, seg_id),
+                "occupancy index diverged from seg_cells on segment {seg}"
+            );
         }
     }
 
@@ -129,8 +239,12 @@ impl PlacementState {
                     at: rect.origin(),
                 });
             }
-            let occupants = self.cells_intersecting(design, seg_id, rect.x, rect.right());
-            if let Some(&occ) = occupants.first() {
+            // Occupancy-index fast path: one binary search over the gap
+            // list; the cell-list scan runs only to name an occupant on
+            // the error path.
+            if !self.span_is_free(seg_id, rect.x, rect.right()) {
+                let occupants = self.cells_intersecting(design, seg_id, rect.x, rect.right());
+                let occ = *occupants.first().expect("occupied span names an occupant");
                 return Err(DbError::Overlap {
                     cell: CellId::new(u32::MAX),
                     occupant: occ,
@@ -140,6 +254,21 @@ impl PlacementState {
             segs.push(seg_id);
         }
         Ok(segs)
+    }
+
+    /// Index of `cell` (placed at x = `x`) in `seg`'s ordered list, via
+    /// binary search — lists are strictly x-ordered, so the position is
+    /// unique.
+    fn list_index_of(&self, seg: SegId, cell: CellId, x: i32) -> usize {
+        let list = &self.seg_cells[seg.index()];
+        let idx = list.partition_point(|&other| {
+            self.pos[other.index()]
+                .expect("listed cell must be placed")
+                .x
+                < x
+        });
+        debug_assert!(list.get(idx) == Some(&cell), "cell not at its list slot");
+        idx
     }
 
     /// Places an unplaced cell at `at`, enforcing all legality constraints.
@@ -201,6 +330,8 @@ impl PlacementState {
             },
             other => other,
         })?;
+        self.pos[cell.index()] = Some(at);
+        self.orient[cell.index()] = fp.parity().orient_on_row(c.rail(), c.height(), at.y);
         for seg in segs {
             let list = &mut self.seg_cells[seg.index()];
             let idx = list.partition_point(|&other| {
@@ -208,9 +339,9 @@ impl PlacementState {
                 p.x < at.x
             });
             list.insert(idx, cell);
+            self.gap_occupy(seg.index(), at.x, at.x + c.width());
+            self.debug_check_gaps(design, seg.index());
         }
-        self.pos[cell.index()] = Some(at);
-        self.orient[cell.index()] = fp.parity().orient_on_row(c.rail(), c.height(), at.y);
         Ok(())
     }
 
@@ -226,12 +357,10 @@ impl PlacementState {
             let seg = self
                 .segment_at(design, row, at.x)
                 .expect("placed cell must be on segments");
-            let list = &mut self.seg_cells[seg.index()];
-            let idx = list
-                .iter()
-                .position(|&other| other == cell)
-                .expect("placed cell must be listed");
-            list.remove(idx);
+            let idx = self.list_index_of(seg, cell, at.x);
+            self.seg_cells[seg.index()].remove(idx);
+            self.gap_free(seg.index(), at.x, at.x + c.width());
+            self.debug_check_gaps(design, seg.index());
         }
         self.pos[cell.index()] = None;
         Ok(at)
@@ -284,10 +413,7 @@ impl PlacementState {
                 let seg = self
                     .segment_at(design, row, at.x)
                     .expect("placed cell must be on segments");
-                let idx = self.seg_cells[seg.index()]
-                    .iter()
-                    .position(|&other| other == cell)
-                    .expect("placed cell must be listed");
+                let idx = self.list_index_of(seg, cell, at.x);
                 touched.push((seg, idx));
             }
         }
@@ -319,6 +445,33 @@ impl PlacementState {
                 occupant: moves[0].0,
                 rect: SiteRect::new(0, 0, 0, 0),
             });
+        }
+        // Commit the occupancy index: free every old span first, then
+        // occupy every new span (the final configuration is overlap-free,
+        // so all occupies land in free gaps).
+        for &(cell, at) in &old {
+            let c = design.cell(cell);
+            for row in at.y..at.y + c.height() {
+                let seg = self
+                    .segment_at(design, row, at.x)
+                    .expect("placed cell must be on segments");
+                self.gap_free(seg.index(), at.x, at.x + c.width());
+            }
+        }
+        for &(cell, new_x) in moves {
+            let at = self.pos[cell.index()].expect("validated above");
+            let c = design.cell(cell);
+            for row in at.y..at.y + c.height() {
+                let seg = self
+                    .segment_at(design, row, new_x)
+                    .expect("validated span stays in segment");
+                self.gap_occupy(seg.index(), new_x, new_x + c.width());
+            }
+        }
+        if cfg!(debug_assertions) {
+            for &(seg, _) in &touched {
+                self.debug_check_gaps(design, seg.index());
+            }
         }
         Ok(())
     }
@@ -401,7 +554,7 @@ mod tests {
         let (d, _, b, _, dd) = fixture();
         let mut s = PlacementState::new(&d);
         s.place(&d, b, SitePoint::new(0, 0)).unwrap(); // rows 0-1
-        // d is even-height with VSS bottom rail: row 1 is compatible.
+                                                       // d is even-height with VSS bottom rail: row 1 is compatible.
         let err = s.place(&d, dd, SitePoint::new(1, 1)).unwrap_err();
         assert!(matches!(err, DbError::Overlap { .. }));
         s.place(&d, dd, SitePoint::new(2, 1)).unwrap();

@@ -7,11 +7,10 @@
 //! regions ("Benchmarks with Fence Regions and Routing Blockages").
 
 use mrl_geom::SiteRect;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fence region: a named union of rectangles.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FenceRegion {
     name: String,
     rects: Vec<SiteRect>,
@@ -83,15 +82,13 @@ impl FenceRegion {
 
     /// Bounding box of the region.
     pub fn bounds(&self) -> SiteRect {
-        self.rects
-            .iter()
-            .fold(SiteRect::new(0, 0, 0, 0), |acc, r| {
-                if acc.is_empty() {
-                    *r
-                } else {
-                    acc.union(r)
-                }
-            })
+        self.rects.iter().fold(SiteRect::new(0, 0, 0, 0), |acc, r| {
+            if acc.is_empty() {
+                *r
+            } else {
+                acc.union(r)
+            }
+        })
     }
 }
 

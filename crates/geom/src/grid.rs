@@ -1,7 +1,5 @@
 //! The site/micron unit system of a floorplan.
 
-use serde::{Deserialize, Serialize};
-
 /// Physical dimensions of one placement site, tying site-unit coordinates to
 /// microns.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// // One row of vertical movement costs 8 site widths of displacement.
 /// assert_eq!(grid.rows_as_site_widths(1), 8.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SiteGrid {
     site_width_um: f64,
     row_height_um: f64,

@@ -1,7 +1,6 @@
 //! Closed integer intervals, including the "negative length" case of
 //! Section 5.1.1.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed interval `[lo, hi]` of x-coordinates in site widths.
@@ -26,7 +25,7 @@ use std::fmt;
 /// let infeasible = Interval::new(6, 3); // Figure 7(f): discard
 /// assert!(infeasible.is_empty());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// Leftmost feasible coordinate.
     pub lo: i32,

@@ -1,6 +1,5 @@
 //! Integer points on the placement site grid.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point on the placement site grid.
@@ -17,7 +16,7 @@ use std::fmt;
 /// let q = SitePoint::new(5, 1);
 /// assert_eq!(p.manhattan(q), 3);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SitePoint {
     /// Horizontal coordinate in site widths.
     pub x: i32,

@@ -11,11 +11,10 @@
 //! * **even-row-height cells** have the same rail on both edges, so they fit
 //!   only on every other row — the row's [`RailParity`] must match.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Polarity of the rail running along the *bottom* edge of a row or cell.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerRail {
     /// VDD (power) on the bottom edge.
     #[default]
@@ -56,7 +55,7 @@ impl fmt::Display for PowerRail {
 /// assert_eq!(parity.bottom_rail_of_row(1), PowerRail::Vss);
 /// assert_eq!(parity.bottom_rail_of_row(2), PowerRail::Vdd);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RailParity {
     base: PowerRail,
 }
@@ -109,7 +108,7 @@ impl RailParity {
 }
 
 /// Vertical orientation of a placed cell.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Orient {
     /// Unflipped (DEF `N`).
     #[default]

@@ -1,7 +1,6 @@
 //! Axis-aligned rectangles on the site grid.
 
 use crate::SitePoint;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle on the site grid, stored as lower-left corner
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert_eq!(cell.top(), 3);
 /// assert!(!cell.overlaps(&SiteRect::new(5, 1, 1, 1))); // abutting is legal
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct SiteRect {
     /// Lower-left x in site widths.
     pub x: i32,

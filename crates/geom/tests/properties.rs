@@ -4,8 +4,7 @@ use mrl_geom::{Interval, SiteRect};
 use proptest::prelude::*;
 
 fn rect() -> impl Strategy<Value = SiteRect> {
-    (-50..50i32, -50..50i32, 0..30i32, 0..30i32)
-        .prop_map(|(x, y, w, h)| SiteRect::new(x, y, w, h))
+    (-50..50i32, -50..50i32, 0..30i32, 0..30i32).prop_map(|(x, y, w, h)| SiteRect::new(x, y, w, h))
 }
 
 proptest! {

@@ -170,8 +170,7 @@ mod tests {
         let mut positions = vec![(15.0, 0.0), (15.0, 0.0)];
         // A few reweighting iterations.
         for _ in 0..5 {
-            let (a, rhs) =
-                build_system(&design, &positions, &var_of, 2, Axis::X, None, 0.0);
+            let (a, rhs) = build_system(&design, &positions, &var_of, 2, Axis::X, None, 0.0);
             let mut x = vec![positions[0].0, positions[1].0];
             a.solve_cg(&rhs, &mut x, 1e-10, 1000);
             positions[0].0 = x[0];
@@ -180,7 +179,10 @@ mod tests {
         // B2B converges toward an HPWL-optimal solution: any monotone
         // arrangement strictly between the pads is optimal (total 30).
         assert!(positions[0].0 <= positions[1].0 + 1e-9, "{positions:?}");
-        assert!(positions[0].0 > 1.0 && positions[1].0 < 29.0, "{positions:?}");
+        assert!(
+            positions[0].0 > 1.0 && positions[1].0 < 29.0,
+            "{positions:?}"
+        );
     }
 
     #[test]
@@ -196,8 +198,7 @@ mod tests {
         let var_of = vec![Some(0)];
         let mut positions = vec![(0.0, 0.0)];
         for _ in 0..4 {
-            let (a, rhs) =
-                build_system(&design, &positions, &var_of, 1, Axis::X, None, 0.0);
+            let (a, rhs) = build_system(&design, &positions, &var_of, 1, Axis::X, None, 0.0);
             let mut x = vec![positions[0].0];
             a.solve_cg(&rhs, &mut x, 1e-10, 200);
             positions[0].0 = x[0];
@@ -217,8 +218,15 @@ mod tests {
         let positions = vec![(0.0, 0.0)];
         let anchors = vec![40.0];
         // Strong anchor dominates the net spring.
-        let (a, rhs) =
-            build_system(&design, &positions, &var_of, 1, Axis::X, Some(&anchors), 100.0);
+        let (a, rhs) = build_system(
+            &design,
+            &positions,
+            &var_of,
+            1,
+            Axis::X,
+            Some(&anchors),
+            100.0,
+        );
         let mut x = vec![0.0];
         a.solve_cg(&rhs, &mut x, 1e-10, 200);
         assert!(x[0] > 35.0, "{x:?}");

@@ -254,8 +254,16 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let design = demo_design();
-        let a = GlobalPlacer::new(GpConfig { seed: 3, ..GpConfig::default() }).place(&design);
-        let b = GlobalPlacer::new(GpConfig { seed: 3, ..GpConfig::default() }).place(&design);
+        let a = GlobalPlacer::new(GpConfig {
+            seed: 3,
+            ..GpConfig::default()
+        })
+        .place(&design);
+        let b = GlobalPlacer::new(GpConfig {
+            seed: 3,
+            ..GpConfig::default()
+        })
+        .place(&design);
         assert_eq!(a.positions, b.positions);
     }
 

@@ -87,7 +87,15 @@ impl BinGrid {
         let util = self.utilization(design, positions);
         util.iter()
             .zip(&self.capacity)
-            .map(|(&u, &c)| if c > 1e-9 { u / c } else if u > 0.0 { f64::INFINITY } else { 0.0 })
+            .map(|(&u, &c)| {
+                if c > 1e-9 {
+                    u / c
+                } else if u > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            })
             .fold(0.0, f64::max)
     }
 }
@@ -157,11 +165,7 @@ pub(crate) fn spread_step(
 /// bin — a macro shadow — to the nearest bin with free capacity. The
 /// quadratic solve can pull cells back over macros; this keeps the final
 /// placement legalizable and the overflow metric meaningful.
-pub(crate) fn evict_blocked(
-    design: &Design,
-    grid: &BinGrid,
-    positions: &mut [(f64, f64)],
-) {
+pub(crate) fn evict_blocked(design: &Design, grid: &BinGrid, positions: &mut [(f64, f64)]) {
     let nominal = grid.bw; // sites per fully-free bin row-slice
     let blocked: Vec<bool> = grid.capacity.iter().map(|&c| c < 0.05 * nominal).collect();
     for (i, cell) in design.cells().iter().enumerate() {
@@ -192,10 +196,8 @@ pub(crate) fn evict_blocked(
             }
         }
         if let Some((_, kx, ky)) = best {
-            positions[i].0 = grid.x0 + (kx as f64 + 0.5) * grid.bw
-                - f64::from(cell.width()) / 2.0;
-            positions[i].1 = grid.y0 + (ky as f64 + 0.5) * grid.bh
-                - f64::from(cell.height()) / 2.0;
+            positions[i].0 = grid.x0 + (kx as f64 + 0.5) * grid.bw - f64::from(cell.width()) / 2.0;
+            positions[i].1 = grid.y0 + (ky as f64 + 0.5) * grid.bh - f64::from(cell.height()) / 2.0;
         }
     }
 }

@@ -181,8 +181,7 @@ impl Model {
     /// [`SolveError::IterationLimit`], or [`SolveError::NodeLimit`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
         // Branch-and-bound over (tightened) integer bounds.
-        let base_bounds: Vec<(f64, f64)> =
-            self.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let base_bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lower, v.upper)).collect();
         let mut stack = vec![base_bounds];
         let mut incumbent: Option<Solution> = None;
         let mut nodes = 0usize;
@@ -277,11 +276,7 @@ impl Model {
             .zip(bounds)
             .map(|(x, &(lo, _))| x + lo)
             .collect();
-        let objective = values
-            .iter()
-            .zip(&costs)
-            .map(|(x, c)| x * c)
-            .sum::<f64>();
+        let objective = values.iter().zip(&costs).map(|(x, c)| x * c).sum::<f64>();
         Ok(Solution { objective, values })
     }
 }

@@ -157,9 +157,7 @@ fn pivot_until_optimal(
                 let ratio = row[total] / a;
                 let better = match best {
                     None => true,
-                    Some((r, _, b)) => {
-                        ratio < r - EPS || (ratio < r + EPS && basis[i] < b)
-                    }
+                    Some((r, _, b)) => ratio < r - EPS || (ratio < r + EPS && basis[i] < b),
                 };
                 if better {
                     best = Some((ratio, i, basis[i]));
@@ -219,10 +217,7 @@ fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, 
 ///
 /// Same as the model-level solver: infeasible, unbounded, or iteration
 /// limit.
-pub fn solve_lp(
-    costs: &[f64],
-    rows: &[(Vec<f64>, Op, f64)],
-) -> Result<Vec<f64>, SolveError> {
+pub fn solve_lp(costs: &[f64], rows: &[(Vec<f64>, Op, f64)]) -> Result<Vec<f64>, SolveError> {
     solve_raw(&RawLp {
         costs: costs.to_vec(),
         rows: rows.to_vec(),
@@ -242,10 +237,7 @@ mod tests {
         // max x + y s.t. x + 2y <= 4, 3x + y <= 6 -> min -(x+y).
         let x = solve_lp(
             &[-1.0, -1.0],
-            &[
-                (vec![1.0, 2.0], Op::Le, 4.0),
-                (vec![3.0, 1.0], Op::Le, 6.0),
-            ],
+            &[(vec![1.0, 2.0], Op::Le, 4.0), (vec![3.0, 1.0], Op::Le, 6.0)],
         )
         .unwrap();
         // Optimum at intersection: x = 1.6, y = 1.2.
@@ -274,10 +266,7 @@ mod tests {
         // cost 11. Optimum x=4, y=0.
         let x = solve_lp(
             &[2.0, 3.0],
-            &[
-                (vec![1.0, 1.0], Op::Ge, 4.0),
-                (vec![1.0, 0.0], Op::Ge, 1.0),
-            ],
+            &[(vec![1.0, 1.0], Op::Ge, 4.0), (vec![1.0, 0.0], Op::Ge, 1.0)],
         )
         .unwrap();
         assert_close(x[0], 4.0);
@@ -288,10 +277,7 @@ mod tests {
     fn infeasible_detected() {
         let r = solve_lp(
             &[1.0],
-            &[
-                (vec![1.0], Op::Le, 1.0),
-                (vec![1.0], Op::Ge, 2.0),
-            ],
+            &[(vec![1.0], Op::Le, 1.0), (vec![1.0], Op::Ge, 2.0)],
         );
         assert_eq!(r.unwrap_err(), SolveError::Infeasible);
     }
@@ -331,10 +317,7 @@ mod tests {
         // x + y = 2 stated twice.
         let x = solve_lp(
             &[1.0, 2.0],
-            &[
-                (vec![1.0, 1.0], Op::Eq, 2.0),
-                (vec![2.0, 2.0], Op::Eq, 4.0),
-            ],
+            &[(vec![1.0, 1.0], Op::Eq, 2.0), (vec![2.0, 2.0], Op::Eq, 4.0)],
         )
         .unwrap();
         assert_close(x[0], 2.0);

@@ -14,7 +14,7 @@
 use crate::config::LegalizerConfig;
 use crate::legalizer::Legalizer;
 use crate::mll::mll_transacted;
-use mrl_db::{CellId, DbError, Design, NetId, PlacementState, PinLocation};
+use mrl_db::{CellId, DbError, Design, NetId, PinLocation, PlacementState};
 use std::collections::HashMap;
 
 /// Detailed placement statistics.
@@ -115,12 +115,13 @@ impl DetailedPlacer {
         let aspect = design.grid().aspect();
         for _ in 0..self.cfg.passes {
             for cell in design.movable_cells().collect::<Vec<_>>() {
-                let Some(cur) = state.position(cell) else { continue };
+                let Some(cur) = state.position(cell) else {
+                    continue;
+                };
                 let Some((ox, oy)) = optimal_position(design, state, cell) else {
                     continue;
                 };
-                let dist =
-                    (ox - f64::from(cur.x)).abs() + (oy - f64::from(cur.y)).abs() * aspect;
+                let dist = (ox - f64::from(cur.x)).abs() + (oy - f64::from(cur.y)).abs() * aspect;
                 if dist < self.cfg.min_move_sites {
                     continue;
                 }
@@ -128,8 +129,7 @@ impl DetailedPlacer {
                 // Rip up and try to re-insert near the optimum.
                 let old = state.remove(design, cell)?;
                 let snapped = legalizer.snap(design, cell, ox, oy);
-                let Some(tx) =
-                    mll_transacted(design, state, &self.cfg.legalizer, cell, snapped)?
+                let Some(tx) = mll_transacted(design, state, &self.cfg.legalizer, cell, snapped)?
                 else {
                     // No room near the optimum: put the cell back.
                     restore(design, state, cell, old, &self.cfg.legalizer)?;
@@ -183,11 +183,7 @@ fn restore(
 /// The wirelength-optimal lower-left position of `cell`: the median of its
 /// nets' other-pin bounding box edges, shifted by the cell's mean pin
 /// offset. `None` when the cell has no connected pins.
-fn optimal_position(
-    design: &Design,
-    state: &PlacementState,
-    cell: CellId,
-) -> Option<(f64, f64)> {
+fn optimal_position(design: &Design, state: &PlacementState, cell: CellId) -> Option<(f64, f64)> {
     let netlist = design.netlist();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -317,7 +313,9 @@ mod tests {
             legalizer: LegalizerConfig::default().with_rail_mode(PowerRailMode::Relaxed),
             ..DetailedConfig::default()
         };
-        let stats = DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
+        let stats = DetailedPlacer::new(cfg)
+            .improve(&design, &mut state)
+            .unwrap();
         assert!(stats.accepted >= 1, "{stats:?}");
         assert!(stats.hpwl_after_um < before);
         // a moved toward c.
@@ -344,8 +342,13 @@ mod tests {
             passes: 2,
             ..DetailedConfig::default()
         };
-        let stats = DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
-        assert!(stats.hpwl_after_um <= stats.hpwl_before_um + 1e-9, "{stats:?}");
+        let stats = DetailedPlacer::new(cfg)
+            .improve(&design, &mut state)
+            .unwrap();
+        assert!(
+            stats.hpwl_after_um <= stats.hpwl_before_um + 1e-9,
+            "{stats:?}"
+        );
     }
 
     #[test]
@@ -355,7 +358,9 @@ mod tests {
         let design = b.finish().unwrap();
         let mut state = PlacementState::new(&design);
         state.place(&design, a, SitePoint::new(0, 0)).unwrap();
-        let stats = DetailedPlacer::default().improve(&design, &mut state).unwrap();
+        let stats = DetailedPlacer::default()
+            .improve(&design, &mut state)
+            .unwrap();
         assert_eq!(stats.tried, 0);
         assert_eq!(state.position(a), Some(SitePoint::new(0, 0)));
     }
@@ -379,7 +384,9 @@ mod tests {
             ..DetailedConfig::default()
         };
         let before: Vec<_> = state.iter_placed().collect();
-        DetailedPlacer::new(cfg).improve(&design, &mut state).unwrap();
+        DetailedPlacer::new(cfg)
+            .improve(&design, &mut state)
+            .unwrap();
         let mut after: Vec<_> = state.iter_placed().collect();
         let mut before = before;
         before.sort();

@@ -27,6 +27,7 @@ use crate::config::{EvalMode, LegalizerConfig, PowerRailMode};
 use crate::evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
 use crate::interval::InsInterval;
 use crate::region::LocalRegion;
+use crate::timing::{Phase, PhaseTimes};
 use mrl_db::Design;
 
 /// A scored valid insertion point.
@@ -50,7 +51,8 @@ pub fn enumerate_insertion_points(
     cfg: &LegalizerConfig,
 ) -> Vec<InsertionPoint> {
     let mut out = Vec::new();
-    scan(region, design, target, cfg, |t, combo, eval| {
+    let mut timer = PhaseTimes::default();
+    scan(region, design, target, cfg, &mut timer, |t, combo, eval| {
         out.push(InsertionPoint {
             bottom_row: t,
             intervals: combo.iter().map(|&iv| *iv).collect(),
@@ -67,8 +69,23 @@ pub fn find_best_insertion_point(
     target: &TargetSpec,
     cfg: &LegalizerConfig,
 ) -> Option<InsertionPoint> {
+    let mut timer = PhaseTimes::default();
+    find_best_insertion_point_timed(region, design, target, cfg, &mut timer)
+}
+
+/// [`find_best_insertion_point`] with per-phase accounting: the whole scan
+/// is attributed to [`Phase::Enumerate`], candidate scoring within it to
+/// [`Phase::Evaluate`].
+pub fn find_best_insertion_point_timed(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    timer: &mut PhaseTimes,
+) -> Option<InsertionPoint> {
+    let probe = timer.start();
     let mut best: Option<InsertionPoint> = None;
-    scan(region, design, target, cfg, |t, combo, eval| {
+    scan(region, design, target, cfg, timer, |t, combo, eval| {
         let better = match &best {
             Some(b) => eval.cost < b.eval.cost,
             None => true,
@@ -81,6 +98,7 @@ pub fn find_best_insertion_point(
             });
         }
     });
+    timer.stop(Phase::Enumerate, probe);
     best
 }
 
@@ -92,6 +110,7 @@ fn scan<F>(
     design: &Design,
     target: &TargetSpec,
     cfg: &LegalizerConfig,
+    timer: &mut PhaseTimes,
     mut emit: F,
 ) where
     F: FnMut(usize, &[&InsInterval], Evaluation),
@@ -175,7 +194,16 @@ fn scan<F>(
             if rail_ok[a] {
                 combo.clear();
                 combo.push(iv);
-                let eval = score(region, &combo, target, region.bottom_row + a as i32, aspect, cfg);
+                let probe = timer.start();
+                let eval = score(
+                    region,
+                    &combo,
+                    target,
+                    region.bottom_row + a as i32,
+                    aspect,
+                    cfg,
+                );
+                timer.stop(Phase::Evaluate, probe);
                 emit(a, &combo, eval);
                 emitted += 1;
                 if emitted >= cfg.max_insertion_points {
@@ -191,8 +219,20 @@ fn scan<F>(
                 }
                 // Depth-first product over rows t..t+ht.
                 if !product_emit(
-                    region, target, cfg, &queues, &intervals, iv, a, t, ht, aspect,
-                    &mut combo, &mut emitted, &mut emit,
+                    region,
+                    target,
+                    cfg,
+                    &queues,
+                    &intervals,
+                    iv,
+                    a,
+                    t,
+                    ht,
+                    aspect,
+                    &mut combo,
+                    &mut emitted,
+                    timer,
+                    &mut emit,
                 ) {
                     break 'events;
                 }
@@ -223,6 +263,7 @@ fn product_emit<'r, F>(
     aspect: f64,
     combo: &mut Vec<&'r InsInterval>,
     emitted: &mut usize,
+    timer: &mut PhaseTimes,
     emit: &mut F,
 ) -> bool
 where
@@ -242,6 +283,7 @@ where
         aspect: f64,
         combo: &mut Vec<&'r InsInterval>,
         emitted: &mut usize,
+        timer: &mut PhaseTimes,
         emit: &mut F,
     ) -> bool
     where
@@ -256,7 +298,16 @@ where
             if ht >= 3 && !combo_is_side_consistent(region, combo) {
                 return true;
             }
-            let eval = score(region, combo, target, region.bottom_row + t as i32, aspect, cfg);
+            let probe = timer.start();
+            let eval = score(
+                region,
+                combo,
+                target,
+                region.bottom_row + t as i32,
+                aspect,
+                cfg,
+            );
+            timer.stop(Phase::Evaluate, probe);
             emit(t, combo, eval);
             *emitted += 1;
             return *emitted < cfg.max_insertion_points;
@@ -264,8 +315,21 @@ where
         if s == a {
             combo.push(current);
             let go = rec(
-                region, target, cfg, queues, intervals, current, a, t, ht, s + 1, aspect,
-                combo, emitted, emit,
+                region,
+                target,
+                cfg,
+                queues,
+                intervals,
+                current,
+                a,
+                t,
+                ht,
+                s + 1,
+                aspect,
+                combo,
+                emitted,
+                timer,
+                emit,
             );
             combo.pop();
             return go;
@@ -273,8 +337,21 @@ where
         for &j in &queues[a][s] {
             combo.push(&intervals[j as usize]);
             let go = rec(
-                region, target, cfg, queues, intervals, current, a, t, ht, s + 1, aspect,
-                combo, emitted, emit,
+                region,
+                target,
+                cfg,
+                queues,
+                intervals,
+                current,
+                a,
+                t,
+                ht,
+                s + 1,
+                aspect,
+                combo,
+                emitted,
+                timer,
+                emit,
             );
             combo.pop();
             if !go {
@@ -285,8 +362,8 @@ where
     }
     combo.clear();
     rec(
-        region, target, cfg, queues, intervals, current, a, t, ht, t, aspect,
-        combo, emitted, emit,
+        region, target, cfg, queues, intervals, current, a, t, ht, t, aspect, combo, emitted,
+        timer, emit,
     )
 }
 
@@ -363,8 +440,7 @@ mod tests {
                 .place_ignoring_rails(&design, id, SitePoint::new(x, y))
                 .unwrap();
         }
-        let region =
-            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
         (region, ids, design)
     }
 
@@ -504,11 +580,7 @@ mod tests {
         // Figure 5 family: 4 rows, a multi-row cell on rows 1-2, target 3
         // rows tall. Combinations crossing the multi-row cell must agree on
         // side.
-        let (region, ids, design) = setup(
-            4,
-            20,
-            &[(2, 2, 9, 1), (2, 1, 3, 0), (2, 1, 14, 3)],
-        );
+        let (region, ids, design) = setup(4, 20, &[(2, 2, 9, 1), (2, 1, 3, 0), (2, 1, 14, 3)]);
         let m = region.local_index_of(ids[0]).unwrap();
         let t = target(2, 3, 6, 0);
         let pts = enumerate_insertion_points(&region, &design, &t, &relaxed());

@@ -148,12 +148,7 @@ pub fn evaluate(
     }
     a.push(i64::from(target.x));
     b.push(i64::from(target.x));
-    let (x, fx) = minimize_hinges(
-        &mut a,
-        &mut b,
-        i64::from(range.lo),
-        i64::from(range.hi),
-    );
+    let (x, fx) = minimize_hinges(&mut a, &mut b, i64::from(range.lo), i64::from(range.hi));
     Evaluation {
         x: x as i32,
         cost: fx as f64 + vertical_cost(target, bottom_row_global, aspect),
@@ -179,12 +174,7 @@ pub fn evaluate_exact(
     let (mut a, mut b) = exact_criticals(region, combo, target.w);
     a.push(i64::from(target.x));
     b.push(i64::from(target.x));
-    let (x, fx) = minimize_hinges(
-        &mut a,
-        &mut b,
-        i64::from(range.lo),
-        i64::from(range.hi),
-    );
+    let (x, fx) = minimize_hinges(&mut a, &mut b, i64::from(range.lo), i64::from(range.hi));
     Evaluation {
         x: x as i32,
         cost: fx as f64 + vertical_cost(target, bottom_row_global, aspect),
@@ -236,10 +226,7 @@ pub(crate) fn exact_criticals(
             let lr = (row - region.bottom_row) as usize;
             // Gap adjacency: this row is a target row whose chosen interval
             // has this cell on its left.
-            if combo
-                .iter()
-                .any(|iv| iv.row == lr && iv.left == Some(ci))
-            {
+            if combo.iter().any(|iv| iv.row == lr && iv.left == Some(ci)) {
                 shift = shift.max(0);
             }
             if let Some(r) = region.right_neighbor_of(ci, lr) {
@@ -286,10 +273,7 @@ pub(crate) fn exact_criticals(
         let mut bound = i64::MAX;
         for row in cell.y..cell.y + cell.h {
             let lr = (row - region.bottom_row) as usize;
-            if combo
-                .iter()
-                .any(|iv| iv.row == lr && iv.right == Some(ci))
-            {
+            if combo.iter().any(|iv| iv.row == lr && iv.right == Some(ci)) {
                 bound = bound.min(i64::from(cell.x) - i64::from(target_w));
             }
             if let Some(l) = region.left_neighbor_of(ci, lr) {
@@ -330,8 +314,7 @@ mod tests {
         for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
             state.place(&design, id, SitePoint::new(x, y)).unwrap();
         }
-        let region =
-            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
         (region, ids, design)
     }
 
@@ -382,11 +365,7 @@ mod tests {
     fn figure9_like_single_row_eval() {
         // Row [0,12): c(w2)@2, d(w2)@6, e(w2)@8; insert t(w2) between c and d
         // with desired x = 5: no cell needs to move.
-        let (region, ids, design) = region_for(
-            1,
-            12,
-            &[(2, 1, 2, 0), (2, 1, 6, 0), (2, 1, 8, 0)],
-        );
+        let (region, ids, design) = region_for(1, 12, &[(2, 1, 2, 0), (2, 1, 6, 0), (2, 1, 8, 0)]);
         let ivs = region.insertion_intervals(2);
         let c = region.local_index_of(ids[0]).unwrap();
         let d = region.local_index_of(ids[1]).unwrap();
@@ -481,11 +460,8 @@ mod tests {
         // = [2, 6]... with a leftmost 0: [2, 6]. t at 6: b,c not pushed
         // (b critical = 8-2 = 6). t at 6 exactly: no push. Desired 7 ->
         // clamp 6, cost 1. All consistent; now check criticals directly.
-        let (region, ids, _design) = region_for(
-            1,
-            12,
-            &[(2, 1, 6, 0), (2, 1, 8, 0), (2, 1, 10, 0)],
-        );
+        let (region, ids, _design) =
+            region_for(1, 12, &[(2, 1, 6, 0), (2, 1, 8, 0), (2, 1, 10, 0)]);
         let ivs = region.insertion_intervals(2);
         let a = region.local_index_of(ids[0]).unwrap();
         let b = region.local_index_of(ids[1]).unwrap();
@@ -510,11 +486,8 @@ mod tests {
         // row1: m, s(w2)@10
         // Insert t(w2,h1) in row 0 gap (a, m): pushing m right also pushes
         // s (row 1).
-        let (region, ids, _design) = region_for(
-            2,
-            12,
-            &[(2, 1, 4, 0), (2, 2, 8, 0), (2, 1, 10, 1)],
-        );
+        let (region, ids, _design) =
+            region_for(2, 12, &[(2, 1, 4, 0), (2, 2, 8, 0), (2, 1, 10, 1)]);
         let ivs = region.insertion_intervals(2);
         let a = region.local_index_of(ids[0]).unwrap();
         let m = region.local_index_of(ids[1]).unwrap();

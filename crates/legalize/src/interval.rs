@@ -95,8 +95,7 @@ mod tests {
         for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
             state.place(&design, id, SitePoint::new(x, y)).unwrap();
         }
-        let region =
-            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
         (region, ids, design)
     }
 

@@ -8,7 +8,8 @@
 //! until everything is placed.
 
 use crate::config::{CellOrder, LegalizerConfig};
-use crate::mll::{mll, MllOutcome};
+use crate::mll::{mll_timed, MllOutcome};
+use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
 use rand::rngs::SmallRng;
@@ -16,6 +17,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Counters describing one legalization run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,6 +33,22 @@ pub struct LegalizeStats {
     pub retry_rounds: u32,
     /// Total MLL invocations, including failed ones.
     pub mll_calls: usize,
+    /// Per-phase wall-clock breakdown (extract / enumerate / evaluate /
+    /// realize / retry). In the parallel driver this is the *sum* over
+    /// workers, so phase time can exceed [`LegalizeStats::wall`].
+    pub phases: PhaseTimes,
+    /// End-to-end wall time of the driver.
+    pub wall: Duration,
+    /// Worker threads used (1 for the sequential driver).
+    pub threads: usize,
+    /// Vertical stripes formed by the parallel driver (0 when sequential).
+    pub stripes: usize,
+    /// Stripes whose results were discarded because a move escaped the
+    /// stripe halo (their cells were re-legalized sequentially).
+    pub conflicts: usize,
+    /// Cells that fell through the parallel phase (first-pass failures plus
+    /// conflicting stripes) and were handled by the sequential retry pass.
+    pub residue: usize,
 }
 
 /// Error returned when legalization cannot complete.
@@ -52,7 +70,10 @@ impl fmt::Display for LegalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LegalizeError::Unplaceable { cell, rounds } => {
-                write!(f, "cell {cell} could not be placed after {rounds} retry rounds")
+                write!(
+                    f,
+                    "cell {cell} could not be placed after {rounds} retry rounds"
+                )
             }
             LegalizeError::Db(e) => write!(f, "database error during legalization: {e}"),
         }
@@ -105,8 +126,14 @@ impl Legalizer {
             Some(r) => {
                 let rb = design.region(r).bounds();
                 (
-                    fx.clamp(f64::from(rb.x), f64::from((rb.right() - c.width()).max(rb.x))),
-                    fy.clamp(f64::from(rb.y), f64::from((rb.top() - c.height()).max(rb.y))),
+                    fx.clamp(
+                        f64::from(rb.x),
+                        f64::from((rb.right() - c.width()).max(rb.x)),
+                    ),
+                    fy.clamp(
+                        f64::from(rb.y),
+                        f64::from((rb.top() - c.height()).max(rb.y)),
+                    ),
                 )
             }
             None => (fx, fy),
@@ -120,8 +147,7 @@ impl Legalizer {
                 .map(|d| [row0 - d, row0 + d])
                 .flat_map(|c| c.into_iter())
                 .find(|&r| {
-                    (0..=max_row).contains(&r)
-                        && fp.rail_compatible(c.rail(), c.height(), r)
+                    (0..=max_row).contains(&r) && fp.rail_compatible(c.rail(), c.height(), r)
                 })
                 .unwrap_or(row0)
         } else {
@@ -161,7 +187,7 @@ impl Legalizer {
             Err(DbError::AlreadyPlaced(c)) => Err(DbError::AlreadyPlaced(c).into()),
             Err(_) => {
                 stats.mll_calls += 1;
-                match mll(design, state, &self.cfg, cell, pos)? {
+                match mll_timed(design, state, &self.cfg, cell, pos, &mut stats.phases)? {
                     MllOutcome::Placed(_) => {
                         stats.via_mll += 1;
                         stats.placed += 1;
@@ -186,8 +212,37 @@ impl Legalizer {
         design: &Design,
         state: &mut PlacementState,
     ) -> Result<LegalizeStats, LegalizeError> {
-        let mut stats = LegalizeStats::default();
+        let wall = std::time::Instant::now();
+        let mut stats = LegalizeStats {
+            phases: PhaseTimes::enabled(),
+            threads: 1,
+            ..LegalizeStats::default()
+        };
         let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let unplaced = self.ordered_unplaced(design, state, &mut rng);
+
+        // First pass at the input positions (lines 2–7).
+        let mut remaining = Vec::new();
+        for cell in unplaced {
+            let (fx, fy) = design.input_position(cell);
+            if !self.try_place(design, state, cell, fx, fy, &mut stats)? {
+                remaining.push(cell);
+            }
+        }
+
+        self.retry_loop(design, state, remaining, &mut stats, &mut rng)?;
+        stats.wall = wall.elapsed();
+        Ok(stats)
+    }
+
+    /// The movable, still-unplaced cells in the configured visiting order.
+    /// `rng` is consumed only for [`CellOrder::Shuffled`].
+    pub(crate) fn ordered_unplaced(
+        &self,
+        design: &Design,
+        state: &PlacementState,
+        rng: &mut SmallRng,
+    ) -> Vec<CellId> {
         let mut unplaced: Vec<CellId> = design
             .movable_cells()
             .filter(|&c| !state.is_placed(c))
@@ -203,19 +258,21 @@ impl Legalizer {
             CellOrder::ByAreaDesc => {
                 unplaced.sort_by_key(|&c| std::cmp::Reverse(design.cell(c).area()))
             }
-            CellOrder::Shuffled => unplaced.shuffle(&mut rng),
+            CellOrder::Shuffled => unplaced.shuffle(rng),
         }
+        unplaced
+    }
 
-        // First pass at the input positions (lines 2–7).
-        let mut remaining = Vec::new();
-        for cell in unplaced {
-            let (fx, fy) = design.input_position(cell);
-            if !self.try_place(design, state, cell, fx, fy, &mut stats)? {
-                remaining.push(cell);
-            }
-        }
-
-        // Retry loop with growing random offsets (lines 9–17).
+    /// The retry loop with growing random offsets (Algorithm 1 lines 9–17),
+    /// shared by the sequential and parallel drivers.
+    pub(crate) fn retry_loop(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        mut remaining: Vec<CellId>,
+        stats: &mut LegalizeStats,
+        rng: &mut SmallRng,
+    ) -> Result<(), LegalizeError> {
         let mut k = 1u32;
         while !remaining.is_empty() {
             if k > self.cfg.max_retry_iters {
@@ -225,6 +282,7 @@ impl Legalizer {
                 });
             }
             stats.retry_rounds = k;
+            let probe = stats.phases.start();
             let radius_x = i64::from(self.cfg.rx) * i64::from(k - 1);
             let radius_y = i64::from(self.cfg.ry) * i64::from(k - 1);
             let mut still = Vec::new();
@@ -240,14 +298,15 @@ impl Legalizer {
                 } else {
                     0.0
                 };
-                if !self.try_place(design, state, cell, fx + dx, fy + dy, &mut stats)? {
+                if !self.try_place(design, state, cell, fx + dx, fy + dy, stats)? {
                     still.push(cell);
                 }
             }
             remaining = still;
+            stats.phases.stop(Phase::Retry, probe);
             k += 1;
         }
-        Ok(stats)
+        Ok(())
     }
 }
 
@@ -387,7 +446,9 @@ mod tests {
             max_retry_iters: 3,
             ..LegalizerConfig::default()
         };
-        let err = Legalizer::new(cfg).legalize(&design, &mut state).unwrap_err();
+        let err = Legalizer::new(cfg)
+            .legalize(&design, &mut state)
+            .unwrap_err();
         assert!(matches!(err, LegalizeError::Unplaceable { cell, .. } if cell == d));
     }
 

@@ -2,10 +2,11 @@
 //! realize → commit.
 
 use crate::config::LegalizerConfig;
-use crate::enumerate::find_best_insertion_point;
+use crate::enumerate::find_best_insertion_point_timed;
 use crate::evaluate::{Evaluation, TargetSpec};
 use crate::realize::realize;
 use crate::region::LocalRegion;
+use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::{SitePoint, SiteRect};
 
@@ -45,10 +46,29 @@ pub fn mll(
     target: CellId,
     pos: SitePoint,
 ) -> Result<MllOutcome, DbError> {
-    Ok(match mll_transacted(design, state, cfg, target, pos)? {
-        Some(tx) => MllOutcome::Placed(tx.eval),
-        None => MllOutcome::NoInsertionPoint,
-    })
+    let mut timer = PhaseTimes::default();
+    mll_timed(design, state, cfg, target, pos, &mut timer)
+}
+
+/// [`mll`] with per-phase wall-clock accounting into `timer`.
+///
+/// # Errors
+///
+/// Same as [`mll`].
+pub fn mll_timed(
+    design: &Design,
+    state: &mut PlacementState,
+    cfg: &LegalizerConfig,
+    target: CellId,
+    pos: SitePoint,
+    timer: &mut PhaseTimes,
+) -> Result<MllOutcome, DbError> {
+    Ok(
+        match mll_transacted_timed(design, state, cfg, target, pos, timer)? {
+            Some(tx) => MllOutcome::Placed(tx.eval),
+            None => MllOutcome::NoInsertionPoint,
+        },
+    )
 }
 
 /// A committed MLL insertion with enough information to undo it —
@@ -100,6 +120,23 @@ pub fn mll_transacted(
     target: CellId,
     pos: SitePoint,
 ) -> Result<Option<MllTransaction>, DbError> {
+    let mut timer = PhaseTimes::default();
+    mll_transacted_timed(design, state, cfg, target, pos, &mut timer)
+}
+
+/// [`mll_transacted`] with per-phase wall-clock accounting into `timer`.
+///
+/// # Errors
+///
+/// Same as [`mll`].
+pub fn mll_transacted_timed(
+    design: &Design,
+    state: &mut PlacementState,
+    cfg: &LegalizerConfig,
+    target: CellId,
+    pos: SitePoint,
+    timer: &mut PhaseTimes,
+) -> Result<Option<MllTransaction>, DbError> {
     if state.is_placed(target) {
         return Err(DbError::AlreadyPlaced(target));
     }
@@ -110,7 +147,9 @@ pub fn mll_transacted(
         2 * cfg.rx + cell.width(),
         2 * cfg.ry + cell.height(),
     );
+    let probe = timer.start();
     let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
+    timer.stop(Phase::Extract, probe);
     let spec = TargetSpec {
         w: cell.width(),
         h: cell.height(),
@@ -118,9 +157,10 @@ pub fn mll_transacted(
         y: pos.y,
         rail: cell.rail(),
     };
-    let Some(point) = find_best_insertion_point(&region, design, &spec, cfg) else {
+    let Some(point) = find_best_insertion_point_timed(&region, design, &spec, cfg, timer) else {
         return Ok(None);
     };
+    let probe = timer.start();
     let realization = realize(&region, &point, &spec);
     let undo_moves: Vec<(CellId, i32)> = realization
         .moves
@@ -142,6 +182,7 @@ pub fn mll_transacted(
     } else {
         state.place_ignoring_rails(design, target, at)?;
     }
+    timer.stop(Phase::Realize, probe);
     Ok(Some(MllTransaction {
         target,
         placed_at: at,

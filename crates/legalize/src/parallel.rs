@@ -1,0 +1,408 @@
+//! Parallel windowed legalization driver.
+//!
+//! The first pass of Algorithm 1 visits every unplaced cell once and runs
+//! MLL inside a window of half-width `Rx` around the cell's snapped input
+//! position. Two cells whose windows cannot interact can therefore be
+//! legalized concurrently. This driver bins unplaced cells into vertical
+//! *stripes* of width `W = 2·(Rx + wmax)` (`wmax` = widest movable cell),
+//! which guarantees that the *halo* of stripe `i` — the union of every
+//! window read or mutated by cells binned to it, `[x_i − Rx − wmax,
+//! x_{i+1} + Rx + wmax)` — is disjoint from the halo of stripe `i ± 2`.
+//! Even-indexed stripes then run concurrently in one wave, odd-indexed
+//! stripes in a second wave.
+//!
+//! Workers legalize their stripes against a clone of the master placement
+//! and report a per-stripe *diff* (cells placed or shifted). Diffs are
+//! validated against the stripe halo and applied to the master in stripe
+//! order, so the result is a pure function of the stripe schedule — **the
+//! final placement is bit-identical for any thread count**, including one.
+//! A diff that escapes its halo (impossible by construction; checked
+//! defensively) is discarded and its stripe's cells join the *residue*:
+//! first-pass failures that are handed to the ordinary sequential retry
+//! loop with the configured seed.
+//!
+//! Determinism notes: the parallel phase consumes no randomness (first-pass
+//! attempts happen at the snapped input positions); the driver RNG is used
+//! only for the `Shuffled` cell order and the sequential retry loop, both
+//! of which are independent of the thread count.
+
+use crate::legalizer::{LegalizeError, LegalizeStats, Legalizer};
+use crate::mll::mll_transacted_timed;
+use crate::timing::PhaseTimes;
+use mrl_db::{CellId, DbError, Design, PlacementState};
+use mrl_geom::SitePoint;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell's placement change within a stripe.
+#[derive(Clone, Copy, Debug)]
+struct DiffEntry {
+    cell: CellId,
+    /// Position before the stripe ran (`None` = unplaced).
+    old: Option<SitePoint>,
+    /// Position after the stripe ran.
+    new: SitePoint,
+}
+
+/// Everything a worker reports for one stripe.
+#[derive(Clone, Debug)]
+struct StripeResult {
+    stripe: usize,
+    diff: Vec<DiffEntry>,
+    /// Cells the first-pass attempt could not place, in visit order.
+    failed: Vec<CellId>,
+    direct: usize,
+    via_mll: usize,
+    mll_calls: usize,
+    phases: PhaseTimes,
+    /// A database error inside the worker (indicates a bug); the stripe's
+    /// diff is discarded and the error propagated after the wave.
+    error: Option<DbError>,
+}
+
+impl Legalizer {
+    /// Legalizes every unplaced movable cell like
+    /// [`legalize`](Legalizer::legalize), running the first pass over
+    /// vertical stripes on up to `threads` worker threads.
+    ///
+    /// The final placement depends only on the configuration and seed, not
+    /// on `threads`: any thread count (including 1) produces bit-identical
+    /// positions. Note the stripe schedule visits cells in a different
+    /// order than the sequential driver, so `legalize_parallel(…, 1)` —
+    /// not [`legalize`](Legalizer::legalize) — is the reference for
+    /// equality tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`legalize`](Legalizer::legalize).
+    pub fn legalize_parallel(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        threads: usize,
+    ) -> Result<LegalizeStats, LegalizeError> {
+        let wall = std::time::Instant::now();
+        let threads = threads.max(1);
+        let cfg = self.config();
+        let mut stats = LegalizeStats {
+            phases: PhaseTimes::enabled(),
+            threads,
+            ..LegalizeStats::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let unplaced = self.ordered_unplaced(design, state, &mut rng);
+        if unplaced.is_empty() {
+            stats.wall = wall.elapsed();
+            return Ok(stats);
+        }
+
+        // Stripe geometry. `wmax` ranges over all movable cells: any of
+        // them may be shifted by an MLL realization.
+        let wmax = design
+            .movable_cells()
+            .map(|c| design.cell(c).width())
+            .max()
+            .unwrap_or(1);
+        let bounds = design.floorplan().bounds();
+        let stripe_w = (2 * (cfg.rx + wmax)).max(1);
+        let nstripes = ((bounds.w + stripe_w - 1) / stripe_w).max(1) as usize;
+
+        // Bin by snapped first-pass position; order within a stripe is the
+        // global visiting order.
+        let mut stripes: Vec<Vec<CellId>> = vec![Vec::new(); nstripes];
+        for &cell in &unplaced {
+            let (fx, fy) = design.input_position(cell);
+            let pos = self.snap(design, cell, fx, fy);
+            let idx = (((pos.x - bounds.x) / stripe_w).max(0) as usize).min(nstripes - 1);
+            stripes[idx].push(cell);
+        }
+        stats.stripes = stripes.iter().filter(|s| !s.is_empty()).count();
+
+        let mut residue: Vec<CellId> = Vec::new();
+        for parity in 0..2usize {
+            let wave: Vec<usize> = (0..nstripes)
+                .filter(|&i| i % 2 == parity && !stripes[i].is_empty())
+                .collect();
+            if wave.is_empty() {
+                continue;
+            }
+            let workers = threads.min(wave.len());
+            let next = AtomicUsize::new(0);
+            let results: Mutex<Vec<StripeResult>> = Mutex::new(Vec::with_capacity(wave.len()));
+            let master: &PlacementState = state;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut local: Option<PlacementState> = None;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&sidx) = wave.get(i) else { break };
+                            let local = local.get_or_insert_with(|| master.clone());
+                            let res = self.run_stripe(design, local, sidx, &stripes[sidx]);
+                            results.lock().unwrap().push(res);
+                        }
+                    });
+                }
+            });
+
+            let mut results = results.into_inner().unwrap();
+            results.sort_by_key(|r| r.stripe);
+            for res in results {
+                if let Some(e) = res.error {
+                    return Err(e.into());
+                }
+                let x0 = bounds.x + res.stripe as i32 * stripe_w;
+                let halo = (x0 - cfg.rx - wmax, x0 + stripe_w + cfg.rx + wmax);
+                if !diff_within_halo(design, &res.diff, halo) {
+                    // Boundary conflict: discard the stripe wholesale and
+                    // re-legalize its cells sequentially.
+                    stats.conflicts += 1;
+                    residue.extend_from_slice(&stripes[res.stripe]);
+                    continue;
+                }
+                self.apply_diff(design, state, &res.diff)?;
+                stats.placed += res.diff.iter().filter(|d| d.old.is_none()).count();
+                stats.direct += res.direct;
+                stats.via_mll += res.via_mll;
+                stats.mll_calls += res.mll_calls;
+                stats.phases.merge(&res.phases);
+                residue.extend_from_slice(&res.failed);
+            }
+        }
+
+        stats.residue = residue.len();
+        self.retry_loop(design, state, residue, &mut stats, &mut rng)?;
+        stats.wall = wall.elapsed();
+        Ok(stats)
+    }
+
+    /// First-pass legalization of one stripe's cells against `local`,
+    /// collecting the placement diff instead of touching the master.
+    fn run_stripe(
+        &self,
+        design: &Design,
+        local: &mut PlacementState,
+        stripe: usize,
+        cells: &[CellId],
+    ) -> StripeResult {
+        let cfg = self.config();
+        let mut res = StripeResult {
+            stripe,
+            diff: Vec::new(),
+            failed: Vec::new(),
+            direct: 0,
+            via_mll: 0,
+            mll_calls: 0,
+            phases: PhaseTimes::enabled(),
+            error: None,
+        };
+        // cell -> index into res.diff; keeps the *first* old position when
+        // a cell is touched repeatedly within the stripe.
+        let mut touched: HashMap<CellId, usize> = HashMap::new();
+        let mut record =
+            |diff: &mut Vec<DiffEntry>, cell: CellId, old: Option<SitePoint>, new| match touched
+                .entry(cell)
+            {
+                std::collections::hash_map::Entry::Occupied(e) => diff[*e.get()].new = new,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(diff.len());
+                    diff.push(DiffEntry { cell, old, new });
+                }
+            };
+        for &cell in cells {
+            let (fx, fy) = design.input_position(cell);
+            let pos = self.snap(design, cell, fx, fy);
+            let direct = if cfg.rail_mode.is_aligned() {
+                local.place(design, cell, pos)
+            } else {
+                local.place_ignoring_rails(design, cell, pos)
+            };
+            match direct {
+                Ok(()) => {
+                    res.direct += 1;
+                    record(&mut res.diff, cell, None, pos);
+                }
+                Err(DbError::AlreadyPlaced(c)) => {
+                    res.error = Some(DbError::AlreadyPlaced(c));
+                    return res;
+                }
+                Err(_) => {
+                    res.mll_calls += 1;
+                    match mll_transacted_timed(design, local, cfg, cell, pos, &mut res.phases) {
+                        Ok(Some(tx)) => {
+                            res.via_mll += 1;
+                            for &(moved, old_x) in &tx.undo_moves {
+                                let now = local.position(moved).expect("shifted cell is placed");
+                                record(
+                                    &mut res.diff,
+                                    moved,
+                                    Some(SitePoint::new(old_x, now.y)),
+                                    now,
+                                );
+                            }
+                            record(&mut res.diff, cell, None, tx.placed_at);
+                        }
+                        Ok(None) => res.failed.push(cell),
+                        Err(e) => {
+                            res.error = Some(e);
+                            return res;
+                        }
+                    }
+                }
+            }
+        }
+        // Drop no-op entries (a neighbour shifted away and back) and make
+        // the order canonical for the halo check and master apply.
+        res.diff.retain(|d| d.old != Some(d.new));
+        res.diff.sort_by_key(|d| d.cell);
+        res
+    }
+
+    /// Applies one validated stripe diff to the master state: neighbour
+    /// shifts as a batch, then the newly placed cells.
+    fn apply_diff(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        diff: &[DiffEntry],
+    ) -> Result<(), LegalizeError> {
+        let moves: Vec<(CellId, i32)> = diff
+            .iter()
+            .filter(|d| d.old.is_some())
+            .map(|d| (d.cell, d.new.x))
+            .collect();
+        if !moves.is_empty() {
+            state.shift_batch(design, &moves)?;
+        }
+        for d in diff.iter().filter(|d| d.old.is_none()) {
+            if self.config().rail_mode.is_aligned() {
+                state.place(design, d.cell, d.new)?;
+            } else {
+                state.place_ignoring_rails(design, d.cell, d.new)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True if every footprint the diff touches (old and new) lies within
+/// `halo = [lo, hi)` horizontally and shifts stay on their row.
+fn diff_within_halo(design: &Design, diff: &[DiffEntry], halo: (i32, i32)) -> bool {
+    diff.iter().all(|d| {
+        let w = design.cell(d.cell).width();
+        let span_ok = |p: SitePoint| p.x >= halo.0 && p.x + w <= halo.1;
+        span_ok(d.new)
+            && match d.old {
+                Some(old) => span_ok(old) && old.y == d.new.y,
+                None => true,
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CellOrder, LegalizerConfig, PowerRailMode};
+    use mrl_db::DesignBuilder;
+
+    fn clustered_design(cols: i32, rows: i32, cells: usize) -> Design {
+        let mut b = DesignBuilder::new(rows, cols);
+        for i in 0..cells {
+            let w = 2 + (i % 3) as i32;
+            let h = 1 + (i % 2) as i32;
+            let c = b.add_cell(format!("c{i}"), w, h);
+            // Deterministic pseudo-random clustering without an RNG.
+            let x = ((i as f64 * 37.7) % f64::from(cols - 6)).abs();
+            let y = ((i as f64 * 11.3) % f64::from(rows - 2)).abs();
+            b.set_input_position(c, x, y);
+        }
+        b.finish().unwrap()
+    }
+
+    fn positions(state: &PlacementState) -> Vec<(CellId, SitePoint)> {
+        let mut v: Vec<_> = state.iter_placed().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let design = clustered_design(160, 8, 120);
+        let lg = Legalizer::new(LegalizerConfig::default().with_window(10, 3));
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let mut state = PlacementState::new(&design);
+            let stats = lg.legalize_parallel(&design, &mut state, threads).unwrap();
+            assert_eq!(stats.placed, 120, "threads {threads}");
+            assert_eq!(stats.threads, threads);
+            assert!(stats.stripes > 1, "want a multi-stripe schedule");
+            let got = positions(&state);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(want, &got, "threads {threads} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_on_shuffled_order() {
+        let design = clustered_design(120, 6, 60);
+        let cfg = LegalizerConfig::default()
+            .with_window(8, 2)
+            .with_order(CellOrder::Shuffled)
+            .with_rail_mode(PowerRailMode::Relaxed);
+        let lg = Legalizer::new(cfg);
+        let mut a = PlacementState::new(&design);
+        let mut b = PlacementState::new(&design);
+        lg.legalize_parallel(&design, &mut a, 1).unwrap();
+        lg.legalize_parallel(&design, &mut b, 3).unwrap();
+        assert_eq!(positions(&a), positions(&b));
+    }
+
+    #[test]
+    fn respects_preplaced_cells() {
+        let mut b = DesignBuilder::new(2, 60);
+        let pre = b.add_cell("pre", 4, 1);
+        let mut movers = Vec::new();
+        for i in 0..6 {
+            let c = b.add_cell(format!("m{i}"), 3, 1);
+            b.set_input_position(c, 10.0 + i as f64, 0.0);
+            movers.push(c);
+        }
+        let design = b.finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        state.place(&design, pre, SitePoint::new(12, 0)).unwrap();
+        let stats = Legalizer::default()
+            .legalize_parallel(&design, &mut state, 2)
+            .unwrap();
+        assert_eq!(stats.placed, 6);
+        assert!(state.is_placed(pre));
+        assert_eq!(state.num_placed(), 7);
+    }
+
+    #[test]
+    fn empty_design_is_a_noop() {
+        let design = DesignBuilder::new(2, 20).finish().unwrap();
+        let mut state = PlacementState::new(&design);
+        let stats = Legalizer::default()
+            .legalize_parallel(&design, &mut state, 4)
+            .unwrap();
+        assert_eq!(stats.placed, 0);
+        assert_eq!(stats.stripes, 0);
+    }
+
+    #[test]
+    fn stats_account_for_all_cells() {
+        let design = clustered_design(100, 4, 50);
+        let lg = Legalizer::new(LegalizerConfig::default().with_window(12, 2));
+        let mut state = PlacementState::new(&design);
+        let stats = lg.legalize_parallel(&design, &mut state, 4).unwrap();
+        assert_eq!(stats.placed, 50);
+        assert_eq!(state.num_placed(), 50);
+        assert!(stats.phases.is_enabled());
+        assert!(stats.wall.as_nanos() > 0);
+    }
+}

@@ -128,8 +128,7 @@ mod tests {
         for (&id, &(_, _, x, y)) in ids.iter().zip(cells) {
             state.place(&design, id, SitePoint::new(x, y)).unwrap();
         }
-        let region =
-            LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
+        let region = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, width, rows));
         (region, ids, design)
     }
 
@@ -207,10 +206,7 @@ mod tests {
         assert_eq!(r.target_x, 5);
         let mut moves = r.moves.clone();
         moves.sort_by_key(|&(id, _)| id);
-        assert_eq!(
-            moves,
-            vec![(ids[0], 8), (ids[1], 11), (ids[2], 14)]
-        );
+        assert_eq!(moves, vec![(ids[0], 8), (ids[1], 11), (ids[2], 14)]);
         assert_eq!(r.cell_displacement, 4 + 4 + 4);
     }
 

@@ -102,7 +102,11 @@ pub fn refine_rows(design: &Design, state: &mut PlacementState) -> Result<Refine
                 if inside {
                     (fences[idx].0, fences[idx].1)
                 } else {
-                    let lo = if idx == 0 { i32::MIN } else { fences[idx - 1].1 };
+                    let lo = if idx == 0 {
+                        i32::MIN
+                    } else {
+                        fences[idx - 1].1
+                    };
                     let hi = fences.get(idx).map(|&(a, _)| a).unwrap_or(i32::MAX);
                     (lo, hi)
                 }
@@ -168,13 +172,7 @@ pub fn refine_rows(design: &Design, state: &mut PlacementState) -> Result<Refine
 /// Clumps one run of single-row cells into `[lo, hi)` and records moves.
 /// The caller guarantees the bounds respect segments, multi-row barriers,
 /// and fence zones.
-fn repack_run(
-    lo: i32,
-    hi: i32,
-    design: &Design,
-    run: &[CellId],
-    moves: &mut Vec<(CellId, i32)>,
-) {
+fn repack_run(lo: i32, hi: i32, design: &Design, run: &[CellId], moves: &mut Vec<(CellId, i32)>) {
     let mut clusters: Vec<Cluster> = Vec::new();
     for &cell in run {
         let c = design.cell(cell);

@@ -119,20 +119,15 @@ impl LocalRegion {
         // Candidate cells: placed cells intersecting the clipped window,
         // classified once as inside/outside.
         let mut inside: HashMap<CellId, SiteRect> = HashMap::new();
-        let mut frozen: Vec<SiteRect> = Vec::new();
         let mut seen: HashMap<CellId, ()> = HashMap::new();
         for row in r0..r1 {
-            for seg in fp.segments_in_row(row) {
+            let base = fp.row_segment_base(row).expect("row in range");
+            for (idx, seg) in fp.segments_in_row(row).iter().enumerate() {
                 let x0 = seg.x.max(window.x);
                 let x1 = seg.right().min(window.right());
                 if x0 >= x1 {
                     continue;
                 }
-                let base = fp.row_segment_base(row).expect("row in range");
-                let idx = fp.segments_in_row(row)
-                    .iter()
-                    .position(|s| s == seg)
-                    .expect("segment of its own row");
                 let seg_id = SegId::from_usize(base + idx);
                 for &cell in state.cells_intersecting(design, seg_id, x0, x1) {
                     if seen.insert(cell, ()).is_some() {
@@ -141,8 +136,6 @@ impl LocalRegion {
                     let rect = state.rect_of(design, cell).expect("listed cell placed");
                     if window.contains_rect(&rect) {
                         inside.insert(cell, rect);
-                    } else {
-                        frozen.push(rect);
                     }
                 }
             }
@@ -161,13 +154,32 @@ impl LocalRegion {
                     }
                     let base = fp.row_segment_base(row).expect("row in range");
                     let seg_id = SegId::from_usize(base + idx);
-                    // Blocked spans on this row from frozen cells.
-                    let mut blocked: Vec<(i32, i32)> = frozen
+                    // Free space on this row from the occupancy index:
+                    // the segment's gaps clipped to the window, unioned
+                    // with the footprints of still-inside (movable) cells.
+                    // Frozen cells are exactly the placed cells in neither
+                    // set, so the merged union is bounded by them — no
+                    // rescan of `seg_cells` needed.
+                    let mut free: Vec<(i32, i32)> = state
+                        .free_gaps(seg_id)
                         .iter()
-                        .filter(|c| c.y <= row && row < c.top())
-                        .map(|c| (c.x.max(sx0), c.right().min(sx1)))
-                        .filter(|(a, b)| a < b)
+                        .filter_map(|&(g0, g1)| {
+                            let (a, b) = (g0.max(sx0), g1.min(sx1));
+                            (a < b).then_some((a, b))
+                        })
                         .collect();
+                    for rect in inside.values() {
+                        if rect.y <= row && row < rect.top() {
+                            let (a, b) = (rect.x.max(sx0), rect.right().min(sx1));
+                            if a < b {
+                                free.push((a, b));
+                            }
+                        }
+                    }
+                    free.sort_unstable();
+                    // Blocked spans on this row (fences only; frozen cells
+                    // are already excluded from `free`).
+                    let mut blocked: Vec<(i32, i32)> = Vec::new();
                     // Fence clipping: members may only use their region's
                     // area, everyone else must avoid every fence.
                     match target_region {
@@ -207,17 +219,36 @@ impl LocalRegion {
                             }
                         }
                     }
-                    blocked.sort_unstable();
-                    let mut cursor = sx0;
-                    let mut runs: Vec<(i32, i32)> = Vec::new();
-                    for (bx0, bx1) in blocked {
-                        if bx0 > cursor {
-                            runs.push((cursor, bx0));
+                    // Merge free intervals into maximal runs (gaps and
+                    // inside-cell spans abut), then subtract fence spans.
+                    let mut merged: Vec<(i32, i32)> = Vec::new();
+                    for (a, b) in free {
+                        match merged.last_mut() {
+                            Some((_, e)) if *e >= a => *e = (*e).max(b),
+                            _ => merged.push((a, b)),
                         }
-                        cursor = cursor.max(bx1);
                     }
-                    if cursor < sx1 {
-                        runs.push((cursor, sx1));
+                    blocked.sort_unstable();
+                    let mut runs: Vec<(i32, i32)> = Vec::new();
+                    for (mut a, b) in merged {
+                        for &(ba, bb) in &blocked {
+                            if bb <= a {
+                                continue;
+                            }
+                            if ba >= b {
+                                break;
+                            }
+                            if ba > a {
+                                runs.push((a, ba));
+                            }
+                            a = a.max(bb);
+                            if a >= b {
+                                break;
+                            }
+                        }
+                        if a < b {
+                            runs.push((a, b));
+                        }
                     }
                     for (x0, x1) in runs {
                         // Distance of the run to the (doubled) center.
@@ -257,8 +288,10 @@ impl LocalRegion {
                 break chosen;
             }
             for cell in newly_frozen {
-                let rect = inside.remove(&cell).expect("was inside");
-                frozen.push(rect);
+                // Demoted cells leave `inside`; their footprints stop
+                // contributing to the free-run union and thus act as
+                // frozen blockers on the next fixpoint round.
+                inside.remove(&cell).expect("was inside");
             }
         };
 
@@ -451,8 +484,7 @@ mod tests {
     #[test]
     fn straddling_cell_is_frozen_and_splits_row() {
         // Cell at x=8..14 sticks out of the window (window right edge 12).
-        let (design, state, ids) =
-            placed_design(1, 30, &[(6, 1, 8, 0), (2, 1, 2, 0)]);
+        let (design, state, ids) = placed_design(1, 30, &[(6, 1, 8, 0), (2, 1, 2, 0)]);
         let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 1));
         // The frozen cell bounds the local segment on the right.
         let seg = r.rows[0].as_ref().unwrap();
@@ -536,11 +568,8 @@ mod tests {
         // Rows 0-1, width 12.
         // row1:  m(2x2)@4  s(2x1)@8
         // row0:  a(3x1)@0  m
-        let (design, state, ids) = placed_design(
-            2,
-            12,
-            &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)],
-        );
+        let (design, state, ids) =
+            placed_design(2, 12, &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)]);
         let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 2));
         let m = &r.cells[r.local_index_of(ids[0]).unwrap() as usize];
         let s = &r.cells[r.local_index_of(ids[1]).unwrap() as usize];
@@ -558,11 +587,8 @@ mod tests {
 
     #[test]
     fn neighbors_follow_row_lists() {
-        let (design, state, ids) = placed_design(
-            2,
-            12,
-            &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)],
-        );
+        let (design, state, ids) =
+            placed_design(2, 12, &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)]);
         let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 2));
         let m = r.local_index_of(ids[0]).unwrap();
         let s = r.local_index_of(ids[1]).unwrap();

@@ -99,9 +99,7 @@ pub fn check_legal(
         };
         let cell = design.cell(id);
         // Rail parity.
-        if rails == RailCheck::Enforce
-            && !fp.rail_compatible(cell.rail(), cell.height(), p.y)
-        {
+        if rails == RailCheck::Enforce && !fp.rail_compatible(cell.rail(), cell.height(), p.y) {
             violations.push(Violation::RailMismatch(id));
         }
         // Fence regions: members inside, everyone else outside.

@@ -2,7 +2,6 @@
 //! (Table 1, "Disp. (sites)").
 
 use mrl_db::{Design, PlacementState};
-use serde::{Deserialize, Serialize};
 
 /// Displacement of a legalized placement relative to the global-placement
 /// input positions.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Horizontal displacement is measured in site widths; vertical
 /// displacement in rows is converted to site widths through the grid's
 /// aspect ratio, matching the unit of Table 1.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DisplacementStats {
     /// Number of placed movable cells the statistics cover.
     pub cells: usize,

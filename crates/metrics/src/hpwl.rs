@@ -1,10 +1,9 @@
 //! Half-perimeter wirelength and ΔHPWL against the global placement.
 
 use mrl_db::{Design, PlacementState};
-use serde::{Deserialize, Serialize};
 
 /// HPWL before/after legalization, in microns.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HpwlReport {
     /// HPWL of the global-placement input.
     pub input_um: f64,

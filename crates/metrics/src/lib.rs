@@ -40,6 +40,6 @@ mod table;
 
 pub use check::{check_legal, CheckReport, RailCheck, Violation};
 pub use displacement::{displacement_stats, DisplacementStats};
-pub use hpwl::{hpwl_of_input, hpwl_of_state, hpwl_change, HpwlReport};
+pub use hpwl::{hpwl_change, hpwl_of_input, hpwl_of_state, HpwlReport};
 pub use svg::{render_svg, SvgOptions};
 pub use table::Table;

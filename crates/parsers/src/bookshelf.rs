@@ -43,11 +43,7 @@ pub fn write(design: &Design, dir: &Path, base: &str) -> Result<(), ParseError> 
 
 fn nodes_text(design: &Design) -> String {
     let mut out = String::from("UCLA nodes 1.0\n\n");
-    let terminals = design
-        .cells()
-        .iter()
-        .filter(|c| !c.is_movable())
-        .count();
+    let terminals = design.cells().iter().filter(|c| !c.is_movable()).count();
     let _ = writeln!(out, "NumNodes : {}", design.num_cells());
     let _ = writeln!(out, "NumTerminals : {terminals}");
     for cell in design.cells() {
@@ -220,7 +216,11 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
     let row_h = rows[0].height;
     let site_w = rows[0].site_width;
     if row_h <= 0.0 || site_w <= 0.0 {
-        return Err(ParseError::syntax(&scl_file, 0, "non-positive row geometry"));
+        return Err(ParseError::syntax(
+            &scl_file,
+            0,
+            "non-positive row geometry",
+        ));
     }
     let to_rows = |v: f64| -> Result<i32, ParseError> {
         let r = v / row_h;
@@ -296,7 +296,9 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
             RawNode {
                 w: to_sites(w)?,
                 h: to_rows(h)?,
-                terminal: tokens.get(3).is_some_and(|t| t.eq_ignore_ascii_case("terminal")),
+                terminal: tokens
+                    .get(3)
+                    .is_some_and(|t| t.eq_ignore_ascii_case("terminal")),
             },
         ));
     }
@@ -320,7 +322,10 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
         let y: f64 = tokens[2]
             .parse()
             .map_err(|_| ParseError::syntax(&pl_file, lno, "bad y"))?;
-        positions.insert(tokens[0].to_string(), (x / site_w, y / row_h - f64::from(base_row)));
+        positions.insert(
+            tokens[0].to_string(),
+            (x / site_w, y / row_h - f64::from(base_row)),
+        );
     }
 
     // Create cells.
@@ -351,7 +356,10 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
         let lno = lno + 1;
         let line = strip_comment(line);
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        if tokens.is_empty() || tokens[0] == "UCLA" || tokens[0] == "NumNets" || tokens[0] == "NumPins"
+        if tokens.is_empty()
+            || tokens[0] == "UCLA"
+            || tokens[0] == "NumNets"
+            || tokens[0] == "NumPins"
         {
             continue;
         }
@@ -374,8 +382,14 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
             .nth(1)
             .map(|s| s.split_whitespace().collect())
             .unwrap_or_default();
-        let dx: f64 = after_colon.first().and_then(|s| s.parse().ok()).unwrap_or(0.0);
-        let dy: f64 = after_colon.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+        let dx: f64 = after_colon
+            .first()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+        let dy: f64 = after_colon
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
         if name == "__fixed__" {
             builder.add_fixed_pin(net, dx, dy);
             continue;
@@ -432,13 +446,13 @@ mod tests {
         assert_eq!(back.num_cells(), design.num_cells());
         assert_eq!(back.num_movable(), design.num_movable());
         assert_eq!(back.netlist().num_nets(), design.netlist().num_nets());
-        assert_eq!(
-            back.floorplan().num_rows(),
-            design.floorplan().num_rows()
-        );
+        assert_eq!(back.floorplan().num_rows(), design.floorplan().num_rows());
         // Cell geometry round-trips exactly.
         for (a, b) in design.cells().iter().zip(back.cells()) {
-            assert_eq!((a.name(), a.width(), a.height()), (b.name(), b.width(), b.height()));
+            assert_eq!(
+                (a.name(), a.width(), a.height()),
+                (b.name(), b.width(), b.height())
+            );
             assert_eq!(a.is_movable(), b.is_movable());
         }
         // Input positions round-trip to printed precision.
@@ -474,7 +488,11 @@ mod tests {
             "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n a 4 9\n b 6 18\n",
         )
         .unwrap();
-        std::fs::write(dir.join("u.nets"), "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n").unwrap();
+        std::fs::write(
+            dir.join("u.nets"),
+            "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n",
+        )
+        .unwrap();
         std::fs::write(
             dir.join("u.pl"),
             "UCLA pl 1.0\na 8.0 9.0 : N\nb 0.0 0.0 : N\n",
@@ -501,13 +519,12 @@ mod tests {
     #[test]
     fn terminal_without_position_is_semantic_error() {
         let dir = tmpdir("badterm");
-        std::fs::write(dir.join("t.aux"), "RowBasedPlacement : t.nodes t.nets t.pl t.scl\n")
-            .unwrap();
         std::fs::write(
-            dir.join("t.nodes"),
-            "UCLA nodes 1.0\n m 4 1 terminal\n",
+            dir.join("t.aux"),
+            "RowBasedPlacement : t.nodes t.nets t.pl t.scl\n",
         )
         .unwrap();
+        std::fs::write(dir.join("t.nodes"), "UCLA nodes 1.0\n m 4 1 terminal\n").unwrap();
         std::fs::write(dir.join("t.nets"), "UCLA nets 1.0\n").unwrap();
         std::fs::write(dir.join("t.pl"), "UCLA pl 1.0\n").unwrap();
         std::fs::write(
@@ -530,8 +547,11 @@ mod tests {
     #[test]
     fn comments_are_ignored() {
         let dir = tmpdir("comments");
-        std::fs::write(dir.join("c.aux"), "RowBasedPlacement : c.nodes c.nets c.pl c.scl\n")
-            .unwrap();
+        std::fs::write(
+            dir.join("c.aux"),
+            "RowBasedPlacement : c.nodes c.nets c.pl c.scl\n",
+        )
+        .unwrap();
         std::fs::write(
             dir.join("c.nodes"),
             "UCLA nodes 1.0\n# a comment line\n a 2 1 # trailing\n",

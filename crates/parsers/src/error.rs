@@ -26,7 +26,11 @@ pub enum ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn syntax(file: impl Into<PathBuf>, line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn syntax(
+        file: impl Into<PathBuf>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
         ParseError::Syntax {
             file: file.into(),
             line,
@@ -39,7 +43,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseError::Syntax { file, line, message } => {
+            ParseError::Syntax {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{}:{line}: {message}", file.display())
             }
             ParseError::Semantic(message) => write!(f, "inconsistent benchmark: {message}"),

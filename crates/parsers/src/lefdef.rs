@@ -428,12 +428,13 @@ pub fn read(lef_path: &Path, def_path: &Path) -> Result<Design, ParseError> {
                     })
                     .collect::<Result<_, _>>()?;
                 if !nums.len().is_multiple_of(4) || nums.is_empty() {
-                    return Err(ParseError::syntax(def_path, 0, "region needs (x y)(x y) pairs"));
+                    return Err(ParseError::syntax(
+                        def_path,
+                        0,
+                        "region needs (x y)(x y) pairs",
+                    ));
                 }
-                let rects = nums
-                    .chunks(4)
-                    .map(|c| (c[0], c[1], c[2], c[3]))
-                    .collect();
+                let rects = nums.chunks(4).map(|c| (c[0], c[1], c[2], c[3])).collect();
                 pending_regions.push((name.to_string(), rects));
             }
             ["-", rest @ ..] if in_groups => {
@@ -477,16 +478,13 @@ pub fn read(lef_path: &Path, def_path: &Path) -> Result<Design, ParseError> {
             }
             ["-", rest @ ..] if in_nets => {
                 let b = builder.as_mut().expect("nets after floorplan");
-                parse_net(
-                    def_path, rest, b, &ids, grid, dbu, &comp_macro, &macro_pins,
-                )?;
+                parse_net(def_path, rest, b, &ids, grid, dbu, &comp_macro, &macro_pins)?;
             }
             _ => {}
         }
     }
-    let builder = builder.ok_or_else(|| {
-        ParseError::Semantic("DEF contains no COMPONENTS section".into())
-    })?;
+    let builder =
+        builder.ok_or_else(|| ParseError::Semantic("DEF contains no COMPONENTS section".into()))?;
     Ok(builder.finish()?)
 }
 
@@ -500,7 +498,11 @@ fn parse_component(
     ids: &mut HashMap<String, CellId>,
 ) -> Result<(), ParseError> {
     let [name, mname, rest @ ..] = tokens else {
-        return Err(ParseError::syntax(def_path, 0, "component needs name and macro"));
+        return Err(ParseError::syntax(
+            def_path,
+            0,
+            "component needs name and macro",
+        ));
     };
     let &(w_um, h_um, is_block) = macros
         .get(*mname)
@@ -597,9 +599,8 @@ fn parse_net(
             ))
         };
         if *comp == "PIN" {
-            let (x, y) = decode("FIXED_", pin).ok_or_else(|| {
-                ParseError::syntax(def_path, 0, "bad fixed pin encoding")
-            })?;
+            let (x, y) = decode("FIXED_", pin)
+                .ok_or_else(|| ParseError::syntax(def_path, 0, "bad fixed pin encoding"))?;
             b.add_fixed_pin(net, x, y);
             continue;
         }

@@ -145,8 +145,7 @@ pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, D
 
     // Macros: random non-overlapping rectangles totalling ~macro_fraction
     // of the chip.
-    let macro_budget =
-        (f64::from(row_width) * f64::from(num_rows) * cfg.macro_fraction) as i64;
+    let macro_budget = (f64::from(row_width) * f64::from(num_rows) * cfg.macro_fraction) as i64;
     let mut used: i64 = 0;
     let mut macros: Vec<SiteRect> = Vec::new();
     let mut attempts = 0;
@@ -188,13 +187,15 @@ pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, D
         } else {
             PowerRail::Vss
         };
-        let name = if h > 1 { format!("ff_{i}") } else { format!("g_{i}") };
+        let name = if h > 1 {
+            format!("ff_{i}")
+        } else {
+            format!("g_{i}")
+        };
         let id = b.add_cell_with_rail(name, w, h, rail);
         let (px, py) = spread[i];
-        let fx = (px + gauss(&mut rng) * jitter_x)
-            .clamp(0.0, f64::from((row_width - w).max(1)));
-        let fy = (py + gauss(&mut rng) * jitter_y)
-            .clamp(0.0, f64::from((num_rows - h).max(1)));
+        let fx = (px + gauss(&mut rng) * jitter_x).clamp(0.0, f64::from((row_width - w).max(1)));
+        let fy = (py + gauss(&mut rng) * jitter_y).clamp(0.0, f64::from((num_rows - h).max(1)));
         b.set_input_position(id, fx, fy);
         ids.push(id);
         cell_pos.push((fx, fy));

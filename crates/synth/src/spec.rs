@@ -1,9 +1,7 @@
 //! The 20-entry benchmark suite mirroring Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Observable statistics of one benchmark, matching a row of Table 1.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchmarkSpec {
     /// Benchmark name as printed in the paper.
     pub name: String,

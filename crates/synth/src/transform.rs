@@ -45,9 +45,15 @@ mod tests {
     fn preserves_total_area() {
         let mut rng = SmallRng::seed_from_u64(7);
         let mut cells: Vec<(i32, i32)> = (0..100).map(|i| (2 + 2 * (i % 3), 1)).collect();
-        let before: i64 = cells.iter().map(|&(w, h)| i64::from(w) * i64::from(h)).sum();
+        let before: i64 = cells
+            .iter()
+            .map(|&(w, h)| i64::from(w) * i64::from(h))
+            .sum();
         let converted = double_random_cells(&mut cells, 0.1, &mut rng);
-        let after: i64 = cells.iter().map(|&(w, h)| i64::from(w) * i64::from(h)).sum();
+        let after: i64 = cells
+            .iter()
+            .map(|&(w, h)| i64::from(w) * i64::from(h))
+            .sum();
         assert_eq!(before, after);
         assert_eq!(converted.len(), 10);
         for &i in &converted {
@@ -78,8 +84,9 @@ mod tests {
     fn fraction_of_total_not_of_eligible() {
         let mut rng = SmallRng::seed_from_u64(1);
         // 10 eligible + 10 ineligible; 10% of 20 = 2 conversions.
-        let mut cells: Vec<(i32, i32)> =
-            (0..20).map(|i| if i < 10 { (4, 1) } else { (3, 1) }).collect();
+        let mut cells: Vec<(i32, i32)> = (0..20)
+            .map(|i| if i < 10 { (4, 1) } else { (3, 1) })
+            .collect();
         let converted = double_random_cells(&mut cells, 0.1, &mut rng);
         assert_eq!(converted.len(), 2);
     }

@@ -13,8 +13,8 @@
 //! cargo run --example incremental_ecos
 //! ```
 
-use multirow_legalize::prelude::*;
 use multirow_legalize::legalize::mll;
+use multirow_legalize::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Base design plus three not-yet-placed buffers declared up front.
@@ -24,14 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let w = 2 + (i % 4) * 2;
         let h = if i % 9 == 0 { 2 } else { 1 };
         let c = b.add_cell(format!("g{i}"), w, h);
-        b.set_input_position(
-            c,
-            (i as f64 * 7.3) % 150.0,
-            (i as f64 * 1.37) % 22.0,
-        );
+        b.set_input_position(c, (i as f64 * 7.3) % 150.0, (i as f64 * 1.37) % 22.0);
         base_cells.push(c);
     }
-    let buffers: Vec<CellId> = (0..3).map(|i| b.add_cell(format!("buf{i}"), 3, 1)).collect();
+    let buffers: Vec<CellId> = (0..3)
+        .map(|i| b.add_cell(format!("buf{i}"), 3, 1))
+        .collect();
     let design = b.finish()?;
 
     // Phase 1: legalize the base cells only, using the driver's public
@@ -93,11 +91,7 @@ fn snapshot(design: &Design, state: &PlacementState) -> Vec<Option<SitePoint>> {
         .collect()
 }
 
-fn count_moved(
-    design: &Design,
-    state: &PlacementState,
-    before: &[Option<SitePoint>],
-) -> usize {
+fn count_moved(design: &Design, state: &PlacementState, before: &[Option<SitePoint>]) -> usize {
     (0..design.num_cells())
         .filter(|&i| {
             let id = CellId::from_usize(i);

@@ -57,13 +57,11 @@ pub mod prelude {
     pub use mrl_baselines::{AbacusLegalizer, IlpLegalizer, LocalSolver, TetrisLegalizer};
     pub use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
     pub use mrl_geom::{PowerRail, SiteGrid, SitePoint, SiteRect};
+    pub use mrl_gp::{GlobalPlacer, GpConfig};
     pub use mrl_legalize::{
         CellOrder, DetailedConfig, DetailedPlacer, EvalMode, LegalizeStats, Legalizer,
         LegalizerConfig, PowerRailMode,
     };
-    pub use mrl_metrics::{
-        check_legal, displacement_stats, hpwl_change, RailCheck, Table,
-    };
-    pub use mrl_gp::{GlobalPlacer, GpConfig};
+    pub use mrl_metrics::{check_legal, displacement_stats, hpwl_change, RailCheck, Table};
     pub use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
 }

@@ -100,7 +100,9 @@ fn mll_beats_tetris_on_displacement_in_dense_designs() {
     // completing at all — see `tetris_fails_when_density_is_extreme`).
     let design = small("e2e_vs_tetris", 0.7);
     let mut mll_state = PlacementState::new(&design);
-    Legalizer::default().legalize(&design, &mut mll_state).unwrap();
+    Legalizer::default()
+        .legalize(&design, &mut mll_state)
+        .unwrap();
     let mut tetris_state = PlacementState::new(&design);
     TetrisLegalizer::new()
         .legalize(&design, &mut tetris_state)

@@ -2,10 +2,10 @@
 //! ("Benchmarks with Fence Regions and Routing Blockages") enforced across
 //! the database, the legalizer, the ILP baseline, and the checker.
 
-use multirow_legalize::prelude::*;
 use mrl_baselines::{IlpLegalizer, LocalSolver};
 use mrl_db::DbError;
 use mrl_metrics::Violation;
+use multirow_legalize::prelude::*;
 use proptest::prelude::*;
 
 /// 8 rows x 60 sites with one fence `[30, 50) x [2, 6)`; `members` cells
@@ -182,7 +182,6 @@ fn multi_rect_fence_hosts_cells_in_every_rect() {
         assert!(f.covers(&state.rect_of(&design, c).unwrap()));
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

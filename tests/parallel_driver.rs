@@ -1,0 +1,120 @@
+//! Integration tests for the parallel stripe driver and the segment
+//! occupancy index.
+//!
+//! * The parallel driver must be a pure function of configuration and
+//!   seed: running with 1, 2, and N worker threads on the same synthesized
+//!   design must produce byte-identical `.pl`-style output.
+//! * The incremental free-gap index kept by `PlacementState` must agree
+//!   with a from-scratch recomputation from the per-segment cell lists
+//!   after arbitrary mutation sequences (place / MLL shifts / remove).
+
+use mrl_db::{CellId, Design, DesignBuilder, PlacementState, SegId};
+use mrl_legalize::{Legalizer, LegalizerConfig};
+use mrl_metrics::{check_legal, RailCheck};
+use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
+use proptest::prelude::*;
+
+/// Serializes placed positions as Bookshelf `.pl`-style lines; byte
+/// equality of this text is the determinism criterion.
+fn pl_text(design: &Design, state: &PlacementState) -> String {
+    let mut out = String::new();
+    for i in 0..design.num_cells() {
+        let cell = CellId::from_usize(i);
+        match state.position(cell) {
+            Some(p) => out.push_str(&format!(
+                "{} {} {} : N\n",
+                design.cell(cell).name(),
+                p.x,
+                p.y
+            )),
+            None => out.push_str(&format!("{} unplaced\n", design.cell(cell).name())),
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_driver_is_thread_count_invariant() {
+    let spec = BenchmarkSpec::new("par_det", 2_500, 250, 0.6, 0.0);
+    let design = generate(&spec, &GeneratorConfig::default().with_seed(7)).expect("generate");
+    let legalizer = Legalizer::new(LegalizerConfig::paper().with_seed(7));
+    let n = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, n] {
+        let mut state = PlacementState::new(&design);
+        let stats = legalizer
+            .legalize_parallel(&design, &mut state, threads)
+            .expect("parallel legalization");
+        assert_eq!(stats.placed, design.num_movable(), "threads {threads}");
+        check_legal(&design, &state, RailCheck::Enforce).expect("legal result");
+        let text = pl_text(&design, &state);
+        match &reference {
+            None => reference = Some(text),
+            Some(want) => assert_eq!(
+                want, &text,
+                ".pl output differs between 1 and {threads} threads"
+            ),
+        }
+    }
+}
+
+/// All segments' incremental gap lists vs the slow recomputation.
+fn assert_gaps_consistent(design: &Design, state: &PlacementState, context: &str) {
+    for i in 0..design.floorplan().segments().len() {
+        let seg = SegId::from_usize(i);
+        assert_eq!(
+            state.free_gaps(seg),
+            state.recompute_gaps(design, seg).as_slice(),
+            "occupancy index diverged from seg_cells rescan for segment {i} {context}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Legalization (place + shift_batch churn) followed by removals keeps
+    /// the occupancy index identical to the slow rescan.
+    #[test]
+    fn occupancy_index_matches_slow_rescan(
+        rows in 2..5i32,
+        width in 20..60i32,
+        cells in proptest::collection::vec((1..5i32, 1..3i32), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let mut b = DesignBuilder::new(rows, width);
+        let mut ids = Vec::new();
+        for (i, &(w, h)) in cells.iter().enumerate() {
+            let c = b.add_cell(format!("c{i}"), w, h.min(rows));
+            // Everyone wants the same neighbourhood: forces MLL shifts.
+            let x = f64::from(width) / 2.0 + (i % 5) as f64 - 2.0;
+            let y = f64::from((i as i32) % rows);
+            b.set_input_position(c, x, y);
+            ids.push(c);
+        }
+        // Over-full inputs are rejected by the builder's capacity check.
+        let Ok(design) = b.finish() else {
+            return Err(TestCaseError::reject("over capacity"));
+        };
+
+        let mut state = PlacementState::new(&design);
+        let cfg = LegalizerConfig::default().with_window(8, 2).with_seed(seed);
+        if Legalizer::new(cfg).legalize(&design, &mut state).is_err() {
+            // Unplaceable dense corner: whatever was placed must still
+            // leave the index consistent.
+            assert_gaps_consistent(&design, &state, "after failed legalization");
+            return Ok(());
+        }
+        assert_gaps_consistent(&design, &state, "after legalization");
+
+        // Remove every other cell and re-check.
+        for &c in ids.iter().step_by(2) {
+            if state.is_placed(c) {
+                state.remove(&design, c).expect("remove placed cell");
+            }
+        }
+        assert_gaps_consistent(&design, &state, "after removals");
+    }
+}

@@ -35,10 +35,10 @@ struct Scenario {
 
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        2..5i32,                                   // rows
-        12..40i32,                                 // width
+        2..5i32,                                              // rows
+        12..40i32,                                            // width
         proptest::collection::vec((1..5i32, 1..3i32), 0..10), // placed cells
-        (1..5i32, 1..4i32),                        // target dims (h up to 3)
+        (1..5i32, 1..4i32),                                   // target dims (h up to 3)
         any::<u64>(),
     )
         .prop_map(|(rows, width, placed, target, seed)| Scenario {
@@ -81,7 +81,9 @@ fn build(s: &Scenario) -> Option<(Design, PlacementState, CellId)> {
     // Scatter deterministically: try pseudo-random spots, skip failures.
     let mut rng_state = s.seed | 1;
     let mut next = || {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rng_state >> 33
     };
     for &id in &ids {
@@ -89,10 +91,7 @@ fn build(s: &Scenario) -> Option<(Design, PlacementState, CellId)> {
         for _ in 0..30 {
             let x = (next() % (s.width.max(1) as u64)) as i32;
             let y = (next() % (s.rows as u64)) as i32;
-            let pos = SitePoint::new(
-                x.min(s.width - c.width()),
-                y.min(s.rows - c.height()),
-            );
+            let pos = SitePoint::new(x.min(s.width - c.width()), y.min(s.rows - c.height()));
             if state.place_ignoring_rails(&design, id, pos).is_ok() {
                 break;
             }
@@ -196,10 +195,7 @@ fn canon(points: &mut [(usize, Vec<mrl_legalize::InsInterval>)]) {
     points.sort_by_key(|(t, combo)| {
         (
             *t,
-            combo
-                .iter()
-                .map(|iv| (iv.row, iv.gap))
-                .collect::<Vec<_>>(),
+            combo.iter().map(|iv| (iv.row, iv.gap)).collect::<Vec<_>>(),
         )
     });
 }
