@@ -8,6 +8,7 @@
 //! ```text
 //! bench_legalize [--cells N] [--density F] [--seed S] [--threads N]
 //!                [--bench NAME] [--scale N] [--json PATH] [--no-json]
+//!                [--baseline PATH] [--gate-pct N]
 //! ```
 //!
 //! * `--cells N` — synthesize an ad-hoc design with `N` movable cells
@@ -16,6 +17,16 @@
 //!   at scale `1/K`.
 //! * `--threads N` — worker threads for the parallel run (default: all
 //!   available cores).
+//! * `--baseline PATH` — compare the sequential `cells_per_sec` against a
+//!   previously committed report and exit non-zero when it regressed by
+//!   more than `--gate-pct` percent (default 20). Set `MRL_BENCH_SKIP_GATE=1`
+//!   to skip the comparison (e.g. when the hardware differs from the
+//!   machine that produced the baseline).
+//!
+//! Besides the pruned sequential and parallel runs, the harness runs the
+//! sequential driver once more with branch-and-bound pruning disabled
+//! (`exhaustive` in the report) and reports `prune_ratio`: exhaustively
+//! evaluated combos divided by the pruned run's evaluated combos.
 
 use mrl_bench::json::Json;
 use mrl_db::{Design, PlacementState};
@@ -38,6 +49,9 @@ fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -
     phases.set("realize_calls", p.realize_calls as f64);
     phases.set("retry_s", p.retry.as_secs_f64());
     phases.set("retry_rounds", p.retry_rounds as f64);
+    phases.set("combos_generated", p.combos_generated);
+    phases.set("combos_pruned", p.combos_pruned);
+    phases.set("combos_evaluated", p.combos_evaluated);
 
     let mut displacement = Json::obj();
     displacement.set("avg_sites", disp.avg_sites);
@@ -77,12 +91,15 @@ fn main() {
     let mut bench: Option<String> = None;
     let mut scale = 20.0f64;
     let mut json_path = Some("BENCH_legalize.json".to_string());
+    let mut baseline: Option<String> = None;
+    let mut gate_pct = 20.0f64;
 
     fn usage(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: bench_legalize [--cells N] [--density F] [--seed S] [--threads N]\n\
-             \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]"
+             \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]\n\
+             \x20                     [--baseline PATH] [--gate-pct N]"
         );
         std::process::exit(2);
     }
@@ -121,6 +138,12 @@ fn main() {
             }
             "--json" => json_path = Some(val("--json")),
             "--no-json" => json_path = None,
+            "--baseline" => baseline = Some(val("--baseline")),
+            "--gate-pct" => {
+                gate_pct = val("--gate-pct")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--gate-pct must be a number"));
+            }
             other => usage(&format!("unknown argument: {other}")),
         }
     }
@@ -156,15 +179,52 @@ fn main() {
         design.density()
     );
 
-    let mut seq_state = PlacementState::new(&design);
-    let seq_stats = legalizer
-        .legalize(&design, &mut seq_state)
-        .expect("sequential legalization");
+    // Best-of-3 sequential runs: the throughput gate compares wall clocks
+    // of runs lasting tens of milliseconds, so a single sample is
+    // noise-bound. Legalization is deterministic, so repeats can only
+    // tighten the timing, never change the placement.
+    let (seq_stats, seq_state) = (0..3)
+        .map(|_| {
+            let mut state = PlacementState::new(&design);
+            let stats = legalizer
+                .legalize(&design, &mut state)
+                .expect("sequential legalization");
+            (stats, state)
+        })
+        .min_by_key(|(stats, _)| stats.wall)
+        .expect("at least one run");
     let seq_wall = seq_stats.wall.as_secs_f64();
     println!(
         "sequential: {:.3}s ({:.0} cells/s)",
         seq_wall,
         seq_stats.placed as f64 / seq_wall.max(1e-12)
+    );
+
+    // Same seed and order with branch-and-bound pruning disabled: the
+    // baseline the pruned kernel must match bit-for-bit and outrun.
+    let exhaustive = Legalizer::new(LegalizerConfig::paper().with_seed(seed).with_prune(false));
+    let mut exh_state = PlacementState::new(&design);
+    let exh_stats = exhaustive
+        .legalize(&design, &mut exh_state)
+        .expect("exhaustive legalization");
+    let seq_disp = displacement_stats(&design, &seq_state);
+    let exh_disp = displacement_stats(&design, &exh_state);
+    assert!(
+        seq_disp.total_sites == exh_disp.total_sites && seq_disp.max_sites == exh_disp.max_sites,
+        "pruned and exhaustive searches disagree: {} vs {} total sites",
+        seq_disp.total_sites,
+        exh_disp.total_sites
+    );
+    let prune_ratio = exh_stats.phases.combos_evaluated as f64
+        / (seq_stats.phases.combos_evaluated as f64).max(1.0);
+    println!(
+        "pruning:    generated {}, bounded out {}, evaluated {} ({:.2}x fewer than \
+         the {} exhaustive evaluations)",
+        seq_stats.phases.combos_generated,
+        seq_stats.phases.combos_pruned,
+        seq_stats.phases.combos_evaluated,
+        prune_ratio,
+        exh_stats.phases.combos_evaluated,
     );
 
     let mut par_state = PlacementState::new(&design);
@@ -195,9 +255,46 @@ fn main() {
         root.set("benchmark", benchmark);
         root.set("threads", threads as i64);
         root.set("sequential", run_to_json(&design, &seq_stats, &seq_state));
+        root.set("exhaustive", run_to_json(&design, &exh_stats, &exh_state));
         root.set("parallel", run_to_json(&design, &par_stats, &par_state));
         root.set("speedup", speedup);
+        root.set("prune_ratio", prune_ratio);
         std::fs::write(&path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
     }
+
+    if let Some(baseline_path) = baseline {
+        let current = seq_stats.placed as f64 / seq_wall.max(1e-12);
+        gate_against_baseline(&baseline_path, current, gate_pct);
+    }
+}
+
+/// Compares sequential throughput against a committed baseline report and
+/// exits non-zero on a regression beyond `gate_pct` percent. Honors
+/// `MRL_BENCH_SKIP_GATE=1` for machines unlike the baseline's.
+fn gate_against_baseline(path: &str, current_cells_per_sec: f64, gate_pct: f64) {
+    if std::env::var("MRL_BENCH_SKIP_GATE").is_ok_and(|v| v == "1") {
+        eprintln!("gate:       skipped (MRL_BENCH_SKIP_GATE=1)");
+        return;
+    }
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let report = Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let base = report
+        .get("sequential")
+        .and_then(|s| s.get("cells_per_sec"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("baseline {path} has no sequential.cells_per_sec"));
+    let floor = base * (1.0 - gate_pct / 100.0);
+    if current_cells_per_sec < floor {
+        eprintln!(
+            "gate:       FAIL — sequential {current_cells_per_sec:.0} cells/s is more than \
+             {gate_pct:.0}% below the baseline {base:.0} cells/s (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "gate:       ok — sequential {current_cells_per_sec:.0} cells/s vs baseline \
+         {base:.0} cells/s (floor {floor:.0})"
+    );
 }

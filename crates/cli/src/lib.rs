@@ -5,7 +5,7 @@
 //! mrl generate --bench fft_2 --scale 20 --out DIR [--format bookshelf|lefdef]
 //! mrl legalize (--aux F | --lef F --def F) [--relaxed] [--exact]
 //!              [--rx N --ry N] [--threads N] [--refine] [--detail N]
-//!              [--out DIR] [--svg FILE]
+//!              [--no-prune] [--out DIR] [--svg FILE]
 //! mrl gp       (--aux F | --lef F --def F) --out DIR [--iterations N]
 //! mrl check    (--aux F | --lef F --def F) [--relaxed]
 //! mrl stats    (--aux F | --lef F --def F)
@@ -78,6 +78,7 @@ struct Opts {
     relaxed: bool,
     exact: bool,
     refine: bool,
+    no_prune: bool,
     detail: usize,
 }
 
@@ -124,6 +125,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--relaxed" => o.relaxed = true,
             "--exact" => o.exact = true,
             "--refine" => o.refine = true,
+            "--no-prune" => o.no_prune = true,
             "--detail" => o.detail = val("--detail")?.parse().map_err(|_| fail("bad --detail"))?,
             other => return Err(fail(format!("unknown option {other}"))),
         }
@@ -170,6 +172,9 @@ fn legalizer_config(o: &Opts) -> LegalizerConfig {
     }
     if o.exact {
         cfg = cfg.with_eval_mode(EvalMode::Exact);
+    }
+    if o.no_prune {
+        cfg = cfg.with_prune(false);
     }
     cfg
 }
@@ -445,8 +450,8 @@ commands:
   generate --bench NAME --out DIR [--scale N] [--seed S] [--fences K]
            [--tall F] [--format bookshelf|lefdef]
   legalize (--aux F | --lef F --def F) [--relaxed] [--exact] [--rx N --ry N]
-           [--threads N] [--refine] [--detail N] [--out DIR] [--svg FILE]
-           [--format bookshelf|lefdef]
+           [--threads N] [--refine] [--detail N] [--no-prune] [--out DIR]
+           [--svg FILE] [--format bookshelf|lefdef]
   gp       (--aux F | --lef F --def F) --out DIR [--iterations N] [--seed S]
   check    (--aux F | --lef F --def F) [--relaxed]
   stats    (--aux F | --lef F --def F)
@@ -584,6 +589,40 @@ mod tests {
         assert_eq!(
             outputs[0], outputs[1],
             "thread counts produced different .pl files"
+        );
+    }
+
+    #[test]
+    fn legalize_no_prune_matches_pruned_byte_for_byte() {
+        let dir = tmpdir("prune");
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let mut outputs = Vec::new();
+        for flags in [&[][..], &["--no-prune"][..]] {
+            let out_dir = dir.join(if flags.is_empty() { "pruned" } else { "full" });
+            let mut argv = vec![
+                "legalize",
+                "--aux",
+                aux.to_str().unwrap(),
+                "--out",
+                out_dir.to_str().unwrap(),
+            ];
+            argv.extend_from_slice(flags);
+            run(&args(&argv)).unwrap();
+            outputs.push(std::fs::read_to_string(out_dir.join("fft_2.pl")).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "--no-prune produced a different .pl file"
         );
     }
 

@@ -56,5 +56,5 @@ pub use error::DbError;
 pub use floorplan::{Floorplan, Row, Segment};
 pub use ids::{CellId, NetId, PinId, RegionId, SegId};
 pub use net::{Net, Netlist, Pin, PinLocation};
-pub use placement::PlacementState;
+pub use placement::{gap_cross_check_count, PlacementState};
 pub use region::FenceRegion;

@@ -21,6 +21,28 @@
 use crate::{CellId, DbError, Design, SegId};
 use mrl_geom::{Orient, SitePoint, SiteRect};
 
+/// Number of occupancy-index cross-checks executed in this process. Exists
+/// only in debug builds; release builds compile the check (and the counter)
+/// out entirely.
+#[cfg(debug_assertions)]
+static GAP_CROSS_CHECKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times the debug-only occupancy-index cross-check has run in
+/// this process. Always 0 in release builds — the check is strictly gated
+/// behind `debug_assertions`, so the hot mutation paths (`place`, `remove`,
+/// `shift_batch`) never pay for the O(cells-per-segment) recomputation in
+/// optimized kernels. Tests use this to assert the gating holds.
+pub fn gap_cross_check_count() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        GAP_CROSS_CHECKS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
 /// Current placement of a design's movable cells.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -133,16 +155,23 @@ impl PlacementState {
     }
 
     /// Debug-only cross-check of the incremental index for `seg`.
+    /// Compiled only under `debug_assertions`; see
+    /// [`gap_cross_check_count`].
+    #[cfg(debug_assertions)]
     fn debug_check_gaps(&self, design: &Design, seg: usize) {
-        if cfg!(debug_assertions) {
-            let seg_id = SegId::from_usize(seg);
-            debug_assert_eq!(
-                self.gaps[seg],
-                self.recompute_gaps(design, seg_id),
-                "occupancy index diverged from seg_cells on segment {seg}"
-            );
-        }
+        GAP_CROSS_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seg_id = SegId::from_usize(seg);
+        assert_eq!(
+            self.gaps[seg],
+            self.recompute_gaps(design, seg_id),
+            "occupancy index diverged from seg_cells on segment {seg}"
+        );
     }
+
+    /// Release builds compile the cross-check out entirely.
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn debug_check_gaps(&self, _design: &Design, _seg: usize) {}
 
     /// The current position of a cell, if placed.
     pub fn position(&self, cell: CellId) -> Option<SitePoint> {
@@ -468,10 +497,9 @@ impl PlacementState {
                 self.gap_occupy(seg.index(), new_x, new_x + c.width());
             }
         }
-        if cfg!(debug_assertions) {
-            for &(seg, _) in &touched {
-                self.debug_check_gaps(design, seg.index());
-            }
+        #[cfg(debug_assertions)]
+        for &(seg, _) in &touched {
+            self.debug_check_gaps(design, seg.index());
         }
         Ok(())
     }
@@ -526,6 +554,24 @@ mod tests {
         let seg1 = s.segment_at(&d, 1, 0).unwrap();
         assert_eq!(s.segment_cells(seg0), &[a, b]);
         assert_eq!(s.segment_cells(seg1), &[b]);
+    }
+
+    #[test]
+    fn gap_cross_check_runs_only_in_debug_builds() {
+        let (d, a, ..) = fixture();
+        let before = gap_cross_check_count();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.remove(&d, a).unwrap();
+        let delta = gap_cross_check_count() - before;
+        if cfg!(debug_assertions) {
+            assert!(
+                delta >= 2,
+                "debug builds must cross-check each mutation (saw {delta})"
+            );
+        } else {
+            assert_eq!(delta, 0, "release builds must compile the cross-check out");
+        }
     }
 
     #[test]

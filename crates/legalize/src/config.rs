@@ -77,6 +77,12 @@ pub struct LegalizerConfig {
     /// disables the cap. Only very tall targets in dense regions can hit
     /// combinatorial blow-up.
     pub max_insertion_points: usize,
+    /// Best-first branch-and-bound pruning of the insertion-point search
+    /// (on by default). When disabled, every generated combination is
+    /// scored exhaustively in scanline order; both modes return the same
+    /// insertion point (ties broken by the scanline emission order), so
+    /// this knob only trades evaluation work for a bound computation.
+    pub prune: bool,
 }
 
 impl Default for LegalizerConfig {
@@ -90,6 +96,7 @@ impl Default for LegalizerConfig {
             seed: 0x9E37_79B9_7F4A_7C15,
             max_retry_iters: 4096,
             max_insertion_points: usize::MAX,
+            prune: true,
         }
     }
 }
@@ -130,14 +137,20 @@ impl LegalizerConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns `self` with branch-and-bound pruning switched on or off.
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
 }
 
 impl fmt::Display for LegalizerConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Rx={} Ry={} rails={:?} eval={:?} order={:?}",
-            self.rx, self.ry, self.rail_mode, self.eval_mode, self.order
+            "Rx={} Ry={} rails={:?} eval={:?} order={:?} prune={}",
+            self.rx, self.ry, self.rail_mode, self.eval_mode, self.order, self.prune
         )
     }
 }
@@ -153,7 +166,15 @@ mod tests {
         assert_eq!(c.ry, 5);
         assert_eq!(c.rail_mode, PowerRailMode::Aligned);
         assert_eq!(c.eval_mode, EvalMode::Approximate);
+        assert!(c.prune, "pruning is on by default");
         assert_eq!(LegalizerConfig::paper(), c);
+    }
+
+    #[test]
+    fn prune_setter_round_trips() {
+        let c = LegalizerConfig::default().with_prune(false);
+        assert!(!c.prune);
+        assert!(c.to_string().contains("prune=false"));
     }
 
     #[test]

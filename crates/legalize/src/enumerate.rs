@@ -1,4 +1,5 @@
-//! Valid insertion point enumeration (Sections 5.1.2–5.1.3, Figure 8).
+//! Valid insertion point enumeration (Sections 5.1.2–5.1.3, Figure 8) and
+//! the best-first branch-and-bound search over the enumerated points.
 //!
 //! An *insertion point* for a target cell of height `h` is a choice of one
 //! insertion interval in each of `h` vertically consecutive rows such that
@@ -22,13 +23,36 @@
 //!
 //! Right endpoints remove the interval from all queues. Power-rail
 //! filtering simply skips windows whose bottom row cannot host the target.
+//!
+//! # Search strategies
+//!
+//! The scanline only *generates* combinations; how they are scored is a
+//! [`LegalizerConfig::prune`] choice:
+//!
+//! * **Exhaustive** (`prune = false`): every generated combination is
+//!   scored in emission order and the first minimum wins.
+//! * **Best-first** (`prune = true`, the default): each combination enters
+//!   a binary heap keyed by an *admissible lower bound* on its cost — the
+//!   horizontal distance from `target.x` to the combination's feasible
+//!   range plus the exact [`vertical_cost`] of its row band. Combinations
+//!   are then popped cheapest-bound-first and scored; as soon as a popped
+//!   bound can no longer beat the incumbent (bound above the best cost, or
+//!   equal with a later emission rank), the entire remaining heap is
+//!   pruned. The bound is a true lower bound because both evaluators add
+//!   the target's own hinge `|x − target.x| ≥ dist(target.x, range)` to a
+//!   non-negative sum, and both add the identical vertical term, so the
+//!   search returns bit-identical results to the exhaustive path — same
+//!   insertion point, ties broken by the same emission order.
 
 use crate::config::{EvalMode, LegalizerConfig, PowerRailMode};
-use crate::evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
+use crate::evaluate::{evaluate_exact_in, evaluate_in, vertical_cost, Evaluation, TargetSpec};
 use crate::interval::InsInterval;
 use crate::region::LocalRegion;
+use crate::scratch::{Candidate, EvalScratch, ScanEvent, ScratchArena};
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::Design;
+use mrl_geom::Interval;
+use std::collections::BinaryHeap;
 
 /// A scored valid insertion point.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,15 +74,51 @@ pub fn enumerate_insertion_points(
     target: &TargetSpec,
     cfg: &LegalizerConfig,
 ) -> Vec<InsertionPoint> {
+    let mut arena = ScratchArena::new();
+    let aspect = design.grid().aspect();
     let mut out = Vec::new();
-    let mut timer = PhaseTimes::default();
-    scan(region, design, target, cfg, &mut timer, |t, combo, eval| {
-        out.push(InsertionPoint {
-            bottom_row: t,
-            intervals: combo.iter().map(|&iv| *iv).collect(),
-            eval,
-        });
-    });
+    let ScratchArena {
+        intervals,
+        events,
+        rail_ok,
+        queues,
+        combo,
+        combo_buf,
+        eval,
+        ..
+    } = &mut arena;
+    if !prepare(region, design, target, cfg, intervals, events, rail_ok) {
+        return out;
+    }
+    let intervals: &[InsInterval] = intervals;
+    generate(
+        region,
+        target,
+        cfg,
+        intervals,
+        events,
+        rail_ok,
+        queues,
+        combo,
+        &mut |t, ids| {
+            combo_buf.clear();
+            combo_buf.extend(ids.iter().map(|&j| intervals[j as usize]));
+            let ev = score(
+                region,
+                combo_buf,
+                target,
+                region.bottom_row + t as i32,
+                aspect,
+                cfg,
+                eval,
+            );
+            out.push(InsertionPoint {
+                bottom_row: t,
+                intervals: combo_buf.clone(),
+                eval: ev,
+            });
+        },
+    );
     out
 }
 
@@ -83,71 +143,91 @@ pub fn find_best_insertion_point_timed(
     cfg: &LegalizerConfig,
     timer: &mut PhaseTimes,
 ) -> Option<InsertionPoint> {
-    let probe = timer.start();
-    let mut best: Option<InsertionPoint> = None;
-    scan(region, design, target, cfg, timer, |t, combo, eval| {
-        let better = match &best {
-            Some(b) => eval.cost < b.eval.cost,
-            None => true,
-        };
-        if better {
-            best = Some(InsertionPoint {
-                bottom_row: t,
-                intervals: combo.iter().map(|&iv| *iv).collect(),
-                eval,
-            });
-        }
-    });
-    timer.stop(Phase::Enumerate, probe);
-    best
+    find_best_insertion_point_in(region, design, target, cfg, timer, &mut ScratchArena::new())
 }
 
-/// The scanline core: invokes `emit(t, combo, eval)` for every valid
-/// insertion point, up to the configured cap.
-#[allow(clippy::needless_range_loop)] // row indices are the domain here
-fn scan<F>(
+/// [`find_best_insertion_point_timed`] against a caller-owned
+/// [`ScratchArena`]: the steady-state kernel entry point used by the
+/// drivers, allocation-free once the arena is warm.
+pub fn find_best_insertion_point_in(
     region: &LocalRegion,
     design: &Design,
     target: &TargetSpec,
     cfg: &LegalizerConfig,
     timer: &mut PhaseTimes,
-    mut emit: F,
-) where
-    F: FnMut(usize, &[&InsInterval], Evaluation),
-{
+    arena: &mut ScratchArena,
+) -> Option<InsertionPoint> {
+    let probe = timer.start();
+    let aspect = design.grid().aspect();
+    let ScratchArena {
+        intervals,
+        events,
+        rail_ok,
+        queues,
+        combo,
+        combo_buf,
+        pool,
+        cands,
+        best_combo,
+        eval,
+    } = arena;
+    let best = if prepare(region, design, target, cfg, intervals, events, rail_ok) {
+        let intervals: &[InsInterval] = intervals;
+        if cfg.prune {
+            best_first(
+                region, target, cfg, aspect, intervals, events, rail_ok, queues, combo, combo_buf,
+                pool, cands, best_combo, eval, timer,
+            )
+        } else {
+            exhaustive(
+                region, target, cfg, aspect, intervals, events, rail_ok, queues, combo, combo_buf,
+                best_combo, eval, timer,
+            )
+        }
+    } else {
+        None
+    };
+    timer.stop(Phase::Enumerate, probe);
+    best
+}
+
+/// Builds the insertion intervals, endpoint events, and rail filter for one
+/// search into the arena buffers. Returns `false` when no valid insertion
+/// point can exist (degenerate target, short window, or no intervals).
+fn prepare(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    intervals: &mut Vec<InsInterval>,
+    events: &mut Vec<ScanEvent>,
+    rail_ok: &mut Vec<bool>,
+) -> bool {
     let ht = target.h as usize;
     let hw = region.height();
     if ht == 0 || hw < ht {
-        return;
+        return false;
     }
-    let intervals = region.insertion_intervals(target.w);
+    region.insertion_intervals_into(target.w, intervals);
     if intervals.is_empty() {
-        return;
+        return false;
     }
-    let aspect = design.grid().aspect();
     let fp = design.floorplan();
     // Precompute which windows' bottom rows pass the rail filter.
-    let rail_ok: Vec<bool> = (0..hw)
-        .map(|t| {
-            cfg.rail_mode == PowerRailMode::Relaxed
-                || fp.rail_compatible(target.rail, target.h, region.bottom_row + t as i32)
-        })
-        .collect();
-
-    #[derive(Clone, Copy)]
-    struct Event {
-        x: i32,
-        close: bool,
-        idx: u32,
-    }
-    let mut events = Vec::with_capacity(intervals.len() * 2);
+    rail_ok.clear();
+    rail_ok.extend((0..hw).map(|t| {
+        cfg.rail_mode == PowerRailMode::Relaxed
+            || fp.rail_compatible(target.rail, target.h, region.bottom_row + t as i32)
+    }));
+    events.clear();
+    events.reserve(intervals.len() * 2);
     for (i, iv) in intervals.iter().enumerate() {
-        events.push(Event {
+        events.push(ScanEvent {
             x: iv.range.lo,
             close: false,
             idx: i as u32,
         });
-        events.push(Event {
+        events.push(ScanEvent {
             x: iv.range.hi,
             close: true,
             idx: i as u32,
@@ -156,22 +236,47 @@ fn scan<F>(
     // Left endpoints precede right endpoints at equal x so touching
     // intervals (zero-width common cutline) still combine.
     events.sort_by_key(|e| (e.x, e.close));
+    true
+}
 
-    // queues[a][s]: open interval ids of row s pairable with row a.
-    let mut queues: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); hw]; hw];
+/// The scanline core: invokes `emit(t, interval_ids)` for every valid
+/// insertion point in deterministic emission order, up to the configured
+/// cap on *generated* combinations (identical for both search strategies,
+/// so they search the same candidate set).
+#[allow(clippy::too_many_arguments)]
+fn generate<F>(
+    region: &LocalRegion,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    intervals: &[InsInterval],
+    events: &[ScanEvent],
+    rail_ok: &[bool],
+    queues: &mut Vec<Vec<u32>>,
+    combo: &mut Vec<u32>,
+    emit: &mut F,
+) where
+    F: FnMut(usize, &[u32]),
+{
+    let ht = target.h as usize;
+    let hw = region.height();
+    // queues[a * hw + s]: open interval ids of row s pairable with row a.
+    if queues.len() < hw * hw {
+        queues.resize_with(hw * hw, Vec::new);
+    }
+    for q in queues.iter_mut().take(hw * hw) {
+        q.clear();
+    }
     let pair_lo = |a: usize| a.saturating_sub(ht - 1);
     let pair_hi = |a: usize| (a + ht - 1).min(hw - 1);
 
     let mut emitted = 0usize;
-    let mut combo: Vec<&InsInterval> = Vec::with_capacity(ht);
-
     'events: for ev in events {
         let iv = &intervals[ev.idx as usize];
         let a = iv.row;
         if ev.close {
             for r in pair_lo(a)..=pair_hi(a) {
                 if r != a {
-                    queues[r][a].retain(|&j| j != ev.idx);
+                    queues[r * hw + a].retain(|&j| j != ev.idx);
                 }
             }
             continue;
@@ -184,7 +289,7 @@ fn scan<F>(
                 for row in c.y..c.y + c.h {
                     let s = (row - region.bottom_row) as usize;
                     if s != a && s >= pair_lo(a) && s <= pair_hi(a) {
-                        queues[a][s].retain(|&j| intervals[j as usize].left == Some(ci));
+                        queues[a * hw + s].retain(|&j| intervals[j as usize].left == Some(ci));
                     }
                 }
             }
@@ -193,18 +298,8 @@ fn scan<F>(
         if ht == 1 {
             if rail_ok[a] {
                 combo.clear();
-                combo.push(iv);
-                let probe = timer.start();
-                let eval = score(
-                    region,
-                    &combo,
-                    target,
-                    region.bottom_row + a as i32,
-                    aspect,
-                    cfg,
-                );
-                timer.stop(Phase::Evaluate, probe);
-                emit(a, &combo, eval);
+                combo.push(ev.idx);
+                emit(a, combo);
                 emitted += 1;
                 if emitted >= cfg.max_insertion_points {
                     break 'events;
@@ -213,26 +308,27 @@ fn scan<F>(
         } else {
             let t_lo = a.saturating_sub(ht - 1);
             let t_hi = a.min(hw - ht);
+            #[allow(clippy::needless_range_loop)] // `t` is a row index, not just a key into rail_ok
             for t in t_lo..=t_hi {
                 if !rail_ok[t] {
                     continue;
                 }
                 // Depth-first product over rows t..t+ht.
+                combo.clear();
                 if !product_emit(
                     region,
-                    target,
                     cfg,
-                    &queues,
-                    &intervals,
-                    iv,
+                    intervals,
+                    queues,
+                    hw,
+                    ev.idx,
                     a,
                     t,
                     ht,
-                    aspect,
-                    &mut combo,
+                    t,
+                    combo,
                     &mut emitted,
-                    timer,
-                    &mut emit,
+                    emit,
                 ) {
                     break 'events;
                 }
@@ -241,137 +337,268 @@ fn scan<F>(
         // (3) Publish the interval for future pairings.
         for r in pair_lo(a)..=pair_hi(a) {
             if r != a {
-                queues[r][a].push(ev.idx);
+                queues[r * hw + a].push(ev.idx);
             }
         }
     }
 }
 
-/// Emits all combinations for one window `t`; returns `false` when the cap
-/// is hit.
+/// Emits all combinations for one window `t` (recursing over rows
+/// `s = t..t+ht`); returns `false` when the cap is hit.
 #[allow(clippy::too_many_arguments)]
-fn product_emit<'r, F>(
-    region: &'r LocalRegion,
-    target: &TargetSpec,
+fn product_emit<F>(
+    region: &LocalRegion,
     cfg: &LegalizerConfig,
-    queues: &[Vec<Vec<u32>>],
-    intervals: &'r [InsInterval],
-    current: &'r InsInterval,
+    intervals: &[InsInterval],
+    queues: &[Vec<u32>],
+    hw: usize,
+    current: u32,
     a: usize,
     t: usize,
     ht: usize,
-    aspect: f64,
-    combo: &mut Vec<&'r InsInterval>,
+    s: usize,
+    combo: &mut Vec<u32>,
     emitted: &mut usize,
-    timer: &mut PhaseTimes,
     emit: &mut F,
 ) -> bool
 where
-    F: FnMut(usize, &[&InsInterval], Evaluation),
+    F: FnMut(usize, &[u32]),
 {
-    fn rec<'r, F>(
-        region: &'r LocalRegion,
-        target: &TargetSpec,
-        cfg: &LegalizerConfig,
-        queues: &[Vec<Vec<u32>>],
-        intervals: &'r [InsInterval],
-        current: &'r InsInterval,
-        a: usize,
-        t: usize,
-        ht: usize,
-        s: usize,
-        aspect: f64,
-        combo: &mut Vec<&'r InsInterval>,
-        emitted: &mut usize,
-        timer: &mut PhaseTimes,
-        emit: &mut F,
-    ) -> bool
-    where
-        F: FnMut(usize, &[&InsInterval], Evaluation),
-    {
-        if s == t + ht {
-            // The paper's queue clearing makes pairs sharing a row with the
-            // generating interval side-consistent, which is complete for
-            // h ≤ 2. For taller targets a pair of *other* rows can still
-            // straddle a multi-row cell (e.g. rows 1/2 of a 3-row window
-            // generated from row 3), so verify explicitly.
-            if ht >= 3 && !combo_is_side_consistent(region, combo) {
-                return true;
-            }
+    if s == t + ht {
+        // The paper's queue clearing makes pairs sharing a row with the
+        // generating interval side-consistent, which is complete for
+        // h ≤ 2. For taller targets a pair of *other* rows can still
+        // straddle a multi-row cell (e.g. rows 1/2 of a 3-row window
+        // generated from row 3), so verify explicitly.
+        if ht >= 3 && !combo_is_side_consistent(region, intervals, combo) {
+            return true;
+        }
+        emit(t, combo);
+        *emitted += 1;
+        return *emitted < cfg.max_insertion_points;
+    }
+    if s == a {
+        combo.push(current);
+        let go = product_emit(
+            region,
+            cfg,
+            intervals,
+            queues,
+            hw,
+            current,
+            a,
+            t,
+            ht,
+            s + 1,
+            combo,
+            emitted,
+            emit,
+        );
+        combo.pop();
+        return go;
+    }
+    for &j in &queues[a * hw + s] {
+        combo.push(j);
+        let go = product_emit(
+            region,
+            cfg,
+            intervals,
+            queues,
+            hw,
+            current,
+            a,
+            t,
+            ht,
+            s + 1,
+            combo,
+            emitted,
+            emit,
+        );
+        combo.pop();
+        if !go {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustive search: score every generated combination in emission order;
+/// the first minimum wins (strict `<` replacement).
+#[allow(clippy::too_many_arguments)]
+fn exhaustive(
+    region: &LocalRegion,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    aspect: f64,
+    intervals: &[InsInterval],
+    events: &[ScanEvent],
+    rail_ok: &[bool],
+    queues: &mut Vec<Vec<u32>>,
+    combo: &mut Vec<u32>,
+    combo_buf: &mut Vec<InsInterval>,
+    best_combo: &mut Vec<u32>,
+    eval: &mut EvalScratch,
+    timer: &mut PhaseTimes,
+) -> Option<InsertionPoint> {
+    let mut best: Option<(usize, Evaluation)> = None;
+    generate(
+        region,
+        target,
+        cfg,
+        intervals,
+        events,
+        rail_ok,
+        queues,
+        combo,
+        &mut |t, ids| {
+            timer.combos_generated += 1;
+            timer.combos_evaluated += 1;
+            combo_buf.clear();
+            combo_buf.extend(ids.iter().map(|&j| intervals[j as usize]));
             let probe = timer.start();
-            let eval = score(
+            let ev = score(
                 region,
-                combo,
+                combo_buf,
                 target,
                 region.bottom_row + t as i32,
                 aspect,
                 cfg,
+                eval,
             );
             timer.stop(Phase::Evaluate, probe);
-            emit(t, combo, eval);
-            *emitted += 1;
-            return *emitted < cfg.max_insertion_points;
-        }
-        if s == a {
-            combo.push(current);
-            let go = rec(
-                region,
-                target,
-                cfg,
-                queues,
-                intervals,
-                current,
-                a,
-                t,
-                ht,
-                s + 1,
-                aspect,
-                combo,
-                emitted,
-                timer,
-                emit,
-            );
-            combo.pop();
-            return go;
-        }
-        for &j in &queues[a][s] {
-            combo.push(&intervals[j as usize]);
-            let go = rec(
-                region,
-                target,
-                cfg,
-                queues,
-                intervals,
-                current,
-                a,
-                t,
-                ht,
-                s + 1,
-                aspect,
-                combo,
-                emitted,
-                timer,
-                emit,
-            );
-            combo.pop();
-            if !go {
-                return false;
+            if best.as_ref().is_none_or(|(_, b)| ev.cost < b.cost) {
+                best = Some((t, ev));
+                best_combo.clear();
+                best_combo.extend_from_slice(ids);
+            }
+        },
+    );
+    best.map(|(t, ev)| InsertionPoint {
+        bottom_row: t,
+        intervals: best_combo.iter().map(|&j| intervals[j as usize]).collect(),
+        eval: ev,
+    })
+}
+
+/// Best-first branch-and-bound: generate all combinations with admissible
+/// lower bounds, then pop them cheapest-bound-first and stop as soon as the
+/// incumbent can no longer be beaten. Result-identical to [`exhaustive`].
+#[allow(clippy::too_many_arguments)]
+fn best_first(
+    region: &LocalRegion,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    aspect: f64,
+    intervals: &[InsInterval],
+    events: &[ScanEvent],
+    rail_ok: &[bool],
+    queues: &mut Vec<Vec<u32>>,
+    combo: &mut Vec<u32>,
+    combo_buf: &mut Vec<InsInterval>,
+    pool: &mut Vec<u32>,
+    cands: &mut Vec<Candidate>,
+    best_combo: &mut Vec<u32>,
+    eval: &mut EvalScratch,
+    timer: &mut PhaseTimes,
+) -> Option<InsertionPoint> {
+    let ht = target.h as usize;
+    pool.clear();
+    cands.clear();
+    generate(
+        region,
+        target,
+        cfg,
+        intervals,
+        events,
+        rail_ok,
+        queues,
+        combo,
+        &mut |t, ids| {
+            timer.combos_generated += 1;
+            // Admissible bound: the target's own hinge contributes at least
+            // its distance to the feasible range, every other hinge is
+            // non-negative, and the vertical term is exact.
+            let range = ids
+                .iter()
+                .fold(Interval::new(i32::MIN, i32::MAX), |acc, &j| {
+                    acc.intersect(&intervals[j as usize].range)
+                });
+            let clamped = target.x.clamp(range.lo, range.hi);
+            let dist = (i64::from(target.x) - i64::from(clamped)).abs();
+            let bound = dist as f64 + vertical_cost(target, region.bottom_row + t as i32, aspect);
+            cands.push(Candidate {
+                bound,
+                emit_idx: cands.len() as u32,
+                bottom_row: t as u32,
+                pool_start: pool.len() as u32,
+            });
+            pool.extend_from_slice(ids);
+        },
+    );
+
+    // Reuse the candidate buffer as the heap's backing storage so the
+    // steady-state pop loop allocates nothing.
+    let mut heap = BinaryHeap::from(std::mem::take(cands));
+    let mut best: Option<(Evaluation, u32, usize)> = None;
+    while let Some(c) = heap.pop() {
+        if let Some((bev, bemit, _)) = &best {
+            // The heap pops in (bound, emit_idx) order, so once a popped
+            // candidate cannot beat the incumbent — bound above the best
+            // cost, or equal-bound but later-emitted (a tie would lose to
+            // the incumbent's earlier emission) — neither can anything
+            // still on the heap.
+            if c.bound > bev.cost || (c.bound == bev.cost && c.emit_idx > *bemit) {
+                timer.combos_pruned += 1 + heap.len() as u64;
+                break;
             }
         }
-        true
+        let start = c.pool_start as usize;
+        let ids = &pool[start..start + ht];
+        timer.combos_evaluated += 1;
+        combo_buf.clear();
+        combo_buf.extend(ids.iter().map(|&j| intervals[j as usize]));
+        let probe = timer.start();
+        let ev = score(
+            region,
+            combo_buf,
+            target,
+            region.bottom_row + c.bottom_row as i32,
+            aspect,
+            cfg,
+            eval,
+        );
+        timer.stop(Phase::Evaluate, probe);
+        let better = match &best {
+            None => true,
+            Some((bev, bemit, _)) => {
+                ev.cost < bev.cost || (ev.cost == bev.cost && c.emit_idx < *bemit)
+            }
+        };
+        if better {
+            best = Some((ev, c.emit_idx, c.bottom_row as usize));
+            best_combo.clear();
+            best_combo.extend_from_slice(ids);
+        }
     }
-    combo.clear();
-    rec(
-        region, target, cfg, queues, intervals, current, a, t, ht, t, aspect, combo, emitted,
-        timer, emit,
-    )
+    *cands = heap.into_vec();
+    cands.clear();
+    best.map(|(ev, _, t)| InsertionPoint {
+        bottom_row: t,
+        intervals: best_combo.iter().map(|&j| intervals[j as usize]).collect(),
+        eval: ev,
+    })
 }
 
 /// True if no multi-row local cell has combo intervals on both of its
 /// sides. An interval on row `lr` is left of cell `M` (spanning `lr`) when
 /// its gap index does not exceed `M`'s list position on that row.
-pub(crate) fn combo_is_side_consistent(region: &LocalRegion, combo: &[&InsInterval]) -> bool {
-    for iv in combo {
+pub(crate) fn combo_is_side_consistent(
+    region: &LocalRegion,
+    intervals: &[InsInterval],
+    combo: &[u32],
+) -> bool {
+    for &i in combo {
+        let iv = &intervals[i as usize];
         for &ci in region.rows[iv.row]
             .as_ref()
             .expect("combo rows have segments")
@@ -383,7 +610,8 @@ pub(crate) fn combo_is_side_consistent(region: &LocalRegion, combo: &[&InsInterv
                 continue;
             }
             let mut side: Option<bool> = None; // Some(true) = all left of cell
-            for other in combo {
+            for &oj in combo {
+                let other = &intervals[oj as usize];
                 let row = region.bottom_row + other.row as i32;
                 if row < cell.y || row >= cell.y + cell.h {
                     continue;
@@ -403,15 +631,20 @@ pub(crate) fn combo_is_side_consistent(region: &LocalRegion, combo: &[&InsInterv
 
 fn score(
     region: &LocalRegion,
-    combo: &[&InsInterval],
+    combo: &[InsInterval],
     target: &TargetSpec,
     bottom_row_global: i32,
     aspect: f64,
     cfg: &LegalizerConfig,
+    eval: &mut EvalScratch,
 ) -> Evaluation {
     match cfg.eval_mode {
-        EvalMode::Approximate => evaluate(region, combo, target, bottom_row_global, aspect),
-        EvalMode::Exact => evaluate_exact(region, combo, target, bottom_row_global, aspect),
+        EvalMode::Approximate => {
+            evaluate_in(region, combo, target, bottom_row_global, aspect, eval)
+        }
+        EvalMode::Exact => {
+            evaluate_exact_in(region, combo, target, bottom_row_global, aspect, eval)
+        }
     }
 }
 
@@ -606,6 +839,73 @@ mod tests {
                 "insertion point mixes sides of the multi-row cell: {:?}",
                 p
             );
+        }
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_and_prunes() {
+        // A row with several gaps far from the target: the pruned search
+        // must return the identical point while exactly-evaluating fewer
+        // combinations than it generated.
+        let (region, _, design) = setup(
+            2,
+            60,
+            &[
+                (2, 1, 5, 0),
+                (2, 1, 15, 0),
+                (2, 1, 25, 0),
+                (2, 1, 40, 0),
+                (3, 1, 10, 1),
+                (3, 1, 30, 1),
+            ],
+        );
+        let t = target(2, 1, 26, 0);
+        let pruned_cfg = relaxed();
+        let exhaustive_cfg = relaxed().with_prune(false);
+        let mut pt = PhaseTimes::default();
+        let mut et = PhaseTimes::default();
+        let pruned = find_best_insertion_point_timed(&region, &design, &t, &pruned_cfg, &mut pt);
+        let full = find_best_insertion_point_timed(&region, &design, &t, &exhaustive_cfg, &mut et);
+        assert_eq!(pruned, full);
+        assert_eq!(pt.combos_generated, et.combos_generated);
+        assert_eq!(et.combos_evaluated, et.combos_generated);
+        assert_eq!(et.combos_pruned, 0);
+        assert_eq!(pt.combos_pruned + pt.combos_evaluated, pt.combos_generated);
+        assert!(
+            pt.combos_evaluated < pt.combos_generated,
+            "expected pruning on this fixture: {} evaluated of {} generated",
+            pt.combos_evaluated,
+            pt.combos_generated
+        );
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_in_exact_mode() {
+        let (region, _, design) = setup(
+            2,
+            40,
+            &[(3, 1, 4, 0), (3, 1, 9, 0), (2, 2, 20, 0), (2, 1, 30, 1)],
+        );
+        let t = target(2, 2, 12, 0);
+        let base = relaxed().with_eval_mode(EvalMode::Exact);
+        let pruned = find_best_insertion_point(&region, &design, &t, &base.clone());
+        let full = find_best_insertion_point(&region, &design, &t, &base.with_prune(false));
+        assert_eq!(pruned, full);
+    }
+
+    #[test]
+    fn arena_reuse_across_searches_is_clean() {
+        // Two very different searches through the same arena must give the
+        // same answers as fresh-arena searches.
+        let (region, _, design) = setup(3, 30, &[(2, 2, 9, 0), (2, 1, 4, 2), (3, 1, 20, 1)]);
+        let mut arena = ScratchArena::new();
+        let mut timer = PhaseTimes::default();
+        let cfg = relaxed();
+        for t in [target(2, 2, 5, 0), target(3, 1, 22, 1), target(2, 3, 11, 0)] {
+            let with_arena =
+                find_best_insertion_point_in(&region, &design, &t, &cfg, &mut timer, &mut arena);
+            let fresh = find_best_insertion_point(&region, &design, &t, &cfg);
+            assert_eq!(with_arena, fresh);
         }
     }
 }

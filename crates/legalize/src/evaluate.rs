@@ -22,6 +22,7 @@
 
 use crate::interval::InsInterval;
 use crate::region::LocalRegion;
+use crate::scratch::EvalScratch;
 use mrl_geom::{Interval, PowerRail};
 
 /// The cell MLL is asked to insert: dimensions plus the snapped target
@@ -104,7 +105,7 @@ pub(crate) fn minimize_hinges(a: &mut [i64], b: &mut [i64], lo: i64, hi: i64) ->
 
 /// Feasible target range of an insertion point: the intersection of its
 /// intervals' ranges.
-pub(crate) fn feasible_range(combo: &[&InsInterval]) -> Interval {
+pub(crate) fn feasible_range(combo: &[InsInterval]) -> Interval {
     combo
         .iter()
         .fold(Interval::new(i32::MIN, i32::MAX), |acc, iv| {
@@ -112,7 +113,10 @@ pub(crate) fn feasible_range(combo: &[&InsInterval]) -> Interval {
         })
 }
 
-fn vertical_cost(target: &TargetSpec, bottom_row_global: i32, aspect: f64) -> f64 {
+/// The target's row-displacement cost for a window whose bottom row is
+/// `bottom_row_global`. Exact (not a bound): both evaluators and the
+/// branch-and-bound lower bound add this same term.
+pub(crate) fn vertical_cost(target: &TargetSpec, bottom_row_global: i32, aspect: f64) -> f64 {
     f64::from((bottom_row_global - target.y).abs()) * aspect
 }
 
@@ -128,14 +132,35 @@ fn vertical_cost(target: &TargetSpec, bottom_row_global: i32, aspect: f64) -> f6
 /// produces combinations with a common cutline).
 pub fn evaluate(
     region: &LocalRegion,
-    combo: &[&InsInterval],
+    combo: &[InsInterval],
     target: &TargetSpec,
     bottom_row_global: i32,
     aspect: f64,
 ) -> Evaluation {
+    evaluate_in(
+        region,
+        combo,
+        target,
+        bottom_row_global,
+        aspect,
+        &mut EvalScratch::default(),
+    )
+}
+
+/// [`evaluate`] against reusable scratch buffers: the steady-state kernel
+/// entry point, allocation-free once the buffers are warm.
+pub(crate) fn evaluate_in(
+    region: &LocalRegion,
+    combo: &[InsInterval],
+    target: &TargetSpec,
+    bottom_row_global: i32,
+    aspect: f64,
+    scratch: &mut EvalScratch,
+) -> Evaluation {
     let range = feasible_range(combo);
-    let mut a: Vec<i64> = Vec::with_capacity(combo.len() + 1);
-    let mut b: Vec<i64> = Vec::with_capacity(combo.len() + 1);
+    let EvalScratch { a, b, .. } = scratch;
+    a.clear();
+    b.clear();
     for iv in combo {
         if let Some(ci) = iv.left {
             let c = &region.cells[ci as usize];
@@ -148,7 +173,7 @@ pub fn evaluate(
     }
     a.push(i64::from(target.x));
     b.push(i64::from(target.x));
-    let (x, fx) = minimize_hinges(&mut a, &mut b, i64::from(range.lo), i64::from(range.hi));
+    let (x, fx) = minimize_hinges(a, b, i64::from(range.lo), i64::from(range.hi));
     Evaluation {
         x: x as i32,
         cost: fx as f64 + vertical_cost(target, bottom_row_global, aspect),
@@ -165,16 +190,36 @@ pub fn evaluate(
 /// Panics if the intervals have no common feasible x.
 pub fn evaluate_exact(
     region: &LocalRegion,
-    combo: &[&InsInterval],
+    combo: &[InsInterval],
     target: &TargetSpec,
     bottom_row_global: i32,
     aspect: f64,
 ) -> Evaluation {
+    evaluate_exact_in(
+        region,
+        combo,
+        target,
+        bottom_row_global,
+        aspect,
+        &mut EvalScratch::default(),
+    )
+}
+
+/// [`evaluate_exact`] against reusable scratch buffers.
+pub(crate) fn evaluate_exact_in(
+    region: &LocalRegion,
+    combo: &[InsInterval],
+    target: &TargetSpec,
+    bottom_row_global: i32,
+    aspect: f64,
+    scratch: &mut EvalScratch,
+) -> Evaluation {
     let range = feasible_range(combo);
-    let (mut a, mut b) = exact_criticals(region, combo, target.w);
+    exact_criticals_in(region, combo, target.w, scratch);
+    let EvalScratch { a, b, .. } = scratch;
     a.push(i64::from(target.x));
     b.push(i64::from(target.x));
-    let (x, fx) = minimize_hinges(&mut a, &mut b, i64::from(range.lo), i64::from(range.hi));
+    let (x, fx) = minimize_hinges(a, b, i64::from(range.lo), i64::from(range.hi));
     Evaluation {
         x: x as i32,
         cost: fx as f64 + vertical_cost(target, bottom_row_global, aspect),
@@ -183,15 +228,42 @@ pub fn evaluate_exact(
 
 /// Critical positions (`x^a` of left-side cells, `x^b` of right-side cells)
 /// of every local cell that any target position in the gap could displace.
+/// Convenience wrapper over [`exact_criticals_in`] for tests.
+#[cfg(test)]
 pub(crate) fn exact_criticals(
     region: &LocalRegion,
-    combo: &[&InsInterval],
+    combo: &[InsInterval],
     target_w: i32,
 ) -> (Vec<i64>, Vec<i64>) {
+    let mut scratch = EvalScratch::default();
+    exact_criticals_in(region, combo, target_w, &mut scratch);
+    (scratch.a, scratch.b)
+}
+
+/// Fills `scratch.a`/`scratch.b` with the critical positions of every local
+/// cell that any target position in the gap could displace.
+pub(crate) fn exact_criticals_in(
+    region: &LocalRegion,
+    combo: &[InsInterval],
+    target_w: i32,
+    scratch: &mut EvalScratch,
+) {
     let n = region.cells.len();
+    let EvalScratch {
+        a: a_vals,
+        b: b_vals,
+        in_left,
+        in_right,
+        stack,
+        xa,
+        xb,
+    } = scratch;
+    a_vals.clear();
+    b_vals.clear();
+    stack.clear();
     // Left side ------------------------------------------------------------
-    let mut in_left = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
+    in_left.clear();
+    in_left.resize(n, false);
     for iv in combo {
         if let Some(ci) = iv.left {
             if !in_left[ci as usize] {
@@ -214,8 +286,8 @@ pub(crate) fn exact_criticals(
     }
     // Cells are x-sorted; process the left side right-to-left so pushed
     // right neighbors are resolved first.
-    let mut xa = vec![i64::MIN; n];
-    let mut a_vals = Vec::new();
+    xa.clear();
+    xa.resize(n, i64::MIN);
     for ci in (0..n as u32).rev() {
         if !in_left[ci as usize] {
             continue;
@@ -242,7 +314,8 @@ pub(crate) fn exact_criticals(
         a_vals.push(v);
     }
     // Right side -----------------------------------------------------------
-    let mut in_right = vec![false; n];
+    in_right.clear();
+    in_right.resize(n, false);
     for iv in combo {
         if let Some(ci) = iv.right {
             if !in_right[ci as usize] {
@@ -263,8 +336,8 @@ pub(crate) fn exact_criticals(
             }
         }
     }
-    let mut xb = vec![i64::MAX; n];
-    let mut b_vals = Vec::new();
+    xb.clear();
+    xb.resize(n, i64::MAX);
     for ci in 0..n as u32 {
         if !in_right[ci as usize] {
             continue;
@@ -289,7 +362,6 @@ pub(crate) fn exact_criticals(
         xb[ci as usize] = bound;
         b_vals.push(bound);
     }
-    (a_vals, b_vals)
 }
 
 #[cfg(test)]
@@ -374,11 +446,11 @@ mod tests {
             .find(|iv| iv.left == Some(c) && iv.right == Some(d))
             .unwrap();
         let aspect = design.grid().aspect();
-        let ev = evaluate(&region, &[iv], &target(2, 1, 4, 0), 0, aspect);
+        let ev = evaluate(&region, &[*iv], &target(2, 1, 4, 0), 0, aspect);
         assert_eq!(ev.x, 4);
         assert_eq!(ev.cost, 0.0);
         // Desired x = 7 overlaps d: optimum shares displacement.
-        let ev = evaluate(&region, &[iv], &target(2, 1, 7, 0), 0, aspect);
+        let ev = evaluate(&region, &[*iv], &target(2, 1, 7, 0), 0, aspect);
         // f(x) = max(0, 4-x) + max(0, x-4) + |x-7|; min on [4..] at x=4: 3
         // (d pushed 0, target displaced 3) — but pushing d (b=4) while
         // placing at 5 costs 1+2 = 3 too; either is optimal.
@@ -393,8 +465,8 @@ mod tests {
         let iv1 = ivs.iter().find(|iv| iv.row == 1).unwrap();
         let aspect = design.grid().aspect();
         let t = target(2, 1, 4, 0);
-        let on_row0 = evaluate(&region, &[iv0], &t, 0, aspect);
-        let on_row1 = evaluate(&region, &[iv1], &t, 1, aspect);
+        let on_row0 = evaluate(&region, &[*iv0], &t, 0, aspect);
+        let on_row1 = evaluate(&region, &[*iv1], &t, 1, aspect);
         assert_eq!(on_row0.cost, 0.0);
         assert!((on_row1.cost - aspect).abs() < 1e-12);
     }
@@ -411,8 +483,8 @@ mod tests {
             .unwrap();
         let aspect = design.grid().aspect();
         let t = target(3, 1, 8, 0);
-        let approx = evaluate(&region, &[iv], &t, 0, aspect);
-        let exact = evaluate_exact(&region, &[iv], &t, 0, aspect);
+        let approx = evaluate(&region, &[*iv], &t, 0, aspect);
+        let exact = evaluate_exact(&region, &[*iv], &t, 0, aspect);
         assert_eq!(approx, exact);
     }
 
@@ -433,8 +505,8 @@ mod tests {
         let iv = ivs.iter().find(|iv| iv.right == Some(a)).unwrap();
         let aspect = design.grid().aspect();
         let t = target(3, 1, 2, 0);
-        let approx = evaluate(&region, &[iv], &t, 0, aspect);
-        let exact = evaluate_exact(&region, &[iv], &t, 0, aspect);
+        let approx = evaluate(&region, &[*iv], &t, 0, aspect);
+        let exact = evaluate_exact(&region, &[*iv], &t, 0, aspect);
         // Exact: placing t at x means a sits at >= x+3; a's critical b = 1,
         // and b's critical b = 4 via chain (slack 0): at x=1 nothing moves,
         // target pays |1-2| = 1. Approx only sees a, same optimum here.
@@ -445,7 +517,7 @@ mod tests {
         // ...but differ when forced right: compare full costs at the other
         // end of the range by shifting the desired position.
         let t2 = target(3, 1, 1, 0);
-        let exact2 = evaluate_exact(&region, &[iv], &t2, 0, aspect);
+        let exact2 = evaluate_exact(&region, &[*iv], &t2, 0, aspect);
         assert_eq!(exact2.cost, 0.0);
     }
 
@@ -469,7 +541,7 @@ mod tests {
             .iter()
             .find(|iv| iv.left == Some(a) && iv.right == Some(b))
             .unwrap();
-        let (av, bv) = exact_criticals(&region, &[iv], 2);
+        let (av, bv) = exact_criticals(&region, &[*iv], 2);
         // Left side: only a, critical 6 + 2 = 8.
         assert_eq!(av, vec![8]);
         // Right side: b critical 8-2 = 6; c critical via chain = 6 + 0
@@ -495,7 +567,7 @@ mod tests {
             .iter()
             .find(|iv| iv.left == Some(a) && iv.right == Some(m))
             .unwrap();
-        let (_, bv) = exact_criticals(&region, &[iv], 2);
+        let (_, bv) = exact_criticals(&region, &[*iv], 2);
         // m: xb = 8 - 2 = 6; s: xb = xb_m + slack(m, s on row 1) = 6 + 0 = 6.
         let mut bs = bv.clone();
         bs.sort_unstable();

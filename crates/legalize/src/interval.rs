@@ -40,6 +40,15 @@ impl LocalRegion {
     /// the target and are dropped.
     pub fn insertion_intervals(&self, target_w: i32) -> Vec<InsInterval> {
         let mut out = Vec::new();
+        self.insertion_intervals_into(target_w, &mut out);
+        out
+    }
+
+    /// [`insertion_intervals`](LocalRegion::insertion_intervals) into a
+    /// caller-owned buffer (cleared first), so the kernel's steady state
+    /// reuses one allocation across MLL calls.
+    pub fn insertion_intervals_into(&self, target_w: i32, out: &mut Vec<InsInterval>) {
+        out.clear();
         for (row, seg) in self.rows.iter().enumerate() {
             let Some(seg) = seg else { continue };
             for gap in 0..=seg.cells.len() {
@@ -69,7 +78,6 @@ impl LocalRegion {
                 }
             }
         }
-        out
     }
 }
 

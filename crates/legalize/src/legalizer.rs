@@ -8,7 +8,8 @@
 //! until everything is placed.
 
 use crate::config::{CellOrder, LegalizerConfig};
-use crate::mll::{mll_timed, MllOutcome};
+use crate::mll::{mll_in, MllOutcome};
+use crate::scratch::ScratchArena;
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
@@ -172,6 +173,26 @@ impl Legalizer {
         fy: f64,
         stats: &mut LegalizeStats,
     ) -> Result<bool, LegalizeError> {
+        self.try_place_in(design, state, cell, fx, fy, stats, &mut ScratchArena::new())
+    }
+
+    /// [`try_place`](Legalizer::try_place) against a caller-owned
+    /// [`ScratchArena`], the drivers' steady-state entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_place`](Legalizer::try_place).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_place_in(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        cell: CellId,
+        fx: f64,
+        fy: f64,
+        stats: &mut LegalizeStats,
+        arena: &mut ScratchArena,
+    ) -> Result<bool, LegalizeError> {
         let pos = self.snap(design, cell, fx, fy);
         let direct = if self.cfg.rail_mode.is_aligned() {
             state.place(design, cell, pos)
@@ -187,7 +208,15 @@ impl Legalizer {
             Err(DbError::AlreadyPlaced(c)) => Err(DbError::AlreadyPlaced(c).into()),
             Err(_) => {
                 stats.mll_calls += 1;
-                match mll_timed(design, state, &self.cfg, cell, pos, &mut stats.phases)? {
+                match mll_in(
+                    design,
+                    state,
+                    &self.cfg,
+                    cell,
+                    pos,
+                    &mut stats.phases,
+                    arena,
+                )? {
                     MllOutcome::Placed(_) => {
                         stats.via_mll += 1;
                         stats.placed += 1;
@@ -219,18 +248,19 @@ impl Legalizer {
             ..LegalizeStats::default()
         };
         let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut arena = ScratchArena::new();
         let unplaced = self.ordered_unplaced(design, state, &mut rng);
 
         // First pass at the input positions (lines 2–7).
         let mut remaining = Vec::new();
         for cell in unplaced {
             let (fx, fy) = design.input_position(cell);
-            if !self.try_place(design, state, cell, fx, fy, &mut stats)? {
+            if !self.try_place_in(design, state, cell, fx, fy, &mut stats, &mut arena)? {
                 remaining.push(cell);
             }
         }
 
-        self.retry_loop(design, state, remaining, &mut stats, &mut rng)?;
+        self.retry_loop(design, state, remaining, &mut stats, &mut rng, &mut arena)?;
         stats.wall = wall.elapsed();
         Ok(stats)
     }
@@ -272,6 +302,7 @@ impl Legalizer {
         mut remaining: Vec<CellId>,
         stats: &mut LegalizeStats,
         rng: &mut SmallRng,
+        arena: &mut ScratchArena,
     ) -> Result<(), LegalizeError> {
         let mut k = 1u32;
         while !remaining.is_empty() {
@@ -298,7 +329,7 @@ impl Legalizer {
                 } else {
                     0.0
                 };
-                if !self.try_place(design, state, cell, fx + dx, fy + dy, stats)? {
+                if !self.try_place_in(design, state, cell, fx + dx, fy + dy, stats, arena)? {
                     still.push(cell);
                 }
             }

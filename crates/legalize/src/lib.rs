@@ -66,19 +66,24 @@ mod parallel;
 mod realize;
 mod refine;
 pub mod region;
+mod scratch;
 pub mod timing;
 
 pub use config::{CellOrder, EvalMode, LegalizerConfig, PowerRailMode};
 pub use detailed::{DetailedConfig, DetailedPlacer, DetailedStats};
 pub use enumerate::{
-    enumerate_insertion_points, find_best_insertion_point, find_best_insertion_point_timed,
-    InsertionPoint,
+    enumerate_insertion_points, find_best_insertion_point, find_best_insertion_point_in,
+    find_best_insertion_point_timed, InsertionPoint,
 };
 pub use evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
 pub use interval::InsInterval;
 pub use legalizer::{LegalizeError, LegalizeStats, Legalizer};
-pub use mll::{mll, mll_timed, mll_transacted, mll_transacted_timed, MllOutcome, MllTransaction};
+pub use mll::{
+    mll, mll_in, mll_timed, mll_transacted, mll_transacted_in, mll_transacted_timed, MllOutcome,
+    MllTransaction,
+};
 pub use realize::{realize, Realization};
 pub use refine::{refine_rows, RefineStats};
 pub use region::{LocalCell, LocalRegion, LocalSeg};
+pub use scratch::ScratchArena;
 pub use timing::{Phase, PhaseTimes};

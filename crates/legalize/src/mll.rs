@@ -2,10 +2,11 @@
 //! realize → commit.
 
 use crate::config::LegalizerConfig;
-use crate::enumerate::find_best_insertion_point_timed;
+use crate::enumerate::find_best_insertion_point_in;
 use crate::evaluate::{Evaluation, TargetSpec};
 use crate::realize::realize;
 use crate::region::LocalRegion;
+use crate::scratch::ScratchArena;
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::{SitePoint, SiteRect};
@@ -63,8 +64,34 @@ pub fn mll_timed(
     pos: SitePoint,
     timer: &mut PhaseTimes,
 ) -> Result<MllOutcome, DbError> {
+    mll_in(
+        design,
+        state,
+        cfg,
+        target,
+        pos,
+        timer,
+        &mut ScratchArena::new(),
+    )
+}
+
+/// [`mll_timed`] against a caller-owned [`ScratchArena`] — the drivers'
+/// steady-state entry point.
+///
+/// # Errors
+///
+/// Same as [`mll`].
+pub fn mll_in(
+    design: &Design,
+    state: &mut PlacementState,
+    cfg: &LegalizerConfig,
+    target: CellId,
+    pos: SitePoint,
+    timer: &mut PhaseTimes,
+    arena: &mut ScratchArena,
+) -> Result<MllOutcome, DbError> {
     Ok(
-        match mll_transacted_timed(design, state, cfg, target, pos, timer)? {
+        match mll_transacted_in(design, state, cfg, target, pos, timer, arena)? {
             Some(tx) => MllOutcome::Placed(tx.eval),
             None => MllOutcome::NoInsertionPoint,
         },
@@ -137,6 +164,31 @@ pub fn mll_transacted_timed(
     pos: SitePoint,
     timer: &mut PhaseTimes,
 ) -> Result<Option<MllTransaction>, DbError> {
+    mll_transacted_in(
+        design,
+        state,
+        cfg,
+        target,
+        pos,
+        timer,
+        &mut ScratchArena::new(),
+    )
+}
+
+/// [`mll_transacted_timed`] against a caller-owned [`ScratchArena`].
+///
+/// # Errors
+///
+/// Same as [`mll`].
+pub fn mll_transacted_in(
+    design: &Design,
+    state: &mut PlacementState,
+    cfg: &LegalizerConfig,
+    target: CellId,
+    pos: SitePoint,
+    timer: &mut PhaseTimes,
+    arena: &mut ScratchArena,
+) -> Result<Option<MllTransaction>, DbError> {
     if state.is_placed(target) {
         return Err(DbError::AlreadyPlaced(target));
     }
@@ -157,7 +209,8 @@ pub fn mll_transacted_timed(
         y: pos.y,
         rail: cell.rail(),
     };
-    let Some(point) = find_best_insertion_point_timed(&region, design, &spec, cfg, timer) else {
+    let Some(point) = find_best_insertion_point_in(&region, design, &spec, cfg, timer, arena)
+    else {
         return Ok(None);
     };
     let probe = timer.start();

@@ -27,7 +27,8 @@
 //! of which are independent of the thread count.
 
 use crate::legalizer::{LegalizeError, LegalizeStats, Legalizer};
-use crate::mll::mll_transacted_timed;
+use crate::mll::mll_transacted_in;
+use crate::scratch::ScratchArena;
 use crate::timing::PhaseTimes;
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
@@ -137,11 +138,15 @@ impl Legalizer {
                 for _ in 0..workers {
                     scope.spawn(|| {
                         let mut local: Option<PlacementState> = None;
+                        // One scratch arena per worker, reused across all
+                        // the stripes this worker claims.
+                        let mut arena = ScratchArena::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&sidx) = wave.get(i) else { break };
                             let local = local.get_or_insert_with(|| master.clone());
-                            let res = self.run_stripe(design, local, sidx, &stripes[sidx]);
+                            let res =
+                                self.run_stripe(design, local, sidx, &stripes[sidx], &mut arena);
                             results.lock().unwrap().push(res);
                         }
                     });
@@ -174,7 +179,8 @@ impl Legalizer {
         }
 
         stats.residue = residue.len();
-        self.retry_loop(design, state, residue, &mut stats, &mut rng)?;
+        let mut arena = ScratchArena::new();
+        self.retry_loop(design, state, residue, &mut stats, &mut rng, &mut arena)?;
         stats.wall = wall.elapsed();
         Ok(stats)
     }
@@ -187,6 +193,7 @@ impl Legalizer {
         local: &mut PlacementState,
         stripe: usize,
         cells: &[CellId],
+        arena: &mut ScratchArena,
     ) -> StripeResult {
         let cfg = self.config();
         let mut res = StripeResult {
@@ -231,7 +238,7 @@ impl Legalizer {
                 }
                 Err(_) => {
                     res.mll_calls += 1;
-                    match mll_transacted_timed(design, local, cfg, cell, pos, &mut res.phases) {
+                    match mll_transacted_in(design, local, cfg, cell, pos, &mut res.phases, arena) {
                         Ok(Some(tx)) => {
                             res.via_mll += 1;
                             for &(moved, old_x) in &tx.undo_moves {

@@ -61,6 +61,18 @@ pub struct PhaseTimes {
     pub retry: Duration,
     /// Retry rounds timed.
     pub retry_rounds: u64,
+    /// Valid insertion-point combinations the scanline generated.
+    ///
+    /// Unlike the wall-clock fields, the three combo counters record even
+    /// when the accumulator is disabled: they cost one integer add each and
+    /// the pruning property ("never evaluate more combos than the
+    /// exhaustive path emits") must be observable without timing overhead.
+    pub combos_generated: u64,
+    /// Combinations discarded by the branch-and-bound lower bound before
+    /// any exact scoring ran.
+    pub combos_pruned: u64,
+    /// Combinations that reached `evaluate`/`evaluate_exact`.
+    pub combos_evaluated: u64,
 }
 
 impl PhaseTimes {
@@ -132,6 +144,9 @@ impl PhaseTimes {
         self.realize_calls += other.realize_calls;
         self.retry += other.retry;
         self.retry_rounds += other.retry_rounds;
+        self.combos_generated += other.combos_generated;
+        self.combos_pruned += other.combos_pruned;
+        self.combos_evaluated += other.combos_evaluated;
     }
 
     /// Exclusive pipeline time: extract + enumerate + realize. (`evaluate`
@@ -166,6 +181,22 @@ mod tests {
         t.stop(Phase::Enumerate, probe);
         assert_eq!(t.enumerate_calls, 2);
         assert_eq!(t.extract_calls, 0);
+    }
+
+    #[test]
+    fn combo_counters_record_even_when_disabled() {
+        let mut t = PhaseTimes::default();
+        assert!(!t.is_enabled());
+        t.combos_generated += 3;
+        t.combos_pruned += 2;
+        t.combos_evaluated += 1;
+        let mut sum = PhaseTimes::default();
+        sum.merge(&t);
+        sum.merge(&t);
+        assert_eq!(sum.combos_generated, 6);
+        assert_eq!(sum.combos_pruned, 4);
+        assert_eq!(sum.combos_evaluated, 2);
+        assert!(!sum.is_enabled());
     }
 
     #[test]

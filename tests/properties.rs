@@ -15,8 +15,8 @@
 use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
 use mrl_geom::{Interval, PowerRail, SitePoint, SiteRect};
 use mrl_legalize::{
-    enumerate_insertion_points, realize, EvalMode, Legalizer, LegalizerConfig, LocalRegion,
-    MllOutcome, PowerRailMode, TargetSpec,
+    enumerate_insertion_points, find_best_insertion_point_in, realize, EvalMode, Legalizer,
+    LegalizerConfig, LocalRegion, MllOutcome, PhaseTimes, PowerRailMode, ScratchArena, TargetSpec,
 };
 use mrl_metrics::{check_legal, RailCheck};
 use proptest::prelude::*;
@@ -299,6 +299,64 @@ proptest! {
             prop_assert_eq!(
                 &scan, &naive,
                 "relaxed={} region={:?}", relaxed, region
+            );
+        }
+    }
+
+    /// The branch-and-bound best-first search returns the same insertion
+    /// point (row, intervals, x, cost) as the exhaustive path, and never
+    /// exactly-evaluates more combinations than the exhaustive path emits.
+    #[test]
+    fn pruned_search_equals_exhaustive(s in scenario()) {
+        let Some((design, state, target)) = build(&s) else { return Ok(()) };
+        let cell = design.cell(target);
+        let window = SiteRect::new(0, 0, s.width, s.rows);
+        let region = LocalRegion::extract(&design, &state, window);
+        let spec = TargetSpec {
+            w: cell.width(),
+            h: cell.height(),
+            x: s.target_pos.0,
+            y: s.target_pos.1,
+            rail: PowerRail::Vdd,
+        };
+        for eval_mode in [EvalMode::Approximate, EvalMode::Exact] {
+            let base = LegalizerConfig::default()
+                .with_rail_mode(PowerRailMode::Relaxed)
+                .with_eval_mode(eval_mode);
+            let mut full_times = PhaseTimes::default();
+            let mut full_arena = ScratchArena::new();
+            let full = find_best_insertion_point_in(
+                &region,
+                &design,
+                &spec,
+                &base.clone().with_prune(false),
+                &mut full_times,
+                &mut full_arena,
+            );
+            let mut pruned_times = PhaseTimes::default();
+            let mut pruned_arena = ScratchArena::new();
+            let pruned = find_best_insertion_point_in(
+                &region,
+                &design,
+                &spec,
+                &base.with_prune(true),
+                &mut pruned_times,
+                &mut pruned_arena,
+            );
+            prop_assert_eq!(&pruned, &full, "eval_mode={:?}", eval_mode);
+            prop_assert_eq!(
+                pruned_times.combos_generated, full_times.combos_generated,
+                "both modes must consider the same candidate set"
+            );
+            prop_assert!(
+                pruned_times.combos_evaluated <= full_times.combos_generated,
+                "pruned evaluated {} > exhaustive emitted {}",
+                pruned_times.combos_evaluated, full_times.combos_generated
+            );
+            prop_assert_eq!(
+                pruned_times.combos_pruned + pruned_times.combos_evaluated,
+                pruned_times.combos_generated,
+                "every generated combo is either pruned or evaluated"
             );
         }
     }
