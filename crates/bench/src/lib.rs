@@ -43,6 +43,7 @@ pub fn results_to_json(results: &[BenchResult]) -> Json {
             .map(|r| {
                 let mut o = Json::obj();
                 o.set("name", r.name.clone())
+                    .set("seed", r.seed)
                     .set("single_cells", r.single_cells)
                     .set("double_cells", r.double_cells)
                     .set("density", r.density)
@@ -129,6 +130,9 @@ pub struct MethodResult {
 pub struct BenchResult {
     /// Benchmark name.
     pub name: String,
+    /// Generator / legalizer seed the measurements were taken with. Always
+    /// recorded in emitted JSON so every artifact is replayable.
+    pub seed: u64,
     /// Single-row cells in the generated clone.
     pub single_cells: usize,
     /// Double-row cells in the generated clone.
@@ -246,6 +250,7 @@ pub fn run_benchmark(spec: &BenchmarkSpec, cfg: &HarnessConfig) -> BenchResult {
     }
     BenchResult {
         name: spec.name.clone(),
+        seed: cfg.seed,
         single_cells: singles,
         double_cells: doubles,
         density: design.density(),
@@ -399,6 +404,21 @@ mod tests {
         };
         let r = run_benchmark(&spec, &cfg);
         assert!(r.results.is_empty());
+    }
+
+    #[test]
+    fn json_artifact_records_the_seed() {
+        let spec = BenchmarkSpec::new("harness_seed", 120, 12, 0.4, 0.0);
+        let cfg = HarnessConfig {
+            methods: vec![Method::Mll],
+            rail_modes: vec![true],
+            seed: 42,
+            ..HarnessConfig::default()
+        };
+        let results = run_suite(&[spec], &cfg);
+        assert_eq!(results[0].seed, 42);
+        let json = results_to_json(&results).pretty();
+        assert!(json.contains("\"seed\": 42"), "{json}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! mrl check    (--aux F | --lef F --def F) [--relaxed]
 //! mrl stats    (--aux F | --lef F --def F)
 //! mrl convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
+//! mrl fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
+//!              [--corpus DIR] [--json FILE] [--inject-bug]
 //! ```
 //!
 //! The library surface ([`run`]) takes the argument vector and returns the
@@ -80,6 +82,23 @@ struct Opts {
     refine: bool,
     no_prune: bool,
     detail: usize,
+    iters: Option<u32>,
+    cells: Option<usize>,
+    time_budget: Option<std::time::Duration>,
+    corpus: Option<PathBuf>,
+    json: Option<PathBuf>,
+    inject_bug: bool,
+}
+
+/// Parses a duration like `60`, `60s`, or `2m` (seconds by default).
+fn parse_duration(s: &str) -> Option<std::time::Duration> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'm' => (&s[..s.len() - 1], 60.0),
+        b's' => (&s[..s.len() - 1], 1.0),
+        _ => (s, 1.0),
+    };
+    let v: f64 = num.parse().ok()?;
+    (v >= 0.0).then(|| std::time::Duration::from_secs_f64(v * mult))
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -122,6 +141,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                         .map_err(|_| fail("bad --threads"))?,
                 )
             }
+            "--iters" => o.iters = Some(val("--iters")?.parse().map_err(|_| fail("bad --iters"))?),
+            "--cells" => o.cells = Some(val("--cells")?.parse().map_err(|_| fail("bad --cells"))?),
+            "--time-budget" => {
+                o.time_budget = Some(
+                    parse_duration(val("--time-budget")?)
+                        .ok_or_else(|| fail("bad --time-budget (use e.g. 60, 60s, or 2m)"))?,
+                )
+            }
+            "--corpus" => o.corpus = Some(PathBuf::from(val("--corpus")?)),
+            "--json" => o.json = Some(PathBuf::from(val("--json")?)),
+            "--inject-bug" => o.inject_bug = true,
             "--relaxed" => o.relaxed = true,
             "--exact" => o.exact = true,
             "--refine" => o.refine = true,
@@ -437,6 +467,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let path = write_design(&design, &dir, &format)?;
             Ok(format!("wrote {path}\n"))
         }
+        "fuzz" => {
+            let mut cfg = mrl_fuzz::FuzzConfig::new(o.seed);
+            if let Some(iters) = o.iters {
+                cfg = cfg.with_iters(iters);
+            }
+            if let Some(cells) = o.cells {
+                cfg = cfg.with_max_cells(cells);
+            }
+            if let Some(budget) = o.time_budget {
+                cfg = cfg.with_time_budget(budget);
+            }
+            if let Some(dir) = &o.corpus {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| fail(format!("cannot create {}: {e}", dir.display())))?;
+                cfg = cfg.with_corpus_dir(dir.clone());
+            }
+            if o.inject_bug {
+                cfg = cfg.with_fault(mrl_fuzz::Fault::NoPruneOffByOne);
+            }
+            let report = mrl_fuzz::fuzz(&cfg);
+            if let Some(path) = &o.json {
+                std::fs::write(path, report.to_json().pretty())
+                    .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+            }
+            if report.clean() {
+                Ok(report.summary())
+            } else {
+                // Discrepancies exit 1 (like `check`) so CI jobs fail; the
+                // summary carries seeds and reproducer paths.
+                Err(CliError {
+                    message: report.summary(),
+                    code: 1,
+                })
+            }
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(fail(format!("unknown command {other}\n{USAGE}"))),
     }
@@ -456,6 +521,8 @@ commands:
   check    (--aux F | --lef F --def F) [--relaxed]
   stats    (--aux F | --lef F --def F)
   convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
+  fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
+           [--corpus DIR] [--json FILE] [--inject-bug]
 ";
 
 #[cfg(test)]
@@ -702,6 +769,78 @@ mod tests {
         .unwrap();
         assert!(out_dir.join("fft_a.lef").exists());
         assert!(out_dir.join("fft_a.def").exists());
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_and_writes_json() {
+        let dir = tmpdir("fuzz");
+        let json = dir.join("report.json");
+        let out = run(&args(&[
+            "fuzz",
+            "--seed",
+            "0",
+            "--iters",
+            "5",
+            "--cells",
+            "40",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("no discrepancies"), "{out}");
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"seed\""));
+        assert!(text.contains("\"cases_run\""));
+    }
+
+    #[test]
+    fn fuzz_inject_bug_exits_nonzero_and_writes_reproducer() {
+        let dir = tmpdir("fuzzbug");
+        let corpus = dir.join("corpus");
+        let err = run(&args(&[
+            "fuzz",
+            "--seed",
+            "1",
+            "--iters",
+            "1",
+            "--cells",
+            "40",
+            "--inject-bug",
+            "--corpus",
+            corpus.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("PruneMismatch"), "{}", err.message);
+        let wrote_repro = std::fs::read_dir(&corpus)
+            .unwrap()
+            .any(|e| e.unwrap().path().join("repro.aux").exists());
+        assert!(wrote_repro, "no reproducer directory under corpus");
+    }
+
+    #[test]
+    fn fuzz_time_budget_parses_units() {
+        assert!(parse_duration("60").is_some());
+        assert_eq!(
+            parse_duration("60s").unwrap(),
+            std::time::Duration::from_secs(60)
+        );
+        assert_eq!(
+            parse_duration("2m").unwrap(),
+            std::time::Duration::from_secs(120)
+        );
+        assert!(parse_duration("x").is_none());
+        let out = run(&args(&[
+            "fuzz",
+            "--iters",
+            "2",
+            "--cells",
+            "30",
+            "--time-budget",
+            "60s",
+        ]))
+        .unwrap();
+        assert!(out.contains("fuzz:"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Differential fuzzing harness for the multi-row legalizer.
+//!
+//! Classic fuzzing of a legalizer has an oracle problem: when legalization
+//! fails, was the instance infeasible or the algorithm wrong? This harness
+//! sidesteps it with *witness-based* generation — every instance is grown
+//! from a packed legal placement ([`mrl_synth::generate_witness`]) and then
+//! perturbed, so legalizability is guaranteed by construction and any
+//! failure is a real bug.
+//!
+//! Each iteration derives a case seed from the master seed (splitmix64, so
+//! `--seed N` replays bit-identically), synthesizes a witness with randomly
+//! varied shape parameters, and runs the invariant matrix of
+//! [`matrix::run_matrix`]: independent legality checking, prune and thread
+//! invariance, displacement bounds, x-translation equivariance, and
+//! baseline cross-validation. A discrepancy triggers the ddmin-style
+//! [`shrink::shrink`] reducer, and the minimal scenario is written to a
+//! corpus directory as a Bookshelf reproducer that `tests/corpus.rs`
+//! replays forever after.
+
+pub mod matrix;
+pub mod scenario;
+pub mod shrink;
+
+pub use matrix::{run_matrix, DiscrepancyKind, Fault, MatrixOptions};
+pub use scenario::{Scenario, ScenarioCell};
+pub use shrink::{shrink, ShrinkStats};
+
+use mrl_bench::json::Json;
+use mrl_synth::{generate_witness, WitnessConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Configuration of one fuzzing campaign. The seed is mandatory
+/// (deterministic replay is the whole point); everything else has
+/// defaults sized for a CI smoke run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` uses `splitmix64(seed, i)`.
+    pub seed: u64,
+    /// Number of cases to run (a time budget can stop earlier).
+    pub iters: u32,
+    /// Upper bound on cells per synthesized case.
+    pub max_cells: usize,
+    /// Wall-clock budget; `None` runs all `iters`.
+    pub time_budget: Option<Duration>,
+    /// Where minimal reproducers are written; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Oracle-call budget per shrink.
+    pub shrink_budget: u32,
+    /// Injected fault for harness self-tests (`--inject-bug`).
+    pub fault: Option<Fault>,
+    /// Cross-check the Abacus/Tetris baselines.
+    pub baselines: bool,
+}
+
+impl FuzzConfig {
+    /// Defaults around an explicit master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            iters: 50,
+            max_cells: 120,
+            time_budget: None,
+            corpus_dir: None,
+            shrink_budget: 400,
+            fault: None,
+            baselines: true,
+        }
+    }
+
+    /// Returns `self` with the iteration count replaced.
+    pub fn with_iters(mut self, iters: u32) -> Self {
+        self.iters = iters;
+        self
+    }
+
+    /// Returns `self` with the per-case cell cap replaced.
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = max_cells.max(12);
+        self
+    }
+
+    /// Returns `self` with a wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Returns `self` writing reproducers under `dir`.
+    pub fn with_corpus_dir(mut self, dir: PathBuf) -> Self {
+        self.corpus_dir = Some(dir);
+        self
+    }
+
+    /// Returns `self` with an injected fault (harness self-test).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// One failing case, after shrinking.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// Case index within the campaign.
+    pub case: u32,
+    /// The derived case seed (replays via `WitnessConfig::new(seed)` with
+    /// the recorded shape).
+    pub case_seed: u64,
+    /// First (most fundamental) discrepancy kind.
+    pub kind: DiscrepancyKind,
+    /// All discrepancy messages from the unshrunk run.
+    pub details: Vec<String>,
+    /// The minimal scenario.
+    pub shrunk: Scenario,
+    /// Shrink effort counters.
+    pub stats: ShrinkStats,
+    /// Corpus directory the reproducer was written to, if any.
+    pub corpus_path: Option<PathBuf>,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Master seed (recorded so artifacts are self-describing).
+    pub seed: u64,
+    /// Cases actually run.
+    pub cases_run: u32,
+    /// Cases requested.
+    pub cases_requested: u32,
+    /// Total cells across all cases (coverage indicator).
+    pub total_cells: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// True when the time budget stopped the campaign early.
+    pub hit_time_budget: bool,
+    /// Every failing case.
+    pub failures: Vec<CaseFailure>,
+}
+
+impl FuzzReport {
+    /// True when no case produced a discrepancy.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Machine-readable artifact (every seed recorded for replay).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("seed", self.seed);
+        j.set("cases_run", self.cases_run);
+        j.set("cases_requested", self.cases_requested);
+        j.set("total_cells", self.total_cells as i64);
+        j.set("elapsed_ms", self.elapsed.as_millis() as i64);
+        j.set("hit_time_budget", self.hit_time_budget);
+        let failures: Vec<Json> = self
+            .failures
+            .iter()
+            .map(|f| {
+                let mut o = Json::obj();
+                o.set("case", f.case);
+                o.set("case_seed", f.case_seed);
+                o.set("kind", f.kind.slug());
+                o.set(
+                    "details",
+                    Json::Arr(f.details.iter().map(|d| Json::Str(d.clone())).collect()),
+                );
+                o.set("shrunk_cells", f.shrunk.cells.len());
+                o.set("oracle_calls", f.stats.oracle_calls);
+                o.set(
+                    "corpus_path",
+                    f.corpus_path
+                        .as_ref()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .unwrap_or(Json::Null),
+                );
+                o
+            })
+            .collect();
+        j.set("failures", Json::Arr(failures));
+        j
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fuzz: {} cases ({} requested), {} cells, {:.1}s{}",
+            self.cases_run,
+            self.cases_requested,
+            self.total_cells,
+            self.elapsed.as_secs_f64(),
+            if self.hit_time_budget {
+                " [time budget]"
+            } else {
+                ""
+            },
+        );
+        if self.clean() {
+            let _ = writeln!(s, "fuzz: no discrepancies (seed {})", self.seed);
+        } else {
+            for f in &self.failures {
+                let _ = writeln!(
+                    s,
+                    "fuzz: case {} (seed {}) FAILED: {} — shrunk to {} cells{}",
+                    f.case,
+                    f.case_seed,
+                    f.kind,
+                    f.shrunk.cells.len(),
+                    f.corpus_path
+                        .as_ref()
+                        .map(|p| format!(", reproducer at {}", p.display()))
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        s
+    }
+}
+
+/// splitmix64 — the standard seed-stream derivation, so case seeds are
+/// decorrelated even for adjacent master seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Varies the witness shape per case so the campaign covers sparse and
+/// dense, flat and tall, open and macro-blocked instances.
+fn case_config(case_seed: u64, max_cells: usize, rng: &mut SmallRng) -> WitnessConfig {
+    let mut cfg = WitnessConfig::new(case_seed)
+        .with_cells(rng.gen_range(12..=max_cells))
+        .with_utilization(rng.gen_range(0.5..=0.78))
+        .with_shift(f64::from(rng.gen_range(1i32..=5)), rng.gen_range(0.5..=2.0));
+    cfg.double_fraction = rng.gen_range(0.05..=0.30);
+    cfg.tall_fraction = if rng.gen_bool(0.2) {
+        rng.gen_range(0.05..=0.15)
+    } else {
+        0.0
+    };
+    if rng.gen_bool(0.5) {
+        cfg = cfg.with_macros(rng.gen_range(1usize..=3));
+    }
+    cfg
+}
+
+/// Runs a fuzzing campaign.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let start = Instant::now();
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        cases_run: 0,
+        cases_requested: cfg.iters,
+        total_cells: 0,
+        elapsed: Duration::ZERO,
+        hit_time_budget: false,
+        failures: Vec::new(),
+    };
+    for case in 0..cfg.iters {
+        if let Some(budget) = cfg.time_budget {
+            if start.elapsed() >= budget {
+                report.hit_time_budget = true;
+                break;
+            }
+        }
+        let case_seed = splitmix64(cfg.seed.wrapping_add(u64::from(case)));
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let wcfg = case_config(case_seed, cfg.max_cells, &mut rng);
+        let witness = match generate_witness(&wcfg) {
+            Ok(w) => w,
+            Err(e) => {
+                // Generator bugs are harness bugs; surface them loudly.
+                panic!("witness generation failed for seed {case_seed}: {e}");
+            }
+        };
+        let scenario = Scenario::from_witness(&witness);
+        report.total_cells += scenario.cells.len() as u64;
+        let mut opts = MatrixOptions::new(case_seed);
+        opts.baselines = cfg.baselines;
+        opts.fault = cfg.fault;
+        let discrepancies = run_matrix(&scenario, &opts);
+        report.cases_run += 1;
+        if discrepancies.is_empty() {
+            continue;
+        }
+        let kind = discrepancies[0].kind;
+        let (shrunk, stats) = shrink(&scenario, &opts, kind, cfg.shrink_budget);
+        let corpus_path = cfg.corpus_dir.as_ref().and_then(|root| {
+            let dir = root.join(format!("case_{case_seed:016x}_{}", kind.slug()));
+            std::fs::create_dir_all(&dir).ok()?;
+            let meta = [
+                ("kind", kind.slug().to_string()),
+                ("master_seed", cfg.seed.to_string()),
+                ("case_seed", case_seed.to_string()),
+                ("legalizer_seed", opts.legalizer_seed.to_string()),
+                ("detail", discrepancies[0].detail.clone()),
+            ];
+            let meta: Vec<(&str, String)> = meta.iter().map(|(k, v)| (*k, v.clone())).collect();
+            shrunk.write_corpus(&dir, &meta).ok()?;
+            Some(dir)
+        });
+        report.failures.push(CaseFailure {
+            case,
+            case_seed,
+            kind,
+            details: discrepancies.iter().map(|d| d.to_string()).collect(),
+            shrunk,
+            stats,
+            corpus_path,
+        });
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Replays one corpus fixture directory: rebuilds the scenario and runs the
+/// full matrix with the recorded legalizer seed, with no fault injected.
+/// Returns the discrepancies (empty = the bug is fixed / stays fixed).
+///
+/// # Errors
+///
+/// Fixture parsing problems (not discrepancies).
+pub fn replay_corpus_case(dir: &std::path::Path) -> Result<Vec<matrix::Discrepancy>, String> {
+    let (scenario, meta) = Scenario::read_corpus(dir)?;
+    let lookup = |k: &str| meta.iter().find(|(mk, _)| mk == k).map(|(_, v)| v.clone());
+    let legalizer_seed = lookup("legalizer_seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut opts = MatrixOptions::new(legalizer_seed);
+    // Replays never re-inject faults: a committed reproducer must encode a
+    // *real* failure, and fault-injected fixtures are filtered out before
+    // commit (see `mrl fuzz --inject-bug` docs).
+    opts.fault = None;
+    // Corpus reloads have no witness, so the displacement bound and
+    // witness-feasibility reasoning still hold (the design was legal when
+    // captured); kinds that need the witness simply cannot re-fire, which
+    // is fine — replay guards against regressions of checkable kinds.
+    Ok(run_matrix(&scenario, &opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Known-answer test so corpus names stay stable across refactors.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let cfg = FuzzConfig::new(7).with_iters(4).with_max_cells(40);
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert!(a.clean(), "unexpected failures:\n{}", a.summary());
+        assert_eq!(a.cases_run, 4);
+        assert_eq!(
+            a.total_cells, b.total_cells,
+            "campaign must be deterministic"
+        );
+    }
+
+    #[test]
+    fn injected_fault_is_caught_shrunk_and_written() {
+        let dir = std::env::temp_dir().join(format!("mrl_fuzz_lib_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FuzzConfig::new(1)
+            .with_iters(1)
+            .with_max_cells(40)
+            .with_fault(Fault::NoPruneOffByOne)
+            .with_corpus_dir(dir.clone());
+        let report = fuzz(&cfg);
+        assert_eq!(report.failures.len(), 1, "{}", report.summary());
+        let f = &report.failures[0];
+        assert_eq!(f.kind, DiscrepancyKind::PruneMismatch);
+        assert!(f.shrunk.cells.len() <= 12);
+        let path = f.corpus_path.as_ref().expect("reproducer written");
+        assert!(path.join("repro.aux").exists());
+        assert!(path.join("meta.txt").exists());
+        // The JSON artifact records the seeds.
+        let json = report.to_json().pretty();
+        assert!(json.contains("case_seed"));
+        assert!(json.contains("prune_mismatch"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,25 @@
+//! The acceptance campaign: seed 0, 100 cases, full invariant matrix.
+//! Deterministic, so a failure here is always reproducible with
+//! `mrl fuzz --seed 0 --iters 100`.
+
+use mrl_fuzz::{fuzz, FuzzConfig};
+
+#[test]
+fn seed0_campaign_is_clean() {
+    let report = fuzz(&FuzzConfig::new(0).with_iters(100));
+    assert!(report.clean(), "{}", report.summary());
+    assert_eq!(report.cases_run, 100);
+    assert!(!report.hit_time_budget);
+}
+
+#[test]
+fn time_budget_stops_early() {
+    use std::time::Duration;
+    let report = fuzz(
+        &FuzzConfig::new(0)
+            .with_iters(u32::MAX)
+            .with_time_budget(Duration::ZERO),
+    );
+    assert!(report.hit_time_budget);
+    assert_eq!(report.cases_run, 0);
+}

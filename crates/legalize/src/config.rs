@@ -143,6 +143,14 @@ impl LegalizerConfig {
         self.prune = prune;
         self
     }
+
+    /// Returns `self` with the retry-iteration cap replaced. Differential
+    /// harnesses lower it so a genuinely stuck case fails fast instead of
+    /// burning the full default budget.
+    pub fn with_max_retries(mut self, max_retry_iters: u32) -> Self {
+        self.max_retry_iters = max_retry_iters;
+        self
+    }
 }
 
 impl fmt::Display for LegalizerConfig {

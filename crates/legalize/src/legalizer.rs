@@ -67,6 +67,18 @@ pub enum LegalizeError {
     Db(DbError),
 }
 
+impl LegalizeError {
+    /// The cell the failure is attributable to, when there is one.
+    /// Failure reports (e.g. the fuzz harness) use this to name the
+    /// offending cell without matching on the variant.
+    pub fn cell(&self) -> Option<CellId> {
+        match self {
+            LegalizeError::Unplaceable { cell, .. } => Some(*cell),
+            LegalizeError::Db(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for LegalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -240,6 +240,92 @@ mod tests {
     }
 
     #[test]
+    fn overlap_spanning_multiple_rows_reported_once() {
+        // `PlacementState` refuses to create overlap, so the illegal state
+        // is built on a sibling design with *narrower* cells and checked
+        // against the design with the true (wide) footprints.
+        let mut narrow = DesignBuilder::new(2, 10);
+        let a_n = narrow.add_cell("a", 2, 2);
+        let b_n = narrow.add_cell("b", 2, 2);
+        let narrow = narrow.finish().unwrap();
+        let mut state = PlacementState::new(&narrow);
+        state.place(&narrow, a_n, SitePoint::new(0, 0)).unwrap();
+        state.place(&narrow, b_n, SitePoint::new(2, 0)).unwrap();
+
+        let mut wide = DesignBuilder::new(2, 10);
+        let a = wide.add_cell("a", 4, 2);
+        let b = wide.add_cell("b", 4, 2);
+        let wide = wide.finish().unwrap();
+        // With 4-site widths the two cells overlap on *both* rows; the
+        // report must deduplicate the pair across rows.
+        let report = check_legal(&wide, &state, RailCheck::Enforce).unwrap_err();
+        assert_eq!(report.violations, vec![Violation::Overlap(a, b)]);
+    }
+
+    #[test]
+    fn fence_member_outside_its_region_detected() {
+        let mut fenced = DesignBuilder::new(2, 20);
+        let m = fenced.add_cell("m", 2, 1);
+        let region = fenced.add_region("fr", vec![SiteRect::new(0, 0, 4, 2)]);
+        fenced.assign_region(m, region);
+        let fenced = fenced.finish().unwrap();
+
+        let mut free = DesignBuilder::new(2, 20);
+        let m_free = free.add_cell("m", 2, 1);
+        let free = free.finish().unwrap();
+        let mut state = PlacementState::new(&free);
+        state.place(&free, m_free, SitePoint::new(10, 0)).unwrap();
+
+        let report = check_legal(&fenced, &state, RailCheck::Enforce).unwrap_err();
+        assert_eq!(report.violations, vec![Violation::FenceViolation(m)]);
+    }
+
+    #[test]
+    fn fence_non_member_inside_a_region_detected() {
+        let mut fenced = DesignBuilder::new(2, 20);
+        let outsider = fenced.add_cell("o", 2, 1);
+        fenced.add_region("fr", vec![SiteRect::new(0, 0, 4, 2)]);
+        let fenced = fenced.finish().unwrap();
+
+        let mut free = DesignBuilder::new(2, 20);
+        let o_free = free.add_cell("o", 2, 1);
+        let free = free.finish().unwrap();
+        let mut state = PlacementState::new(&free);
+        state.place(&free, o_free, SitePoint::new(1, 0)).unwrap();
+
+        let report = check_legal(&fenced, &state, RailCheck::Enforce).unwrap_err();
+        assert_eq!(report.violations, vec![Violation::FenceViolation(outsider)]);
+    }
+
+    #[test]
+    fn rail_ignore_waives_only_constraint_four() {
+        // One even-height cell on the wrong row AND two overlapping cells:
+        // Ignore must drop the rail violation but keep the overlap.
+        let mut narrow = DesignBuilder::new(3, 12);
+        let d_n = narrow.add_cell("d", 2, 2);
+        let a_n = narrow.add_cell("a", 2, 1);
+        let b_n = narrow.add_cell("b", 2, 1);
+        let narrow = narrow.finish().unwrap();
+        let mut state = PlacementState::new(&narrow);
+        state
+            .place_ignoring_rails(&narrow, d_n, SitePoint::new(0, 1))
+            .unwrap();
+        state.place(&narrow, a_n, SitePoint::new(4, 0)).unwrap();
+        state.place(&narrow, b_n, SitePoint::new(6, 0)).unwrap();
+
+        let mut wide = DesignBuilder::new(3, 12);
+        let d = wide.add_cell("d", 2, 2);
+        let a = wide.add_cell("a", 4, 1);
+        let b = wide.add_cell("b", 4, 1);
+        let wide = wide.finish().unwrap();
+        let enforce = check_legal(&wide, &state, RailCheck::Enforce).unwrap_err();
+        assert!(enforce.violations.contains(&Violation::RailMismatch(d)));
+        assert!(enforce.violations.contains(&Violation::Overlap(a, b)));
+        let ignore = check_legal(&wide, &state, RailCheck::Ignore).unwrap_err();
+        assert_eq!(ignore.violations, vec![Violation::Overlap(a, b)]);
+    }
+
+    #[test]
     fn report_display_lists_violations() {
         let mut b = DesignBuilder::new(1, 10);
         b.add_cell("a", 2, 1);

@@ -11,9 +11,14 @@
 //! * `.scl` — `CoreRow` records; `Height` and `Sitewidth` are normalized
 //!   away so the in-memory design is in site units.
 //!
-//! Bookshelf cannot express power-rail polarity; cells read back get the
-//! default (VDD-bottom) rail. Everything else round-trips exactly; see
-//! the crate-level example.
+//! Plain Bookshelf cannot express power-rail polarity. The writer encodes
+//! a non-default (VSS-bottom) rail as a `# rail=VSS` trailing comment on
+//! the cell's `.nodes` line; the reader understands the annotation and
+//! otherwise falls back to the default (VDD-bottom) rail, so files from
+//! other tools still load and annotated files round-trip **byte
+//! identically** (`write → read → write` is the identity on bytes; see
+//! the round-trip property test). Everything else round-trips exactly;
+//! see the crate-level example.
 
 use crate::ParseError;
 use mrl_db::{CellId, Design, DesignBuilder};
@@ -48,7 +53,17 @@ fn nodes_text(design: &Design) -> String {
     let _ = writeln!(out, "NumTerminals : {terminals}");
     for cell in design.cells() {
         if cell.is_movable() {
-            let _ = writeln!(out, "  {} {} {}", cell.name(), cell.width(), cell.height());
+            let rail = match cell.rail() {
+                mrl_geom::PowerRail::Vdd => "",
+                mrl_geom::PowerRail::Vss => " # rail=VSS",
+            };
+            let _ = writeln!(
+                out,
+                "  {} {} {}{rail}",
+                cell.name(),
+                cell.width(),
+                cell.height()
+            );
         } else {
             let _ = writeln!(
                 out,
@@ -269,10 +284,22 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
         w: i32,
         h: i32,
         terminal: bool,
+        rail: mrl_geom::PowerRail,
     }
     let mut raw_nodes: Vec<(String, RawNode)> = Vec::new();
     for (lno, line) in nodes.lines().enumerate() {
         let lno = lno + 1;
+        // Our rail-polarity extension rides in the comment; read it before
+        // the comment is stripped.
+        let rail = if line
+            .split('#')
+            .nth(1)
+            .is_some_and(|c| c.contains("rail=VSS"))
+        {
+            mrl_geom::PowerRail::Vss
+        } else {
+            mrl_geom::PowerRail::Vdd
+        };
         let line = strip_comment(line);
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens.is_empty()
@@ -299,6 +326,7 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
                 terminal: tokens
                     .get(3)
                     .is_some_and(|t| t.eq_ignore_ascii_case("terminal")),
+                rail,
             },
         ));
     }
@@ -341,7 +369,7 @@ pub fn read(aux_path: &Path) -> Result<Design, ParseError> {
             );
             ids.insert(name.clone(), id);
         } else {
-            let id = builder.add_cell(name.clone(), node.w, node.h);
+            let id = builder.add_cell_with_rail(name.clone(), node.w, node.h, node.rail);
             if let Some(&(x, y)) = positions.get(name) {
                 builder.set_input_position(id, x, y);
             }
@@ -542,6 +570,61 @@ mod tests {
         std::fs::write(dir.join("x.aux"), "RowBasedPlacement : x.nodes\n").unwrap();
         let err = read(&dir.join("x.aux")).unwrap_err();
         assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn rails_round_trip_via_annotation() {
+        use mrl_geom::PowerRail;
+        let mut b = mrl_db::DesignBuilder::new(4, 20);
+        let v = b.add_cell_with_rail("vdd_cell", 2, 2, PowerRail::Vdd);
+        let s = b.add_cell_with_rail("vss_cell", 2, 2, PowerRail::Vss);
+        b.set_input_position(v, 0.0, 0.0);
+        b.set_input_position(s, 4.0, 1.0);
+        let design = b.finish().unwrap();
+        let dir = tmpdir("rails");
+        write(&design, &dir, "rails").unwrap();
+        let nodes = std::fs::read_to_string(dir.join("rails.nodes")).unwrap();
+        assert!(nodes.contains("vss_cell 2 2 # rail=VSS"), "{nodes}");
+        let back = read(&dir.join("rails.aux")).unwrap();
+        assert_eq!(back.cell(v).rail(), PowerRail::Vdd);
+        assert_eq!(back.cell(s).rail(), PowerRail::Vss);
+    }
+
+    // The writer and reader must be exact inverses on our own output:
+    // write → read → write is the identity on all five files, byte for
+    // byte. Without this, corpus reproducers and the CLI's .pl
+    // byte-compare tests would drift through every save/load cycle.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn write_read_write_is_byte_identical(seed in 0u32..1_000_000u32) {
+            let files = ["aux", "nodes", "nets", "pl", "scl"];
+            // Witness designs carry VSS rails; suite designs carry nets,
+            // macros, and off-grid fractional positions.
+            let witness = mrl_synth::generate_witness(
+                &mrl_synth::WitnessConfig::new(u64::from(seed)).with_cells(40),
+            )
+            .unwrap()
+            .design;
+            let spec = BenchmarkSpec::new(format!("rt_{seed}"), 30, 4, 0.4, 0.0);
+            let suite =
+                generate(&spec, &GeneratorConfig::default().with_seed(u64::from(seed))).unwrap();
+            for (tag, design) in [("w", witness), ("s", suite)] {
+                let d1 = tmpdir(&format!("bytes_{tag}_{seed}_1"));
+                let d2 = tmpdir(&format!("bytes_{tag}_{seed}_2"));
+                write(&design, &d1, "rt").unwrap();
+                let back = read(&d1.join("rt.aux")).unwrap();
+                write(&back, &d2, "rt").unwrap();
+                for f in files {
+                    let a = std::fs::read(d1.join(format!("rt.{f}"))).unwrap();
+                    let b = std::fs::read(d2.join(format!("rt.{f}"))).unwrap();
+                    proptest::prop_assert!(
+                        a == b,
+                        "{tag} seed {seed}: rt.{f} not byte-identical after round trip"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

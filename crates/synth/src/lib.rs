@@ -32,7 +32,9 @@
 mod generate;
 mod spec;
 mod transform;
+pub mod witness;
 
 pub use generate::{generate, GeneratorConfig};
 pub use spec::{ispd2015_suite, BenchmarkSpec};
 pub use transform::double_random_cells;
+pub use witness::{generate_witness, Witness, WitnessConfig};

@@ -1,0 +1,396 @@
+//! Witness-mode generation: designs that are *known* to be legalizable.
+//!
+//! Cong et al. ("Locality and Utilization in Placement Suboptimality")
+//! construct benchmark instances from a known optimal solution so that an
+//! algorithm's output can be judged against ground truth instead of
+//! anecdotes. This module applies the same trick to legalization: a design
+//! is built by first *packing a fully legal placement* — integer sites,
+//! overlap-free, rail-parity-respecting, macro-avoiding — and then
+//! perturbing every cell's input position by a bounded random
+//! displacement. The packed placement is kept as a **witness**: whatever a
+//! legalizer does with the perturbed input, a legal placement within the
+//! perturbation bound provably exists, so a legalization *failure* is
+//! always a bug (or an explicit capacity lie), never an infeasible
+//! instance.
+//!
+//! Everything is deterministic in the (mandatory, explicit) seed.
+
+use mrl_db::{CellId, DbError, Design, DesignBuilder, PlacementState};
+use mrl_geom::{PowerRail, SitePoint, SiteRect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the witness generator. There is **no `Default`**: every caller
+/// must pass an explicit seed so runs are replayable by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WitnessConfig {
+    /// RNG seed; the design, the witness placement, and the perturbation
+    /// are all deterministic in it.
+    pub seed: u64,
+    /// Number of movable cells.
+    pub cells: usize,
+    /// Fraction of cells that are double-row height.
+    pub double_fraction: f64,
+    /// Fraction of cells that are 3–4 row tall.
+    pub tall_fraction: f64,
+    /// Target row utilization of the packed placement (0 < u <= 1). Higher
+    /// utilization leaves less slack for the legalizer.
+    pub utilization: f64,
+    /// Maximum |dx| of the input-position perturbation, in sites.
+    pub max_shift_x: f64,
+    /// Maximum |dy| of the input-position perturbation, in rows.
+    pub max_shift_y: f64,
+    /// Number of fixed macro blockages to carve out of the floorplan.
+    pub macros: usize,
+}
+
+impl WitnessConfig {
+    /// A small default-shaped configuration around an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            cells: 200,
+            double_fraction: 0.15,
+            tall_fraction: 0.0,
+            utilization: 0.7,
+            max_shift_x: 4.0,
+            max_shift_y: 1.5,
+            macros: 0,
+        }
+    }
+
+    /// Returns `self` with the cell count replaced.
+    pub fn with_cells(mut self, cells: usize) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// Returns `self` with the packed utilization replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < utilization <= 1.0`.
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization in (0, 1]"
+        );
+        self.utilization = utilization;
+        self
+    }
+
+    /// Returns `self` with the perturbation bounds replaced.
+    pub fn with_shift(mut self, max_shift_x: f64, max_shift_y: f64) -> Self {
+        self.max_shift_x = max_shift_x;
+        self.max_shift_y = max_shift_y;
+        self
+    }
+
+    /// Returns `self` with the macro count replaced.
+    pub fn with_macros(mut self, macros: usize) -> Self {
+        self.macros = macros;
+        self
+    }
+}
+
+/// A design bundled with the legal placement it was grown from.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The design; its *input* positions are the perturbed ones.
+    pub design: Design,
+    /// The packed legal placement, one position per movable cell, indexed
+    /// like `design.movable_cells()`.
+    pub legal: Vec<(CellId, SitePoint)>,
+    /// Max L∞ distance between any cell's input position and its witness
+    /// position (after clamping); an optimal legalizer can achieve max
+    /// displacement ≤ this bound.
+    pub bound: f64,
+}
+
+impl Witness {
+    /// Re-validates the witness placement against the design; a failure
+    /// means the generator itself is broken.
+    ///
+    /// # Errors
+    ///
+    /// The underlying [`DbError`] of the first rejected placement.
+    pub fn validate(&self) -> Result<(), DbError> {
+        let mut state = PlacementState::new(&self.design);
+        for &(cell, at) in &self.legal {
+            state.place(&self.design, cell, at)?;
+        }
+        Ok(())
+    }
+}
+
+/// Samples a cell width in sites (small cells dominate, as in standard
+/// cell libraries).
+fn sample_width<R: Rng>(rng: &mut R) -> i32 {
+    match rng.gen_range(0..100) {
+        0..=39 => 2,
+        40..=69 => 3,
+        70..=89 => 4,
+        90..=96 => 6,
+        _ => 8,
+    }
+}
+
+/// Generates a design from a packed legal witness. See the module docs.
+///
+/// # Errors
+///
+/// Propagates [`DbError`] from design validation; cannot occur for sane
+/// configurations because the floorplan is sized from the packing itself.
+pub fn generate_witness(cfg: &WitnessConfig) -> Result<Witness, DbError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.cells.max(1);
+
+    // Cell mix. Heights: 1 (default), 2 (double_fraction), 3-4
+    // (tall_fraction). Rails are random; even-height cells only fit
+    // every other row under the default VDD-base parity.
+    let mut cells: Vec<(i32, i32, PowerRail)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let h = if u < cfg.double_fraction {
+            2
+        } else if u < cfg.double_fraction + cfg.tall_fraction {
+            rng.gen_range(3..=4)
+        } else {
+            1
+        };
+        let w = sample_width(&mut rng);
+        let rail = if rng.gen_bool(0.5) {
+            PowerRail::Vdd
+        } else {
+            PowerRail::Vss
+        };
+        cells.push((w, h, rail));
+    }
+
+    // Floorplan sizing: a wide core (width ≈ 4× the row count, so rows are
+    // long relative to the widest cells) with enough capacity for the
+    // packing at the requested utilization. A square-in-sites core would be
+    // only ~2 cells wide for small instances, which fragments free space so
+    // badly that even provably feasible cases defeat local search.
+    let area: i64 = cells
+        .iter()
+        .map(|&(w, h, _)| i64::from(w) * i64::from(h))
+        .sum();
+    let capacity = area as f64 / cfg.utilization.clamp(0.05, 1.0);
+    // Tall cells need vertical headroom: with fewer than ~2·h rows the
+    // rail parity constraint leaves a tall cell only one or two candidate
+    // rows and local search degenerates into luck.
+    let max_h = cells.iter().map(|&(_, h, _)| h).max().unwrap_or(1);
+    let mut num_rows = ((capacity / 4.0).sqrt().ceil() as i32)
+        .max(4)
+        .max(2 * max_h + 2);
+    if num_rows % 2 == 1 {
+        num_rows += 1; // even row count keeps both parities available
+    }
+    let est_width = ((capacity / f64::from(num_rows)).ceil() as i32).max(8);
+
+    // Macros first: non-overlapping rectangles whose spans the packer must
+    // route around (they become blocked intervals per row).
+    let mut macros: Vec<SiteRect> = Vec::new();
+    let mut attempts = 0;
+    while macros.len() < cfg.macros && attempts < 1_000 {
+        attempts += 1;
+        let w = rng.gen_range(2..=(est_width / 4).max(3));
+        let h = rng.gen_range(1..=(num_rows / 4).max(2));
+        let x = rng.gen_range(0..=(est_width - w).max(0));
+        let y = rng.gen_range(0..=(num_rows - h).max(0));
+        let rect = SiteRect::new(x, y, w, h);
+        if macros.iter().any(|m| m.overlaps(&rect)) {
+            continue;
+        }
+        macros.push(rect);
+    }
+    let mut blocked: Vec<Vec<(i32, i32)>> = vec![Vec::new(); num_rows as usize];
+    for m in &macros {
+        for r in m.y.max(0)..m.top().min(num_rows) {
+            blocked[r as usize].push((m.x, m.right()));
+        }
+    }
+    for spans in &mut blocked {
+        spans.sort_unstable();
+    }
+
+    // Pack: tallest cells first (they are the most constrained), each onto
+    // the rail-compatible row window with the lowest frontier; random gaps
+    // spread the utilization slack through the rows instead of leaving one
+    // empty right margin.
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse((cells[i].1, cells[i].0)));
+    let parity = mrl_geom::RailParity::new(PowerRail::Vdd);
+    let mut frontier: Vec<i32> = vec![0; num_rows as usize];
+    let mut packed: Vec<SitePoint> = vec![SitePoint::new(0, 0); cells.len()];
+    let slack = (1.0 / cfg.utilization.clamp(0.05, 1.0) - 1.0).max(0.0);
+    for &i in &order {
+        let (w, h, rail) = cells[i];
+        let max_bottom = (num_rows - h).max(0);
+        let mut best: Option<(i32, i32)> = None; // (x, row)
+        for r in 0..=max_bottom {
+            if !parity.cell_fits_row(rail, h, r) {
+                continue;
+            }
+            let mut x = (r..r + h)
+                .map(|rr| frontier[rr as usize])
+                .max()
+                .unwrap_or(0);
+            // Skip macro spans intersecting [x, x+w) on any covered row.
+            loop {
+                let mut bumped = false;
+                for rr in r..r + h {
+                    for &(b0, b1) in &blocked[rr as usize] {
+                        if x < b1 && x + w > b0 {
+                            x = b1;
+                            bumped = true;
+                        }
+                    }
+                }
+                if !bumped {
+                    break;
+                }
+            }
+            if best.is_none_or(|(bx, _)| x < bx) {
+                best = Some((x, r));
+            }
+        }
+        let (x, r) = best.expect("at least one rail-compatible row exists");
+        packed[i] = SitePoint::new(x, r);
+        // Random slack gap after the cell keeps average utilization at the
+        // target without concentrating free space at the right edge.
+        let gap = (f64::from(w) * slack * rng.gen::<f64>() * 2.0).round() as i32;
+        for rr in r..r + h {
+            frontier[rr as usize] = x + w + gap;
+        }
+    }
+
+    // The packing defines the row width (plus one site of margin so the
+    // widest row is not butted against the boundary).
+    let row_width = frontier
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(est_width)
+        .max(est_width)
+        + 1;
+
+    let mut b = DesignBuilder::new(num_rows, row_width);
+    b.set_name(format!("witness_{:016x}", cfg.seed));
+    for (k, m) in macros.iter().enumerate() {
+        b.add_fixed(format!("macro_{k}"), *m);
+    }
+    let mut ids = Vec::with_capacity(cells.len());
+    let mut bound = 0.0f64;
+    for (i, &(w, h, rail)) in cells.iter().enumerate() {
+        let id = b.add_cell_with_rail(format!("w_{i}"), w, h, rail);
+        let p = packed[i];
+        let dx = rng.gen_range(-cfg.max_shift_x..=cfg.max_shift_x);
+        let dy = rng.gen_range(-cfg.max_shift_y..=cfg.max_shift_y);
+        let fx = (f64::from(p.x) + dx).clamp(0.0, f64::from((row_width - w).max(0)));
+        let fy = (f64::from(p.y) + dy).clamp(0.0, f64::from((num_rows - h).max(0)));
+        b.set_input_position(id, fx, fy);
+        bound = bound
+            .max((fx - f64::from(p.x)).abs())
+            .max((fy - f64::from(p.y)).abs());
+        ids.push(id);
+    }
+    let design = b.finish()?;
+    let legal: Vec<(CellId, SitePoint)> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, packed[i]))
+        .collect();
+    let witness = Witness {
+        design,
+        legal,
+        bound,
+    };
+    debug_assert!(witness.validate().is_ok(), "witness placement is illegal");
+    Ok(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_placement_is_legal() {
+        for seed in 0..8 {
+            let cfg = WitnessConfig::new(seed).with_cells(120);
+            let w = generate_witness(&cfg).unwrap();
+            w.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: witness illegal: {e}"));
+        }
+    }
+
+    #[test]
+    fn witness_with_macros_and_talls_is_legal() {
+        let cfg = WitnessConfig {
+            tall_fraction: 0.05,
+            ..WitnessConfig::new(7)
+        }
+        .with_cells(150)
+        .with_macros(3)
+        .with_utilization(0.8);
+        let w = generate_witness(&cfg).unwrap();
+        w.validate().unwrap();
+        assert!(!w.design.floorplan().blockages().is_empty());
+        assert!(w
+            .design
+            .movable_cells()
+            .any(|c| w.design.cell(c).height() >= 3));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WitnessConfig::new(99).with_cells(80);
+        let a = generate_witness(&cfg).unwrap();
+        let b = generate_witness(&cfg).unwrap();
+        assert_eq!(a.legal, b.legal);
+        assert_eq!(a.bound, b.bound);
+        let pa: Vec<_> = a
+            .design
+            .movable_cells()
+            .map(|c| a.design.input_position(c))
+            .collect();
+        let pb: Vec<_> = b
+            .design
+            .movable_cells()
+            .map(|c| b.design.input_position(c))
+            .collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_witness(&WitnessConfig::new(1).with_cells(80)).unwrap();
+        let b = generate_witness(&WitnessConfig::new(2).with_cells(80)).unwrap();
+        let pa: Vec<_> = a
+            .design
+            .movable_cells()
+            .map(|c| a.design.input_position(c))
+            .collect();
+        let pb: Vec<_> = b
+            .design
+            .movable_cells()
+            .map(|c| b.design.input_position(c))
+            .collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn bound_respects_configured_shift() {
+        let cfg = WitnessConfig::new(3).with_cells(100).with_shift(2.0, 1.0);
+        let w = generate_witness(&cfg).unwrap();
+        assert!(w.bound <= 2.0 + 1e-9, "bound {}", w.bound);
+        assert!(w.bound > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization in (0, 1]")]
+    fn utilization_out_of_range_panics() {
+        let _ = WitnessConfig::new(0).with_utilization(1.5);
+    }
+}

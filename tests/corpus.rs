@@ -1,0 +1,80 @@
+//! Regression corpus replay.
+//!
+//! Every subdirectory of `tests/corpus/` is a minimal reproducer written by
+//! the fuzzing harness (`mrl fuzz --corpus`): Bookshelf files plus a
+//! `meta.txt` with the replay parameters. This test rebuilds each scenario
+//! and re-runs the full differential invariant matrix; a bug that was once
+//! caught and fixed stays fixed.
+//!
+//! To add a fixture: copy the directory the fuzzer printed (it lives under
+//! the `--corpus` directory, named `case_<seed>_<kind>`) into
+//! `tests/corpus/<descriptive-name>/`. Never commit reproducers produced
+//! with `--inject-bug` — those encode a deliberately injected fault, not a
+//! real defect, and replay ignores faults.
+
+use std::path::PathBuf;
+
+fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+#[test]
+fn every_corpus_fixture_replays_clean() {
+    let root = corpus_root();
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(&root).expect("tests/corpus must exist") {
+        let dir = entry.unwrap().path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let discrepancies = mrl_fuzz::replay_corpus_case(&dir)
+            .unwrap_or_else(|e| panic!("fixture {} is unreadable: {e}", dir.display()));
+        assert!(
+            discrepancies.is_empty(),
+            "fixture {} regressed:\n{}",
+            dir.display(),
+            discrepancies
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "corpus is empty — smoke fixture missing?");
+}
+
+#[test]
+fn corpus_fixtures_round_trip_through_scenario() {
+    // The reproducer format itself must stay stable: read → rebuild →
+    // re-write must preserve the Bookshelf bytes (same guarantee the
+    // parsers property test makes for witness designs).
+    let root = corpus_root();
+    for entry in std::fs::read_dir(&root).unwrap() {
+        let dir = entry.unwrap().path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let (scenario, meta) = mrl_fuzz::Scenario::read_corpus(&dir).unwrap();
+        let out = std::env::temp_dir().join(format!(
+            "mrl_corpus_rt_{}_{}",
+            std::process::id(),
+            dir.file_name().unwrap().to_string_lossy()
+        ));
+        std::fs::create_dir_all(&out).unwrap();
+        let meta_refs: Vec<(&str, String)> = meta
+            .iter()
+            .filter(|(k, _)| k != "bound")
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        scenario.write_corpus(&out, &meta_refs).unwrap();
+        for file in ["repro.nodes", "repro.pl", "repro.scl"] {
+            let a = std::fs::read_to_string(dir.join(file)).unwrap();
+            let b = std::fs::read_to_string(out.join(file)).unwrap();
+            assert_eq!(a, b, "{file} changed across read→write for {dir:?}");
+        }
+        let _ = std::fs::remove_dir_all(&out);
+    }
+}
