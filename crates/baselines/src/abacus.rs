@@ -11,7 +11,7 @@
 
 use mrl_db::{CellId, Design, PlacementState};
 use mrl_geom::SitePoint;
-use mrl_legalize::{LegalizeError, LegalizeStats, PowerRailMode};
+use mrl_legalize::{FailReason, LegalizeError, LegalizeStats, PowerRailMode};
 
 /// One Abacus cluster: a maximal run of abutting cells sharing a row.
 #[derive(Clone, Debug)]
@@ -167,7 +167,11 @@ impl AbacusLegalizer {
         for cell in multi {
             let at = self
                 .nearest_free(design, state, cell)
-                .ok_or(LegalizeError::Unplaceable { cell, rounds: 0 })?;
+                .ok_or(LegalizeError::Unplaceable {
+                    cell,
+                    rounds: 0,
+                    reason: FailReason::NoInsertionPoint,
+                })?;
             let placed = if self.rail_mode.is_aligned() {
                 state.place(design, cell, at)
             } else {
@@ -245,6 +249,7 @@ impl AbacusLegalizer {
                 return Err(LegalizeError::Unplaceable {
                     cell: *cell,
                     rounds: 0,
+                    reason: FailReason::NoInsertionPoint,
                 });
             };
             rows[row][si].commit(*cell, fx, c.width());

@@ -25,8 +25,8 @@ use mrl_db::{CellId, Design, PlacementState};
 use mrl_geom::SitePoint;
 use mrl_ilp::{Model, Op, SolveError, VarId};
 use mrl_legalize::{
-    mll, EvalMode, LegalizeError, LegalizeStats, Legalizer, LegalizerConfig, LocalRegion,
-    PowerRailMode,
+    mll, EvalMode, FailReason, LegalizeError, LegalizeStats, Legalizer, LegalizerConfig,
+    LocalRegion, PowerRailMode,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +102,7 @@ impl IlpLegalizer {
                 return Err(LegalizeError::Unplaceable {
                     cell: remaining[0],
                     rounds: k - 1,
+                    reason: FailReason::RetryBudgetExhausted,
                 });
             }
             stats.retry_rounds = k;

@@ -10,7 +10,7 @@
 
 use mrl_db::{CellId, Design, PlacementState};
 use mrl_geom::SitePoint;
-use mrl_legalize::{LegalizeError, LegalizeStats, PowerRailMode};
+use mrl_legalize::{FailReason, LegalizeError, LegalizeStats, PowerRailMode};
 
 /// Greedy left-to-right legalizer; never moves placed cells.
 ///
@@ -82,7 +82,11 @@ impl TetrisLegalizer {
             let (fx, fy) = design.input_position(cell);
             let mut best: Option<(f64, SitePoint)> = None;
             if num_rows < c.height() {
-                return Err(LegalizeError::Unplaceable { cell, rounds: 0 });
+                return Err(LegalizeError::Unplaceable {
+                    cell,
+                    rounds: 0,
+                    reason: FailReason::NoInsertionPoint,
+                });
             }
             for row in 0..=(num_rows - c.height()) {
                 if self.rail_mode.is_aligned() && !fp.rail_compatible(c.rail(), c.height(), row) {
@@ -111,7 +115,11 @@ impl TetrisLegalizer {
                 }
             }
             let Some((_, at)) = best else {
-                return Err(LegalizeError::Unplaceable { cell, rounds: 0 });
+                return Err(LegalizeError::Unplaceable {
+                    cell,
+                    rounds: 0,
+                    reason: FailReason::NoInsertionPoint,
+                });
             };
             let placed = if self.rail_mode.is_aligned() {
                 state.place(design, cell, at)

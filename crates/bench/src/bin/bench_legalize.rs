@@ -30,7 +30,7 @@
 
 use mrl_bench::json::Json;
 use mrl_db::{Design, PlacementState};
-use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig};
+use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig, MetricsSummary, TraceBuf};
 use mrl_metrics::displacement_stats;
 use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
 
@@ -245,6 +245,35 @@ fn main() {
     );
 
     if let Some(path) = json_path {
+        // One traced parallel run for the metrics digest (histograms over
+        // displacement, region size, retries). Untimed: RingSink recording
+        // has real overhead, so its wall clock is reported only inside the
+        // digest's run section, never used for throughput numbers.
+        let mut buf = TraceBuf::default();
+        let mut traced_state = PlacementState::new(&design);
+        let (traced_stats, traced_res) =
+            legalizer.legalize_parallel_traced(&design, &mut traced_state, threads, &mut buf);
+        traced_res.expect("traced legalization");
+        let mut metrics = MetricsSummary {
+            design: design.name().to_string(),
+            threads: traced_stats.threads,
+            wall: traced_stats.wall,
+            phases: traced_stats.phases,
+            placed: traced_stats.placed as u64,
+            direct: traced_stats.direct as u64,
+            via_mll: traced_stats.via_mll as u64,
+            mll_calls: traced_stats.mll_calls as u64,
+            retry_rounds: u64::from(traced_stats.retry_rounds),
+            stripes: traced_stats.stripes as u64,
+            conflicts: traced_stats.conflicts as u64,
+            residue: traced_stats.residue as u64,
+            fail_counts: traced_stats.fail_counts,
+            ..MetricsSummary::default()
+        };
+        metrics.ingest(&buf);
+        let metrics_json =
+            Json::parse(&metrics.to_json_string()).expect("metrics summary emits parseable JSON");
+
         let mut benchmark = Json::obj();
         benchmark.set("name", design.name());
         benchmark.set("movable_cells", n as i64);
@@ -259,6 +288,7 @@ fn main() {
         root.set("parallel", run_to_json(&design, &par_stats, &par_state));
         root.set("speedup", speedup);
         root.set("prune_ratio", prune_ratio);
+        root.set("metrics", metrics_json);
         std::fs::write(&path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
     }

@@ -1,0 +1,96 @@
+//! CI validator for the observability artifacts.
+//!
+//! ```text
+//! validate_json --trace FILE     # Chrome Trace Event JSON array
+//! validate_json --metrics FILE   # mrl-metrics-v1 summary
+//! ```
+//!
+//! Exits non-zero with a message on the first structural problem. Kept in
+//! `mrl-bench` because its `Json::parse` is the workspace's only JSON
+//! reader (the build is offline, no serde).
+
+use mrl_bench::json::Json;
+
+fn die(msg: &str) -> ! {
+    eprintln!("validate_json: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn validate_trace(path: &str) {
+    let Json::Arr(events) = load(path) else {
+        die(&format!("{path}: trace must be a JSON array of events"));
+    };
+    if events.is_empty() {
+        die(&format!("{path}: trace has no events"));
+    }
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => die(&format!("{path}: event {i} has no \"ph\" string")),
+        };
+        if !matches!(ph, "X" | "B" | "E") {
+            die(&format!("{path}: event {i} has unexpected ph {ph:?}"));
+        }
+        for key in ["pid", "tid", "ts"] {
+            if ev.get(key).and_then(Json::as_f64).is_none() {
+                die(&format!("{path}: event {i} missing numeric \"{key}\""));
+            }
+        }
+        if !matches!(ev.get("name"), Some(Json::Str(_))) {
+            die(&format!("{path}: event {i} missing \"name\""));
+        }
+        if ph == "X" {
+            if ev.get("dur").and_then(Json::as_f64).is_none() {
+                die(&format!("{path}: X event {i} missing numeric \"dur\""));
+            }
+            complete += 1;
+        }
+    }
+    if complete == 0 {
+        die(&format!("{path}: no complete (ph \"X\") events"));
+    }
+    println!("{path}: ok — {} events ({complete} complete)", events.len());
+}
+
+fn validate_metrics(path: &str) {
+    let json = load(path);
+    match json.get("schema") {
+        Some(Json::Str(s)) if s == "mrl-metrics-v1" => {}
+        other => die(&format!("{path}: bad schema {other:?}")),
+    }
+    for section in ["run", "counters", "fail_reasons", "histograms"] {
+        if !matches!(json.get(section), Some(Json::Obj(_))) {
+            die(&format!("{path}: missing \"{section}\" object"));
+        }
+    }
+    for hist in ["displacement_sites", "region_cells", "retry_round"] {
+        let h = json
+            .get("histograms")
+            .and_then(|hs| hs.get(hist))
+            .unwrap_or_else(|| die(&format!("{path}: missing histogram \"{hist}\"")));
+        match h.get("buckets") {
+            Some(Json::Arr(b)) if b.len() == 32 => {}
+            _ => die(&format!("{path}: histogram \"{hist}\" needs 32 buckets")),
+        }
+    }
+    println!("{path}: ok — mrl-metrics-v1 with all sections");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        die("usage: validate_json (--trace FILE | --metrics FILE)");
+    }
+    match args[0].as_str() {
+        "--trace" => validate_trace(&args[1]),
+        "--metrics" => validate_metrics(&args[1]),
+        other => die(&format!("unknown mode {other}")),
+    }
+}

@@ -6,6 +6,8 @@
 //! mrl legalize (--aux F | --lef F --def F) [--relaxed] [--exact]
 //!              [--rx N --ry N] [--threads N] [--refine] [--detail N]
 //!              [--no-prune] [--out DIR] [--svg FILE]
+//!              [--trace FILE] [--metrics-json FILE]
+//! mrl report   --metrics-json FILE [--svg FILE]
 //! mrl gp       (--aux F | --lef F --def F) --out DIR [--iterations N]
 //! mrl check    (--aux F | --lef F --def F) [--relaxed]
 //! mrl stats    (--aux F | --lef F --def F)
@@ -21,11 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mrl_bench::json::Json;
 use mrl_db::{Design, PlacementState};
 use mrl_gp::{GlobalPlacer, GpConfig};
 use mrl_legalize::{
-    refine_rows, DetailedConfig, DetailedPlacer, EvalMode, Legalizer, LegalizerConfig,
-    PowerRailMode,
+    refine_rows, DetailedConfig, DetailedPlacer, EvalMode, LegalizeStats, Legalizer,
+    LegalizerConfig, MetricsSummary, PowerRailMode, TraceBuf,
 };
 use mrl_metrics::{
     check_legal, displacement_stats, hpwl_change, render_svg, RailCheck, SvgOptions,
@@ -88,6 +91,8 @@ struct Opts {
     corpus: Option<PathBuf>,
     json: Option<PathBuf>,
     inject_bug: bool,
+    trace: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
 }
 
 /// Parses a duration like `60`, `60s`, or `2m` (seconds by default).
@@ -151,6 +156,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             }
             "--corpus" => o.corpus = Some(PathBuf::from(val("--corpus")?)),
             "--json" => o.json = Some(PathBuf::from(val("--json")?)),
+            "--trace" => o.trace = Some(PathBuf::from(val("--trace")?)),
+            "--metrics-json" => o.metrics_json = Some(PathBuf::from(val("--metrics-json")?)),
             "--inject-bug" => o.inject_bug = true,
             "--relaxed" => o.relaxed = true,
             "--exact" => o.exact = true,
@@ -246,6 +253,224 @@ fn stats_text(design: &Design) -> String {
     out
 }
 
+/// Builds the metrics digest of one legalization run from the driver stats
+/// and the collected trace.
+fn metrics_summary(design: &Design, stats: &LegalizeStats, buf: &TraceBuf) -> MetricsSummary {
+    let mut m = MetricsSummary {
+        design: design.name().to_string(),
+        threads: stats.threads,
+        wall: stats.wall,
+        phases: stats.phases,
+        placed: stats.placed as u64,
+        direct: stats.direct as u64,
+        via_mll: stats.via_mll as u64,
+        mll_calls: stats.mll_calls as u64,
+        retry_rounds: u64::from(stats.retry_rounds),
+        stripes: stats.stripes as u64,
+        conflicts: stats.conflicts as u64,
+        residue: stats.residue as u64,
+        fail_counts: stats.fail_counts,
+        ..MetricsSummary::default()
+    };
+    m.ingest(buf);
+    m
+}
+
+fn get_u64(json: &Json, section: &str, key: &str) -> u64 {
+    json.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64
+}
+
+/// The value range covered by log2 histogram bucket `i` (see
+/// `mrl_legalize::Hist`), as a label.
+fn bucket_label(i: usize) -> String {
+    match i {
+        0 => "0".to_string(),
+        1 => "1".to_string(),
+        _ => format!("{}-{}", 1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// Per-histogram `(label, count)` rows up to the last non-empty bucket.
+fn hist_rows(hist: &Json) -> Vec<(String, u64)> {
+    let Some(Json::Arr(buckets)) = hist.get("buckets") else {
+        return Vec::new();
+    };
+    let counts: Vec<u64> = buckets
+        .iter()
+        .map(|b| b.as_f64().unwrap_or(0.0) as u64)
+        .collect();
+    let Some(last) = counts.iter().rposition(|&c| c > 0) else {
+        return Vec::new();
+    };
+    counts[..=last]
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (bucket_label(i), c))
+        .collect()
+}
+
+/// Renders the human-readable digest of a `mrl-metrics-v1` JSON document.
+fn report_text(json: &Json) -> Result<String, CliError> {
+    let schema = match json.get("schema") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => return Err(fail("missing \"schema\" key — not a metrics JSON")),
+    };
+    let design = match json.get("run").and_then(|r| r.get("design")) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "?".to_string(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "metrics digest for {design} ({schema})");
+    let run = |key: &str| {
+        json.get("run")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let phase = |key: &str| {
+        json.get("run")
+            .and_then(|r| r.get("phases"))
+            .and_then(|p| p.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let _ = writeln!(
+        out,
+        "  run: {} threads, {:.3}s wall (extract {:.3}s, enumerate {:.3}s, evaluate {:.3}s, realize {:.3}s, retry {:.3}s)",
+        run("threads") as u64,
+        run("wall_s"),
+        phase("extract_s"),
+        phase("enumerate_s"),
+        phase("evaluate_s"),
+        phase("realize_s"),
+        phase("retry_s"),
+    );
+    let c = |key: &str| get_u64(json, "counters", key);
+    let _ = writeln!(
+        out,
+        "  placement: {} placed ({} direct, {} via MLL), {} MLL calls, {} retry rounds",
+        c("placed"),
+        c("direct"),
+        c("via_mll"),
+        c("mll_calls"),
+        c("retry_rounds"),
+    );
+    if c("stripes") > 0 {
+        let _ = writeln!(
+            out,
+            "  parallel: {} stripes, {} conflicts, {} residue cells",
+            c("stripes"),
+            c("conflicts"),
+            c("residue"),
+        );
+    }
+    let generated = c("combos_generated");
+    let pruned = c("combos_pruned");
+    let pct = if generated > 0 {
+        100.0 * pruned as f64 / generated as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  combos: {generated} generated, {pruned} pruned ({pct:.1}%), {} evaluated",
+        c("combos_evaluated"),
+    );
+    let f = |key: &str| get_u64(json, "fail_reasons", key);
+    let _ = writeln!(
+        out,
+        "  failures: {} no-insertion-point, {} region-extraction-empty, {} retry-budget-exhausted",
+        f("no_insertion_point"),
+        f("region_extraction_empty"),
+        f("retry_budget_exhausted"),
+    );
+    let _ = writeln!(
+        out,
+        "  trace: {} attempts, {} events ({} dropped)",
+        c("attempts"),
+        c("events"),
+        c("dropped_events"),
+    );
+    for (name, title) in HIST_TITLES {
+        let Some(hist) = json.get("histograms").and_then(|h| h.get(name)) else {
+            continue;
+        };
+        let count = hist.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+        let sum = hist.get("sum").and_then(Json::as_f64).unwrap_or(0.0);
+        let mean = if count > 0.0 { sum / count } else { 0.0 };
+        let _ = writeln!(out, "  {title} ({} samples, mean {mean:.2}):", count as u64);
+        let rows = hist_rows(hist);
+        let peak = rows.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        for (label, n) in rows {
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize).to_string();
+            let _ = writeln!(out, "    {label:>12} {n:>8} {bar}");
+        }
+    }
+    Ok(out)
+}
+
+const HIST_TITLES: [(&str, &str); 3] = [
+    ("displacement_sites", "displacement (sites)"),
+    ("region_cells", "local region size (cells)"),
+    ("retry_round", "retry round of success"),
+];
+
+/// Renders the histograms of a metrics JSON as a simple SVG bar chart.
+fn report_svg(json: &Json) -> String {
+    let mut charts = Vec::new();
+    for (name, title) in HIST_TITLES {
+        let Some(hist) = json.get("histograms").and_then(|h| h.get(name)) else {
+            continue;
+        };
+        charts.push((title, hist_rows(hist)));
+    }
+    let bar_w = 18;
+    let chart_h = 120;
+    let label_h = 40;
+    let pad = 20;
+    let chart_w = charts
+        .iter()
+        .map(|(_, rows)| rows.len().max(1) * bar_w + pad)
+        .max()
+        .unwrap_or(100);
+    let total_h = charts.len() * (chart_h + label_h + pad) + pad;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{total_h}\" viewBox=\"0 0 {w} {total_h}\">\n",
+        w = chart_w + 2 * pad
+    );
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for (ci, (title, rows)) in charts.iter().enumerate() {
+        let top = pad + ci * (chart_h + label_h + pad);
+        let _ = writeln!(
+            svg,
+            "<text x=\"{pad}\" y=\"{}\" font-family=\"monospace\" font-size=\"12\">{title}</text>",
+            top + 12
+        );
+        let peak = rows.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        for (i, (label, n)) in rows.iter().enumerate() {
+            let h = ((n * chart_h as u64) / peak) as usize;
+            let x = pad + i * bar_w;
+            let y = top + label_h + chart_h - h;
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{}\" height=\"{h}\" fill=\"#4878a8\"><title>{label}: {n}</title></rect>",
+                bar_w - 2
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" font-family=\"monospace\" font-size=\"8\" text-anchor=\"middle\">{label}</text>",
+                x + bar_w / 2,
+                top + label_h + chart_h + 10
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
 /// Runs one CLI invocation; `args` excludes the program name. Returns the
 /// report text printed to stdout.
 ///
@@ -287,11 +512,46 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let cfg = legalizer_config(&o);
             let mut state = PlacementState::new(&design);
             let legalizer = Legalizer::new(cfg);
-            let stats = match o.threads {
-                Some(n) => legalizer.legalize_parallel(&design, &mut state, n),
-                None => legalizer.legalize(&design, &mut state),
+            let tracing = o.trace.is_some() || o.metrics_json.is_some();
+            let mut buf = TraceBuf::default();
+            let (stats, outcome) = if tracing {
+                match o.threads {
+                    Some(n) => legalizer.legalize_parallel_traced(&design, &mut state, n, &mut buf),
+                    None => {
+                        let mut sink = buf.lane(0);
+                        let (stats, res) =
+                            legalizer.legalize_traced(&design, &mut state, &mut sink);
+                        buf.absorb(sink);
+                        (stats, res)
+                    }
+                }
+            } else {
+                match o.threads {
+                    Some(n) => legalizer.legalize_parallel(&design, &mut state, n),
+                    None => legalizer.legalize(&design, &mut state),
+                }
+                .map_or_else(
+                    |e| (LegalizeStats::default(), Err(e)),
+                    |stats| (stats, Ok(())),
+                )
+            };
+            // Write the diagnostics even when the run fails — that is when
+            // they are most useful.
+            let mut out = String::new();
+            if let Some(path) = &o.trace {
+                std::fs::write(path, buf.to_chrome_json())
+                    .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+                let _ = writeln!(out, "wrote trace to {}", path.display());
             }
-            .map_err(|e| fail(format!("legalization failed: {e}")))?;
+            if let Some(path) = &o.metrics_json {
+                let summary = metrics_summary(&design, &stats, &buf);
+                std::fs::write(path, summary.to_json_string())
+                    .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+                let _ = writeln!(out, "wrote metrics to {}", path.display());
+            }
+            let stats = outcome
+                .map(|()| stats)
+                .map_err(|e| fail(format!("legalization failed: {e}")))?;
             let secs = stats.wall.as_secs_f64();
             let rails = if o.relaxed {
                 RailCheck::Ignore
@@ -300,11 +560,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             check_legal(&design, &state, rails)
                 .map_err(|r| fail(format!("result failed verification:\n{r}")))?;
-            let mut out = String::new();
             let _ = writeln!(
                 out,
                 "legalized {} cells in {secs:.3}s ({} direct, {} via MLL, {} retry rounds)",
                 stats.placed, stats.direct, stats.via_mll, stats.retry_rounds
+            );
+            let fc = &stats.fail_counts;
+            let _ = writeln!(
+                out,
+                "failed attempts: {} no-insertion-point, {} region-extraction-empty; {} cells exhausted the retry budget",
+                fc.no_insertion_point, fc.region_extraction_empty, fc.retry_budget_exhausted
             );
             if o.threads.is_some() {
                 let _ = writeln!(
@@ -502,6 +767,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 })
             }
         }
+        "report" => {
+            let path = o
+                .metrics_json
+                .clone()
+                .ok_or_else(|| fail("--metrics-json FILE required"))?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
+            let json = Json::parse(&text)
+                .map_err(|e| fail(format!("{} is not valid metrics JSON: {e}", path.display())))?;
+            let mut out = report_text(&json)?;
+            if let Some(svg_path) = &o.svg {
+                std::fs::write(svg_path, report_svg(&json))
+                    .map_err(|e| fail(format!("cannot write svg: {e}")))?;
+                let _ = writeln!(out, "wrote digest plot to {}", svg_path.display());
+            }
+            Ok(out)
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(fail(format!("unknown command {other}\n{USAGE}"))),
     }
@@ -517,6 +799,8 @@ commands:
   legalize (--aux F | --lef F --def F) [--relaxed] [--exact] [--rx N --ry N]
            [--threads N] [--refine] [--detail N] [--no-prune] [--out DIR]
            [--svg FILE] [--format bookshelf|lefdef]
+           [--trace FILE] [--metrics-json FILE]
+  report   --metrics-json FILE [--svg FILE]
   gp       (--aux F | --lef F --def F) --out DIR [--iterations N] [--seed S]
   check    (--aux F | --lef F --def F) [--relaxed]
   stats    (--aux F | --lef F --def F)
@@ -841,6 +1125,142 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("fuzz:"), "{out}");
+    }
+
+    #[test]
+    fn legalize_trace_is_valid_chrome_trace_json() {
+        let dir = tmpdir("trace");
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let trace = dir.join("trace.json");
+        let out = run(&args(&[
+            "legalize",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote trace to"), "{out}");
+        assert!(out.contains("failed attempts:"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let Json::Arr(events) = Json::parse(&text).unwrap() else {
+            panic!("trace is not a JSON array");
+        };
+        assert!(!events.is_empty());
+        let mut saw_complete = false;
+        for ev in &events {
+            let ph = match ev.get("ph") {
+                Some(Json::Str(s)) => s.as_str(),
+                other => panic!("event without ph: {other:?}"),
+            };
+            assert!(matches!(ph, "X" | "B" | "E"), "unexpected phase {ph}");
+            for key in ["pid", "tid", "ts", "name"] {
+                assert!(ev.get(key).is_some(), "event missing {key}");
+            }
+            if ph == "X" {
+                assert!(ev.get("dur").is_some(), "X event missing dur");
+                saw_complete = true;
+            }
+        }
+        assert!(saw_complete, "no complete events in trace");
+    }
+
+    #[test]
+    fn metrics_agree_across_thread_counts() {
+        let dir = tmpdir("metrics_threads");
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let mut sections = Vec::new();
+        for threads in ["1", "4"] {
+            let path = dir.join(format!("metrics_{threads}.json"));
+            run(&args(&[
+                "legalize",
+                "--aux",
+                aux.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--metrics-json",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            assert_eq!(
+                json.get("schema"),
+                Some(&Json::Str(MetricsSummary::SCHEMA.into()))
+            );
+            // Only the counters/fail_reasons/histograms sections are
+            // thread-count invariant; the run section carries timing.
+            sections.push((
+                json.get("counters").cloned(),
+                json.get("fail_reasons").cloned(),
+                json.get("histograms").cloned(),
+            ));
+        }
+        assert!(sections[0].0.is_some());
+        assert_eq!(sections[0], sections[1], "metrics diverged across threads");
+    }
+
+    #[test]
+    fn report_renders_metrics_digest() {
+        let dir = tmpdir("report");
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let aux = dir.join("fft_2.aux");
+        let metrics = dir.join("metrics.json");
+        run(&args(&[
+            "legalize",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let svg = dir.join("digest.svg");
+        let out = run(&args(&[
+            "report",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics digest for fft_2"), "{out}");
+        assert!(out.contains("placement:"), "{out}");
+        assert!(out.contains("displacement (sites)"), "{out}");
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        // Garbage input is rejected with a parse error.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        let err = run(&args(&["report", "--metrics-json", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.message.contains("not valid metrics JSON"));
     }
 
     #[test]

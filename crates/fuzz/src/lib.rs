@@ -294,14 +294,20 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let corpus_path = cfg.corpus_dir.as_ref().and_then(|root| {
             let dir = root.join(format!("case_{case_seed:016x}_{}", kind.slug()));
             std::fs::create_dir_all(&dir).ok()?;
-            let meta = [
+            let mut meta = vec![
                 ("kind", kind.slug().to_string()),
                 ("master_seed", cfg.seed.to_string()),
                 ("case_seed", case_seed.to_string()),
                 ("legalizer_seed", opts.legalizer_seed.to_string()),
                 ("detail", discrepancies[0].detail.clone()),
             ];
-            let meta: Vec<(&str, String)> = meta.iter().map(|(k, v)| (*k, v.clone())).collect();
+            // Failure-reason histogram and per-phase span totals of one
+            // sequential run over the shrunk scenario — triage context for
+            // whoever opens the reproducer.
+            if let Some((fail_reasons, phase_totals)) = matrix::run_diagnostics(&shrunk, &opts) {
+                meta.push(("fail_reasons", fail_reasons));
+                meta.push(("phase_totals", phase_totals));
+            }
             shrunk.write_corpus(&dir, &meta).ok()?;
             Some(dir)
         });

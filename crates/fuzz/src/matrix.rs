@@ -24,7 +24,7 @@
 use crate::scenario::Scenario;
 use mrl_baselines::{AbacusLegalizer, TetrisLegalizer};
 use mrl_db::{Design, PlacementState};
-use mrl_legalize::{CellOrder, Legalizer, LegalizerConfig, PowerRailMode};
+use mrl_legalize::{CellOrder, Legalizer, LegalizerConfig, NoopSink, PowerRailMode};
 use mrl_metrics::{check_legal, RailCheck};
 use std::fmt;
 
@@ -439,4 +439,32 @@ pub fn run_matrix(scenario: &Scenario, opts: &MatrixOptions) -> Vec<Discrepancy>
 /// kind-specific context is never lost.
 pub fn reproduces(scenario: &Scenario, opts: &MatrixOptions, kind: DiscrepancyKind) -> bool {
     run_matrix(scenario, opts).iter().any(|d| d.kind == kind)
+}
+
+/// One diagnostic sequential run over a (typically shrunk) scenario,
+/// summarized as `(fail_reasons, phase_totals)` strings for the corpus
+/// `meta.txt`. Uses the traced driver so the failure-reason tallies and
+/// phase spans survive even when the run itself errors out — which on a
+/// shrunk reproducer is the expected case. `None` only when the scenario
+/// no longer rebuilds into a design.
+pub fn run_diagnostics(scenario: &Scenario, opts: &MatrixOptions) -> Option<(String, String)> {
+    let design = scenario.build().ok()?;
+    let mut state = PlacementState::new(&design);
+    let (stats, _) =
+        Legalizer::new(base_config(opts)).legalize_traced(&design, &mut state, &mut NoopSink);
+    let f = stats.fail_counts;
+    let fail_reasons = format!(
+        "no_insertion_point={} retry_budget_exhausted={} region_extraction_empty={}",
+        f.no_insertion_point, f.retry_budget_exhausted, f.region_extraction_empty
+    );
+    let p = stats.phases;
+    let phase_totals = format!(
+        "extract={:.6}s enumerate={:.6}s evaluate={:.6}s realize={:.6}s retry={:.6}s",
+        p.extract.as_secs_f64(),
+        p.enumerate.as_secs_f64(),
+        p.evaluate.as_secs_f64(),
+        p.realize.as_secs_f64(),
+        p.retry.as_secs_f64()
+    );
+    Some((fail_reasons, phase_totals))
 }

@@ -52,6 +52,7 @@ use crate::scratch::{Candidate, EvalScratch, ScanEvent, ScratchArena};
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::Design;
 use mrl_geom::Interval;
+use mrl_trace::{NoopSink, Sink};
 use std::collections::BinaryHeap;
 
 /// A scored valid insertion point.
@@ -157,7 +158,28 @@ pub fn find_best_insertion_point_in(
     timer: &mut PhaseTimes,
     arena: &mut ScratchArena,
 ) -> Option<InsertionPoint> {
+    find_best_insertion_point_traced(region, design, target, cfg, timer, arena, &mut NoopSink)
+}
+
+/// [`find_best_insertion_point_in`] with structured trace events into
+/// `sink`: an `enumerate` span around the whole scan with an `evaluate`
+/// span per scored candidate nested inside. With [`NoopSink`] every
+/// emission folds away and this is exactly
+/// [`find_best_insertion_point_in`].
+#[allow(clippy::too_many_arguments)]
+pub fn find_best_insertion_point_traced<S: Sink>(
+    region: &LocalRegion,
+    design: &Design,
+    target: &TargetSpec,
+    cfg: &LegalizerConfig,
+    timer: &mut PhaseTimes,
+    arena: &mut ScratchArena,
+    sink: &mut S,
+) -> Option<InsertionPoint> {
     let probe = timer.start();
+    if S::ENABLED {
+        sink.begin(Phase::Enumerate);
+    }
     let aspect = design.grid().aspect();
     let ScratchArena {
         intervals,
@@ -176,17 +198,20 @@ pub fn find_best_insertion_point_in(
         if cfg.prune {
             best_first(
                 region, target, cfg, aspect, intervals, events, rail_ok, queues, combo, combo_buf,
-                pool, cands, best_combo, eval, timer,
+                pool, cands, best_combo, eval, timer, sink,
             )
         } else {
             exhaustive(
                 region, target, cfg, aspect, intervals, events, rail_ok, queues, combo, combo_buf,
-                best_combo, eval, timer,
+                best_combo, eval, timer, sink,
             )
         }
     } else {
         None
     };
+    if S::ENABLED {
+        sink.end(Phase::Enumerate);
+    }
     timer.stop(Phase::Enumerate, probe);
     best
 }
@@ -425,7 +450,7 @@ where
 /// Exhaustive search: score every generated combination in emission order;
 /// the first minimum wins (strict `<` replacement).
 #[allow(clippy::too_many_arguments)]
-fn exhaustive(
+fn exhaustive<S: Sink>(
     region: &LocalRegion,
     target: &TargetSpec,
     cfg: &LegalizerConfig,
@@ -439,6 +464,7 @@ fn exhaustive(
     best_combo: &mut Vec<u32>,
     eval: &mut EvalScratch,
     timer: &mut PhaseTimes,
+    sink: &mut S,
 ) -> Option<InsertionPoint> {
     let mut best: Option<(usize, Evaluation)> = None;
     generate(
@@ -456,6 +482,9 @@ fn exhaustive(
             combo_buf.clear();
             combo_buf.extend(ids.iter().map(|&j| intervals[j as usize]));
             let probe = timer.start();
+            if S::ENABLED {
+                sink.begin(Phase::Evaluate);
+            }
             let ev = score(
                 region,
                 combo_buf,
@@ -465,6 +494,9 @@ fn exhaustive(
                 cfg,
                 eval,
             );
+            if S::ENABLED {
+                sink.end(Phase::Evaluate);
+            }
             timer.stop(Phase::Evaluate, probe);
             if best.as_ref().is_none_or(|(_, b)| ev.cost < b.cost) {
                 best = Some((t, ev));
@@ -484,7 +516,7 @@ fn exhaustive(
 /// lower bounds, then pop them cheapest-bound-first and stop as soon as the
 /// incumbent can no longer be beaten. Result-identical to [`exhaustive`].
 #[allow(clippy::too_many_arguments)]
-fn best_first(
+fn best_first<S: Sink>(
     region: &LocalRegion,
     target: &TargetSpec,
     cfg: &LegalizerConfig,
@@ -500,6 +532,7 @@ fn best_first(
     best_combo: &mut Vec<u32>,
     eval: &mut EvalScratch,
     timer: &mut PhaseTimes,
+    sink: &mut S,
 ) -> Option<InsertionPoint> {
     let ht = target.h as usize;
     pool.clear();
@@ -558,6 +591,9 @@ fn best_first(
         combo_buf.clear();
         combo_buf.extend(ids.iter().map(|&j| intervals[j as usize]));
         let probe = timer.start();
+        if S::ENABLED {
+            sink.begin(Phase::Evaluate);
+        }
         let ev = score(
             region,
             combo_buf,
@@ -567,6 +603,9 @@ fn best_first(
             cfg,
             eval,
         );
+        if S::ENABLED {
+            sink.end(Phase::Evaluate);
+        }
         timer.stop(Phase::Evaluate, probe);
         let better = match &best {
             None => true,

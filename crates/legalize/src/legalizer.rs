@@ -8,11 +8,12 @@
 //! until everything is placed.
 
 use crate::config::{CellOrder, LegalizerConfig};
-use crate::mll::{mll_in, MllOutcome};
+use crate::mll::mll_transacted_traced;
 use crate::scratch::ScratchArena;
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
+use mrl_trace::{AttemptOutcome, AttemptRecord, FailCounts, FailReason, NoopSink, Sink};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -50,6 +51,11 @@ pub struct LegalizeStats {
     /// Cells that fell through the parallel phase (first-pass failures plus
     /// conflicting stripes) and were handled by the sequential retry pass.
     pub residue: usize,
+    /// Failure-reason tallies. `no_insertion_point` and
+    /// `region_extraction_empty` count failed *attempts* (a cell retried 3
+    /// times contributes 3); `retry_budget_exhausted` counts *cells* still
+    /// unplaced when the retry budget ran out.
+    pub fail_counts: FailCounts,
 }
 
 /// Error returned when legalization cannot complete.
@@ -62,6 +68,11 @@ pub enum LegalizeError {
         cell: CellId,
         /// Retry rounds performed.
         rounds: u32,
+        /// Why the cell could not be placed. The core drivers report the
+        /// cell's last per-attempt reason (no-insertion-point or
+        /// region-extraction-empty); drivers that do not track per-attempt
+        /// reasons use [`FailReason::RetryBudgetExhausted`].
+        reason: FailReason,
     },
     /// A database inconsistency surfaced mid-run (indicates a bug).
     Db(DbError),
@@ -82,10 +93,14 @@ impl LegalizeError {
 impl fmt::Display for LegalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LegalizeError::Unplaceable { cell, rounds } => {
+            LegalizeError::Unplaceable {
+                cell,
+                rounds,
+                reason,
+            } => {
                 write!(
                     f,
-                    "cell {cell} could not be placed after {rounds} retry rounds"
+                    "cell {cell} could not be placed after {rounds} retry rounds (last failure: {reason})"
                 )
             }
             LegalizeError::Db(e) => write!(f, "database error during legalization: {e}"),
@@ -205,6 +220,29 @@ impl Legalizer {
         stats: &mut LegalizeStats,
         arena: &mut ScratchArena,
     ) -> Result<bool, LegalizeError> {
+        Ok(self
+            .try_place_traced(design, state, cell, fx, fy, stats, arena, &mut NoopSink, 0)?
+            .is_none())
+    }
+
+    /// [`try_place_in`](Legalizer::try_place_in) with a structured-event
+    /// [`Sink`] and an explicit failure reason. Returns `Ok(None)` when the
+    /// cell is now placed and `Ok(Some(reason))` when it is not; the reason
+    /// is also tallied into `stats.fail_counts`. `round` is diagnostic only
+    /// (0 = first pass, `k` = retry round `k`).
+    #[allow(clippy::too_many_arguments)]
+    fn try_place_traced<S: Sink>(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        cell: CellId,
+        fx: f64,
+        fy: f64,
+        stats: &mut LegalizeStats,
+        arena: &mut ScratchArena,
+        sink: &mut S,
+        round: u32,
+    ) -> Result<Option<FailReason>, LegalizeError> {
         let pos = self.snap(design, cell, fx, fy);
         let direct = if self.cfg.rail_mode.is_aligned() {
             state.place(design, cell, pos)
@@ -215,12 +253,31 @@ impl Legalizer {
             Ok(()) => {
                 stats.direct += 1;
                 stats.placed += 1;
-                Ok(true)
+                if S::ENABLED {
+                    let c = design.cell(cell);
+                    sink.attempt(AttemptRecord {
+                        cell: cell.index() as u32,
+                        height: c.height() as u8,
+                        retry_round: round,
+                        window: [
+                            pos.x - self.cfg.rx,
+                            pos.y - self.cfg.ry,
+                            2 * self.cfg.rx + c.width(),
+                            2 * self.cfg.ry + c.height(),
+                        ],
+                        region_cells: 0,
+                        combos_generated: 0,
+                        combos_pruned: 0,
+                        combos_evaluated: 0,
+                        outcome: AttemptOutcome::Direct { x: pos.x, y: pos.y },
+                    });
+                }
+                Ok(None)
             }
             Err(DbError::AlreadyPlaced(c)) => Err(DbError::AlreadyPlaced(c).into()),
             Err(_) => {
                 stats.mll_calls += 1;
-                match mll_in(
+                match mll_transacted_traced(
                     design,
                     state,
                     &self.cfg,
@@ -228,13 +285,18 @@ impl Legalizer {
                     pos,
                     &mut stats.phases,
                     arena,
+                    sink,
+                    round,
                 )? {
-                    MllOutcome::Placed(_) => {
+                    Ok(_) => {
                         stats.via_mll += 1;
                         stats.placed += 1;
-                        Ok(true)
+                        Ok(None)
                     }
-                    MllOutcome::NoInsertionPoint => Ok(false),
+                    Err(reason) => {
+                        stats.fail_counts.record(reason);
+                        Ok(Some(reason))
+                    }
                 }
             }
         }
@@ -253,6 +315,23 @@ impl Legalizer {
         design: &Design,
         state: &mut PlacementState,
     ) -> Result<LegalizeStats, LegalizeError> {
+        let (stats, result) = self.legalize_traced(design, state, &mut NoopSink);
+        result.map(|()| stats)
+    }
+
+    /// [`legalize`](Legalizer::legalize) with a structured-event [`Sink`].
+    ///
+    /// Returns the stats *alongside* the outcome (instead of inside it) so
+    /// diagnostics — failure-reason tallies, phase times, attempt records
+    /// already emitted into `sink` — survive a failed run. With
+    /// [`NoopSink`] this is exactly `legalize` (the sink calls compile
+    /// away).
+    pub fn legalize_traced<S: Sink>(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        sink: &mut S,
+    ) -> (LegalizeStats, Result<(), LegalizeError>) {
         let wall = std::time::Instant::now();
         let mut stats = LegalizeStats {
             phases: PhaseTimes::enabled(),
@@ -267,14 +346,23 @@ impl Legalizer {
         let mut remaining = Vec::new();
         for cell in unplaced {
             let (fx, fy) = design.input_position(cell);
-            if !self.try_place_in(design, state, cell, fx, fy, &mut stats, &mut arena)? {
-                remaining.push(cell);
+            match self
+                .try_place_traced(design, state, cell, fx, fy, &mut stats, &mut arena, sink, 0)
+            {
+                Ok(None) => {}
+                Ok(Some(reason)) => remaining.push((cell, reason)),
+                Err(e) => {
+                    stats.wall = wall.elapsed();
+                    return (stats, Err(e));
+                }
             }
         }
 
-        self.retry_loop(design, state, remaining, &mut stats, &mut rng, &mut arena)?;
+        let result = self.retry_loop(
+            design, state, remaining, &mut stats, &mut rng, &mut arena, sink,
+        );
         stats.wall = wall.elapsed();
-        Ok(stats)
+        (stats, result)
     }
 
     /// The movable, still-unplaced cells in the configured visiting order.
@@ -306,30 +394,42 @@ impl Legalizer {
     }
 
     /// The retry loop with growing random offsets (Algorithm 1 lines 9–17),
-    /// shared by the sequential and parallel drivers.
-    pub(crate) fn retry_loop(
+    /// shared by the sequential and parallel drivers. Each `(cell, reason)`
+    /// pair carries the cell's most recent failure reason; the reason is
+    /// refreshed on every failed retry so the final tally reflects the last
+    /// attempt.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn retry_loop<S: Sink>(
         &self,
         design: &Design,
         state: &mut PlacementState,
-        mut remaining: Vec<CellId>,
+        mut remaining: Vec<(CellId, FailReason)>,
         stats: &mut LegalizeStats,
         rng: &mut SmallRng,
         arena: &mut ScratchArena,
+        sink: &mut S,
     ) -> Result<(), LegalizeError> {
         let mut k = 1u32;
         while !remaining.is_empty() {
             if k > self.cfg.max_retry_iters {
+                stats.fail_counts.retry_budget_exhausted += remaining.len() as u64;
+                let (cell, reason) = remaining[0];
                 return Err(LegalizeError::Unplaceable {
-                    cell: remaining[0],
+                    cell,
                     rounds: k - 1,
+                    reason,
                 });
             }
             stats.retry_rounds = k;
             let probe = stats.phases.start();
+            if S::ENABLED {
+                sink.begin(Phase::Retry);
+                sink.counter("retry.remaining", remaining.len() as u64);
+            }
             let radius_x = i64::from(self.cfg.rx) * i64::from(k - 1);
             let radius_y = i64::from(self.cfg.ry) * i64::from(k - 1);
             let mut still = Vec::new();
-            for cell in remaining {
+            for (cell, _) in remaining {
                 let (fx, fy) = design.input_position(cell);
                 let dx = if radius_x > 0 {
                     rng.gen_range(-radius_x..=radius_x) as f64
@@ -341,11 +441,32 @@ impl Legalizer {
                 } else {
                     0.0
                 };
-                if !self.try_place_in(design, state, cell, fx + dx, fy + dy, stats, arena)? {
-                    still.push(cell);
+                match self.try_place_traced(
+                    design,
+                    state,
+                    cell,
+                    fx + dx,
+                    fy + dy,
+                    stats,
+                    arena,
+                    sink,
+                    k,
+                ) {
+                    Ok(None) => {}
+                    Ok(Some(reason)) => still.push((cell, reason)),
+                    Err(e) => {
+                        if S::ENABLED {
+                            sink.end(Phase::Retry);
+                        }
+                        stats.phases.stop(Phase::Retry, probe);
+                        return Err(e);
+                    }
                 }
             }
             remaining = still;
+            if S::ENABLED {
+                sink.end(Phase::Retry);
+            }
             stats.phases.stop(Phase::Retry, probe);
             k += 1;
         }

@@ -73,14 +73,20 @@ pub use config::{CellOrder, EvalMode, LegalizerConfig, PowerRailMode};
 pub use detailed::{DetailedConfig, DetailedPlacer, DetailedStats};
 pub use enumerate::{
     enumerate_insertion_points, find_best_insertion_point, find_best_insertion_point_in,
-    find_best_insertion_point_timed, InsertionPoint,
+    find_best_insertion_point_timed, find_best_insertion_point_traced, InsertionPoint,
 };
 pub use evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
 pub use interval::InsInterval;
 pub use legalizer::{LegalizeError, LegalizeStats, Legalizer};
 pub use mll::{
-    mll, mll_in, mll_timed, mll_transacted, mll_transacted_in, mll_transacted_timed, MllOutcome,
-    MllTransaction,
+    mll, mll_in, mll_timed, mll_transacted, mll_transacted_in, mll_transacted_timed,
+    mll_transacted_traced, MllOutcome, MllTransaction,
+};
+// Structured-event layer (see the `mrl-trace` crate): the sink trait, the
+// concrete sinks, and the failure taxonomy used across the drivers.
+pub use mrl_trace::{
+    AttemptOutcome, AttemptRecord, FailCounts, FailReason, MetricsSummary, NoopSink, RingSink,
+    Sink, TraceBuf, TraceEvent,
 };
 pub use realize::{realize, Realization};
 pub use refine::{refine_rows, RefineStats};

@@ -2,7 +2,7 @@
 //! realize → commit.
 
 use crate::config::LegalizerConfig;
-use crate::enumerate::find_best_insertion_point_in;
+use crate::enumerate::find_best_insertion_point_traced;
 use crate::evaluate::{Evaluation, TargetSpec};
 use crate::realize::realize;
 use crate::region::LocalRegion;
@@ -10,6 +10,7 @@ use crate::scratch::ScratchArena;
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::{SitePoint, SiteRect};
+use mrl_trace::{AttemptOutcome, AttemptRecord, FailReason, NoopSink, Sink};
 
 /// Result of one MLL invocation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -189,6 +190,46 @@ pub fn mll_transacted_in(
     timer: &mut PhaseTimes,
     arena: &mut ScratchArena,
 ) -> Result<Option<MllTransaction>, DbError> {
+    mll_transacted_traced(
+        design,
+        state,
+        cfg,
+        target,
+        pos,
+        timer,
+        arena,
+        &mut NoopSink,
+        0,
+    )
+    .map(|r| r.ok())
+}
+
+/// [`mll_transacted_in`] with a structured-event [`Sink`] and an explicit
+/// failure taxonomy. Emits an `extract` span around region extraction, a
+/// `realize` span around the commit, and one [`AttemptRecord`] per call
+/// carrying the window, the combo counters this invocation contributed,
+/// and the outcome. The inner `Err(FailReason)` distinguishes an empty
+/// extraction window from a window with free space but no valid insertion
+/// point; the placement is untouched in both cases.
+///
+/// `retry_round` is purely diagnostic (stamped into the attempt record):
+/// 0 for first-pass calls, `k` for retry-loop round `k`.
+///
+/// # Errors
+///
+/// Same as [`mll`].
+#[allow(clippy::too_many_arguments)]
+pub fn mll_transacted_traced<S: Sink>(
+    design: &Design,
+    state: &mut PlacementState,
+    cfg: &LegalizerConfig,
+    target: CellId,
+    pos: SitePoint,
+    timer: &mut PhaseTimes,
+    arena: &mut ScratchArena,
+    sink: &mut S,
+    retry_round: u32,
+) -> Result<Result<MllTransaction, FailReason>, DbError> {
     if state.is_placed(target) {
         return Err(DbError::AlreadyPlaced(target));
     }
@@ -200,8 +241,43 @@ pub fn mll_transacted_in(
         2 * cfg.ry + cell.height(),
     );
     let probe = timer.start();
+    if S::ENABLED {
+        sink.begin(Phase::Extract);
+    }
     let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
+    if S::ENABLED {
+        sink.end(Phase::Extract);
+    }
     timer.stop(Phase::Extract, probe);
+    // Snapshot the combo counters so the attempt record can report this
+    // invocation's contribution rather than the running totals.
+    let combos_before = (
+        timer.combos_generated,
+        timer.combos_pruned,
+        timer.combos_evaluated,
+    );
+    let attempt =
+        |timer: &PhaseTimes, region: &LocalRegion, outcome: AttemptOutcome| AttemptRecord {
+            cell: target.index() as u32,
+            height: cell.height() as u8,
+            retry_round,
+            window: [window.x, window.y, window.w, window.h],
+            region_cells: region.cells.len() as u32,
+            combos_generated: timer.combos_generated - combos_before.0,
+            combos_pruned: timer.combos_pruned - combos_before.1,
+            combos_evaluated: timer.combos_evaluated - combos_before.2,
+            outcome,
+        };
+    // An extraction with no usable row at all (or fewer rows than the target
+    // is tall) can never host the cell — record it as a distinct failure so
+    // "window landed outside every region" is visible in diagnostics.
+    if region.height() < cell.height() as usize || region.rows.iter().all(|r| r.is_none()) {
+        let reason = FailReason::RegionExtractionEmpty;
+        if S::ENABLED {
+            sink.attempt(attempt(timer, &region, AttemptOutcome::Fail(reason)));
+        }
+        return Ok(Err(reason));
+    }
     let spec = TargetSpec {
         w: cell.width(),
         h: cell.height(),
@@ -209,11 +285,19 @@ pub fn mll_transacted_in(
         y: pos.y,
         rail: cell.rail(),
     };
-    let Some(point) = find_best_insertion_point_in(&region, design, &spec, cfg, timer, arena)
+    let Some(point) =
+        find_best_insertion_point_traced(&region, design, &spec, cfg, timer, arena, sink)
     else {
-        return Ok(None);
+        let reason = FailReason::NoInsertionPoint;
+        if S::ENABLED {
+            sink.attempt(attempt(timer, &region, AttemptOutcome::Fail(reason)));
+        }
+        return Ok(Err(reason));
     };
     let probe = timer.start();
+    if S::ENABLED {
+        sink.begin(Phase::Realize);
+    }
     let realization = realize(&region, &point, &spec);
     let undo_moves: Vec<(CellId, i32)> = realization
         .moves
@@ -235,8 +319,20 @@ pub fn mll_transacted_in(
     } else {
         state.place_ignoring_rails(design, target, at)?;
     }
+    if S::ENABLED {
+        sink.end(Phase::Realize);
+        sink.attempt(attempt(
+            timer,
+            &region,
+            AttemptOutcome::Mll {
+                x: at.x,
+                y: at.y,
+                cost: point.eval.cost,
+            },
+        ));
+    }
     timer.stop(Phase::Realize, probe);
-    Ok(Some(MllTransaction {
+    Ok(Ok(MllTransaction {
         target,
         placed_at: at,
         eval: point.eval,

@@ -27,11 +27,12 @@
 //! of which are independent of the thread count.
 
 use crate::legalizer::{LegalizeError, LegalizeStats, Legalizer};
-use crate::mll::mll_transacted_in;
+use crate::mll::mll_transacted_traced;
 use crate::scratch::ScratchArena;
 use crate::timing::PhaseTimes;
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
+use mrl_trace::{FailCounts, FailReason, NoopSink, RingSink, Sink, TraceBuf};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -49,16 +50,22 @@ struct DiffEntry {
 }
 
 /// Everything a worker reports for one stripe.
-#[derive(Clone, Debug)]
-struct StripeResult {
+#[derive(Debug)]
+struct StripeResult<S> {
     stripe: usize,
     diff: Vec<DiffEntry>,
-    /// Cells the first-pass attempt could not place, in visit order.
-    failed: Vec<CellId>,
+    /// Cells the first-pass attempt could not place, in visit order, with
+    /// the failure reason of the attempt.
+    failed: Vec<(CellId, FailReason)>,
     direct: usize,
     via_mll: usize,
     mll_calls: usize,
     phases: PhaseTimes,
+    fail_counts: FailCounts,
+    /// The stripe's event sink (one lane per stripe); absorbed into the
+    /// caller's buffer in stripe order at the wave barrier so the merged
+    /// trace is independent of the thread count.
+    sink: S,
     /// A database error inside the worker (indicates a bug); the stripe's
     /// diff is discarded and the error propagated after the wave.
     error: Option<DbError>,
@@ -85,6 +92,54 @@ impl Legalizer {
         state: &mut PlacementState,
         threads: usize,
     ) -> Result<LegalizeStats, LegalizeError> {
+        let (stats, result) =
+            self.parallel_impl(design, state, threads, &|_| NoopSink, &mut |_| {});
+        result.map(|()| stats)
+    }
+
+    /// [`legalize_parallel`](Legalizer::legalize_parallel) with structured
+    /// events collected into `buf`.
+    ///
+    /// Each stripe writes into its own lane (`stripe index + 1`); the
+    /// driver — first-pass bookkeeping and the sequential retry loop —
+    /// writes into lane 0. Per-stripe sinks are absorbed into `buf` in
+    /// stripe order at each wave barrier, so the event sequence (and every
+    /// derived counter or histogram) is identical for any thread count;
+    /// only timestamps vary. Stats are returned alongside the outcome so
+    /// diagnostics survive a failed run.
+    pub fn legalize_parallel_traced(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        threads: usize,
+        buf: &mut TraceBuf,
+    ) -> (LegalizeStats, Result<(), LegalizeError>) {
+        let epoch = buf.epoch();
+        let cap = buf.lane_capacity();
+        self.parallel_impl(
+            design,
+            state,
+            threads,
+            &move |lane| RingSink::new(lane, cap, epoch),
+            &mut |sink| buf.absorb(sink),
+        )
+    }
+
+    /// Shared driver body, generic over the sink. `make_sink` is invoked
+    /// with the lane number (stripe index + 1 for workers, 0 for the
+    /// driver); `collect` receives every kept sink in deterministic order.
+    fn parallel_impl<S, F>(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        threads: usize,
+        make_sink: &F,
+        collect: &mut dyn FnMut(S),
+    ) -> (LegalizeStats, Result<(), LegalizeError>)
+    where
+        S: Sink + Send,
+        F: Fn(u32) -> S + Sync,
+    {
         let wall = std::time::Instant::now();
         let threads = threads.max(1);
         let cfg = self.config();
@@ -97,7 +152,7 @@ impl Legalizer {
         let unplaced = self.ordered_unplaced(design, state, &mut rng);
         if unplaced.is_empty() {
             stats.wall = wall.elapsed();
-            return Ok(stats);
+            return (stats, Ok(()));
         }
 
         // Stripe geometry. `wmax` ranges over all movable cells: any of
@@ -122,7 +177,7 @@ impl Legalizer {
         }
         stats.stripes = stripes.iter().filter(|s| !s.is_empty()).count();
 
-        let mut residue: Vec<CellId> = Vec::new();
+        let mut residue: Vec<(CellId, FailReason)> = Vec::new();
         for parity in 0..2usize {
             let wave: Vec<usize> = (0..nstripes)
                 .filter(|&i| i % 2 == parity && !stripes[i].is_empty())
@@ -132,7 +187,7 @@ impl Legalizer {
             }
             let workers = threads.min(wave.len());
             let next = AtomicUsize::new(0);
-            let results: Mutex<Vec<StripeResult>> = Mutex::new(Vec::with_capacity(wave.len()));
+            let results: Mutex<Vec<StripeResult<S>>> = Mutex::new(Vec::with_capacity(wave.len()));
             let master: &PlacementState = state;
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -145,8 +200,14 @@ impl Legalizer {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&sidx) = wave.get(i) else { break };
                             let local = local.get_or_insert_with(|| master.clone());
-                            let res =
-                                self.run_stripe(design, local, sidx, &stripes[sidx], &mut arena);
+                            let res = self.run_stripe(
+                                design,
+                                local,
+                                sidx,
+                                &stripes[sidx],
+                                &mut arena,
+                                make_sink(sidx as u32 + 1),
+                            );
                             results.lock().unwrap().push(res);
                         }
                     });
@@ -157,44 +218,68 @@ impl Legalizer {
             results.sort_by_key(|r| r.stripe);
             for res in results {
                 if let Some(e) = res.error {
-                    return Err(e.into());
+                    stats.wall = wall.elapsed();
+                    return (stats, Err(e.into()));
                 }
                 let x0 = bounds.x + res.stripe as i32 * stripe_w;
                 let halo = (x0 - cfg.rx - wmax, x0 + stripe_w + cfg.rx + wmax);
                 if !diff_within_halo(design, &res.diff, halo) {
-                    // Boundary conflict: discard the stripe wholesale and
-                    // re-legalize its cells sequentially.
+                    // Boundary conflict: discard the stripe wholesale —
+                    // diff, events, and tallies — and re-legalize its cells
+                    // sequentially. The reason is a placeholder: it only
+                    // surfaces if the retry budget is zero, and the retry
+                    // loop refreshes it on every real attempt.
                     stats.conflicts += 1;
-                    residue.extend_from_slice(&stripes[res.stripe]);
+                    residue.extend(
+                        stripes[res.stripe]
+                            .iter()
+                            .map(|&c| (c, FailReason::NoInsertionPoint)),
+                    );
                     continue;
                 }
-                self.apply_diff(design, state, &res.diff)?;
+                if let Err(e) = self.apply_diff(design, state, &res.diff) {
+                    stats.wall = wall.elapsed();
+                    return (stats, Err(e));
+                }
                 stats.placed += res.diff.iter().filter(|d| d.old.is_none()).count();
                 stats.direct += res.direct;
                 stats.via_mll += res.via_mll;
                 stats.mll_calls += res.mll_calls;
                 stats.phases.merge(&res.phases);
+                stats.fail_counts.merge(&res.fail_counts);
                 residue.extend_from_slice(&res.failed);
+                collect(res.sink);
             }
         }
 
         stats.residue = residue.len();
         let mut arena = ScratchArena::new();
-        self.retry_loop(design, state, residue, &mut stats, &mut rng, &mut arena)?;
+        let mut driver_sink = make_sink(0);
+        let result = self.retry_loop(
+            design,
+            state,
+            residue,
+            &mut stats,
+            &mut rng,
+            &mut arena,
+            &mut driver_sink,
+        );
+        collect(driver_sink);
         stats.wall = wall.elapsed();
-        Ok(stats)
+        (stats, result)
     }
 
     /// First-pass legalization of one stripe's cells against `local`,
     /// collecting the placement diff instead of touching the master.
-    fn run_stripe(
+    fn run_stripe<S: Sink>(
         &self,
         design: &Design,
         local: &mut PlacementState,
         stripe: usize,
         cells: &[CellId],
         arena: &mut ScratchArena,
-    ) -> StripeResult {
+        sink: S,
+    ) -> StripeResult<S> {
         let cfg = self.config();
         let mut res = StripeResult {
             stripe,
@@ -204,8 +289,13 @@ impl Legalizer {
             via_mll: 0,
             mll_calls: 0,
             phases: PhaseTimes::enabled(),
+            fail_counts: FailCounts::default(),
+            sink,
             error: None,
         };
+        if S::ENABLED {
+            res.sink.counter("stripe.cells", cells.len() as u64);
+        }
         // cell -> index into res.diff; keeps the *first* old position when
         // a cell is touched repeatedly within the stripe.
         let mut touched: HashMap<CellId, usize> = HashMap::new();
@@ -230,6 +320,25 @@ impl Legalizer {
             match direct {
                 Ok(()) => {
                     res.direct += 1;
+                    if S::ENABLED {
+                        let c = design.cell(cell);
+                        res.sink.attempt(mrl_trace::AttemptRecord {
+                            cell: cell.index() as u32,
+                            height: c.height() as u8,
+                            retry_round: 0,
+                            window: [
+                                pos.x - cfg.rx,
+                                pos.y - cfg.ry,
+                                2 * cfg.rx + c.width(),
+                                2 * cfg.ry + c.height(),
+                            ],
+                            region_cells: 0,
+                            combos_generated: 0,
+                            combos_pruned: 0,
+                            combos_evaluated: 0,
+                            outcome: mrl_trace::AttemptOutcome::Direct { x: pos.x, y: pos.y },
+                        });
+                    }
                     record(&mut res.diff, cell, None, pos);
                 }
                 Err(DbError::AlreadyPlaced(c)) => {
@@ -238,8 +347,18 @@ impl Legalizer {
                 }
                 Err(_) => {
                     res.mll_calls += 1;
-                    match mll_transacted_in(design, local, cfg, cell, pos, &mut res.phases, arena) {
-                        Ok(Some(tx)) => {
+                    match mll_transacted_traced(
+                        design,
+                        local,
+                        cfg,
+                        cell,
+                        pos,
+                        &mut res.phases,
+                        arena,
+                        &mut res.sink,
+                        0,
+                    ) {
+                        Ok(Ok(tx)) => {
                             res.via_mll += 1;
                             for &(moved, old_x) in &tx.undo_moves {
                                 let now = local.position(moved).expect("shifted cell is placed");
@@ -252,7 +371,10 @@ impl Legalizer {
                             }
                             record(&mut res.diff, cell, None, tx.placed_at);
                         }
-                        Ok(None) => res.failed.push(cell),
+                        Ok(Err(reason)) => {
+                            res.fail_counts.record(reason);
+                            res.failed.push((cell, reason));
+                        }
                         Err(e) => {
                             res.error = Some(e);
                             return res;

@@ -1,213 +1,9 @@
-//! Per-phase wall-clock accounting for the MLL pipeline.
+//! Per-phase wall-clock accounting — compatibility re-export.
 //!
-//! A [`PhaseTimes`] accumulates call counts and wall-clock time for the
-//! five pipeline phases (extract / enumerate / evaluate / realize / retry).
-//! Timing is opt-in: a default-constructed `PhaseTimes` is *disabled* and
-//! every probe collapses to a no-op, so library entry points that do not
-//! care about observability ([`crate::mll`], tests) pay nothing. The
-//! drivers ([`crate::Legalizer::legalize`] and the parallel driver) enable
-//! it and surface the totals through `LegalizeStats`.
-//!
-//! Phase nesting: `evaluate` time is spent *inside* `enumerate` (candidate
-//! scoring during the scanline), and `retry` is the wall time of the whole
-//! retry loop, which itself calls extract/enumerate/realize. The phases are
-//! therefore not disjoint; see `PhaseTimes` field docs.
+//! [`PhaseTimes`] and [`Phase`] moved to the `mrl-trace` crate (which sits
+//! below this one so the bench/CLI consumers can use them without a
+//! dependency cycle). This module keeps the historical
+//! `mrl_legalize::timing::{Phase, PhaseTimes}` paths working; the types
+//! are identical.
 
-use std::time::{Duration, Instant};
-
-/// One pipeline phase, used as the key for [`PhaseTimes::stop`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Phase {
-    /// Local-region extraction from the occupancy index.
-    Extract,
-    /// Insertion-point enumeration (the scanline, *including* scoring).
-    Enumerate,
-    /// Candidate scoring (the `evaluate`/`evaluate_exact` share of the
-    /// scanline).
-    Evaluate,
-    /// Realization: optimal shifting, `shift_batch`, and the final place.
-    Realize,
-    /// The driver's random-offset retry loop (wall time of whole rounds;
-    /// overlaps the other four phases).
-    Retry,
-}
-
-/// Wall-clock time and call counts per pipeline phase.
-///
-/// Disabled by default (`PhaseTimes::default()`); construct with
-/// [`PhaseTimes::enabled`] to record. Probes are `start()`/`stop(phase)`
-/// pairs; when disabled, `start` returns `None` and `stop` is a no-op, so
-/// the only cost on the hot path is one branch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PhaseTimes {
-    enabled: bool,
-    /// Time extracting local regions.
-    pub extract: Duration,
-    /// Number of region extractions.
-    pub extract_calls: u64,
-    /// Time enumerating insertion points (includes `evaluate`).
-    pub enumerate: Duration,
-    /// Number of enumeration scans.
-    pub enumerate_calls: u64,
-    /// Time scoring candidate insertion points (subset of `enumerate`).
-    pub evaluate: Duration,
-    /// Number of candidates scored.
-    pub evaluate_calls: u64,
-    /// Time realizing chosen insertion points (shift + place).
-    pub realize: Duration,
-    /// Number of realizations.
-    pub realize_calls: u64,
-    /// Wall time of the driver retry loop (overlaps the other phases).
-    pub retry: Duration,
-    /// Retry rounds timed.
-    pub retry_rounds: u64,
-    /// Valid insertion-point combinations the scanline generated.
-    ///
-    /// Unlike the wall-clock fields, the three combo counters record even
-    /// when the accumulator is disabled: they cost one integer add each and
-    /// the pruning property ("never evaluate more combos than the
-    /// exhaustive path emits") must be observable without timing overhead.
-    pub combos_generated: u64,
-    /// Combinations discarded by the branch-and-bound lower bound before
-    /// any exact scoring ran.
-    pub combos_pruned: u64,
-    /// Combinations that reached `evaluate`/`evaluate_exact`.
-    pub combos_evaluated: u64,
-}
-
-impl PhaseTimes {
-    /// A recording accumulator.
-    pub fn enabled() -> Self {
-        PhaseTimes {
-            enabled: true,
-            ..PhaseTimes::default()
-        }
-    }
-
-    /// Whether probes record anything.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Starts a probe. Returns `None` (free) when disabled.
-    #[inline]
-    pub fn start(&self) -> Option<Instant> {
-        if self.enabled {
-            Some(Instant::now())
-        } else {
-            None
-        }
-    }
-
-    /// Ends a probe started by [`PhaseTimes::start`], attributing the
-    /// elapsed time to `phase` and bumping its call count.
-    #[inline]
-    pub fn stop(&mut self, phase: Phase, probe: Option<Instant>) {
-        let Some(t0) = probe else { return };
-        let dt = t0.elapsed();
-        match phase {
-            Phase::Extract => {
-                self.extract += dt;
-                self.extract_calls += 1;
-            }
-            Phase::Enumerate => {
-                self.enumerate += dt;
-                self.enumerate_calls += 1;
-            }
-            Phase::Evaluate => {
-                self.evaluate += dt;
-                self.evaluate_calls += 1;
-            }
-            Phase::Realize => {
-                self.realize += dt;
-                self.realize_calls += 1;
-            }
-            Phase::Retry => {
-                self.retry += dt;
-                self.retry_rounds += 1;
-            }
-        }
-    }
-
-    /// Folds another accumulator into this one (used to merge per-worker
-    /// timings in the parallel driver). The result is enabled if either
-    /// side was.
-    pub fn merge(&mut self, other: &PhaseTimes) {
-        self.enabled |= other.enabled;
-        self.extract += other.extract;
-        self.extract_calls += other.extract_calls;
-        self.enumerate += other.enumerate;
-        self.enumerate_calls += other.enumerate_calls;
-        self.evaluate += other.evaluate;
-        self.evaluate_calls += other.evaluate_calls;
-        self.realize += other.realize;
-        self.realize_calls += other.realize_calls;
-        self.retry += other.retry;
-        self.retry_rounds += other.retry_rounds;
-        self.combos_generated += other.combos_generated;
-        self.combos_pruned += other.combos_pruned;
-        self.combos_evaluated += other.combos_evaluated;
-    }
-
-    /// Exclusive pipeline time: extract + enumerate + realize. (`evaluate`
-    /// is inside `enumerate`, and `retry` overlaps everything, so neither
-    /// is added.)
-    pub fn pipeline_total(&self) -> Duration {
-        self.extract + self.enumerate + self.realize
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disabled_probes_record_nothing() {
-        let mut t = PhaseTimes::default();
-        let probe = t.start();
-        assert!(probe.is_none());
-        t.stop(Phase::Extract, probe);
-        assert_eq!(t, PhaseTimes::default());
-    }
-
-    #[test]
-    fn enabled_probes_accumulate() {
-        let mut t = PhaseTimes::enabled();
-        let probe = t.start();
-        assert!(probe.is_some());
-        t.stop(Phase::Enumerate, probe);
-        assert_eq!(t.enumerate_calls, 1);
-        let probe = t.start();
-        t.stop(Phase::Enumerate, probe);
-        assert_eq!(t.enumerate_calls, 2);
-        assert_eq!(t.extract_calls, 0);
-    }
-
-    #[test]
-    fn combo_counters_record_even_when_disabled() {
-        let mut t = PhaseTimes::default();
-        assert!(!t.is_enabled());
-        t.combos_generated += 3;
-        t.combos_pruned += 2;
-        t.combos_evaluated += 1;
-        let mut sum = PhaseTimes::default();
-        sum.merge(&t);
-        sum.merge(&t);
-        assert_eq!(sum.combos_generated, 6);
-        assert_eq!(sum.combos_pruned, 4);
-        assert_eq!(sum.combos_evaluated, 2);
-        assert!(!sum.is_enabled());
-    }
-
-    #[test]
-    fn merge_sums_counts_and_enables() {
-        let mut a = PhaseTimes::default();
-        let mut b = PhaseTimes::enabled();
-        let probe = b.start();
-        b.stop(Phase::Realize, probe);
-        a.merge(&b);
-        assert!(a.is_enabled());
-        assert_eq!(a.realize_calls, 1);
-        assert!(a.pipeline_total() >= a.realize);
-    }
-}
+pub use mrl_trace::{Phase, PhaseTimes};

@@ -1,0 +1,199 @@
+//! Per-cell attempt records and failure taxonomy.
+
+/// Why a placement attempt for a target cell did not place it.
+///
+/// These are the reason codes carried by `(CellId, FailReason)` pairs in
+/// the drivers and by [`AttemptOutcome::Fail`]; [`FailCounts`] aggregates
+/// them per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailReason {
+    /// The local region was extracted but contains no valid insertion
+    /// point for the target (nothing wide enough / rail-compatible /
+    /// side-consistent).
+    NoInsertionPoint,
+    /// The driver's retry loop ran out of rounds (`max_retry_iters`) with
+    /// the cell still unplaced.
+    RetryBudgetExhausted,
+    /// Region extraction produced no free segment at all — every row of
+    /// the window is fully covered by frozen cells or blockages, or the
+    /// window is shorter than the target.
+    RegionExtractionEmpty,
+}
+
+impl FailReason {
+    /// Every reason, in display order.
+    pub const ALL: [FailReason; 3] = [
+        FailReason::NoInsertionPoint,
+        FailReason::RetryBudgetExhausted,
+        FailReason::RegionExtractionEmpty,
+    ];
+
+    /// Stable kebab-case code for reports and JSON keys (with `_`
+    /// substituted by consumers that need snake_case).
+    pub const fn code(self) -> &'static str {
+        match self {
+            FailReason::NoInsertionPoint => "no-insertion-point",
+            FailReason::RetryBudgetExhausted => "retry-budget-exhausted",
+            FailReason::RegionExtractionEmpty => "region-extraction-empty",
+        }
+    }
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Per-run failure-reason tally. `Copy` so `LegalizeStats` can stay `Copy`.
+///
+/// `no_insertion_point` and `region_extraction_empty` count failed
+/// *attempts* (one cell retried five times contributes five), while
+/// `retry_budget_exhausted` counts *cells* still unplaced when the retry
+/// budget ran out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailCounts {
+    /// Attempts that found no valid insertion point in a non-empty region.
+    pub no_insertion_point: u64,
+    /// Cells left unplaced when the retry budget was exhausted.
+    pub retry_budget_exhausted: u64,
+    /// Attempts whose extraction window contained no free segment.
+    pub region_extraction_empty: u64,
+}
+
+impl FailCounts {
+    /// Bumps the counter for `reason`.
+    pub fn record(&mut self, reason: FailReason) {
+        match reason {
+            FailReason::NoInsertionPoint => self.no_insertion_point += 1,
+            FailReason::RetryBudgetExhausted => self.retry_budget_exhausted += 1,
+            FailReason::RegionExtractionEmpty => self.region_extraction_empty += 1,
+        }
+    }
+
+    /// The count for `reason`.
+    pub fn get(&self, reason: FailReason) -> u64 {
+        match reason {
+            FailReason::NoInsertionPoint => self.no_insertion_point,
+            FailReason::RetryBudgetExhausted => self.retry_budget_exhausted,
+            FailReason::RegionExtractionEmpty => self.region_extraction_empty,
+        }
+    }
+
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        FailReason::ALL.iter().map(|&r| self.get(r)).sum()
+    }
+
+    /// Folds another tally into this one (stripe-result merging).
+    pub fn merge(&mut self, other: &FailCounts) {
+        self.no_insertion_point += other.no_insertion_point;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+        self.region_extraction_empty += other.region_extraction_empty;
+    }
+}
+
+/// How one placement attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttemptOutcome {
+    /// The snapped footprint was free: placed directly, zero displacement.
+    Direct {
+        /// Placed x (sites).
+        x: i32,
+        /// Placed bottom row.
+        y: i32,
+    },
+    /// MLL found and realized an insertion point.
+    Mll {
+        /// Placed x (sites).
+        x: i32,
+        /// Placed bottom row.
+        y: i32,
+        /// Total displacement cost of the insertion (target + pushed
+        /// neighbours, in site units with the aspect-weighted vertical
+        /// term).
+        cost: f64,
+    },
+    /// The attempt failed; the cell stays unplaced for this round.
+    Fail(FailReason),
+}
+
+impl AttemptOutcome {
+    /// Whether the attempt placed the cell.
+    pub const fn placed(&self) -> bool {
+        !matches!(self, AttemptOutcome::Fail(_))
+    }
+
+    /// Stable outcome label for exports.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            AttemptOutcome::Direct { .. } => "direct",
+            AttemptOutcome::Mll { .. } => "mll",
+            AttemptOutcome::Fail(r) => r.code(),
+        }
+    }
+}
+
+/// One placement attempt of one target cell — the per-cell diagnostic
+/// record (the quantities Tables II/III of the paper aggregate).
+///
+/// Identifiers are raw `u32` cell indices (this crate sits below `mrl-db`
+/// and cannot name `CellId`); they match `CellId::index()`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttemptRecord {
+    /// Target cell index (`CellId::index()`).
+    pub cell: u32,
+    /// Height class of the target in rows.
+    pub height: u8,
+    /// Retry round of the attempt (0 = first pass).
+    pub retry_round: u32,
+    /// Extraction window `[x, y, w, h]` in site/row units (the region
+    /// bounds before clipping).
+    pub window: [i32; 4],
+    /// Local cells in the extracted region (0 for direct placements,
+    /// which skip extraction).
+    pub region_cells: u32,
+    /// Combinations the scanline emitted during this attempt.
+    pub combos_generated: u64,
+    /// Combinations pruned on the lower bound during this attempt.
+    pub combos_pruned: u64,
+    /// Combinations exactly scored during this attempt.
+    pub combos_evaluated: u64,
+    /// How the attempt ended (chosen insertion point or failure code).
+    pub outcome: AttemptOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_counts_record_get_total_merge() {
+        let mut c = FailCounts::default();
+        c.record(FailReason::NoInsertionPoint);
+        c.record(FailReason::NoInsertionPoint);
+        c.record(FailReason::RegionExtractionEmpty);
+        assert_eq!(c.get(FailReason::NoInsertionPoint), 2);
+        assert_eq!(c.get(FailReason::RetryBudgetExhausted), 0);
+        assert_eq!(c.total(), 3);
+        let mut sum = FailCounts::default();
+        sum.merge(&c);
+        sum.merge(&c);
+        assert_eq!(sum.total(), 6);
+        assert_eq!(sum.region_extraction_empty, 2);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(AttemptOutcome::Direct { x: 0, y: 0 }.label(), "direct");
+        assert!(AttemptOutcome::Direct { x: 0, y: 0 }.placed());
+        assert_eq!(
+            AttemptOutcome::Fail(FailReason::RetryBudgetExhausted).label(),
+            "retry-budget-exhausted"
+        );
+        assert!(!AttemptOutcome::Fail(FailReason::NoInsertionPoint).placed());
+        for r in FailReason::ALL {
+            assert_eq!(r.to_string(), r.code());
+        }
+    }
+}

@@ -8,8 +8,10 @@
 //!   with a from-scratch recomputation from the per-segment cell lists
 //!   after arbitrary mutation sequences (place / MLL shifts / remove).
 
+use std::time::Duration;
+
 use mrl_db::{CellId, Design, DesignBuilder, PlacementState, SegId};
-use mrl_legalize::{Legalizer, LegalizerConfig};
+use mrl_legalize::{Legalizer, LegalizerConfig, PhaseTimes};
 use mrl_metrics::{check_legal, RailCheck};
 use mrl_synth::{generate, BenchmarkSpec, GeneratorConfig};
 use proptest::prelude::*;
@@ -69,6 +71,120 @@ fn assert_gaps_consistent(design: &Design, state: &PlacementState, context: &str
             state.recompute_gaps(design, seg).as_slice(),
             "occupancy index diverged from seg_cells rescan for segment {i} {context}"
         );
+    }
+}
+
+/// The parallel driver's diagnostics — not just its placement — must be a
+/// pure function of the design and seed: phase call counts, combo counters,
+/// and failure tallies may not depend on how the stripes were scheduled
+/// across workers. (Wall-clock durations legitimately differ, so only the
+/// count fields are compared.)
+#[test]
+fn parallel_driver_counters_are_thread_count_invariant() {
+    let spec = BenchmarkSpec::new("par_counters", 2_500, 250, 0.6, 0.0);
+    let design = generate(&spec, &GeneratorConfig::default().with_seed(11)).expect("generate");
+    let legalizer = Legalizer::new(LegalizerConfig::paper().with_seed(11));
+    let mut reference: Option<(Vec<u64>, _)> = None;
+    for threads in [1usize, 2, 4] {
+        let mut state = PlacementState::new(&design);
+        let stats = legalizer
+            .legalize_parallel(&design, &mut state, threads)
+            .expect("parallel legalization");
+        let counters = vec![
+            stats.phases.extract_calls,
+            stats.phases.enumerate_calls,
+            stats.phases.evaluate_calls,
+            stats.phases.realize_calls,
+            stats.phases.retry_rounds,
+            stats.phases.combos_generated,
+            stats.phases.combos_pruned,
+            stats.phases.combos_evaluated,
+            stats.placed as u64,
+            stats.direct as u64,
+            stats.via_mll as u64,
+            stats.mll_calls as u64,
+        ];
+        match &reference {
+            None => reference = Some((counters, stats.fail_counts)),
+            Some((want_counters, want_fails)) => {
+                assert_eq!(
+                    want_counters, &counters,
+                    "phase/combo counters differ between 1 and {threads} threads"
+                );
+                assert_eq!(
+                    want_fails, &stats.fail_counts,
+                    "failure tallies differ between 1 and {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Expands a seed into an arbitrary `PhaseTimes` (splitmix64 field fill)
+/// so proptest can explore the merge algebra without running a
+/// legalization. `u32`-sized material keeps the sums far from overflow.
+fn phase_times_from_seed(seed: u64) -> PhaseTimes {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut t = if next() & 1 == 0 {
+        PhaseTimes::enabled()
+    } else {
+        PhaseTimes::default()
+    };
+    t.extract = Duration::from_nanos(next() as u32 as u64);
+    t.enumerate = Duration::from_nanos(next() as u32 as u64);
+    t.evaluate = Duration::from_nanos(next() as u32 as u64);
+    t.realize = Duration::from_nanos(next() as u32 as u64);
+    t.retry = Duration::from_nanos(next() as u32 as u64);
+    t.extract_calls = next() as u32 as u64;
+    t.enumerate_calls = next() as u32 as u64;
+    t.evaluate_calls = next() as u32 as u64;
+    t.realize_calls = next() as u32 as u64;
+    t.retry_rounds = next() as u32 as u64;
+    t.combos_generated = next() as u32 as u64;
+    t.combos_pruned = next() as u32 as u64;
+    t.combos_evaluated = next() as u32 as u64;
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `PhaseTimes::merge` must be associative and commutative — this is
+    /// what lets the parallel driver fold per-stripe accumulators in wave
+    /// order and still match a sequential run's totals.
+    #[test]
+    fn phase_times_merge_is_associative_and_commutative(
+        sa in any::<u64>(),
+        sb in any::<u64>(),
+        sc in any::<u64>(),
+    ) {
+        let (a, b, c) = (
+            phase_times_from_seed(sa),
+            phase_times_from_seed(sb),
+            phase_times_from_seed(sc),
+        );
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = ab;
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
     }
 }
 
