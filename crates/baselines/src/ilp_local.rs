@@ -213,12 +213,9 @@ impl IlpLegalizer {
         let Some((_, t, xs, xt)) = best else {
             return Ok(false);
         };
-        let moves: Vec<(CellId, i32)> = region
-            .cells
-            .iter()
-            .zip(&xs)
-            .filter(|(c, &x)| c.x != x)
-            .map(|(c, &x)| (c.id, x))
+        let moves: Vec<(CellId, i32)> = (0..region.cells.len())
+            .filter(|&i| region.cells.x[i] != xs[i])
+            .map(|i| (region.cells.id[i], xs[i]))
             .collect();
         state
             .shift_batch(design, &moves)
@@ -247,14 +244,14 @@ fn solve_window_milp(
     let n = region.cells.len();
     // Position variables for local cells, bounded by their segments.
     let mut x_vars: Vec<VarId> = Vec::with_capacity(n);
-    for c in &region.cells {
+    for i in 0..n {
         let mut lo = i32::MIN;
         let mut hi = i32::MAX;
-        for row in c.y..c.y + c.h {
+        for row in region.cells.y[i]..region.cells.y[i] + region.cells.h[i] {
             let lr = (row - region.bottom_row) as usize;
             let seg = region.rows[lr].as_ref().expect("local cell rows exist");
             lo = lo.max(seg.x0);
-            hi = hi.min(seg.x1 - c.w);
+            hi = hi.min(seg.x1 - region.cells.w[i]);
         }
         x_vars.push(model.add_var(f64::from(lo), f64::from(hi), 0.0));
     }
@@ -274,7 +271,7 @@ fn solve_window_milp(
     for seg in region.rows.iter().flatten() {
         for pair in seg.cells.windows(2) {
             let (a, b) = (pair[0] as usize, pair[1] as usize);
-            let w_a = f64::from(region.cells[a].w);
+            let w_a = f64::from(region.cells.w[a]);
             model.add_constraint(&[(x_vars[a], 1.0), (x_vars[b], -1.0)], Op::Le, -w_a);
         }
     }
@@ -305,7 +302,7 @@ fn solve_window_milp(
             model.add_constraint(
                 &[(x_vars[ci], 1.0), (x_t, -1.0), (d, -big_m)],
                 Op::Le,
-                -f64::from(region.cells[ci].w),
+                -f64::from(region.cells.w[ci]),
             );
             // Monotone along the row: left cell's δ ≤ right cell's δ.
             if let Some(p) = prev {
@@ -319,10 +316,11 @@ fn solve_window_milp(
 
     // Displacement hinges: d_i >= |x_i - x_i0|, d_t >= |x_t - desired|.
     let mut objective_vars = Vec::with_capacity(n + 1);
-    for (i, c) in region.cells.iter().enumerate() {
+    for (i, &xv) in x_vars.iter().enumerate().take(n) {
+        let cx = region.cells.x[i];
         let d = model.add_var(0.0, f64::INFINITY, 1.0);
-        model.add_constraint(&[(d, 1.0), (x_vars[i], -1.0)], Op::Ge, -f64::from(c.x));
-        model.add_constraint(&[(d, 1.0), (x_vars[i], 1.0)], Op::Ge, f64::from(c.x));
+        model.add_constraint(&[(d, 1.0), (xv, -1.0)], Op::Ge, -f64::from(cx));
+        model.add_constraint(&[(d, 1.0), (xv, 1.0)], Op::Ge, f64::from(cx));
         objective_vars.push(d);
     }
     let d_t = model.add_var(0.0, f64::INFINITY, 1.0);

@@ -8,7 +8,8 @@
 //! ```text
 //! bench_legalize [--cells N] [--density F] [--seed S] [--threads N]
 //!                [--bench NAME] [--scale N] [--json PATH] [--no-json]
-//!                [--baseline PATH] [--gate-pct N]
+//!                [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]
+//!                [--no-spatial-index] [--speedup-gate]
 //! ```
 //!
 //! * `--cells N` — synthesize an ad-hoc design with `N` movable cells
@@ -17,6 +18,22 @@
 //!   at scale `1/K`.
 //! * `--threads N` — worker threads for the parallel run (default: all
 //!   available cores).
+//! * `--scale-sweep N1,N2,..` — multi-scale trajectory mode: legalize a
+//!   design at each cell count (ascending), recording throughput,
+//!   displacement, phase times, and peak RSS per point into a
+//!   `trajectory` array. The smallest point additionally populates the
+//!   standard report sections (best-of-3 sequential, exhaustive pruning
+//!   check, metrics digest) so the regression gate keeps working against
+//!   a sweep-produced report. Points above 30 000 cells run sequential
+//!   and parallel once each and skip the exhaustive pass.
+//! * `--no-spatial-index` — run with the subrow spatial index disabled
+//!   (the pre-index linear-scan oracle path), for A/B throughput
+//!   comparisons.
+//! * `--speedup-gate` — assert the parallel run is >= 1.3x over
+//!   sequential. The assertion only arms when at least 4 CPUs are
+//!   available and `--threads` >= 4; otherwise it is skipped with a note
+//!   (a 1.3x floor is meaningless on fewer cores). The report records
+//!   `available_parallelism` either way.
 //! * `--baseline PATH` — compare the sequential `cells_per_sec` against a
 //!   previously committed report and exit non-zero when it regressed by
 //!   more than `--gate-pct` percent (default 20). Set `MRL_BENCH_SKIP_GATE=1`
@@ -33,6 +50,11 @@ use mrl_db::{Design, PlacementState};
 use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig, MetricsSummary, TraceBuf};
 use mrl_metrics::displacement_stats;
 use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
+
+/// Largest cell count at which the harness still runs best-of-3 repeats
+/// and the exhaustive (prune-disabled) pass; larger sweep points get one
+/// sequential and one parallel run each.
+const FULL_PROTOCOL_MAX_CELLS: usize = 30_000;
 
 fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -> Json {
     let wall_s = stats.wall.as_secs_f64();
@@ -83,23 +105,38 @@ fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -
     run
 }
 
+/// Peak resident set size of this process so far, from `/proc`'s VmHWM
+/// (Linux only; `None` elsewhere). A high-water mark only grows, so in a
+/// sweep run the counts must ascend for per-point attribution.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 fn main() {
     let mut cells = 20_000usize;
     let mut density = 0.5f64;
     let mut seed = 1u64;
-    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads = available;
     let mut bench: Option<String> = None;
     let mut scale = 20.0f64;
     let mut json_path = Some("BENCH_legalize.json".to_string());
     let mut baseline: Option<String> = None;
     let mut gate_pct = 20.0f64;
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut spatial_index = true;
+    let mut speedup_gate = false;
 
     fn usage(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: bench_legalize [--cells N] [--density F] [--seed S] [--threads N]\n\
              \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]\n\
-             \x20                     [--baseline PATH] [--gate-pct N]"
+             \x20                     [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]\n\
+             \x20                     [--no-spatial-index] [--speedup-gate]"
         );
         std::process::exit(2);
     }
@@ -144,8 +181,44 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--gate-pct must be a number"));
             }
+            "--scale-sweep" => {
+                let list = val("--scale-sweep")
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .unwrap_or_else(|_| usage("--scale-sweep must be comma-separated integers"));
+                if list.is_empty() {
+                    usage("--scale-sweep needs at least one cell count");
+                }
+                sweep = Some(list);
+            }
+            "--no-spatial-index" => spatial_index = false,
+            "--speedup-gate" => speedup_gate = true,
             other => usage(&format!("unknown argument: {other}")),
         }
+    }
+
+    let lcfg = LegalizerConfig::paper()
+        .with_seed(seed)
+        .with_spatial_index(spatial_index);
+
+    if let Some(mut counts) = sweep {
+        // Ascending order: VmHWM is monotone, so each point's RSS reading
+        // is attributable to the largest design seen so far — its own.
+        counts.sort_unstable();
+        run_sweep(
+            &counts,
+            density,
+            seed,
+            threads,
+            available,
+            &lcfg,
+            json_path.as_deref(),
+            baseline.as_deref(),
+            gate_pct,
+            speedup_gate,
+        );
+        return;
     }
 
     let (spec, gen_cfg) = match bench {
@@ -160,18 +233,57 @@ fn main() {
             )
         }
         None => (
-            BenchmarkSpec::new(
-                format!("bench_legalize_{cells}"),
-                cells - cells / 11,
-                cells / 11,
-                density,
-                0.0,
-            ),
+            adhoc_spec(cells, density),
             GeneratorConfig::default().with_seed(seed),
         ),
     };
     let design = generate(&spec, &gen_cfg).expect("generate benchmark");
-    let legalizer = Legalizer::new(LegalizerConfig::paper().with_seed(seed));
+    let full = single_point(&design, &lcfg, seed, threads, true);
+
+    if let Some(path) = json_path {
+        let mut root = full_report(&design, &lcfg, seed, threads, &full);
+        root.set("available_parallelism", available as i64);
+        std::fs::write(&path, root.pretty()).expect("write json report");
+        eprintln!("report written to {path}");
+    }
+
+    check_speedup_gate(speedup_gate, full.speedup, threads, available);
+    if let Some(baseline_path) = baseline {
+        let current = full.seq_stats.placed as f64 / full.seq_wall.max(1e-12);
+        gate_against_baseline(&baseline_path, current, gate_pct);
+    }
+}
+
+fn adhoc_spec(cells: usize, density: f64) -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        format!("bench_legalize_{cells}"),
+        cells - cells / 11,
+        cells / 11,
+        density,
+        0.0,
+    )
+}
+
+/// One measured design: pruned sequential (best-of-3 when `full`),
+/// exhaustive cross-check (when `full`), and one parallel run.
+struct PointResult {
+    seq_stats: LegalizeStats,
+    seq_state: PlacementState,
+    seq_wall: f64,
+    exh: Option<(LegalizeStats, PlacementState, f64)>,
+    par_stats: LegalizeStats,
+    par_state: PlacementState,
+    speedup: f64,
+}
+
+fn single_point(
+    design: &Design,
+    lcfg: &LegalizerConfig,
+    seed: u64,
+    threads: usize,
+    full: bool,
+) -> PointResult {
+    let legalizer = Legalizer::new(lcfg.clone());
     let n = design.num_movable();
     eprintln!(
         "# bench_legalize: {} ({n} movable cells, density {:.2}), {threads} threads",
@@ -182,12 +294,14 @@ fn main() {
     // Best-of-3 sequential runs: the throughput gate compares wall clocks
     // of runs lasting tens of milliseconds, so a single sample is
     // noise-bound. Legalization is deterministic, so repeats can only
-    // tighten the timing, never change the placement.
-    let (seq_stats, seq_state) = (0..3)
+    // tighten the timing, never change the placement. Million-cell sweep
+    // points run once: their wall clocks are seconds, not milliseconds.
+    let repeats = if full { 3 } else { 1 };
+    let (seq_stats, seq_state) = (0..repeats)
         .map(|_| {
-            let mut state = PlacementState::new(&design);
+            let mut state = PlacementState::new(design);
             let stats = legalizer
-                .legalize(&design, &mut state)
+                .legalize(design, &mut state)
                 .expect("sequential legalization");
             (stats, state)
         })
@@ -202,34 +316,40 @@ fn main() {
 
     // Same seed and order with branch-and-bound pruning disabled: the
     // baseline the pruned kernel must match bit-for-bit and outrun.
-    let exhaustive = Legalizer::new(LegalizerConfig::paper().with_seed(seed).with_prune(false));
-    let mut exh_state = PlacementState::new(&design);
-    let exh_stats = exhaustive
-        .legalize(&design, &mut exh_state)
-        .expect("exhaustive legalization");
-    let seq_disp = displacement_stats(&design, &seq_state);
-    let exh_disp = displacement_stats(&design, &exh_state);
-    assert!(
-        seq_disp.total_sites == exh_disp.total_sites && seq_disp.max_sites == exh_disp.max_sites,
-        "pruned and exhaustive searches disagree: {} vs {} total sites",
-        seq_disp.total_sites,
-        exh_disp.total_sites
-    );
-    let prune_ratio = exh_stats.phases.combos_evaluated as f64
-        / (seq_stats.phases.combos_evaluated as f64).max(1.0);
-    println!(
-        "pruning:    generated {}, bounded out {}, evaluated {} ({:.2}x fewer than \
-         the {} exhaustive evaluations)",
-        seq_stats.phases.combos_generated,
-        seq_stats.phases.combos_pruned,
-        seq_stats.phases.combos_evaluated,
-        prune_ratio,
-        exh_stats.phases.combos_evaluated,
-    );
+    let exh = if full {
+        let exhaustive = Legalizer::new(lcfg.clone().with_seed(seed).with_prune(false));
+        let mut exh_state = PlacementState::new(design);
+        let exh_stats = exhaustive
+            .legalize(design, &mut exh_state)
+            .expect("exhaustive legalization");
+        let seq_disp = displacement_stats(design, &seq_state);
+        let exh_disp = displacement_stats(design, &exh_state);
+        assert!(
+            seq_disp.total_sites == exh_disp.total_sites
+                && seq_disp.max_sites == exh_disp.max_sites,
+            "pruned and exhaustive searches disagree: {} vs {} total sites",
+            seq_disp.total_sites,
+            exh_disp.total_sites
+        );
+        let prune_ratio = exh_stats.phases.combos_evaluated as f64
+            / (seq_stats.phases.combos_evaluated as f64).max(1.0);
+        println!(
+            "pruning:    generated {}, bounded out {}, evaluated {} ({:.2}x fewer than \
+             the {} exhaustive evaluations)",
+            seq_stats.phases.combos_generated,
+            seq_stats.phases.combos_pruned,
+            seq_stats.phases.combos_evaluated,
+            prune_ratio,
+            exh_stats.phases.combos_evaluated,
+        );
+        Some((exh_stats, exh_state, prune_ratio))
+    } else {
+        None
+    };
 
-    let mut par_state = PlacementState::new(&design);
+    let mut par_state = PlacementState::new(design);
     let par_stats = legalizer
-        .legalize_parallel(&design, &mut par_state, threads)
+        .legalize_parallel(design, &mut par_state, threads)
         .expect("parallel legalization");
     let par_wall = par_stats.wall.as_secs_f64();
     let speedup = seq_wall / par_wall.max(1e-12);
@@ -244,59 +364,184 @@ fn main() {
         par_stats.residue
     );
 
-    if let Some(path) = json_path {
-        // One traced parallel run for the metrics digest (histograms over
-        // displacement, region size, retries). Untimed: RingSink recording
-        // has real overhead, so its wall clock is reported only inside the
-        // digest's run section, never used for throughput numbers.
-        let mut buf = TraceBuf::default();
-        let mut traced_state = PlacementState::new(&design);
-        let (traced_stats, traced_res) =
-            legalizer.legalize_parallel_traced(&design, &mut traced_state, threads, &mut buf);
-        traced_res.expect("traced legalization");
-        let mut metrics = MetricsSummary {
-            design: design.name().to_string(),
-            threads: traced_stats.threads,
-            wall: traced_stats.wall,
-            phases: traced_stats.phases,
-            placed: traced_stats.placed as u64,
-            direct: traced_stats.direct as u64,
-            via_mll: traced_stats.via_mll as u64,
-            mll_calls: traced_stats.mll_calls as u64,
-            retry_rounds: u64::from(traced_stats.retry_rounds),
-            stripes: traced_stats.stripes as u64,
-            conflicts: traced_stats.conflicts as u64,
-            residue: traced_stats.residue as u64,
-            fail_counts: traced_stats.fail_counts,
-            ..MetricsSummary::default()
+    PointResult {
+        seq_stats,
+        seq_state,
+        seq_wall,
+        exh,
+        par_stats,
+        par_state,
+        speedup,
+    }
+}
+
+/// The standard single-design report (sequential / exhaustive / parallel
+/// sections plus the traced metrics digest). Requires a `full` point.
+fn full_report(
+    design: &Design,
+    lcfg: &LegalizerConfig,
+    seed: u64,
+    threads: usize,
+    point: &PointResult,
+) -> Json {
+    let legalizer = Legalizer::new(lcfg.clone());
+    // One traced parallel run for the metrics digest (histograms over
+    // displacement, region size, retries). Untimed: RingSink recording
+    // has real overhead, so its wall clock is reported only inside the
+    // digest's run section, never used for throughput numbers.
+    let mut buf = TraceBuf::default();
+    let mut traced_state = PlacementState::new(design);
+    let (traced_stats, traced_res) =
+        legalizer.legalize_parallel_traced(design, &mut traced_state, threads, &mut buf);
+    traced_res.expect("traced legalization");
+    let mut metrics = MetricsSummary {
+        design: design.name().to_string(),
+        threads: traced_stats.threads,
+        wall: traced_stats.wall,
+        phases: traced_stats.phases,
+        placed: traced_stats.placed as u64,
+        direct: traced_stats.direct as u64,
+        via_mll: traced_stats.via_mll as u64,
+        mll_calls: traced_stats.mll_calls as u64,
+        retry_rounds: u64::from(traced_stats.retry_rounds),
+        stripes: traced_stats.stripes as u64,
+        conflicts: traced_stats.conflicts as u64,
+        residue: traced_stats.residue as u64,
+        fail_counts: traced_stats.fail_counts,
+        ..MetricsSummary::default()
+    };
+    metrics.ingest(&buf);
+    let metrics_json =
+        Json::parse(&metrics.to_json_string()).expect("metrics summary emits parseable JSON");
+
+    let mut benchmark = Json::obj();
+    benchmark.set("name", design.name());
+    benchmark.set("movable_cells", design.num_movable() as i64);
+    benchmark.set("density", design.density());
+    benchmark.set("seed", seed as i64);
+    benchmark.set("spatial_index", lcfg.spatial_index);
+
+    let (exh_stats, exh_state, prune_ratio) = point.exh.as_ref().expect("full point");
+    let mut root = Json::obj();
+    root.set("benchmark", benchmark);
+    root.set("threads", threads as i64);
+    root.set(
+        "sequential",
+        run_to_json(design, &point.seq_stats, &point.seq_state),
+    );
+    root.set("exhaustive", run_to_json(design, exh_stats, exh_state));
+    root.set(
+        "parallel",
+        run_to_json(design, &point.par_stats, &point.par_state),
+    );
+    root.set("speedup", point.speedup);
+    root.set("prune_ratio", *prune_ratio);
+    root.set("metrics", metrics_json);
+    root
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sweep(
+    counts: &[usize],
+    density: f64,
+    seed: u64,
+    threads: usize,
+    available: usize,
+    lcfg: &LegalizerConfig,
+    json_path: Option<&str>,
+    baseline: Option<&str>,
+    gate_pct: f64,
+    speedup_gate: bool,
+) {
+    let mut trajectory: Vec<Json> = Vec::new();
+    let mut gate_sections: Option<Json> = None;
+    let mut gate_throughput: Option<f64> = None;
+    let mut last_speedup = 1.0f64;
+
+    for &n in counts {
+        let full = n <= FULL_PROTOCOL_MAX_CELLS;
+        let spec = adhoc_spec(n, density);
+        let gen_cfg = GeneratorConfig::default().with_seed(seed);
+        let gen_start = std::time::Instant::now();
+        let design = generate(&spec, &gen_cfg).expect("generate benchmark");
+        let gen_s = gen_start.elapsed().as_secs_f64();
+        let point = single_point(&design, lcfg, seed, threads, full);
+        let rss = peak_rss_mb();
+        if let Some(mb) = rss {
+            println!("peak rss:   {mb:.0} MB after the {n}-cell point");
+        }
+
+        let mut entry = Json::obj();
+        entry.set("cells", n as i64);
+        entry.set("movable_cells", design.num_movable() as i64);
+        entry.set("density", design.density());
+        entry.set("generate_s", gen_s);
+        entry.set(
+            "sequential",
+            run_to_json(&design, &point.seq_stats, &point.seq_state),
+        );
+        entry.set(
+            "parallel",
+            run_to_json(&design, &point.par_stats, &point.par_state),
+        );
+        entry.set("speedup", point.speedup);
+        match rss {
+            Some(mb) => entry.set("peak_rss_mb", mb),
+            None => entry.set("peak_rss_mb", Json::Null),
         };
-        metrics.ingest(&buf);
-        let metrics_json =
-            Json::parse(&metrics.to_json_string()).expect("metrics summary emits parseable JSON");
+        trajectory.push(entry);
+        last_speedup = point.speedup;
 
-        let mut benchmark = Json::obj();
-        benchmark.set("name", design.name());
-        benchmark.set("movable_cells", n as i64);
-        benchmark.set("density", design.density());
-        benchmark.set("seed", seed as i64);
+        // The smallest full-protocol point doubles as the standard report
+        // so `--baseline` gates keep reading `sequential.cells_per_sec`.
+        if full && gate_sections.is_none() {
+            gate_sections = Some(full_report(&design, lcfg, seed, threads, &point));
+            gate_throughput = Some(point.seq_stats.placed as f64 / point.seq_wall.max(1e-12));
+        }
+    }
 
-        let mut root = Json::obj();
-        root.set("benchmark", benchmark);
-        root.set("threads", threads as i64);
-        root.set("sequential", run_to_json(&design, &seq_stats, &seq_state));
-        root.set("exhaustive", run_to_json(&design, &exh_stats, &exh_state));
-        root.set("parallel", run_to_json(&design, &par_stats, &par_state));
-        root.set("speedup", speedup);
-        root.set("prune_ratio", prune_ratio);
-        root.set("metrics", metrics_json);
-        std::fs::write(&path, root.pretty()).expect("write json report");
+    if let Some(path) = json_path {
+        let mut root = gate_sections.unwrap_or_else(|| {
+            let mut r = Json::obj();
+            r.set("threads", threads as i64);
+            r
+        });
+        root.set("available_parallelism", available as i64);
+        root.set("trajectory", trajectory);
+        std::fs::write(path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
     }
 
+    check_speedup_gate(speedup_gate, last_speedup, threads, available);
     if let Some(baseline_path) = baseline {
-        let current = seq_stats.placed as f64 / seq_wall.max(1e-12);
-        gate_against_baseline(&baseline_path, current, gate_pct);
+        match gate_throughput {
+            Some(current) => gate_against_baseline(baseline_path, current, gate_pct),
+            None => eprintln!(
+                "gate:       skipped (no sweep point at or below {FULL_PROTOCOL_MAX_CELLS} cells)"
+            ),
+        }
     }
+}
+
+/// The `--speedup-gate` assertion: parallel must beat sequential by 1.3x,
+/// enforced only when the machine actually has >= 4 CPUs and the run used
+/// >= 4 threads; otherwise the gate reports itself skipped.
+fn check_speedup_gate(enabled: bool, speedup: f64, threads: usize, available: usize) {
+    if !enabled {
+        return;
+    }
+    if available < 4 || threads < 4 {
+        eprintln!(
+            "speedup:    gate skipped — {available} CPUs available, {threads} threads \
+             requested (needs >= 4 of each for the 1.3x floor to be meaningful)"
+        );
+        return;
+    }
+    if speedup < 1.3 {
+        eprintln!("speedup:    FAIL — {speedup:.2}x on {threads} threads is below the 1.3x floor");
+        std::process::exit(1);
+    }
+    eprintln!("speedup:    ok — {speedup:.2}x on {threads} threads (floor 1.3x)");
 }
 
 /// Compares sequential throughput against a committed baseline report and

@@ -27,6 +27,23 @@ use mrl_geom::{Orient, SitePoint, SiteRect};
 #[cfg(debug_assertions)]
 static GAP_CROSS_CHECKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Number of cross-check *opportunities* (mutations of large segments that
+/// were sampled rather than checked unconditionally). Debug builds only.
+#[cfg(debug_assertions)]
+static GAP_CHECK_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Segments with at most this many listed cells are cross-checked on every
+/// mutation; larger segments are sampled (1 in [`GAP_CHECK_SAMPLE`]) so
+/// debug-mode runs on 100k–1M-cell designs stay tractable — the
+/// recomputation is O(cells-per-segment) and would otherwise turn every
+/// mutation quadratic.
+#[cfg(debug_assertions)]
+const GAP_CHECK_EXHAUSTIVE_MAX: usize = 64;
+
+/// Sampling period for cross-checks on large segments (debug builds only).
+#[cfg(debug_assertions)]
+const GAP_CHECK_SAMPLE: u64 = 64;
+
 /// How many times the debug-only occupancy-index cross-check has run in
 /// this process. Always 0 in release builds — the check is strictly gated
 /// behind `debug_assertions`, so the hot mutation paths (`place`, `remove`,
@@ -77,6 +94,23 @@ impl PlacementState {
     /// index consumed by window extraction and the parallel driver.
     pub fn free_gaps(&self, seg: SegId) -> &[(i32, i32)] {
         &self.gaps[seg.index()]
+    }
+
+    /// The free gaps of `seg` that intersect the open window `(x0, x1)`, as
+    /// a subslice of the sorted gap list found by two binary searches —
+    /// O(log gaps + answer), independent of the segment's total occupancy.
+    ///
+    /// Gaps that merely touch the window boundary (ending at `x0` or
+    /// starting at `x1`) are excluded; clipping them to the window would
+    /// yield empty intervals, so the result is exactly the gaps a linear
+    /// scan-and-clip over [`free_gaps`](PlacementState::free_gaps) keeps.
+    pub fn free_gaps_in(&self, seg: SegId, x0: i32, x1: i32) -> &[(i32, i32)] {
+        let gaps = &self.gaps[seg.index()];
+        // First gap whose right end is > x0.
+        let lo = gaps.partition_point(|&(_, g1)| g1 <= x0);
+        // First gap whose left end is >= x1.
+        let hi = gaps.partition_point(|&(g0, _)| g0 < x1);
+        &gaps[lo..hi.max(lo)]
     }
 
     /// True if `[x0, x1)` lies entirely inside one free gap of `seg` —
@@ -156,9 +190,20 @@ impl PlacementState {
 
     /// Debug-only cross-check of the incremental index for `seg`.
     /// Compiled only under `debug_assertions`; see
-    /// [`gap_cross_check_count`].
+    /// [`gap_cross_check_count`]. Segments with more than
+    /// [`GAP_CHECK_EXHAUSTIVE_MAX`] cells are sampled (1 in
+    /// [`GAP_CHECK_SAMPLE`] mutations) so million-cell debug runs don't
+    /// spend hours re-deriving gap lists.
     #[cfg(debug_assertions)]
     fn debug_check_gaps(&self, design: &Design, seg: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.seg_cells[seg].len() > GAP_CHECK_EXHAUSTIVE_MAX
+            && !GAP_CHECK_CALLS
+                .fetch_add(1, Relaxed)
+                .is_multiple_of(GAP_CHECK_SAMPLE)
+        {
+            return;
+        }
         GAP_CROSS_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let seg_id = SegId::from_usize(seg);
         assert_eq!(
@@ -572,6 +617,53 @@ mod tests {
         } else {
             assert_eq!(delta, 0, "release builds must compile the cross-check out");
         }
+    }
+
+    #[test]
+    fn free_gaps_in_matches_linear_clip() {
+        let (d, a, b, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+        s.place(&d, c, SitePoint::new(13, 0)).unwrap();
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        // Gaps on row 0: [0,2), [5,8), [10,13), [17,20).
+        for (x0, x1) in [
+            (0, 20),
+            (3, 12),
+            (5, 8),   // exactly one gap
+            (2, 5),   // fully occupied window
+            (8, 10),  // fully occupied window
+            (-5, 1),  // clipped left
+            (19, 25), // clipped right
+            (7, 11),  // straddles gap boundaries
+        ] {
+            let want: Vec<(i32, i32)> = s
+                .free_gaps(seg)
+                .iter()
+                .filter_map(|&(g0, g1)| {
+                    let (lo, hi) = (g0.max(x0), g1.min(x1));
+                    (lo < hi).then_some((g0, g1))
+                })
+                .collect();
+            assert_eq!(
+                s.free_gaps_in(seg, x0, x1),
+                want.as_slice(),
+                "window ({x0},{x1})"
+            );
+        }
+    }
+
+    #[test]
+    fn free_gaps_in_excludes_touching_gaps() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(5, 0)).unwrap();
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        // Gaps: [0,5), [8,20). A window that only touches them is empty.
+        assert!(s.free_gaps_in(seg, 5, 8).is_empty());
+        assert_eq!(s.free_gaps_in(seg, 4, 8), &[(0, 5)]);
+        assert_eq!(s.free_gaps_in(seg, 5, 9), &[(8, 20)]);
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub struct LegalizerConfig {
     /// insertion point (ties broken by the scanline emission order), so
     /// this knob only trades evaluation work for a bound computation.
     pub prune: bool,
+    /// Windowed occupancy-index queries during region extraction (on by
+    /// default). When disabled, extraction scans each segment's full gap
+    /// list — the original O(segment) path, kept as the oracle the index
+    /// is validated against and for before/after measurement. Both paths
+    /// extract bit-identical regions, so this knob never changes results.
+    pub spatial_index: bool,
 }
 
 impl Default for LegalizerConfig {
@@ -97,6 +103,7 @@ impl Default for LegalizerConfig {
             max_retry_iters: 4096,
             max_insertion_points: usize::MAX,
             prune: true,
+            spatial_index: true,
         }
     }
 }
@@ -144,6 +151,13 @@ impl LegalizerConfig {
         self
     }
 
+    /// Returns `self` with the extraction spatial index switched on or
+    /// off (off = linear gap-list scan, the measurement oracle).
+    pub fn with_spatial_index(mut self, spatial_index: bool) -> Self {
+        self.spatial_index = spatial_index;
+        self
+    }
+
     /// Returns `self` with the retry-iteration cap replaced. Differential
     /// harnesses lower it so a genuinely stuck case fails fast instead of
     /// burning the full default budget.
@@ -157,8 +171,14 @@ impl fmt::Display for LegalizerConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Rx={} Ry={} rails={:?} eval={:?} order={:?} prune={}",
-            self.rx, self.ry, self.rail_mode, self.eval_mode, self.order, self.prune
+            "Rx={} Ry={} rails={:?} eval={:?} order={:?} prune={} index={}",
+            self.rx,
+            self.ry,
+            self.rail_mode,
+            self.eval_mode,
+            self.order,
+            self.prune,
+            self.spatial_index
         )
     }
 }

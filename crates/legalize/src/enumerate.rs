@@ -192,6 +192,7 @@ pub fn find_best_insertion_point_traced<S: Sink>(
         cands,
         best_combo,
         eval,
+        ..
     } = arena;
     let best = if prepare(region, design, target, cfg, intervals, events, rail_ok) {
         let intervals: &[InsInterval] = intervals;
@@ -309,9 +310,9 @@ fn generate<F>(
         // (1) Multi-row blocking: purge intervals on the far side of the
         // left cell.
         if let Some(ci) = iv.left {
-            let c = &region.cells[ci as usize];
-            if c.h > 1 {
-                for row in c.y..c.y + c.h {
+            let i = ci as usize;
+            if region.cells.h[i] > 1 {
+                for row in region.cells.y[i]..region.cells.y[i] + region.cells.h[i] {
                     let s = (row - region.bottom_row) as usize;
                     if s != a && s >= pair_lo(a) && s <= pair_hi(a) {
                         queues[a * hw + s].retain(|&j| intervals[j as usize].left == Some(ci));
@@ -644,18 +645,18 @@ pub(crate) fn combo_is_side_consistent(
             .cells
             .iter()
         {
-            let cell = &region.cells[ci as usize];
-            if cell.h <= 1 {
+            let (cy, ch) = (region.cells.y[ci as usize], region.cells.h[ci as usize]);
+            if ch <= 1 {
                 continue;
             }
             let mut side: Option<bool> = None; // Some(true) = all left of cell
             for &oj in combo {
                 let other = &intervals[oj as usize];
                 let row = region.bottom_row + other.row as i32;
-                if row < cell.y || row >= cell.y + cell.h {
+                if row < cy || row >= cy + ch {
                     continue;
                 }
-                let pos = cell.pos_in_row[(row - cell.y) as usize] as usize;
+                let pos = region.cells.pos_in_row(ci, (row - cy) as usize) as usize;
                 let is_left = other.gap <= pos;
                 match side {
                     None => side = Some(is_left),

@@ -163,12 +163,11 @@ pub(crate) fn evaluate_in(
     b.clear();
     for iv in combo {
         if let Some(ci) = iv.left {
-            let c = &region.cells[ci as usize];
-            a.push(i64::from(c.x) + i64::from(c.w));
+            let i = ci as usize;
+            a.push(i64::from(region.cells.x[i]) + i64::from(region.cells.w[i]));
         }
         if let Some(ci) = iv.right {
-            let c = &region.cells[ci as usize];
-            b.push(i64::from(c.x) - i64::from(target.w));
+            b.push(i64::from(region.cells.x[ci as usize]) - i64::from(target.w));
         }
     }
     a.push(i64::from(target.x));
@@ -273,8 +272,8 @@ pub(crate) fn exact_criticals_in(
         }
     }
     while let Some(ci) = stack.pop() {
-        let cell = &region.cells[ci as usize];
-        for row in cell.y..cell.y + cell.h {
+        let (y, h) = (region.cells.y[ci as usize], region.cells.h[ci as usize]);
+        for row in y..y + h {
             let lr = (row - region.bottom_row) as usize;
             if let Some(p) = region.left_neighbor_of(ci, lr) {
                 if !in_left[p as usize] {
@@ -292,9 +291,9 @@ pub(crate) fn exact_criticals_in(
         if !in_left[ci as usize] {
             continue;
         }
-        let cell = &region.cells[ci as usize];
+        let (y, h) = (region.cells.y[ci as usize], region.cells.h[ci as usize]);
         let mut shift = i64::MIN; // max over contributors of (x^a_r − x_r)
-        for row in cell.y..cell.y + cell.h {
+        for row in y..y + h {
             let lr = (row - region.bottom_row) as usize;
             // Gap adjacency: this row is a target row whose chosen interval
             // has this cell on its left.
@@ -303,13 +302,13 @@ pub(crate) fn exact_criticals_in(
             }
             if let Some(r) = region.right_neighbor_of(ci, lr) {
                 if in_left[r as usize] && xa[r as usize] != i64::MIN {
-                    let rc = &region.cells[r as usize];
-                    shift = shift.max(xa[r as usize] - i64::from(rc.x));
+                    shift = shift.max(xa[r as usize] - i64::from(region.cells.x[r as usize]));
                 }
             }
         }
         debug_assert!(shift != i64::MIN, "left-side cell without contributor");
-        let v = i64::from(cell.x) + i64::from(cell.w) + shift;
+        let v =
+            i64::from(region.cells.x[ci as usize]) + i64::from(region.cells.w[ci as usize]) + shift;
         xa[ci as usize] = v;
         a_vals.push(v);
     }
@@ -325,8 +324,8 @@ pub(crate) fn exact_criticals_in(
         }
     }
     while let Some(ci) = stack.pop() {
-        let cell = &region.cells[ci as usize];
-        for row in cell.y..cell.y + cell.h {
+        let (y, h) = (region.cells.y[ci as usize], region.cells.h[ci as usize]);
+        for row in y..y + h {
             let lr = (row - region.bottom_row) as usize;
             if let Some(p) = region.right_neighbor_of(ci, lr) {
                 if !in_right[p as usize] {
@@ -342,18 +341,22 @@ pub(crate) fn exact_criticals_in(
         if !in_right[ci as usize] {
             continue;
         }
-        let cell = &region.cells[ci as usize];
+        let (cx, y, h) = (
+            i64::from(region.cells.x[ci as usize]),
+            region.cells.y[ci as usize],
+            region.cells.h[ci as usize],
+        );
         let mut bound = i64::MAX;
-        for row in cell.y..cell.y + cell.h {
+        for row in y..y + h {
             let lr = (row - region.bottom_row) as usize;
             if combo.iter().any(|iv| iv.row == lr && iv.right == Some(ci)) {
-                bound = bound.min(i64::from(cell.x) - i64::from(target_w));
+                bound = bound.min(cx - i64::from(target_w));
             }
             if let Some(l) = region.left_neighbor_of(ci, lr) {
                 if in_right[l as usize] && xb[l as usize] != i64::MAX {
-                    let lc = &region.cells[l as usize];
+                    let li = l as usize;
                     // Slack between l and this cell delays the push.
-                    let slack = i64::from(cell.x) - i64::from(lc.x) - i64::from(lc.w);
+                    let slack = cx - i64::from(region.cells.x[li]) - i64::from(region.cells.w[li]);
                     bound = bound.min(xb[l as usize] + slack);
                 }
             }

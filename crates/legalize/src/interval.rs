@@ -54,16 +54,13 @@ impl LocalRegion {
             for gap in 0..=seg.cells.len() {
                 let (left, lo) = match gap.checked_sub(1).map(|k| seg.cells[k]) {
                     Some(ci) => {
-                        let c = &self.cells[ci as usize];
-                        (Some(ci), c.x_left + c.w)
+                        let i = ci as usize;
+                        (Some(ci), self.cells.x_left[i] + self.cells.w[i])
                     }
                     None => (None, seg.x0),
                 };
                 let (right, hi) = match seg.cells.get(gap).copied() {
-                    Some(ci) => {
-                        let c = &self.cells[ci as usize];
-                        (Some(ci), c.x_right - target_w)
-                    }
+                    Some(ci) => (Some(ci), self.cells.x_right[ci as usize] - target_w),
                     None => (None, seg.x1 - target_w),
                 };
                 let range = Interval::new(lo, hi);

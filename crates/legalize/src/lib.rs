@@ -90,6 +90,6 @@ pub use mrl_trace::{
 };
 pub use realize::{realize, Realization};
 pub use refine::{refine_rows, RefineStats};
-pub use region::{LocalCell, LocalRegion, LocalSeg};
+pub use region::{ExtractScratch, LocalCells, LocalRegion, LocalSeg};
 pub use scratch::ScratchArena;
 pub use timing::{Phase, PhaseTimes};

@@ -244,7 +244,32 @@ pub fn mll_transacted_traced<S: Sink>(
     if S::ENABLED {
         sink.begin(Phase::Extract);
     }
-    let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
+    // The region lives in the arena so its SoA buffers stay warm across
+    // calls; it is taken out for the duration of this call because the
+    // enumeration kernel borrows the arena mutably alongside it. With the
+    // spatial index disabled the old path is reproduced faithfully —
+    // linear gap scans and cold buffers every call — so `--no-spatial-index`
+    // measures what the scaling work actually bought. Both paths produce
+    // bit-identical regions.
+    let mut region = std::mem::take(&mut arena.region);
+    if cfg.spatial_index {
+        region.extract_masked_into(
+            &mut arena.extract,
+            design,
+            state,
+            window,
+            design.region_of(target),
+            true,
+        );
+    } else {
+        region = LocalRegion::extract_with_options(
+            design,
+            state,
+            window,
+            design.region_of(target),
+            false,
+        );
+    }
     if S::ENABLED {
         sink.end(Phase::Extract);
     }
@@ -276,6 +301,7 @@ pub fn mll_transacted_traced<S: Sink>(
         if S::ENABLED {
             sink.attempt(attempt(timer, &region, AttemptOutcome::Fail(reason)));
         }
+        arena.region = region;
         return Ok(Err(reason));
     }
     let spec = TargetSpec {
@@ -292,6 +318,7 @@ pub fn mll_transacted_traced<S: Sink>(
         if S::ENABLED {
             sink.attempt(attempt(timer, &region, AttemptOutcome::Fail(reason)));
         }
+        arena.region = region;
         return Ok(Err(reason));
     };
     let probe = timer.start();
@@ -303,13 +330,8 @@ pub fn mll_transacted_traced<S: Sink>(
         .moves
         .iter()
         .map(|&(id, _)| {
-            let old = region
-                .cells
-                .iter()
-                .find(|c| c.id == id)
-                .expect("moved cell is local")
-                .x;
-            (id, old)
+            let i = region.local_index_of(id).expect("moved cell is local");
+            (id, region.cells.x[i as usize])
         })
         .collect();
     state.shift_batch(design, &realization.moves)?;
@@ -332,6 +354,7 @@ pub fn mll_transacted_traced<S: Sink>(
         ));
     }
     timer.stop(Phase::Realize, probe);
+    arena.region = region;
     Ok(Ok(MllTransaction {
         target,
         placed_at: at,

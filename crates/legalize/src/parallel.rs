@@ -8,18 +8,28 @@
 //! which guarantees that the *halo* of stripe `i` — the union of every
 //! window read or mutated by cells binned to it, `[x_i − Rx − wmax,
 //! x_{i+1} + Rx + wmax)` — is disjoint from the halo of stripe `i ± 2`.
-//! Even-indexed stripes then run concurrently in one wave, odd-indexed
-//! stripes in a second wave.
 //!
-//! Workers legalize their stripes against a clone of the master placement
-//! and report a per-stripe *diff* (cells placed or shifted). Diffs are
-//! validated against the stripe halo and applied to the master in stripe
-//! order, so the result is a pure function of the stripe schedule — **the
-//! final placement is bit-identical for any thread count**, including one.
-//! A diff that escapes its halo (impossible by construction; checked
-//! defensively) is discarded and its stripe's cells join the *residue*:
-//! first-pass failures that are handed to the ordinary sequential retry
-//! loop with the configured seed.
+//! Scheduling is work-stealing rather than two global waves: even-indexed
+//! stripes are ready immediately, and each odd stripe becomes ready the
+//! moment both of its even neighbours have *resolved* (finished and had
+//! their diff validated against their halo). Workers pull ready stripes
+//! from a shared queue, so a slow even stripe never stalls distant work
+//! the way a wave barrier would.
+//!
+//! Workers legalize each stripe against a snapshot of the master placement
+//! plus the validated diffs of its even neighbours, and report a per-stripe
+//! *diff* (cells placed or shifted). This preserves the wave semantics
+//! exactly: a stripe's computation only reads placement state inside its
+//! halo, validated non-neighbour diffs are halo-disjoint and therefore
+//! unobservable, and a discarded (conflicting) neighbour diff is invisible
+//! in both designs. Each stripe's result is thus a pure function of the
+//! snapshot and the validated diffs of its even neighbours — independent of
+//! thread count and claim order. Diffs are applied to the master in
+//! (parity, stripe) order at the end, so **the final placement is
+//! bit-identical for any thread count**, including one. A diff that escapes
+//! its halo (impossible by construction; checked defensively) is discarded
+//! and its stripe's cells join the *residue*: first-pass failures that are
+//! handed to the ordinary sequential retry loop with the configured seed.
 //!
 //! Determinism notes: the parallel phase consumes no randomness (first-pass
 //! attempts happen at the snapped input positions); the driver RNG is used
@@ -35,9 +45,8 @@ use mrl_geom::SitePoint;
 use mrl_trace::{FailCounts, FailReason, NoopSink, RingSink, Sink, TraceBuf};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One cell's placement change within a stripe.
 #[derive(Clone, Copy, Debug)]
@@ -49,10 +58,10 @@ struct DiffEntry {
     new: SitePoint,
 }
 
-/// Everything a worker reports for one stripe.
+/// Everything a worker reports for one stripe. The stripe index itself is
+/// the slot in [`Sched::results`].
 #[derive(Debug)]
 struct StripeResult<S> {
-    stripe: usize,
     diff: Vec<DiffEntry>,
     /// Cells the first-pass attempt could not place, in visit order, with
     /// the failure reason of the attempt.
@@ -67,8 +76,40 @@ struct StripeResult<S> {
     /// trace is independent of the thread count.
     sink: S,
     /// A database error inside the worker (indicates a bug); the stripe's
-    /// diff is discarded and the error propagated after the wave.
+    /// diff is discarded and the error propagated at the merge.
     error: Option<DbError>,
+    /// Set at the merge when the diff escaped the stripe halo.
+    conflicted: bool,
+}
+
+impl<S> StripeResult<S> {
+    fn empty(sink: S) -> Self {
+        StripeResult {
+            diff: Vec::new(),
+            failed: Vec::new(),
+            direct: 0,
+            via_mll: 0,
+            mll_calls: 0,
+            phases: PhaseTimes::enabled(),
+            fail_counts: FailCounts::default(),
+            sink,
+            error: None,
+            conflicted: false,
+        }
+    }
+}
+
+/// Shared scheduler state (one mutex): the ready queue, the per-odd-stripe
+/// dependency counters, finished stripe results, and the resolution
+/// verdicts of even stripes (`Some(Some(diff))` = validated, `Some(None)` =
+/// discarded, `None` = not yet resolved).
+struct Sched<S> {
+    ready: VecDeque<usize>,
+    /// Stripes not yet claimed by a worker; 0 means workers may exit.
+    unclaimed: usize,
+    deps_left: Vec<u8>,
+    results: Vec<Option<StripeResult<S>>>,
+    resolved: Vec<Option<Option<Arc<Vec<DiffEntry>>>>>,
 }
 
 impl Legalizer {
@@ -177,53 +218,182 @@ impl Legalizer {
         }
         stats.stripes = stripes.iter().filter(|s| !s.is_empty()).count();
 
-        let mut residue: Vec<(CellId, FailReason)> = Vec::new();
-        for parity in 0..2usize {
-            let wave: Vec<usize> = (0..nstripes)
-                .filter(|&i| i % 2 == parity && !stripes[i].is_empty())
-                .collect();
-            if wave.is_empty() {
+        let active: Vec<bool> = stripes.iter().map(|s| !s.is_empty()).collect();
+        let total = stats.stripes;
+        let halo_of = |i: usize| {
+            let x0 = bounds.x + i as i32 * stripe_w;
+            (x0 - cfg.rx - wmax, x0 + stripe_w + cfg.rx + wmax)
+        };
+        // Dependency-resolved work-stealing schedule: even stripes are
+        // ready at once; odd stripe `i` becomes ready when its active even
+        // neighbours (`i ± 1`) have resolved. The wave structure is thus a
+        // special case (every even before every odd), but workers here flow
+        // straight into ready odd stripes instead of idling at a barrier.
+        let even_neighbors = |i: usize| {
+            [i.checked_sub(1), Some(i + 1)]
+                .into_iter()
+                .flatten()
+                .filter(|&j| j < nstripes && active[j])
+                .collect::<Vec<usize>>()
+        };
+        let mut sched = Sched::<S> {
+            ready: VecDeque::new(),
+            unclaimed: total,
+            deps_left: vec![0; nstripes],
+            results: (0..nstripes).map(|_| None).collect(),
+            resolved: vec![None; nstripes],
+        };
+        for (i, &is_active) in active.iter().enumerate() {
+            if !is_active {
                 continue;
             }
-            let workers = threads.min(wave.len());
-            let next = AtomicUsize::new(0);
-            let results: Mutex<Vec<StripeResult<S>>> = Mutex::new(Vec::with_capacity(wave.len()));
-            let master: &PlacementState = state;
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut local: Option<PlacementState> = None;
-                        // One scratch arena per worker, reused across all
-                        // the stripes this worker claims.
-                        let mut arena = ScratchArena::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&sidx) = wave.get(i) else { break };
-                            let local = local.get_or_insert_with(|| master.clone());
-                            let res = self.run_stripe(
-                                design,
-                                local,
-                                sidx,
-                                &stripes[sidx],
-                                &mut arena,
-                                make_sink(sidx as u32 + 1),
-                            );
-                            results.lock().unwrap().push(res);
-                        }
-                    });
+            if i % 2 == 0 {
+                sched.ready.push_back(i);
+            } else {
+                sched.deps_left[i] = even_neighbors(i).len() as u8;
+                if sched.deps_left[i] == 0 {
+                    sched.ready.push_back(i);
                 }
-            });
+            }
+        }
+        let sched = Mutex::new(sched);
+        let cv = Condvar::new();
+        let workers = threads.min(total);
+        let master: &PlacementState = state;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Per-worker reusable state: one scratch arena, one
+                    // placement snapshot, and the set of stripe diffs
+                    // (own runs + applied neighbour diffs) the snapshot
+                    // has absorbed since it was cloned.
+                    let mut arena = ScratchArena::new();
+                    let mut local: Option<PlacementState> = None;
+                    let mut has: Vec<usize> = Vec::new();
+                    loop {
+                        // Claim a ready stripe, with the validated diffs of
+                        // its even neighbours (resolved by construction).
+                        let (t, wanted) = {
+                            let mut g = sched.lock().unwrap();
+                            let t = loop {
+                                if g.unclaimed == 0 {
+                                    return;
+                                }
+                                if let Some(t) = g.ready.pop_front() {
+                                    g.unclaimed -= 1;
+                                    break t;
+                                }
+                                g = cv.wait(g).unwrap();
+                            };
+                            let mut wanted: Vec<(usize, Arc<Vec<DiffEntry>>)> = Vec::new();
+                            if t % 2 == 1 {
+                                for j in even_neighbors(t) {
+                                    let outcome =
+                                        g.resolved[j].as_ref().expect("dependency resolved");
+                                    if let Some(diff) = outcome {
+                                        wanted.push((j, Arc::clone(diff)));
+                                    }
+                                }
+                            }
+                            (t, wanted)
+                        };
+                        // The snapshot is reusable iff it has not absorbed
+                        // this stripe's own diff nor a neighbour diff
+                        // outside the wanted set; everything further away
+                        // is halo-disjoint and unobservable.
+                        let reuse = local.is_some()
+                            && !has.contains(&t)
+                            && has.iter().all(|&h| {
+                                (h + 1 != t && h != t + 1) || wanted.iter().any(|&(j, _)| j == h)
+                            });
+                        if !reuse {
+                            local = Some(master.clone());
+                            has.clear();
+                        }
+                        let lstate = local.as_mut().expect("snapshot prepared");
+                        let mut prep_error: Option<DbError> = None;
+                        for (j, diff) in &wanted {
+                            if has.contains(j) {
+                                continue;
+                            }
+                            if let Err(e) = self.apply_diff(design, lstate, diff) {
+                                prep_error = Some(e);
+                                break;
+                            }
+                            has.push(*j);
+                        }
+                        has.push(t);
+                        let mut res = if let Some(e) = prep_error {
+                            // Applying a validated diff can only fail on an
+                            // internal inconsistency; report it via the
+                            // stripe result like any worker error.
+                            let mut r = StripeResult::empty(make_sink(t as u32 + 1));
+                            r.error = Some(e);
+                            r
+                        } else {
+                            self.run_stripe(
+                                design,
+                                lstate,
+                                &stripes[t],
+                                &mut arena,
+                                make_sink(t as u32 + 1),
+                            )
+                        };
+                        // Resolve: even stripes validate eagerly so their
+                        // dependants can start; the merge reuses this
+                        // verdict (the check is a pure function).
+                        let mut g = sched.lock().unwrap();
+                        if t % 2 == 0 {
+                            let outcome = (res.error.is_none()
+                                && diff_within_halo(design, &res.diff, halo_of(t)))
+                            .then(|| Arc::new(std::mem::take(&mut res.diff)));
+                            g.resolved[t] = Some(outcome);
+                            for j in [t.checked_sub(1), Some(t + 1)].into_iter().flatten() {
+                                if j < nstripes && active[j] && j % 2 == 1 {
+                                    g.deps_left[j] -= 1;
+                                    if g.deps_left[j] == 0 {
+                                        g.ready.push_back(j);
+                                    }
+                                }
+                            }
+                        }
+                        g.results[t] = Some(res);
+                        cv.notify_all();
+                    }
+                });
+            }
+        });
 
-            let mut results = results.into_inner().unwrap();
-            results.sort_by_key(|r| r.stripe);
-            for res in results {
+        // Merge in (parity, stripe) order — the exact order the two-wave
+        // scheduler used — so master mutations, statistics, residue, and
+        // trace-event order are independent of claim order and threads.
+        let sched = sched.into_inner().unwrap();
+        let mut residue: Vec<(CellId, FailReason)> = Vec::new();
+        let mut results = sched.results;
+        for parity in 0..2usize {
+            for t in (0..nstripes).filter(|&i| i % 2 == parity && active[i]) {
+                let mut res = results[t].take().expect("stripe ran");
                 if let Some(e) = res.error {
                     stats.wall = wall.elapsed();
                     return (stats, Err(e.into()));
                 }
-                let x0 = bounds.x + res.stripe as i32 * stripe_w;
-                let halo = (x0 - cfg.rx - wmax, x0 + stripe_w + cfg.rx + wmax);
-                if !diff_within_halo(design, &res.diff, halo) {
+                if parity == 0 {
+                    // Reuse the eager validation verdict.
+                    match sched.resolved[t]
+                        .as_ref()
+                        .expect("even stripe resolved")
+                        .as_ref()
+                    {
+                        Some(diff) => res.diff = diff.to_vec(),
+                        None => {
+                            res.diff.clear();
+                            res.conflicted = true;
+                        }
+                    }
+                } else {
+                    res.conflicted = !diff_within_halo(design, &res.diff, halo_of(t));
+                }
+                if res.conflicted {
                     // Boundary conflict: discard the stripe wholesale —
                     // diff, events, and tallies — and re-legalize its cells
                     // sequentially. The reason is a placeholder: it only
@@ -231,7 +401,7 @@ impl Legalizer {
                     // loop refreshes it on every real attempt.
                     stats.conflicts += 1;
                     residue.extend(
-                        stripes[res.stripe]
+                        stripes[t]
                             .iter()
                             .map(|&c| (c, FailReason::NoInsertionPoint)),
                     );
@@ -239,7 +409,7 @@ impl Legalizer {
                 }
                 if let Err(e) = self.apply_diff(design, state, &res.diff) {
                     stats.wall = wall.elapsed();
-                    return (stats, Err(e));
+                    return (stats, Err(e.into()));
                 }
                 stats.placed += res.diff.iter().filter(|d| d.old.is_none()).count();
                 stats.direct += res.direct;
@@ -275,24 +445,12 @@ impl Legalizer {
         &self,
         design: &Design,
         local: &mut PlacementState,
-        stripe: usize,
         cells: &[CellId],
         arena: &mut ScratchArena,
         sink: S,
     ) -> StripeResult<S> {
         let cfg = self.config();
-        let mut res = StripeResult {
-            stripe,
-            diff: Vec::new(),
-            failed: Vec::new(),
-            direct: 0,
-            via_mll: 0,
-            mll_calls: 0,
-            phases: PhaseTimes::enabled(),
-            fail_counts: FailCounts::default(),
-            sink,
-            error: None,
-        };
+        let mut res = StripeResult::empty(sink);
         if S::ENABLED {
             res.sink.counter("stripe.cells", cells.len() as u64);
         }
@@ -397,7 +555,7 @@ impl Legalizer {
         design: &Design,
         state: &mut PlacementState,
         diff: &[DiffEntry],
-    ) -> Result<(), LegalizeError> {
+    ) -> Result<(), DbError> {
         let moves: Vec<(CellId, i32)> = diff
             .iter()
             .filter(|d| d.old.is_some())

@@ -37,28 +37,29 @@ pub struct Realization {
 /// bound, which valid insertion points guarantee.
 pub fn realize(region: &LocalRegion, point: &InsertionPoint, target: &TargetSpec) -> Realization {
     let xt = point.eval.x;
-    let mut xs: Vec<i32> = region.cells.iter().map(|c| c.x).collect();
+    let cells = &region.cells;
+    let mut xs: Vec<i32> = cells.x.clone();
     let mut queue: VecDeque<u32> = VecDeque::new();
 
     // Left wave: cells overlapped by the target move left.
     for iv in &point.intervals {
         if let Some(ci) = iv.left {
-            let c = &region.cells[ci as usize];
-            if xs[ci as usize] + c.w > xt {
-                xs[ci as usize] = xt - c.w;
+            let i = ci as usize;
+            if xs[i] + cells.w[i] > xt {
+                xs[i] = xt - cells.w[i];
                 queue.push_back(ci);
             }
         }
     }
     while let Some(ci) = queue.pop_front() {
-        let c = &region.cells[ci as usize];
-        debug_assert!(xs[ci as usize] >= c.x_left, "left push exceeds xL");
-        for row in c.y..c.y + c.h {
+        let i = ci as usize;
+        debug_assert!(xs[i] >= cells.x_left[i], "left push exceeds xL");
+        for row in cells.y[i]..cells.y[i] + cells.h[i] {
             let lr = (row - region.bottom_row) as usize;
             if let Some(p) = region.left_neighbor_of(ci, lr) {
-                let pc = &region.cells[p as usize];
-                if xs[p as usize] + pc.w > xs[ci as usize] {
-                    xs[p as usize] = xs[ci as usize] - pc.w;
+                let pi = p as usize;
+                if xs[pi] + cells.w[pi] > xs[i] {
+                    xs[pi] = xs[i] - cells.w[pi];
                     queue.push_back(p);
                 }
             }
@@ -68,20 +69,22 @@ pub fn realize(region: &LocalRegion, point: &InsertionPoint, target: &TargetSpec
     // Right wave: cells overlapped by the target move right.
     for iv in &point.intervals {
         if let Some(ci) = iv.right {
-            if xs[ci as usize] < xt + target.w {
-                xs[ci as usize] = xt + target.w;
+            let i = ci as usize;
+            if xs[i] < xt + target.w {
+                xs[i] = xt + target.w;
                 queue.push_back(ci);
             }
         }
     }
     while let Some(ci) = queue.pop_front() {
-        let c = &region.cells[ci as usize];
-        debug_assert!(xs[ci as usize] <= c.x_right, "right push exceeds xR");
-        for row in c.y..c.y + c.h {
+        let i = ci as usize;
+        debug_assert!(xs[i] <= cells.x_right[i], "right push exceeds xR");
+        for row in cells.y[i]..cells.y[i] + cells.h[i] {
             let lr = (row - region.bottom_row) as usize;
             if let Some(n) = region.right_neighbor_of(ci, lr) {
-                if xs[n as usize] < xs[ci as usize] + c.w {
-                    xs[n as usize] = xs[ci as usize] + c.w;
+                let ni = n as usize;
+                if xs[ni] < xs[i] + cells.w[i] {
+                    xs[ni] = xs[i] + cells.w[i];
                     queue.push_back(n);
                 }
             }
@@ -90,10 +93,10 @@ pub fn realize(region: &LocalRegion, point: &InsertionPoint, target: &TargetSpec
 
     let mut moves = Vec::new();
     let mut cell_displacement = 0i64;
-    for (i, cell) in region.cells.iter().enumerate() {
-        if xs[i] != cell.x {
-            moves.push((cell.id, xs[i]));
-            cell_displacement += i64::from((xs[i] - cell.x).abs());
+    for (i, &x) in xs.iter().enumerate().take(cells.len()) {
+        if x != cells.x[i] {
+            moves.push((cells.id[i], x));
+            cell_displacement += i64::from((x - cells.x[i]).abs());
         }
     }
     Realization {

@@ -14,38 +14,97 @@
 //! The paper leaves this procedure unspecified ("due to page limit"); the
 //! fixpoint above is the minimal procedure consistent with every property
 //! the paper states.
+//!
+//! # Scaling architecture (DESIGN.md §9)
+//!
+//! Extraction is the dominant phase at scale, so it is structured to be
+//! independent of design size and allocation-free in steady state:
+//!
+//! * Free space per row comes from the occupancy index through
+//!   [`PlacementState::free_gaps_in`] — two binary searches returning only
+//!   the gaps intersecting the window, O(log n + window) instead of a
+//!   linear scan of the segment's whole gap list. The linear path is kept
+//!   behind `use_index = false` as a test oracle and for `--no-spatial-index`
+//!   measurement.
+//! * Local cells are stored in a struct-of-arrays layout ([`LocalCells`]):
+//!   the enumeration/evaluation kernels touch `x`/`w` (or `y`/`h`) in tight
+//!   loops, and separate arrays keep those loops on dense cache lines. The
+//!   per-row list positions live in one flattened pool instead of a `Vec`
+//!   per cell, eliminating the per-cell allocations of the old layout.
+//! * All transient extraction state lives in an [`ExtractScratch`] owned by
+//!   the caller's `ScratchArena`, and the region itself is reused across
+//!   MLL calls (`extract_masked_into` clears, never shrinks).
 
 use mrl_db::{CellId, Design, PlacementState, RegionId, SegId};
 use mrl_geom::SiteRect;
-use std::collections::HashMap;
 
-/// A local cell: a movable cell that MLL may shift horizontally.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LocalCell {
-    /// The design-level cell id.
-    pub id: CellId,
+/// The local cells of a region in struct-of-arrays layout: one entry per
+/// cell across all arrays, indexed by the local cell index (`u32`).
+///
+/// Cells are ordered by `(x, y, id)`; the order is a topological order of
+/// the left-neighbor DAG (a left neighbor always has strictly smaller x).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalCells {
+    /// Design-level cell ids.
+    pub id: Vec<CellId>,
     /// Current x (site units).
-    pub x: i32,
+    pub x: Vec<i32>,
     /// Global bottom row.
-    pub y: i32,
+    pub y: Vec<i32>,
     /// Width in sites.
-    pub w: i32,
+    pub w: Vec<i32>,
     /// Height in rows.
-    pub h: i32,
+    pub h: Vec<i32>,
     /// x in the leftmost placement (`xL` in the paper).
-    pub x_left: i32,
+    pub x_left: Vec<i32>,
     /// x in the rightmost placement (`xR` in the paper).
-    pub x_right: i32,
-    /// For each spanned local row (bottom up), this cell's index in that
-    /// row's ordered cell list.
-    pub pos_in_row: Vec<u32>,
+    pub x_right: Vec<i32>,
+    /// Start of each cell's slice in `pos_pool` (prefix sum of heights;
+    /// `len() + 1` entries).
+    pos_start: Vec<u32>,
+    /// Flattened per-row list positions: entry `pos_start[ci] + k` is cell
+    /// `ci`'s index in the ordered cell list of its `k`-th spanned row
+    /// (bottom up).
+    pos_pool: Vec<u32>,
 }
 
-impl LocalCell {
-    /// Local row index of the cell's bottom row within a region whose
-    /// lowest row is `bottom_row`.
-    pub fn local_bottom(&self, bottom_row: i32) -> usize {
-        (self.y - bottom_row) as usize
+impl LocalCells {
+    /// Number of local cells.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when the region has no local cells.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Cell `ci`'s index in the ordered list of its `k`-th spanned row
+    /// (`k = 0` is the cell's bottom row).
+    pub fn pos_in_row(&self, ci: u32, k: usize) -> u32 {
+        self.pos_pool[self.pos_start[ci as usize] as usize + k]
+    }
+
+    fn clear(&mut self) {
+        self.id.clear();
+        self.x.clear();
+        self.y.clear();
+        self.w.clear();
+        self.h.clear();
+        self.x_left.clear();
+        self.x_right.clear();
+        self.pos_start.clear();
+        self.pos_pool.clear();
+    }
+
+    fn push(&mut self, id: CellId, rect: SiteRect) {
+        self.id.push(id);
+        self.x.push(rect.x);
+        self.y.push(rect.y);
+        self.w.push(rect.w);
+        self.h.push(rect.h);
+        self.x_left.push(rect.x);
+        self.x_right.push(rect.x);
     }
 }
 
@@ -78,12 +137,31 @@ pub struct LocalRegion {
     /// One entry per row of the (clipped) window; `None` when the row has
     /// no free run inside the window.
     pub rows: Vec<Option<LocalSeg>>,
-    /// The local cells.
-    pub cells: Vec<LocalCell>,
+    /// The local cells (struct-of-arrays).
+    pub cells: LocalCells,
 }
 
 /// A chosen free run on one row: global segment id plus `[x0, x1)`.
 type ChosenRun = (Option<SegId>, i32, i32);
+
+/// Reusable transient state for [`LocalRegion::extract_masked_into`]: the
+/// inside-cell map, per-row interval buffers, and the fixpoint's chosen
+/// runs. Owned by the `ScratchArena` so steady-state extraction performs no
+/// heap allocations.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    // A flat vector, not a hash map: the inside set is a few dozen cells,
+    // and the hot loop iterates it once per segment per fixpoint pass —
+    // contiguous iteration beats bucket walking, and the extract kernel
+    // stays free of hashing entirely.
+    inside: Vec<(CellId, SiteRect)>,
+    free: Vec<(i32, i32)>,
+    blocked: Vec<(i32, i32)>,
+    allowed: Vec<(i32, i32)>,
+    merged: Vec<(i32, i32)>,
+    chosen: Vec<Option<ChosenRun>>,
+    sorted: Vec<(SiteRect, CellId)>,
+}
 
 impl LocalRegion {
     /// Extracts the local region for `window` from the current placement,
@@ -106,20 +184,65 @@ impl LocalRegion {
         window: SiteRect,
         target_region: Option<RegionId>,
     ) -> LocalRegion {
+        Self::extract_with_options(design, state, window, target_region, true)
+    }
+
+    /// [`LocalRegion::extract_masked`] with an explicit choice of free-gap
+    /// query: `use_index = true` uses the windowed occupancy-index query
+    /// ([`PlacementState::free_gaps_in`]), `false` the linear scan over the
+    /// full gap list — kept as the oracle the spatial index is validated
+    /// against (results are always identical).
+    pub fn extract_with_options(
+        design: &Design,
+        state: &PlacementState,
+        window: SiteRect,
+        target_region: Option<RegionId>,
+        use_index: bool,
+    ) -> LocalRegion {
+        let mut region = LocalRegion::default();
+        let mut scratch = ExtractScratch::default();
+        region.extract_masked_into(
+            &mut scratch,
+            design,
+            state,
+            window,
+            target_region,
+            use_index,
+        );
+        region
+    }
+
+    /// The steady-state extraction entry point: rebuilds `self` in place
+    /// from `window`, reusing both the region's own buffers and the
+    /// caller's [`ExtractScratch`] — zero heap allocations once warm.
+    pub fn extract_masked_into(
+        &mut self,
+        scratch: &mut ExtractScratch,
+        design: &Design,
+        state: &PlacementState,
+        window: SiteRect,
+        target_region: Option<RegionId>,
+        use_index: bool,
+    ) {
+        self.rows.clear();
+        self.cells.clear();
+        self.bottom_row = 0;
         let fp = design.floorplan();
         let r0 = window.y.max(0);
         let r1 = window.top().min(fp.num_rows());
         if r0 >= r1 || window.w <= 0 {
-            return LocalRegion::default();
+            return;
         }
         let h_w = (r1 - r0) as usize;
         // Doubled window-center x, for exact nearest-run comparisons.
         let center2 = 2 * window.x + window.w;
 
         // Candidate cells: placed cells intersecting the clipped window,
-        // classified once as inside/outside.
-        let mut inside: HashMap<CellId, SiteRect> = HashMap::new();
-        let mut seen: HashMap<CellId, ()> = HashMap::new();
+        // classified once as inside/outside. `cells_intersecting` is a
+        // binary-search subslice of the segment's ordered list, so this
+        // touches only cells near the window.
+        let inside = &mut scratch.inside;
+        inside.clear();
         for row in r0..r1 {
             let base = fp.row_segment_base(row).expect("row in range");
             for (idx, seg) in fp.segments_in_row(row).iter().enumerate() {
@@ -130,20 +253,24 @@ impl LocalRegion {
                 }
                 let seg_id = SegId::from_usize(base + idx);
                 for &cell in state.cells_intersecting(design, seg_id, x0, x1) {
-                    if seen.insert(cell, ()).is_some() {
+                    let rect = state.rect_of(design, cell).expect("listed cell placed");
+                    // A multi-row cell is listed on every row it spans;
+                    // count it only on the first scanned row so the set
+                    // needs no dedup structure.
+                    if rect.y.max(r0) != row {
                         continue;
                     }
-                    let rect = state.rect_of(design, cell).expect("listed cell placed");
                     if window.contains_rect(&rect) {
-                        inside.insert(cell, rect);
+                        inside.push((cell, rect));
                     }
                 }
             }
         }
 
         // Fixpoint: choose runs, demote violating inside-cells to frozen.
-        let chosen: Vec<Option<ChosenRun>> = loop {
-            let mut chosen: Vec<Option<ChosenRun>> = vec![None; h_w];
+        loop {
+            scratch.chosen.clear();
+            scratch.chosen.resize(h_w, None);
             for row in r0..r1 {
                 let mut best: Option<(i64, ChosenRun)> = None;
                 for (idx, seg) in fp.segments_in_row(row).iter().enumerate() {
@@ -160,15 +287,18 @@ impl LocalRegion {
                     // Frozen cells are exactly the placed cells in neither
                     // set, so the merged union is bounded by them — no
                     // rescan of `seg_cells` needed.
-                    let mut free: Vec<(i32, i32)> = state
-                        .free_gaps(seg_id)
-                        .iter()
-                        .filter_map(|&(g0, g1)| {
-                            let (a, b) = (g0.max(sx0), g1.min(sx1));
-                            (a < b).then_some((a, b))
-                        })
-                        .collect();
-                    for rect in inside.values() {
+                    let gaps = if use_index {
+                        state.free_gaps_in(seg_id, sx0, sx1)
+                    } else {
+                        state.free_gaps(seg_id)
+                    };
+                    let free = &mut scratch.free;
+                    free.clear();
+                    free.extend(gaps.iter().filter_map(|&(g0, g1)| {
+                        let (a, b) = (g0.max(sx0), g1.min(sx1));
+                        (a < b).then_some((a, b))
+                    }));
+                    for &(_, rect) in inside.iter() {
                         if rect.y <= row && row < rect.top() {
                             let (a, b) = (rect.x.max(sx0), rect.right().min(sx1));
                             if a < b {
@@ -179,23 +309,27 @@ impl LocalRegion {
                     free.sort_unstable();
                     // Blocked spans on this row (fences only; frozen cells
                     // are already excluded from `free`).
-                    let mut blocked: Vec<(i32, i32)> = Vec::new();
+                    let blocked = &mut scratch.blocked;
+                    blocked.clear();
                     // Fence clipping: members may only use their region's
                     // area, everyone else must avoid every fence.
                     match target_region {
                         Some(r) => {
                             // Block the complement of the region's rects.
-                            let mut allowed: Vec<(i32, i32)> = design
-                                .region(r)
-                                .rects()
-                                .iter()
-                                .filter(|fr| fr.y <= row && row < fr.top())
-                                .map(|fr| (fr.x.max(sx0), fr.right().min(sx1)))
-                                .filter(|(a, b)| a < b)
-                                .collect();
+                            let allowed = &mut scratch.allowed;
+                            allowed.clear();
+                            allowed.extend(
+                                design
+                                    .region(r)
+                                    .rects()
+                                    .iter()
+                                    .filter(|fr| fr.y <= row && row < fr.top())
+                                    .map(|fr| (fr.x.max(sx0), fr.right().min(sx1)))
+                                    .filter(|(a, b)| a < b),
+                            );
                             allowed.sort_unstable();
                             let mut cursor = sx0;
-                            for (a, b) in allowed {
+                            for &(a, b) in allowed.iter() {
                                 if a > cursor {
                                     blocked.push((cursor, a));
                                 }
@@ -220,37 +354,19 @@ impl LocalRegion {
                         }
                     }
                     // Merge free intervals into maximal runs (gaps and
-                    // inside-cell spans abut), then subtract fence spans.
-                    let mut merged: Vec<(i32, i32)> = Vec::new();
-                    for (a, b) in free {
+                    // inside-cell spans abut), then subtract fence spans,
+                    // scoring each resulting run against the window center
+                    // as it appears.
+                    let merged = &mut scratch.merged;
+                    merged.clear();
+                    for &(a, b) in scratch.free.iter() {
                         match merged.last_mut() {
                             Some((_, e)) if *e >= a => *e = (*e).max(b),
                             _ => merged.push((a, b)),
                         }
                     }
                     blocked.sort_unstable();
-                    let mut runs: Vec<(i32, i32)> = Vec::new();
-                    for (mut a, b) in merged {
-                        for &(ba, bb) in &blocked {
-                            if bb <= a {
-                                continue;
-                            }
-                            if ba >= b {
-                                break;
-                            }
-                            if ba > a {
-                                runs.push((a, ba));
-                            }
-                            a = a.max(bb);
-                            if a >= b {
-                                break;
-                            }
-                        }
-                        if a < b {
-                            runs.push((a, b));
-                        }
-                    }
-                    for (x0, x1) in runs {
+                    let mut consider = |x0: i32, x1: i32| {
                         // Distance of the run to the (doubled) center.
                         let d = if 2 * x0 <= center2 && center2 <= 2 * x1 {
                             0
@@ -262,16 +378,39 @@ impl LocalRegion {
                         if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
                             best = Some((d, (Some(seg_id), x0, x1)));
                         }
+                    };
+                    for &(mut a, b) in merged.iter() {
+                        for &(ba, bb) in scratch.blocked.iter() {
+                            if bb <= a {
+                                continue;
+                            }
+                            if ba >= b {
+                                break;
+                            }
+                            if ba > a {
+                                consider(a, ba);
+                            }
+                            a = a.max(bb);
+                            if a >= b {
+                                break;
+                            }
+                        }
+                        if a < b {
+                            consider(a, b);
+                        }
                     }
                 }
-                chosen[(row - r0) as usize] = best.map(|(_, run)| run);
+                scratch.chosen[(row - r0) as usize] = best.map(|(_, run)| run);
             }
 
             // Demote any inside-cell not contained in the chosen runs of all
-            // rows it spans.
-            let mut newly_frozen = Vec::new();
-            for (&cell, rect) in &inside {
-                let ok = rect.rows().all(|row| {
+            // rows it spans: demoted cells leave `inside`, their footprints
+            // stop contributing to the free-run union, and they act as
+            // frozen blockers on the next fixpoint round.
+            let before = inside.len();
+            let chosen = &scratch.chosen;
+            inside.retain(|&(_, rect)| {
+                rect.rows().all(|row| {
                     if row < r0 || row >= r1 {
                         return false;
                     }
@@ -279,81 +418,74 @@ impl LocalRegion {
                         Some((_, x0, x1)) => *x0 <= rect.x && rect.right() <= *x1,
                         None => false,
                     }
-                });
-                if !ok {
-                    newly_frozen.push(cell);
-                }
-            }
-            if newly_frozen.is_empty() {
-                break chosen;
-            }
-            for cell in newly_frozen {
-                // Demoted cells leave `inside`; their footprints stop
-                // contributing to the free-run union and thus act as
-                // frozen blockers on the next fixpoint round.
-                inside.remove(&cell).expect("was inside");
-            }
-        };
-
-        // Assemble: local cells and per-row ordered lists.
-        let mut cells: Vec<LocalCell> = inside
-            .iter()
-            .map(|(&id, rect)| LocalCell {
-                id,
-                x: rect.x,
-                y: rect.y,
-                w: rect.w,
-                h: rect.h,
-                x_left: rect.x,
-                x_right: rect.x,
-                pos_in_row: Vec::new(),
-            })
-            .collect();
-        cells.sort_by_key(|c| (c.x, c.y, c.id));
-        let mut rows: Vec<Option<LocalSeg>> = chosen
-            .into_iter()
-            .map(|run| {
-                run.map(|(seg, x0, x1)| LocalSeg {
-                    seg,
-                    x0,
-                    x1,
-                    cells: Vec::new(),
                 })
+            });
+            if inside.len() == before {
+                break;
+            }
+        }
+
+        // Assemble: local cells (SoA, sorted by (x, y, id)) and per-row
+        // ordered lists.
+        scratch.sorted.clear();
+        scratch
+            .sorted
+            .extend(inside.iter().map(|&(id, rect)| (rect, id)));
+        scratch
+            .sorted
+            .sort_unstable_by_key(|&(rect, id)| (rect.x, rect.y, id));
+        for &(rect, id) in scratch.sorted.iter() {
+            self.cells.push(id, rect);
+        }
+        self.rows.extend(scratch.chosen.drain(..).map(|run| {
+            run.map(|(seg, x0, x1)| LocalSeg {
+                seg,
+                x0,
+                x1,
+                cells: Vec::new(),
             })
-            .collect();
-        // Populate row lists bottom-up; `cells` is x-sorted so lists are too.
-        for (i, cell) in cells.iter().enumerate() {
-            for row in cell.y..cell.y + cell.h {
+        }));
+        // Populate row lists bottom-up; cells are x-sorted so lists are too.
+        for i in 0..self.cells.len() {
+            let (y, h) = (self.cells.y[i], self.cells.h[i]);
+            for row in y..y + h {
                 let lr = (row - r0) as usize;
-                rows[lr]
+                self.rows[lr]
                     .as_mut()
                     .expect("local cell rows have chosen runs")
                     .cells
                     .push(i as u32);
             }
         }
-        // Record each cell's index within every row list it belongs to.
-        let mut pos_map: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
-        for row in rows.iter().flatten() {
+        // Record each cell's index within every row list it belongs to,
+        // into the flattened position pool (prefix-summed by height).
+        let mut start = 0u32;
+        for i in 0..self.cells.len() {
+            self.cells.pos_start.push(start);
+            start += self.cells.h[i] as u32;
+        }
+        self.cells.pos_start.push(start);
+        self.cells.pos_pool.resize(start as usize, 0);
+        for (lr, row) in self.rows.iter().enumerate() {
+            let Some(row) = row else { continue };
             for (pos, &ci) in row.cells.iter().enumerate() {
-                pos_map[ci as usize].push(pos as u32);
+                let k = lr - (self.cells.y[ci as usize] - r0) as usize;
+                let slot = self.cells.pos_start[ci as usize] as usize + k;
+                self.cells.pos_pool[slot] = pos as u32;
             }
         }
-        for (cell, poses) in cells.iter_mut().zip(pos_map) {
-            cell.pos_in_row = poses;
-        }
-        let mut region = LocalRegion {
-            bottom_row: r0,
-            rows,
-            cells,
-        };
-        region.compute_leftmost_rightmost();
-        region
+        self.bottom_row = r0;
+        self.compute_leftmost_rightmost();
     }
 
     /// Number of (clipped) window rows.
     pub fn height(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Local row index of cell `ci`'s bottom row.
+    pub fn local_bottom(&self, ci: u32) -> usize {
+        (self.cells.y[ci as usize] - self.bottom_row) as usize
     }
 
     /// The local row list a cell occupies on local row `lr`, with the
@@ -367,15 +499,13 @@ impl LocalRegion {
 
     /// The immediate left neighbor of local cell `ci` on local row `lr`.
     pub fn left_neighbor_of(&self, ci: u32, lr: usize) -> Option<u32> {
-        let cell = &self.cells[ci as usize];
-        let k = cell.pos_in_row[lr - cell.local_bottom(self.bottom_row)] as usize;
+        let k = self.cells.pos_in_row(ci, lr - self.local_bottom(ci)) as usize;
         k.checked_sub(1).map(|k| self.row_cells(lr)[k])
     }
 
     /// The immediate right neighbor of local cell `ci` on local row `lr`.
     pub fn right_neighbor_of(&self, ci: u32, lr: usize) -> Option<u32> {
-        let cell = &self.cells[ci as usize];
-        let k = cell.pos_in_row[lr - cell.local_bottom(self.bottom_row)] as usize;
+        let k = self.cells.pos_in_row(ci, lr - self.local_bottom(ci)) as usize;
         self.row_cells(lr).get(k + 1).copied()
     }
 
@@ -385,49 +515,48 @@ impl LocalRegion {
     pub fn compute_leftmost_rightmost(&mut self) {
         // Cells are x-sorted, which is a topological order of the
         // left-neighbor DAG (a left neighbor always has strictly smaller x).
-        let order: Vec<u32> = (0..self.cells.len() as u32).collect();
-        for &ci in &order {
-            let (y, h) = {
-                let c = &self.cells[ci as usize];
-                (c.y, c.h)
-            };
+        let n = self.cells.len() as u32;
+        for ci in 0..n {
+            let (y, h) = (self.cells.y[ci as usize], self.cells.h[ci as usize]);
             let mut x_left = i32::MIN;
             for row in y..y + h {
                 let lr = (row - self.bottom_row) as usize;
                 let bound = match self.left_neighbor_of(ci, lr) {
-                    Some(p) => {
-                        let p = &self.cells[p as usize];
-                        p.x_left + p.w
-                    }
+                    Some(p) => self.cells.x_left[p as usize] + self.cells.w[p as usize],
                     None => self.rows[lr].as_ref().expect("occupied row").x0,
                 };
                 x_left = x_left.max(bound);
             }
-            self.cells[ci as usize].x_left = x_left;
-            debug_assert!(x_left <= self.cells[ci as usize].x);
+            self.cells.x_left[ci as usize] = x_left;
+            debug_assert!(x_left <= self.cells.x[ci as usize]);
         }
-        for &ci in order.iter().rev() {
-            let (y, h, w) = {
-                let c = &self.cells[ci as usize];
-                (c.y, c.h, c.w)
-            };
+        for ci in (0..n).rev() {
+            let (y, h, w) = (
+                self.cells.y[ci as usize],
+                self.cells.h[ci as usize],
+                self.cells.w[ci as usize],
+            );
             let mut x_right = i32::MAX;
             for row in y..y + h {
                 let lr = (row - self.bottom_row) as usize;
                 let bound = match self.right_neighbor_of(ci, lr) {
-                    Some(n) => self.cells[n as usize].x_right,
+                    Some(n) => self.cells.x_right[n as usize],
                     None => self.rows[lr].as_ref().expect("occupied row").x1,
                 };
                 x_right = x_right.min(bound);
             }
-            self.cells[ci as usize].x_right = x_right - w;
-            debug_assert!(self.cells[ci as usize].x_right >= self.cells[ci as usize].x);
+            self.cells.x_right[ci as usize] = x_right - w;
+            debug_assert!(self.cells.x_right[ci as usize] >= self.cells.x[ci as usize]);
         }
     }
 
     /// Looks up a local cell by design id (linear; test/diagnostic use).
     pub fn local_index_of(&self, id: CellId) -> Option<u32> {
-        self.cells.iter().position(|c| c.id == id).map(|i| i as u32)
+        self.cells
+            .id
+            .iter()
+            .position(|&c| c == id)
+            .map(|i| i as u32)
     }
 }
 
@@ -477,8 +606,7 @@ mod tests {
         // Row 1 contains both cells ordered by x.
         let row1 = r.rows[1].as_ref().unwrap();
         assert_eq!(row1.cells.len(), 2);
-        let first = &r.cells[row1.cells[0] as usize];
-        assert_eq!(first.id, ids[0]);
+        assert_eq!(r.cells.id[row1.cells[0] as usize], ids[0]);
     }
 
     #[test]
@@ -490,7 +618,7 @@ mod tests {
         let seg = r.rows[0].as_ref().unwrap();
         assert_eq!((seg.x0, seg.x1), (0, 8));
         assert_eq!(r.cells.len(), 1);
-        assert_eq!(r.cells[0].id, ids[1]);
+        assert_eq!(r.cells.id[0], ids[1]);
     }
 
     #[test]
@@ -557,10 +685,10 @@ mod tests {
         // Segment [0, 12); cells at 3 (w2) and 7 (w3).
         let (design, state, ids) = placed_design(1, 12, &[(2, 1, 3, 0), (3, 1, 7, 0)]);
         let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 1));
-        let a = &r.cells[r.local_index_of(ids[0]).unwrap() as usize];
-        let b = &r.cells[r.local_index_of(ids[1]).unwrap() as usize];
-        assert_eq!((a.x_left, a.x_right), (0, 12 - 3 - 2));
-        assert_eq!((b.x_left, b.x_right), (2, 12 - 3));
+        let a = r.local_index_of(ids[0]).unwrap() as usize;
+        let b = r.local_index_of(ids[1]).unwrap() as usize;
+        assert_eq!((r.cells.x_left[a], r.cells.x_right[a]), (0, 12 - 3 - 2));
+        assert_eq!((r.cells.x_left[b], r.cells.x_right[b]), (2, 12 - 3));
     }
 
     #[test]
@@ -571,18 +699,18 @@ mod tests {
         let (design, state, ids) =
             placed_design(2, 12, &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0)]);
         let r = LocalRegion::extract(&design, &state, SiteRect::new(0, 0, 12, 2));
-        let m = &r.cells[r.local_index_of(ids[0]).unwrap() as usize];
-        let s = &r.cells[r.local_index_of(ids[1]).unwrap() as usize];
-        let a = &r.cells[r.local_index_of(ids[2]).unwrap() as usize];
+        let m = r.local_index_of(ids[0]).unwrap() as usize;
+        let s = r.local_index_of(ids[1]).unwrap() as usize;
+        let a = r.local_index_of(ids[2]).unwrap() as usize;
         // Leftmost: a -> 0, m -> max(seg0 after a = 3, seg1 start 0) = 3,
         // s -> m.xL + 2 = 5.
-        assert_eq!(a.x_left, 0);
-        assert_eq!(m.x_left, 3);
-        assert_eq!(s.x_left, 5);
+        assert_eq!(r.cells.x_left[a], 0);
+        assert_eq!(r.cells.x_left[m], 3);
+        assert_eq!(r.cells.x_left[s], 5);
         // Rightmost: s -> 10, m -> min(12, s.xR = 10) - 2 = 8, a -> m.xR - 3 = 5.
-        assert_eq!(s.x_right, 10);
-        assert_eq!(m.x_right, 8);
-        assert_eq!(a.x_right, 5);
+        assert_eq!(r.cells.x_right[s], 10);
+        assert_eq!(r.cells.x_right[m], 8);
+        assert_eq!(r.cells.x_right[a], 5);
     }
 
     #[test]
@@ -614,5 +742,51 @@ mod tests {
         let seg = r.rows[0].as_ref().unwrap();
         assert_eq!((seg.x0, seg.x1), (0, 10));
         assert_eq!(r.cells.len(), 1);
+    }
+
+    #[test]
+    fn indexed_and_linear_extraction_agree() {
+        let (design, state, _) = placed_design(
+            3,
+            40,
+            &[
+                (4, 3, 8, 0),
+                (2, 2, 14, 0),
+                (2, 1, 3, 1),
+                (3, 1, 20, 2),
+                (2, 1, 30, 0),
+            ],
+        );
+        for window in [
+            SiteRect::new(0, 0, 20, 2),
+            SiteRect::new(5, 0, 18, 3),
+            SiteRect::new(12, 1, 25, 2),
+            SiteRect::new(-4, -1, 50, 6),
+        ] {
+            let fast = LocalRegion::extract_with_options(&design, &state, window, None, true);
+            let slow = LocalRegion::extract_with_options(&design, &state, window, None, false);
+            assert_eq!(fast, slow, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn region_reuse_matches_fresh_extraction() {
+        let (design, state, _) = placed_design(
+            2,
+            30,
+            &[(2, 2, 4, 0), (2, 1, 8, 1), (3, 1, 0, 0), (2, 1, 20, 0)],
+        );
+        let mut region = LocalRegion::default();
+        let mut scratch = ExtractScratch::default();
+        for window in [
+            SiteRect::new(0, 0, 12, 2),
+            SiteRect::new(15, 0, 10, 1),
+            SiteRect::new(0, 0, 30, 2),
+            SiteRect::new(25, 1, 4, 1),
+        ] {
+            region.extract_masked_into(&mut scratch, &design, &state, window, None, true);
+            let fresh = LocalRegion::extract(&design, &state, window);
+            assert_eq!(region, fresh, "window {window:?}");
+        }
     }
 }

@@ -22,6 +22,7 @@
 //!   long-lived one through [`crate::mll::mll_transacted_in`].
 
 use crate::interval::InsInterval;
+use crate::region::{ExtractScratch, LocalRegion};
 use std::cmp::Ordering;
 
 /// One scanline event: an interval endpoint.
@@ -125,6 +126,10 @@ pub struct ScratchArena {
     pub(crate) best_combo: Vec<u32>,
     /// Evaluator scratch.
     pub(crate) eval: EvalScratch,
+    /// The reusable local region (SoA buffers kept warm across MLL calls).
+    pub(crate) region: LocalRegion,
+    /// Extraction scratch (inside-cell map, interval buffers, chosen runs).
+    pub(crate) extract: ExtractScratch,
 }
 
 impl ScratchArena {

@@ -83,6 +83,57 @@ impl GeneratorConfig {
     }
 }
 
+/// Coarse spatial hash over already-accepted rectangles. Rejection
+/// sampling of macros (and fences) needs an overlap test per candidate;
+/// scanning the whole accepted list is quadratic in the number of macros,
+/// which matters once million-cell floorplans carry thousands of them.
+/// Every rectangle is stored in each bucket it covers, and a query checks
+/// only the buckets the candidate covers — exact, because two overlapping
+/// rectangles both cover the bucket containing any shared site.
+struct RectGrid {
+    bucket_w: i32,
+    bucket_h: i32,
+    map: HashMap<(i32, i32), Vec<SiteRect>>,
+}
+
+impl RectGrid {
+    fn new(bucket_w: i32, bucket_h: i32) -> Self {
+        Self {
+            bucket_w: bucket_w.max(1),
+            bucket_h: bucket_h.max(1),
+            map: HashMap::new(),
+        }
+    }
+
+    fn buckets_of(&self, r: &SiteRect) -> Vec<(i32, i32)> {
+        let x0 = r.x.div_euclid(self.bucket_w);
+        let x1 = (r.right() - 1).max(r.x).div_euclid(self.bucket_w);
+        let y0 = r.y.div_euclid(self.bucket_h);
+        let y1 = (r.top() - 1).max(r.y).div_euclid(self.bucket_h);
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for bx in x0..=x1 {
+            for by in y0..=y1 {
+                out.push((bx, by));
+            }
+        }
+        out
+    }
+
+    fn overlaps_any(&self, r: &SiteRect) -> bool {
+        self.buckets_of(r).into_iter().any(|b| {
+            self.map
+                .get(&b)
+                .is_some_and(|v| v.iter().any(|m| m.overlaps(r)))
+        })
+    }
+
+    fn insert(&mut self, r: SiteRect) {
+        for b in self.buckets_of(&r) {
+            self.map.entry(b).or_default().push(r);
+        }
+    }
+}
+
 /// Samples a single-row cell width (sites); the distribution loosely
 /// follows standard-cell libraries: mostly small cells, a tail of wide
 /// ones. All widths are even so the paper's double-height transform stays
@@ -148,8 +199,9 @@ pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, D
     let macro_budget = (f64::from(row_width) * f64::from(num_rows) * cfg.macro_fraction) as i64;
     let mut used: i64 = 0;
     let mut macros: Vec<SiteRect> = Vec::new();
+    let mut macro_grid = RectGrid::new(128, 16);
     let mut attempts = 0;
-    while used < macro_budget && attempts < 10_000 {
+    while used < macro_budget && attempts < 100_000 {
         attempts += 1;
         // Realistic macro footprints: tens of sites wide, a handful of
         // rows tall (SRAMs and hard IP), clamped for tiny floorplans.
@@ -161,10 +213,11 @@ pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, D
         let x = rng.gen_range(0..=row_width - w);
         let y = rng.gen_range(0..=num_rows - h);
         let rect = SiteRect::new(x, y, w, h);
-        if used + rect.area() > macro_budget || macros.iter().any(|m| m.overlaps(&rect)) {
+        if used + rect.area() > macro_budget || macro_grid.overlaps_any(&rect) {
             continue;
         }
         used += rect.area();
+        macro_grid.insert(rect);
         macros.push(rect);
     }
     for (i, rect) in macros.iter().enumerate() {
@@ -219,9 +272,7 @@ pub fn generate(spec: &BenchmarkSpec, cfg: &GeneratorConfig) -> Result<Design, D
             let x = rng.gen_range(0..=row_width - w);
             let y = rng.gen_range(0..=num_rows - h);
             let rect = SiteRect::new(x, y, w, h);
-            if fence_rects.iter().any(|r| r.overlaps(&rect))
-                || macros.iter().any(|m| m.overlaps(&rect))
-            {
+            if fence_rects.iter().any(|r| r.overlaps(&rect)) || macro_grid.overlaps_any(&rect) {
                 continue;
             }
             fence_rects.push(rect);

@@ -45,20 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("\nleftmost/rightmost placements (Section 5.1.1):");
-    for cell in &region.cells {
+    for i in 0..region.cells.len() {
         println!(
             "  {}: x = {}, xL = {}, xR = {}",
-            design.cell(cell.id).name(),
-            cell.x,
-            cell.x_left,
-            cell.x_right
+            design.cell(region.cells.id[i]).name(),
+            region.cells.x[i],
+            region.cells.x_left[i],
+            region.cells.x_right[i]
         );
     }
 
     println!("\ninsertion intervals for a {}x{} target:", spec.w, spec.h);
     for iv in region.insertion_intervals(spec.w) {
         let name = |c: Option<u32>| match c {
-            Some(i) => design.cell(region.cells[i as usize].id).name().to_string(),
+            Some(i) => design.cell(region.cells.id[i as usize]).name().to_string(),
             None => "·".into(), // segment boundary (the paper's L/R)
         };
         println!(
@@ -105,7 +105,7 @@ fn describe(design: &Design, region: &LocalRegion, p: &InsertionPoint) -> String
         .iter()
         .map(|iv| {
             let name = |c: Option<u32>| match c {
-                Some(i) => design.cell(region.cells[i as usize].id).name().to_string(),
+                Some(i) => design.cell(region.cells.id[i as usize]).name().to_string(),
                 None => "·".into(),
             };
             format!("({}, {}, {})", iv.row, name(iv.left), name(iv.right))

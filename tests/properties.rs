@@ -168,18 +168,18 @@ fn naive_insertion_points(
 
 /// True when no multi-row cell has combo gaps on both of its sides.
 fn side_consistent(region: &LocalRegion, combo: &[&mrl_legalize::InsInterval]) -> bool {
-    for (ci, cell) in region.cells.iter().enumerate() {
-        if cell.h <= 1 {
+    for ci in 0..region.cells.len() as u32 {
+        let (cy, ch) = (region.cells.y[ci as usize], region.cells.h[ci as usize]);
+        if ch <= 1 {
             continue;
         }
         let mut side: Option<bool> = None;
         for iv in combo {
             let row = region.bottom_row + iv.row as i32;
-            if row < cell.y || row >= cell.y + cell.h {
+            if row < cy || row >= cy + ch {
                 continue;
             }
-            let pos = cell.pos_in_row[(row - cell.y) as usize] as usize;
-            let _ = ci;
+            let pos = region.cells.pos_in_row(ci, (row - cy) as usize) as usize;
             let is_left = iv.gap <= pos;
             match side {
                 None => side = Some(is_left),
@@ -361,6 +361,56 @@ proptest! {
         }
     }
 
+    /// The subrow spatial index is invisible: extraction through the
+    /// windowed gap query equals extraction through the linear-scan oracle
+    /// on random occupancy states, for windows of several shapes.
+    #[test]
+    fn spatial_index_extraction_matches_linear_oracle(s in scenario()) {
+        let Some((design, state, _)) = build(&s) else { return Ok(()) };
+        let (tx, ty) = s.target_pos;
+        let windows = [
+            SiteRect::new(0, 0, s.width, s.rows),
+            SiteRect::new(tx - 4, ty - 1, 9, 3),
+            SiteRect::new(tx - 8, ty - 2, 17, 5),
+            SiteRect::new(tx, ty, 3, 1),
+        ];
+        for w in windows {
+            let fast = LocalRegion::extract_with_options(&design, &state, w, None, true);
+            let slow = LocalRegion::extract_with_options(&design, &state, w, None, false);
+            prop_assert_eq!(&fast, &slow, "window {:?}", w);
+        }
+    }
+
+    /// The windowed free-gap query returns exactly the gaps the linear
+    /// scan-and-filter finds, for every segment and arbitrary windows
+    /// (including empty and touching-only ones).
+    #[test]
+    fn windowed_gap_query_matches_linear_scan(s in scenario()) {
+        let Some((design, state, _)) = build(&s) else { return Ok(()) };
+        let fp = design.floorplan();
+        let (tx, ty) = s.target_pos;
+        for si in 0..fp.segments().len() {
+            let seg = mrl_db::SegId::from_usize(si);
+            let all = state.free_gaps(seg);
+            for (x0, x1) in [
+                (0, s.width),
+                (tx - 3, tx + 4),
+                (tx, tx),
+                (tx + ty, tx + ty + 6),
+                (-5, 2),
+                (s.width - 2, s.width + 5),
+            ] {
+                let windowed = state.free_gaps_in(seg, x0, x1);
+                let oracle: Vec<(i32, i32)> = all
+                    .iter()
+                    .copied()
+                    .filter(|&(g0, g1)| g1 > x0 && g0 < x1)
+                    .collect();
+                prop_assert_eq!(windowed, oracle.as_slice(), "seg {} [{}, {})", si, x0, x1);
+            }
+        }
+    }
+
     /// Exact evaluation cost equals realized displacement for every
     /// insertion point.
     #[test]
@@ -431,22 +481,21 @@ proptest! {
             &state,
             SiteRect::new(0, 0, s.width, s.rows),
         );
-        for c in &region.cells {
-            prop_assert!(c.x_left <= c.x);
-            prop_assert!(c.x_right >= c.x);
+        let cells = &region.cells;
+        for i in 0..cells.len() {
+            prop_assert!(cells.x_left[i] <= cells.x[i]);
+            prop_assert!(cells.x_right[i] >= cells.x[i]);
         }
         for seg in region.rows.iter().flatten() {
             for pair in seg.cells.windows(2) {
-                let a = &region.cells[pair[0] as usize];
-                let b = &region.cells[pair[1] as usize];
-                prop_assert!(a.x_left + a.w <= b.x_left, "leftmost overlaps");
-                prop_assert!(a.x_right + a.w <= b.x_right, "rightmost overlaps");
+                let (a, b) = (pair[0] as usize, pair[1] as usize);
+                prop_assert!(cells.x_left[a] + cells.w[a] <= cells.x_left[b], "leftmost overlaps");
+                prop_assert!(cells.x_right[a] + cells.w[a] <= cells.x_right[b], "rightmost overlaps");
             }
             if let (Some(&first), Some(&last)) = (seg.cells.first(), seg.cells.last()) {
-                let f = &region.cells[first as usize];
-                let l = &region.cells[last as usize];
-                prop_assert!(f.x_left >= seg.x0);
-                prop_assert!(l.x_right + l.w <= seg.x1);
+                let (f, l) = (first as usize, last as usize);
+                prop_assert!(cells.x_left[f] >= seg.x0);
+                prop_assert!(cells.x_right[l] + cells.w[l] <= seg.x1);
             }
         }
     }
