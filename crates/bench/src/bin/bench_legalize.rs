@@ -9,7 +9,8 @@
 //! bench_legalize [--cells N] [--density F] [--seed S] [--threads N]
 //!                [--bench NAME] [--scale N] [--json PATH] [--no-json]
 //!                [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]
-//!                [--no-spatial-index] [--speedup-gate]
+//!                [--no-spatial-index] [--legacy-layout] [--perf-counters]
+//!                [--speedup-gate]
 //! ```
 //!
 //! * `--cells N` — synthesize an ad-hoc design with `N` movable cells
@@ -29,6 +30,17 @@
 //! * `--no-spatial-index` — run with the subrow spatial index disabled
 //!   (the pre-index linear-scan oracle path), for A/B throughput
 //!   comparisons.
+//! * `--legacy-layout` — probe the occupancy index through `pos[]` on
+//!   every comparison (the pre-interleaving layout, `IndexLayout::Legacy`)
+//!   instead of the cache-resident interleaved extent keys, for A/B
+//!   comparisons of the DESIGN.md §9 memory layout.
+//! * `--perf-counters` — wrap each sequential run in hardware counters
+//!   (`perf_event_open`: cycles, instructions, cache and branch misses)
+//!   and record the best run's raw counts plus IPC / miss ratios in the
+//!   report. Silently a no-op where counters are unavailable (non-Linux,
+//!   sandboxed containers, `perf_event_paranoid` lockdown); the report
+//!   then carries `"perf": null`. Index bytes-per-cell is always
+//!   recorded, counters or not.
 //! * `--speedup-gate` — assert the parallel run is >= 1.3x over
 //!   sequential. The assertion only arms when at least 4 CPUs are
 //!   available and `--threads` >= 4; otherwise it is skipped with a note
@@ -46,7 +58,8 @@
 //! evaluated combos divided by the pruned run's evaluated combos.
 
 use mrl_bench::json::Json;
-use mrl_db::{Design, PlacementState};
+use mrl_bench::perf::{PerfCounters, PerfSample};
+use mrl_db::{Design, IndexLayout, PlacementState};
 use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig, MetricsSummary, TraceBuf};
 use mrl_metrics::displacement_stats;
 use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
@@ -55,6 +68,37 @@ use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
 /// and the exhaustive (prune-disabled) pass; larger sweep points get one
 /// sequential and one parallel run each.
 const FULL_PROTOCOL_MAX_CELLS: usize = 30_000;
+
+/// The `"perf"` report section: raw counter values plus derived ratios,
+/// or `Json::Null` when counters were unavailable or not requested.
+fn perf_to_json(sample: Option<&PerfSample>) -> Json {
+    let Some(s) = sample.filter(|s| s.any()) else {
+        return Json::Null;
+    };
+    let count = |o: &mut Json, key: &str, v: Option<u64>| {
+        match v {
+            Some(v) => o.set(key, v as f64),
+            None => o.set(key, Json::Null),
+        };
+    };
+    let ratio = |o: &mut Json, key: &str, v: Option<f64>| {
+        match v {
+            Some(v) => o.set(key, v),
+            None => o.set(key, Json::Null),
+        };
+    };
+    let mut p = Json::obj();
+    count(&mut p, "cycles", s.cycles);
+    count(&mut p, "instructions", s.instructions);
+    count(&mut p, "cache_references", s.cache_references);
+    count(&mut p, "cache_misses", s.cache_misses);
+    count(&mut p, "branch_instructions", s.branch_instructions);
+    count(&mut p, "branch_misses", s.branch_misses);
+    ratio(&mut p, "ipc", s.ipc());
+    ratio(&mut p, "cache_miss_pct", s.cache_miss_pct());
+    ratio(&mut p, "branch_miss_pct", s.branch_miss_pct());
+    p
+}
 
 fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -> Json {
     let wall_s = stats.wall.as_secs_f64();
@@ -102,6 +146,10 @@ fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -
     run.set("residue", stats.residue as i64);
     run.set("displacement", displacement);
     run.set("phases", phases);
+    run.set(
+        "index_bytes_per_cell",
+        state.index_bytes() as f64 / (design.num_movable() as f64).max(1.0),
+    );
     run
 }
 
@@ -129,6 +177,10 @@ fn main() {
     let mut sweep: Option<Vec<usize>> = None;
     let mut spatial_index = true;
     let mut speedup_gate = false;
+    let mut opts = RunOpts {
+        layout: IndexLayout::Interleaved,
+        perf: false,
+    };
 
     fn usage(msg: &str) -> ! {
         eprintln!("{msg}");
@@ -136,7 +188,8 @@ fn main() {
             "usage: bench_legalize [--cells N] [--density F] [--seed S] [--threads N]\n\
              \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]\n\
              \x20                     [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]\n\
-             \x20                     [--no-spatial-index] [--speedup-gate]"
+             \x20                     [--no-spatial-index] [--legacy-layout] [--perf-counters]\n\
+             \x20                     [--speedup-gate]"
         );
         std::process::exit(2);
     }
@@ -193,6 +246,8 @@ fn main() {
                 sweep = Some(list);
             }
             "--no-spatial-index" => spatial_index = false,
+            "--legacy-layout" => opts.layout = IndexLayout::Legacy,
+            "--perf-counters" => opts.perf = true,
             "--speedup-gate" => speedup_gate = true,
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -213,6 +268,7 @@ fn main() {
             threads,
             available,
             &lcfg,
+            opts,
             json_path.as_deref(),
             baseline.as_deref(),
             gate_pct,
@@ -238,10 +294,10 @@ fn main() {
         ),
     };
     let design = generate(&spec, &gen_cfg).expect("generate benchmark");
-    let full = single_point(&design, &lcfg, seed, threads, true);
+    let full = single_point(&design, &lcfg, seed, threads, true, opts);
 
     if let Some(path) = json_path {
-        let mut root = full_report(&design, &lcfg, seed, threads, &full);
+        let mut root = full_report(&design, &lcfg, seed, threads, &full, opts);
         root.set("available_parallelism", available as i64);
         std::fs::write(&path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
@@ -264,12 +320,24 @@ fn adhoc_spec(cells: usize, density: f64) -> BenchmarkSpec {
     )
 }
 
+/// Layout and measurement switches threaded through every run.
+#[derive(Clone, Copy)]
+struct RunOpts {
+    /// Occupancy-index probe layout for every constructed state.
+    layout: IndexLayout,
+    /// Wrap sequential runs in hardware counters (`--perf-counters`).
+    perf: bool,
+}
+
 /// One measured design: pruned sequential (best-of-3 when `full`),
 /// exhaustive cross-check (when `full`), and one parallel run.
 struct PointResult {
     seq_stats: LegalizeStats,
     seq_state: PlacementState,
     seq_wall: f64,
+    /// Hardware counters around the best sequential run, when requested
+    /// and available.
+    seq_perf: Option<PerfSample>,
     exh: Option<(LegalizeStats, PlacementState, f64)>,
     par_stats: LegalizeStats,
     par_state: PlacementState,
@@ -282,6 +350,7 @@ fn single_point(
     seed: u64,
     threads: usize,
     full: bool,
+    opts: RunOpts,
 ) -> PointResult {
     let legalizer = Legalizer::new(lcfg.clone());
     let n = design.num_movable();
@@ -297,17 +366,36 @@ fn single_point(
     // tighten the timing, never change the placement. Million-cell sweep
     // points run once: their wall clocks are seconds, not milliseconds.
     let repeats = if full { 3 } else { 1 };
-    let (seq_stats, seq_state) = (0..repeats)
+    let (seq_stats, seq_state, seq_perf) = (0..repeats)
         .map(|_| {
-            let mut state = PlacementState::new(design);
+            let mut state = PlacementState::with_layout(design, opts.layout);
+            // Counters bracket exactly the legalization call, per run; the
+            // best (min-wall) run's sample is the one reported.
+            let counters = if opts.perf {
+                PerfCounters::start()
+            } else {
+                None
+            };
             let stats = legalizer
                 .legalize(design, &mut state)
                 .expect("sequential legalization");
-            (stats, state)
+            let sample = counters.map(PerfCounters::stop);
+            (stats, state, sample)
         })
-        .min_by_key(|(stats, _)| stats.wall)
+        .min_by_key(|(stats, ..)| stats.wall)
         .expect("at least one run");
     let seq_wall = seq_stats.wall.as_secs_f64();
+    if let Some(s) = seq_perf.as_ref().filter(|s| s.any()) {
+        let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.2}"));
+        println!(
+            "perf:       ipc {}, cache-miss {}%, branch-miss {}%",
+            fmt(s.ipc()),
+            fmt(s.cache_miss_pct()),
+            fmt(s.branch_miss_pct())
+        );
+    } else if opts.perf {
+        println!("perf:       counters unavailable (perf_event_open denied or unsupported)");
+    }
     println!(
         "sequential: {:.3}s ({:.0} cells/s)",
         seq_wall,
@@ -318,7 +406,7 @@ fn single_point(
     // baseline the pruned kernel must match bit-for-bit and outrun.
     let exh = if full {
         let exhaustive = Legalizer::new(lcfg.clone().with_seed(seed).with_prune(false));
-        let mut exh_state = PlacementState::new(design);
+        let mut exh_state = PlacementState::with_layout(design, opts.layout);
         let exh_stats = exhaustive
             .legalize(design, &mut exh_state)
             .expect("exhaustive legalization");
@@ -347,7 +435,7 @@ fn single_point(
         None
     };
 
-    let mut par_state = PlacementState::new(design);
+    let mut par_state = PlacementState::with_layout(design, opts.layout);
     let par_stats = legalizer
         .legalize_parallel(design, &mut par_state, threads)
         .expect("parallel legalization");
@@ -368,6 +456,7 @@ fn single_point(
         seq_stats,
         seq_state,
         seq_wall,
+        seq_perf,
         exh,
         par_stats,
         par_state,
@@ -383,6 +472,7 @@ fn full_report(
     seed: u64,
     threads: usize,
     point: &PointResult,
+    opts: RunOpts,
 ) -> Json {
     let legalizer = Legalizer::new(lcfg.clone());
     // One traced parallel run for the metrics digest (histograms over
@@ -390,7 +480,7 @@ fn full_report(
     // has real overhead, so its wall clock is reported only inside the
     // digest's run section, never used for throughput numbers.
     let mut buf = TraceBuf::default();
-    let mut traced_state = PlacementState::new(design);
+    let mut traced_state = PlacementState::with_layout(design, opts.layout);
     let (traced_stats, traced_res) =
         legalizer.legalize_parallel_traced(design, &mut traced_state, threads, &mut buf);
     traced_res.expect("traced legalization");
@@ -420,6 +510,13 @@ fn full_report(
     benchmark.set("density", design.density());
     benchmark.set("seed", seed as i64);
     benchmark.set("spatial_index", lcfg.spatial_index);
+    benchmark.set(
+        "index_layout",
+        match opts.layout {
+            IndexLayout::Interleaved => "interleaved",
+            IndexLayout::Legacy => "legacy",
+        },
+    );
 
     let (exh_stats, exh_state, prune_ratio) = point.exh.as_ref().expect("full point");
     let mut root = Json::obj();
@@ -436,6 +533,7 @@ fn full_report(
     );
     root.set("speedup", point.speedup);
     root.set("prune_ratio", *prune_ratio);
+    root.set("perf", perf_to_json(point.seq_perf.as_ref()));
     root.set("metrics", metrics_json);
     root
 }
@@ -448,6 +546,7 @@ fn run_sweep(
     threads: usize,
     available: usize,
     lcfg: &LegalizerConfig,
+    opts: RunOpts,
     json_path: Option<&str>,
     baseline: Option<&str>,
     gate_pct: f64,
@@ -465,7 +564,7 @@ fn run_sweep(
         let gen_start = std::time::Instant::now();
         let design = generate(&spec, &gen_cfg).expect("generate benchmark");
         let gen_s = gen_start.elapsed().as_secs_f64();
-        let point = single_point(&design, lcfg, seed, threads, full);
+        let point = single_point(&design, lcfg, seed, threads, full, opts);
         let rss = peak_rss_mb();
         if let Some(mb) = rss {
             println!("peak rss:   {mb:.0} MB after the {n}-cell point");
@@ -485,6 +584,7 @@ fn run_sweep(
             run_to_json(&design, &point.par_stats, &point.par_state),
         );
         entry.set("speedup", point.speedup);
+        entry.set("perf", perf_to_json(point.seq_perf.as_ref()));
         match rss {
             Some(mb) => entry.set("peak_rss_mb", mb),
             None => entry.set("peak_rss_mb", Json::Null),
@@ -495,7 +595,7 @@ fn run_sweep(
         // The smallest full-protocol point doubles as the standard report
         // so `--baseline` gates keep reading `sequential.cells_per_sec`.
         if full && gate_sections.is_none() {
-            gate_sections = Some(full_report(&design, lcfg, seed, threads, &point));
+            gate_sections = Some(full_report(&design, lcfg, seed, threads, &point, opts));
             gate_throughput = Some(point.seq_stats.placed as f64 / point.seq_wall.max(1e-12));
         }
     }

@@ -1,0 +1,327 @@
+//! Hardware performance counters via `perf_event_open(2)`.
+//!
+//! `bench_legalize --perf-counters` uses this to record cache-miss,
+//! branch-miss, and IPC numbers alongside throughput, so the 64k→1M
+//! per-op cliff (DESIGN.md §9) is a tracked metric instead of a one-off
+//! `perf stat` observation. No external crates: the syscall, `ioctl`,
+//! `read`, and `close` are declared directly against the C library.
+//!
+//! Counter access is frequently unavailable — non-Linux hosts, containers
+//! without `CAP_PERFMON`, `kernel.perf_event_paranoid >= 2` with no
+//! privilege, or PMU-less VMs. Every entry point degrades to `None`
+//! rather than failing the benchmark; callers emit whatever subset of
+//! counters actually opened.
+//!
+//! Counters are opened per-thread (pid 0, any CPU), unpinned, so the
+//! kernel may multiplex them on PMUs with few programmable slots. Reads
+//! therefore use `PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING}` and scale
+//! each value by `enabled/running` — the standard correction, exact when
+//! no multiplexing occurred (`enabled == running`).
+
+// The crate is otherwise `deny(unsafe_code)`; the raw syscall interface
+// below is the one place that needs FFI, and every unsafe block is a thin
+// libc call with checked arguments.
+#![allow(unsafe_code)]
+
+/// One measured counter set, in program order of the fields. A field is
+/// `None` when that counter could not be opened (or scaled to nonsense,
+/// e.g. the kernel never scheduled it).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PerfSample {
+    /// CPU cycles while the measured section ran.
+    pub cycles: Option<u64>,
+    /// Retired instructions.
+    pub instructions: Option<u64>,
+    /// Cache references (last-level, architecture-defined).
+    pub cache_references: Option<u64>,
+    /// Cache misses (last-level, architecture-defined).
+    pub cache_misses: Option<u64>,
+    /// Retired branch instructions.
+    pub branch_instructions: Option<u64>,
+    /// Mispredicted branches.
+    pub branch_misses: Option<u64>,
+}
+
+impl PerfSample {
+    /// Instructions per cycle, when both counters ran.
+    pub fn ipc(&self) -> Option<f64> {
+        match (self.instructions, self.cycles) {
+            (Some(i), Some(c)) if c > 0 => Some(i as f64 / c as f64),
+            _ => None,
+        }
+    }
+
+    /// Cache-miss percentage of cache references, when both counters ran.
+    pub fn cache_miss_pct(&self) -> Option<f64> {
+        match (self.cache_misses, self.cache_references) {
+            (Some(m), Some(r)) if r > 0 => Some(100.0 * m as f64 / r as f64),
+            _ => None,
+        }
+    }
+
+    /// Branch-miss percentage of branch instructions, when both ran.
+    pub fn branch_miss_pct(&self) -> Option<f64> {
+        match (self.branch_misses, self.branch_instructions) {
+            (Some(m), Some(b)) if b > 0 => Some(100.0 * m as f64 / b as f64),
+            _ => None,
+        }
+    }
+
+    /// True if at least one counter produced a value.
+    pub fn any(&self) -> bool {
+        self.cycles.is_some()
+            || self.instructions.is_some()
+            || self.cache_references.is_some()
+            || self.cache_misses.is_some()
+            || self.branch_instructions.is_some()
+            || self.branch_misses.is_some()
+    }
+}
+
+/// A set of open hardware counters measuring the current thread.
+///
+/// [`PerfCounters::start`] opens and enables them; [`PerfCounters::stop`]
+/// reads and closes. Dropping without `stop` closes the descriptors.
+#[derive(Debug)]
+pub struct PerfCounters {
+    imp: imp::Counters,
+}
+
+impl PerfCounters {
+    /// Opens the standard counter set and starts counting on the calling
+    /// thread. Returns `None` when no counter at all could be opened —
+    /// unsupported OS/arch, sandboxed container, locked-down
+    /// `perf_event_paranoid` — in which case the benchmark simply runs
+    /// unmeasured.
+    pub fn start() -> Option<Self> {
+        imp::Counters::start().map(|imp| Self { imp })
+    }
+
+    /// Stops counting and returns whatever the hardware measured.
+    pub fn stop(self) -> PerfSample {
+        self.imp.stop()
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::PerfSample;
+    use std::os::raw::{c_char, c_int, c_long, c_uint, c_ulong};
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        fn read(fd: c_int, buf: *mut c_char, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 241;
+
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    /// `PERF_COUNT_HW_*` configs in `PerfSample` field order.
+    const CONFIGS: [u64; 6] = [0, 1, 2, 3, 4, 5];
+
+    const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1;
+    const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 2;
+
+    /// Flag bits of `perf_event_attr`: disabled | exclude_kernel |
+    /// exclude_hv (bits 0, 5, 6).
+    const ATTR_FLAGS: u64 = 1 | (1 << 5) | (1 << 6);
+
+    const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+    const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+    const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+
+    /// `perf_event_attr`, first 64 bytes (`PERF_ATTR_SIZE_VER0`) — all the
+    /// kernel needs for plain counting events; it zero-extends the rest.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        bp_addr: u64,
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Counters {
+        /// `(field index, fd)` for each counter that opened.
+        fds: Vec<(usize, c_int)>,
+    }
+
+    impl Counters {
+        pub(super) fn start() -> Option<Self> {
+            let mut fds = Vec::new();
+            for (slot, &config) in CONFIGS.iter().enumerate() {
+                let attr = PerfEventAttr {
+                    type_: PERF_TYPE_HARDWARE,
+                    size: std::mem::size_of::<PerfEventAttr>() as u32,
+                    config,
+                    sample_period: 0,
+                    sample_type: 0,
+                    read_format: PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING,
+                    flags: ATTR_FLAGS,
+                    wakeup_events: 0,
+                    bp_type: 0,
+                    bp_addr: 0,
+                };
+                // pid 0 = this thread, cpu -1 = any, no group, no flags.
+                let fd = unsafe {
+                    syscall(
+                        SYS_PERF_EVENT_OPEN,
+                        &attr as *const PerfEventAttr,
+                        0 as c_int,
+                        -1 as c_int,
+                        -1 as c_int,
+                        0 as c_ulong,
+                    )
+                } as c_int;
+                if fd >= 0 {
+                    fds.push((slot, fd));
+                }
+            }
+            if fds.is_empty() {
+                return None;
+            }
+            for &(_, fd) in &fds {
+                unsafe {
+                    ioctl(fd, PERF_EVENT_IOC_RESET, 0 as c_uint);
+                    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0 as c_uint);
+                }
+            }
+            Some(Counters { fds })
+        }
+
+        pub(super) fn stop(self) -> PerfSample {
+            let mut out = PerfSample::default();
+            let slots: [&mut Option<u64>; 6] = {
+                let PerfSample {
+                    cycles,
+                    instructions,
+                    cache_references,
+                    cache_misses,
+                    branch_instructions,
+                    branch_misses,
+                } = &mut out;
+                [
+                    cycles,
+                    instructions,
+                    cache_references,
+                    cache_misses,
+                    branch_instructions,
+                    branch_misses,
+                ]
+            };
+            for &(_, fd) in &self.fds {
+                unsafe { ioctl(fd, PERF_EVENT_IOC_DISABLE, 0 as c_uint) };
+            }
+            for &(slot, fd) in &self.fds {
+                // value, time_enabled, time_running.
+                let mut buf = [0u64; 3];
+                let want = std::mem::size_of_val(&buf);
+                let got = unsafe { read(fd, buf.as_mut_ptr().cast::<c_char>(), want) };
+                if got as usize == want && buf[2] > 0 {
+                    // Scale for multiplexing; exact when enabled==running.
+                    let scaled = (buf[0] as f64 * (buf[1] as f64 / buf[2] as f64)) as u64;
+                    *slots[slot] = Some(scaled);
+                }
+            }
+            out
+        }
+    }
+
+    impl Drop for Counters {
+        fn drop(&mut self) {
+            for &(_, fd) in &self.fds {
+                unsafe { close(fd) };
+            }
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::PerfSample;
+
+    /// Stub for platforms without `perf_event_open`: counters never open.
+    #[derive(Debug)]
+    pub(super) struct Counters {}
+
+    impl Counters {
+        pub(super) fn start() -> Option<Self> {
+            None
+        }
+
+        pub(super) fn stop(self) -> PerfSample {
+            PerfSample::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_stop_never_panics() {
+        // Counter availability depends on the host (containers commonly
+        // deny perf_event_open); both outcomes are valid, neither panics.
+        match PerfCounters::start() {
+            Some(c) => {
+                let mut acc = 0u64;
+                for i in 0..100_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                assert!(acc != 1, "keep the loop alive");
+                let sample = c.stop();
+                // If counters opened, the busy loop must have cost cycles.
+                if let Some(cycles) = sample.cycles {
+                    assert!(cycles > 0);
+                }
+                if sample.any() {
+                    // Derived ratios are finite when present.
+                    if let Some(ipc) = sample.ipc() {
+                        assert!(ipc.is_finite() && ipc > 0.0);
+                    }
+                }
+            }
+            None => {
+                let s = PerfSample::default();
+                assert!(!s.any());
+                assert_eq!(s.ipc(), None);
+                assert_eq!(s.cache_miss_pct(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn ratios_compute_from_raw_counts() {
+        let s = PerfSample {
+            cycles: Some(2_000),
+            instructions: Some(5_000),
+            cache_references: Some(1_000),
+            cache_misses: Some(250),
+            branch_instructions: Some(800),
+            branch_misses: Some(8),
+        };
+        assert_eq!(s.ipc(), Some(2.5));
+        assert_eq!(s.cache_miss_pct(), Some(25.0));
+        assert_eq!(s.branch_miss_pct(), Some(1.0));
+        assert!(s.any());
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod cell;
+mod csr;
 mod design;
 mod error;
 mod floorplan;
@@ -56,5 +57,5 @@ pub use error::DbError;
 pub use floorplan::{Floorplan, Row, Segment};
 pub use ids::{CellId, NetId, PinId, RegionId, SegId};
 pub use net::{Net, Netlist, Pin, PinLocation};
-pub use placement::{gap_cross_check_count, PlacementState};
+pub use placement::{gap_cross_check_count, IndexLayout, PlacementState};
 pub use region::FenceRegion;

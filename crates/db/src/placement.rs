@@ -14,10 +14,42 @@
 //! occupancy index**: for every segment, the sorted list of maximal free
 //! gaps `[x0, x1)`. It is updated incrementally on every `place` / `remove`
 //! / `shift_batch` (O(log n) search + O(k) splice per spanned row) and lets
-//! window extraction and free-space queries avoid rescanning `seg_cells`.
-//! Under `debug_assertions` every mutation cross-checks the index against a
-//! recomputation from the cell lists.
+//! window extraction and free-space queries avoid rescanning the cell lists.
+//!
+//! # Cache-resident layout (DESIGN.md §9)
+//!
+//! The index is stored for cache residency at 10⁵–10⁶ cells:
+//!
+//! * **Interleaved coordinate keys.** Each segment's list is a pair of
+//!   parallel arrays: `(x0, x1)` extents and `CellId`s. Every
+//!   `partition_point` probe — [`cells_intersecting`], [`left_neighbor`],
+//!   the windowed gap queries, and the search steps inside [`place`] /
+//!   [`remove`] / [`shift_batch`] — walks the contiguous extent array and
+//!   never dereferences `pos[cell]`, which at scale is a dependent random
+//!   load into hundreds of megabytes. `pos[]` stays the authoritative
+//!   record; debug builds cross-check the interleaved copy against it
+//!   under the `GAP_CHECK_*` sampling.
+//! * **CSR segment storage.** Both the cell lists and the gap lists live in
+//!   flattened [`Csr`] arenas (one backing allocation, per-segment offset
+//!   ranges, amortized reslicing on growth) instead of a `Vec` per segment
+//!   — no per-segment heap allocations, no pointer chase per probe, and
+//!   mutations shift one contiguous block instead of a heap-scattered
+//!   `Vec`.
+//!
+//! The pre-interleaving probe path (derive x from `pos[]` on every
+//! comparison, exactly what the PR 6 index did) is kept behind
+//! [`IndexLayout::Legacy`] as the measurement baseline and oracle — both
+//! layouts are bit-identical in results, asserted by property tests and
+//! the 64k fuzz matrix.
+//!
+//! [`cells_intersecting`]: PlacementState::cells_intersecting
+//! [`left_neighbor`]: PlacementState::left_neighbor
+//! [`place`]: PlacementState::place
+//! [`remove`]: PlacementState::remove
+//! [`shift_batch`]: PlacementState::shift_batch
+//! [`Csr`]: crate::csr::Csr
 
+use crate::csr::Csr;
 use crate::{CellId, DbError, Design, SegId};
 use mrl_geom::{Orient, SitePoint, SiteRect};
 
@@ -60,6 +92,25 @@ pub fn gap_cross_check_count() -> u64 {
     }
 }
 
+/// Which probe path the per-segment cell lists use.
+///
+/// Storage is identical in both modes (interleaved extents + CSR arenas);
+/// the layout chooses what a `partition_point` comparison *reads*. The
+/// legacy path exists for A/B measurement (`bench_legalize
+/// --legacy-layout`, `benches/index.rs`) and as the oracle the interleaved
+/// path is validated against — results are bit-identical by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexLayout {
+    /// Probe the interleaved `(x0, x1)` extent array — one contiguous
+    /// stream, no `pos[]` dereference (the cache-resident default).
+    #[default]
+    Interleaved,
+    /// Derive extents from `pos[cell]` + the cell width on every
+    /// comparison — the PR 6 probe pattern: a dependent random load per
+    /// `partition_point` step.
+    Legacy,
+}
+
 /// Current placement of a design's movable cells.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -67,33 +118,54 @@ pub fn gap_cross_check_count() -> u64 {
 pub struct PlacementState {
     pos: Vec<Option<SitePoint>>,
     orient: Vec<Orient>,
-    seg_cells: Vec<Vec<CellId>>,
+    /// Interleaved per-segment x-extents `(x0, x1)`, mirrored with
+    /// `seg_ids` (same segment, same index → same cell).
+    seg_xs: Csr<(i32, i32)>,
+    /// Per-segment ordered cell ids.
+    seg_ids: Csr<CellId>,
     /// Per-segment sorted disjoint maximal free intervals `[x0, x1)`.
-    gaps: Vec<Vec<(i32, i32)>>,
+    gaps: Csr<(i32, i32)>,
+    layout: IndexLayout,
 }
 
 impl PlacementState {
     /// Creates an empty placement (every movable cell unplaced) for a
-    /// design.
+    /// design, with the default cache-resident index layout.
     pub fn new(design: &Design) -> Self {
-        let gaps = design
-            .floorplan()
-            .segments()
-            .iter()
-            .map(|s| vec![(s.x, s.right())])
-            .collect();
+        Self::with_layout(design, IndexLayout::default())
+    }
+
+    /// Like [`PlacementState::new`] with an explicit probe layout — the
+    /// A/B switch for `benches/index.rs` and `bench_legalize
+    /// --legacy-layout`. Both layouts produce bit-identical placements.
+    pub fn with_layout(design: &Design, layout: IndexLayout) -> Self {
+        let segments = design.floorplan().segments();
         Self {
             pos: vec![None; design.num_cells()],
             orient: vec![Orient::North; design.num_cells()],
-            seg_cells: vec![Vec::new(); design.floorplan().segments().len()],
-            gaps,
+            seg_xs: Csr::new(segments.len()),
+            seg_ids: Csr::new(segments.len()),
+            gaps: Csr::from_one_per_seg(segments.iter().map(|s| (s.x, s.right()))),
+            layout,
         }
+    }
+
+    /// The probe layout this state was built with (clones inherit it).
+    pub fn layout(&self) -> IndexLayout {
+        self.layout
+    }
+
+    /// Bytes held by the occupancy index — the CSR arenas of cell extents,
+    /// cell ids, and free gaps, counted at capacity. `pos[]`/`orient[]`
+    /// (the authoritative record) are excluded: they exist in any layout.
+    pub fn index_bytes(&self) -> usize {
+        self.seg_xs.bytes() + self.seg_ids.bytes() + self.gaps.bytes()
     }
 
     /// The sorted maximal free gaps `[x0, x1)` of a segment — the occupancy
     /// index consumed by window extraction and the parallel driver.
     pub fn free_gaps(&self, seg: SegId) -> &[(i32, i32)] {
-        &self.gaps[seg.index()]
+        self.gaps.slice(seg.index())
     }
 
     /// The free gaps of `seg` that intersect the open window `(x0, x1)`, as
@@ -105,7 +177,7 @@ impl PlacementState {
     /// yield empty intervals, so the result is exactly the gaps a linear
     /// scan-and-clip over [`free_gaps`](PlacementState::free_gaps) keeps.
     pub fn free_gaps_in(&self, seg: SegId, x0: i32, x1: i32) -> &[(i32, i32)] {
-        let gaps = &self.gaps[seg.index()];
+        let gaps = self.gaps.slice(seg.index());
         // First gap whose right end is > x0.
         let lo = gaps.partition_point(|&(_, g1)| g1 <= x0);
         // First gap whose left end is >= x1.
@@ -116,14 +188,14 @@ impl PlacementState {
     /// True if `[x0, x1)` lies entirely inside one free gap of `seg` —
     /// an O(log gaps) occupancy query.
     pub fn span_is_free(&self, seg: SegId, x0: i32, x1: i32) -> bool {
-        let gaps = &self.gaps[seg.index()];
+        let gaps = self.gaps.slice(seg.index());
         let i = gaps.partition_point(|&(g0, _)| g0 <= x0);
         i > 0 && gaps[i - 1].1 >= x1 && x0 < x1
     }
 
     /// Marks `[x0, x1)` occupied in the index: splits the containing gap.
     fn gap_occupy(&mut self, seg: usize, x0: i32, x1: i32) {
-        let gaps = &mut self.gaps[seg];
+        let gaps = self.gaps.slice(seg);
         let i = gaps.partition_point(|&(g0, _)| g0 <= x0);
         debug_assert!(
             i > 0 && gaps[i - 1].0 <= x0 && gaps[i - 1].1 >= x1,
@@ -132,13 +204,13 @@ impl PlacementState {
         let (g0, g1) = gaps[i - 1];
         match (g0 < x0, x1 < g1) {
             (true, true) => {
-                gaps[i - 1].1 = x0;
-                gaps.insert(i, (x1, g1));
+                self.gaps.get_mut(seg, i - 1).1 = x0;
+                self.gaps.insert(seg, i, (x1, g1));
             }
-            (true, false) => gaps[i - 1].1 = x0,
-            (false, true) => gaps[i - 1].0 = x1,
+            (true, false) => self.gaps.get_mut(seg, i - 1).1 = x0,
+            (false, true) => self.gaps.get_mut(seg, i - 1).0 = x1,
             (false, false) => {
-                gaps.remove(i - 1);
+                self.gaps.remove(seg, i - 1);
             }
         }
     }
@@ -146,7 +218,7 @@ impl PlacementState {
     /// Marks `[x0, x1)` free in the index: inserts a gap, merging with
     /// adjacent gaps.
     fn gap_free(&mut self, seg: usize, x0: i32, x1: i32) {
-        let gaps = &mut self.gaps[seg];
+        let gaps = self.gaps.slice(seg);
         // First gap whose right edge reaches x0 (the only left-merge
         // candidate); anything earlier ends strictly left of the span.
         let i = gaps.partition_point(|&(_, g1)| g1 < x0);
@@ -160,22 +232,23 @@ impl PlacementState {
         );
         match (merge_left, merge_right) {
             (true, true) => {
-                gaps[i].1 = gaps[r].1;
-                gaps.remove(r);
+                let right_end = gaps[r].1;
+                self.gaps.get_mut(seg, i).1 = right_end;
+                self.gaps.remove(seg, r);
             }
-            (true, false) => gaps[i].1 = x1,
-            (false, true) => gaps[r].0 = x0,
-            (false, false) => gaps.insert(i, (x0, x1)),
+            (true, false) => self.gaps.get_mut(seg, i).1 = x1,
+            (false, true) => self.gaps.get_mut(seg, r).0 = x0,
+            (false, false) => self.gaps.insert(seg, i, (x0, x1)),
         }
     }
 
-    /// Recomputes a segment's free gaps from its ordered cell list — the
-    /// slow path the incremental index is validated against.
+    /// Recomputes a segment's free gaps from its ordered cell list and
+    /// `pos[]` — the slow path the incremental index is validated against.
     pub fn recompute_gaps(&self, design: &Design, seg: SegId) -> Vec<(i32, i32)> {
         let s = &design.floorplan().segments()[seg.index()];
         let mut out = Vec::new();
         let mut cursor = s.x;
-        for &cell in &self.seg_cells[seg.index()] {
+        for &cell in self.seg_ids.slice(seg.index()) {
             let p = self.pos[cell.index()].expect("listed cell must be placed");
             if p.x > cursor {
                 out.push((cursor, p.x));
@@ -188,16 +261,32 @@ impl PlacementState {
         out
     }
 
-    /// Debug-only cross-check of the incremental index for `seg`.
-    /// Compiled only under `debug_assertions`; see
+    /// Recomputes a segment's interleaved extent entries from the
+    /// authoritative `pos[]` record — the linear-rebuild oracle the
+    /// interleaved keys are validated against (property tests, debug
+    /// cross-checks).
+    pub fn recompute_extents(&self, design: &Design, seg: SegId) -> Vec<(i32, i32)> {
+        self.seg_ids
+            .slice(seg.index())
+            .iter()
+            .map(|&cell| {
+                let p = self.pos[cell.index()].expect("listed cell must be placed");
+                (p.x, p.x + design.cell(cell).width())
+            })
+            .collect()
+    }
+
+    /// Debug-only cross-check of the incremental index for `seg`: the gap
+    /// list and the interleaved extent keys must both match a linear
+    /// rebuild from `pos[]`. Compiled only under `debug_assertions`; see
     /// [`gap_cross_check_count`]. Segments with more than
     /// [`GAP_CHECK_EXHAUSTIVE_MAX`] cells are sampled (1 in
     /// [`GAP_CHECK_SAMPLE`] mutations) so million-cell debug runs don't
-    /// spend hours re-deriving gap lists.
+    /// spend hours re-deriving index state.
     #[cfg(debug_assertions)]
-    fn debug_check_gaps(&self, design: &Design, seg: usize) {
+    fn debug_check_index(&self, design: &Design, seg: usize) {
         use std::sync::atomic::Ordering::Relaxed;
-        if self.seg_cells[seg].len() > GAP_CHECK_EXHAUSTIVE_MAX
+        if self.seg_ids.slice(seg).len() > GAP_CHECK_EXHAUSTIVE_MAX
             && !GAP_CHECK_CALLS
                 .fetch_add(1, Relaxed)
                 .is_multiple_of(GAP_CHECK_SAMPLE)
@@ -207,16 +296,21 @@ impl PlacementState {
         GAP_CROSS_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let seg_id = SegId::from_usize(seg);
         assert_eq!(
-            self.gaps[seg],
-            self.recompute_gaps(design, seg_id),
-            "occupancy index diverged from seg_cells on segment {seg}"
+            self.gaps.slice(seg),
+            self.recompute_gaps(design, seg_id).as_slice(),
+            "occupancy index diverged from the cell list on segment {seg}"
+        );
+        assert_eq!(
+            self.seg_xs.slice(seg),
+            self.recompute_extents(design, seg_id).as_slice(),
+            "interleaved extent keys diverged from pos[] on segment {seg}"
         );
     }
 
     /// Release builds compile the cross-check out entirely.
     #[cfg(not(debug_assertions))]
     #[inline(always)]
-    fn debug_check_gaps(&self, _design: &Design, _seg: usize) {}
+    fn debug_check_index(&self, _design: &Design, _seg: usize) {}
 
     /// The current position of a cell, if placed.
     pub fn position(&self, cell: CellId) -> Option<SitePoint> {
@@ -248,7 +342,13 @@ impl PlacementState {
 
     /// The ordered cell list of a segment.
     pub fn segment_cells(&self, seg: SegId) -> &[CellId] {
-        &self.seg_cells[seg.index()]
+        self.seg_ids.slice(seg.index())
+    }
+
+    /// The interleaved x-extents `(x0, x1)` of a segment's ordered cell
+    /// list — entry `i` is the footprint of `segment_cells(seg)[i]`.
+    pub fn segment_extents(&self, seg: SegId) -> &[(i32, i32)] {
+        self.seg_xs.slice(seg.index())
     }
 
     /// The segment id covering `(row, x)`, if any.
@@ -262,32 +362,53 @@ impl PlacementState {
             .map(|_| SegId::from_usize(base + idx))
     }
 
+    /// First list index of `seg` whose cell's right edge is > `x0` — the
+    /// lower bound of every span query. The interleaved path walks the
+    /// contiguous extent array; the legacy path chases `pos[]` per probe.
+    #[inline]
+    fn list_lower(&self, design: &Design, seg: usize, x0: i32) -> usize {
+        match self.layout {
+            IndexLayout::Interleaved => self
+                .seg_xs
+                .slice(seg)
+                .partition_point(|&(_, right)| right <= x0),
+            IndexLayout::Legacy => self.seg_ids.slice(seg).partition_point(|&c| {
+                let p = self.pos[c.index()].expect("listed cell must be placed");
+                p.x + design.cell(c).width() <= x0
+            }),
+        }
+    }
+
+    /// First list index of `seg` whose cell's left edge is >= `x1` — the
+    /// upper bound of every span query (the legacy probe needs only
+    /// `pos[]`, not the cell width, so no `design` parameter).
+    #[inline]
+    fn list_upper(&self, seg: usize, x1: i32) -> usize {
+        match self.layout {
+            IndexLayout::Interleaved => self
+                .seg_xs
+                .slice(seg)
+                .partition_point(|&(left, _)| left < x1),
+            IndexLayout::Legacy => self.seg_ids.slice(seg).partition_point(|&c| {
+                self.pos[c.index()].expect("listed cell must be placed").x < x1
+            }),
+        }
+    }
+
     /// Cells of `seg` whose spans intersect the open interval `(x0, x1)`,
     /// as a subslice of the ordered list.
     pub fn cells_intersecting(&self, design: &Design, seg: SegId, x0: i32, x1: i32) -> &[CellId] {
-        let list = &self.seg_cells[seg.index()];
-        // First cell whose right edge is > x0.
-        let lo = list.partition_point(|&c| {
-            let p = self.pos[c.index()].expect("listed cell must be placed");
-            p.x + design.cell(c).width() <= x0
-        });
-        // First cell whose left edge is >= x1.
-        let hi = list.partition_point(|&c| {
-            let p = self.pos[c.index()].expect("listed cell must be placed");
-            p.x < x1
-        });
-        &list[lo..hi.max(lo)]
+        let lo = self.list_lower(design, seg.index(), x0);
+        let hi = self.list_upper(seg.index(), x1);
+        &self.seg_ids.slice(seg.index())[lo..hi.max(lo)]
     }
 
     /// The nearest cell of `seg` entirely at or left of `x` (its right edge
     /// ≤ `x`), if any.
     pub fn left_neighbor(&self, design: &Design, seg: SegId, x: i32) -> Option<CellId> {
-        let list = &self.seg_cells[seg.index()];
-        let idx = list.partition_point(|&c| {
-            let p = self.pos[c.index()].expect("listed cell must be placed");
-            p.x + design.cell(c).width() <= x
-        });
-        idx.checked_sub(1).map(|i| list[i])
+        let idx = self.list_lower(design, seg.index(), x);
+        idx.checked_sub(1)
+            .map(|i| self.seg_ids.slice(seg.index())[i])
     }
 
     /// True if `rect` lies inside segments on every spanned row and no
@@ -330,19 +451,57 @@ impl PlacementState {
         Ok(segs)
     }
 
-    /// Index of `cell` (placed at x = `x`) in `seg`'s ordered list, via
-    /// binary search — lists are strictly x-ordered, so the position is
-    /// unique.
-    fn list_index_of(&self, seg: SegId, cell: CellId, x: i32) -> usize {
-        let list = &self.seg_cells[seg.index()];
-        let idx = list.partition_point(|&other| {
-            self.pos[other.index()]
-                .expect("listed cell must be placed")
-                .x
-                < x
-        });
-        debug_assert!(list.get(idx) == Some(&cell), "cell not at its list slot");
+    /// Index of `cell` (whose span starts at x = `x0`) in `seg`'s ordered
+    /// list, via binary search — lists are strictly x-ordered, so the
+    /// position is unique.
+    fn list_index_of(&self, design: &Design, seg: SegId, cell: CellId, x0: i32) -> usize {
+        let idx = match self.layout {
+            IndexLayout::Interleaved => self
+                .seg_xs
+                .slice(seg.index())
+                .partition_point(|&(left, _)| left < x0),
+            IndexLayout::Legacy => self.seg_ids.slice(seg.index()).partition_point(|&c| {
+                self.pos[c.index()].expect("listed cell must be placed").x < x0
+            }),
+        };
+        debug_assert!(
+            self.seg_ids.slice(seg.index()).get(idx) == Some(&cell),
+            "cell not at its list slot"
+        );
+        let _ = design;
         idx
+    }
+
+    /// The one insertion path: lists `cell` with extent `[x0, x1)` on
+    /// `seg`'s ordered list (extent keys and ids move together) and marks
+    /// the span occupied in the gap index.
+    fn seg_insert(&mut self, design: &Design, seg: usize, x0: i32, x1: i32, cell: CellId) {
+        let idx = match self.layout {
+            IndexLayout::Interleaved => self
+                .seg_xs
+                .slice(seg)
+                .partition_point(|&(left, _)| left < x0),
+            IndexLayout::Legacy => self.seg_ids.slice(seg).partition_point(|&c| {
+                self.pos[c.index()].expect("listed cell must be placed").x < x0
+            }),
+        };
+        self.seg_xs.insert(seg, idx, (x0, x1));
+        self.seg_ids.insert(seg, idx, cell);
+        self.gap_occupy(seg, x0, x1);
+        self.debug_check_index(design, seg);
+    }
+
+    /// The one removal path: unlists `cell` (extent `[x0, x1)`) from
+    /// `seg`'s ordered list and frees the span in the gap index. The
+    /// in-block `copy_within` of the CSR arena replaces the old
+    /// heap-`Vec::remove` on the per-segment vectors.
+    fn seg_remove(&mut self, design: &Design, seg: SegId, cell: CellId, x0: i32, x1: i32) {
+        let idx = self.list_index_of(design, seg, cell, x0);
+        self.seg_xs.remove(seg.index(), idx);
+        let removed = self.seg_ids.remove(seg.index(), idx);
+        debug_assert_eq!(removed, cell, "removed a different cell");
+        self.gap_free(seg.index(), x0, x1);
+        self.debug_check_index(design, seg.index());
     }
 
     /// Places an unplaced cell at `at`, enforcing all legality constraints.
@@ -407,14 +566,7 @@ impl PlacementState {
         self.pos[cell.index()] = Some(at);
         self.orient[cell.index()] = fp.parity().orient_on_row(c.rail(), c.height(), at.y);
         for seg in segs {
-            let list = &mut self.seg_cells[seg.index()];
-            let idx = list.partition_point(|&other| {
-                let p = self.pos[other.index()].expect("listed cell must be placed");
-                p.x < at.x
-            });
-            list.insert(idx, cell);
-            self.gap_occupy(seg.index(), at.x, at.x + c.width());
-            self.debug_check_gaps(design, seg.index());
+            self.seg_insert(design, seg.index(), at.x, at.x + c.width(), cell);
         }
         Ok(())
     }
@@ -431,10 +583,7 @@ impl PlacementState {
             let seg = self
                 .segment_at(design, row, at.x)
                 .expect("placed cell must be on segments");
-            let idx = self.list_index_of(seg, cell, at.x);
-            self.seg_cells[seg.index()].remove(idx);
-            self.gap_free(seg.index(), at.x, at.x + c.width());
-            self.debug_check_gaps(design, seg.index());
+            self.seg_remove(design, seg, cell, at.x, at.x + c.width());
         }
         self.pos[cell.index()] = None;
         Ok(at)
@@ -479,26 +628,28 @@ impl PlacementState {
             }
             old.push((cell, at));
         }
-        // Record the list coordinates before mutating positions.
-        let mut touched: Vec<(SegId, usize)> = Vec::new();
+        // Record the list coordinates before mutating positions. Relative
+        // order is preserved by contract, so each recorded index stays the
+        // cell's list slot after the moves commit.
+        let mut touched: Vec<(SegId, usize, CellId)> = Vec::new();
         for &(cell, at) in &old {
             let c = design.cell(cell);
             for row in at.y..at.y + c.height() {
                 let seg = self
                     .segment_at(design, row, at.x)
                     .expect("placed cell must be on segments");
-                let idx = self.list_index_of(seg, cell, at.x);
-                touched.push((seg, idx));
+                let idx = self.list_index_of(design, seg, cell, at.x);
+                touched.push((seg, idx, cell));
             }
         }
-        // Apply.
+        // Apply to the authoritative record.
         for &(cell, new_x) in moves {
             let at = self.pos[cell.index()].expect("validated above");
             self.pos[cell.index()] = Some(SitePoint::new(new_x, at.y));
         }
         // Verify order and non-overlap against list neighbors.
-        let violation = touched.iter().any(|&(seg, idx)| {
-            let list = &self.seg_cells[seg.index()];
+        let violation = touched.iter().any(|&(seg, idx, _)| {
+            let list = self.seg_ids.slice(seg.index());
             let rect_at = |i: usize| {
                 let id = list[i];
                 let p = self.pos[id.index()].expect("listed cell must be placed");
@@ -542,9 +693,15 @@ impl PlacementState {
                 self.gap_occupy(seg.index(), new_x, new_x + c.width());
             }
         }
+        // Refresh the interleaved keys at the recorded slots (order is
+        // unchanged, so an in-place overwrite keeps the array sorted).
+        for &(seg, idx, cell) in &touched {
+            let p = self.pos[cell.index()].expect("moved cell stays placed");
+            *self.seg_xs.get_mut(seg.index(), idx) = (p.x, p.x + design.cell(cell).width());
+        }
         #[cfg(debug_assertions)]
-        for &(seg, _) in &touched {
-            self.debug_check_gaps(design, seg.index());
+        for &(seg, ..) in &touched {
+            self.debug_check_index(design, seg.index());
         }
         Ok(())
     }
@@ -599,6 +756,9 @@ mod tests {
         let seg1 = s.segment_at(&d, 1, 0).unwrap();
         assert_eq!(s.segment_cells(seg0), &[a, b]);
         assert_eq!(s.segment_cells(seg1), &[b]);
+        // The interleaved keys mirror the lists entry for entry.
+        assert_eq!(s.segment_extents(seg0), &[(0, 3), (5, 7)]);
+        assert_eq!(s.segment_extents(seg1), &[(5, 7)]);
     }
 
     #[test]
@@ -804,6 +964,8 @@ mod tests {
         assert_eq!(s.position(b), Some(SitePoint::new(5, 0)));
         let seg = s.segment_at(&d, 0, 0).unwrap();
         assert_eq!(s.segment_cells(seg), &[a, b, c]);
+        // The interleaved keys followed the moves.
+        assert_eq!(s.segment_extents(seg), &[(2, 5), (5, 7), (7, 11)]);
     }
 
     #[test]
@@ -815,6 +977,11 @@ mod tests {
         let err = s.shift_batch(&d, &[(a, 2)]).unwrap_err();
         assert!(matches!(err, DbError::Overlap { .. }));
         assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
+        let seg = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(
+            s.segment_extents(seg),
+            s.recompute_extents(&d, seg).as_slice()
+        );
     }
 
     #[test]
@@ -867,5 +1034,71 @@ mod tests {
         let placed: Vec<_> = s.iter_placed().collect();
         assert_eq!(placed.len(), 2);
         assert!(placed.contains(&(a, SitePoint::new(0, 0))));
+    }
+
+    /// Every query agrees between the interleaved and the legacy probe
+    /// layouts across a mixed mutation sequence.
+    #[test]
+    fn legacy_layout_is_bit_identical() {
+        let (d, a, b, c, dd) = fixture();
+        let mut fast = PlacementState::new(&d);
+        let mut slow = PlacementState::with_layout(&d, IndexLayout::Legacy);
+        assert_eq!(fast.layout(), IndexLayout::Interleaved);
+        assert_eq!(slow.layout(), IndexLayout::Legacy);
+        for s in [&mut fast, &mut slow] {
+            s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+            s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+            s.place(&d, c, SitePoint::new(13, 2)).unwrap();
+            s.place(&d, dd, SitePoint::new(0, 1)).unwrap();
+            s.shift_batch(&d, &[(a, 3)]).unwrap();
+            s.remove(&d, b).unwrap();
+        }
+        for si in 0..d.floorplan().segments().len() {
+            let seg = SegId::from_usize(si);
+            assert_eq!(fast.segment_cells(seg), slow.segment_cells(seg));
+            assert_eq!(fast.segment_extents(seg), slow.segment_extents(seg));
+            assert_eq!(fast.free_gaps(seg), slow.free_gaps(seg));
+            assert_eq!(
+                fast.cells_intersecting(&d, seg, 1, 12),
+                slow.cells_intersecting(&d, seg, 1, 12)
+            );
+            assert_eq!(
+                fast.left_neighbor(&d, seg, 9),
+                slow.left_neighbor(&d, seg, 9)
+            );
+        }
+        // Clones inherit the probe layout.
+        assert_eq!(slow.clone().layout(), IndexLayout::Legacy);
+    }
+
+    #[test]
+    fn index_bytes_counts_the_arenas() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        let empty = s.index_bytes();
+        assert!(empty > 0, "gap arena exists before any placement");
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap();
+        assert!(s.index_bytes() > empty, "cell arenas grew");
+    }
+
+    #[test]
+    fn extents_match_pos_rebuild_after_mutations() {
+        let (d, a, b, c, dd) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+        s.place(&d, dd, SitePoint::new(0, 1)).unwrap();
+        s.place(&d, c, SitePoint::new(12, 0)).unwrap();
+        s.shift_batch(&d, &[(b, 7), (c, 13)]).unwrap();
+        s.remove(&d, a).unwrap();
+        for si in 0..d.floorplan().segments().len() {
+            let seg = SegId::from_usize(si);
+            assert_eq!(
+                s.segment_extents(seg),
+                s.recompute_extents(&d, seg).as_slice(),
+                "segment {si}"
+            );
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! * exact-mode MLL equals the MILP local optimum,
 //! * leftmost/rightmost placements bound every legal same-order position.
 
-use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
+use mrl_db::{CellId, Design, DesignBuilder, IndexLayout, PlacementState, SegId};
 use mrl_geom::{Interval, PowerRail, SitePoint, SiteRect};
 use mrl_legalize::{
     enumerate_insertion_points, find_best_insertion_point_in, realize, EvalMode, Legalizer,
@@ -407,6 +407,90 @@ proptest! {
                     .filter(|&(g0, g1)| g1 > x0 && g0 < x1)
                     .collect();
                 prop_assert_eq!(windowed, oracle.as_slice(), "seg {} [{}, {})", si, x0, x1);
+            }
+        }
+    }
+
+    /// The interleaved occupancy index stays equal to a linear rebuild
+    /// from the authoritative `pos[]` record across arbitrary
+    /// place/unplace/shift sequences — and a legacy-layout state driven
+    /// through the identical sequence stays bit-identical to the
+    /// interleaved one (lists, extent keys, and gaps).
+    #[test]
+    fn interleaved_index_matches_pos_rebuild(s in scenario()) {
+        let Some((design, mut fast, _)) = build(&s) else { return Ok(()) };
+        // Mirror the scattered placement into a legacy-layout state; final
+        // positions determine the lists, so placement order is irrelevant.
+        let mut slow = PlacementState::with_layout(&design, IndexLayout::Legacy);
+        for (id, p) in fast.iter_placed().collect::<Vec<_>>() {
+            slow.place_ignoring_rails(&design, id, p).expect("mirrors a legal placement");
+        }
+        let cells: Vec<CellId> = design.movable_cells().collect();
+        let mut rng_state = s.seed | 1;
+        let mut next = move || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng_state >> 33
+        };
+        for _ in 0..24 {
+            let id = cells[(next() % cells.len() as u64) as usize];
+            match next() % 3 {
+                0 => {
+                    if fast.is_placed(id) {
+                        let a = fast.remove(&design, id).expect("placed");
+                        let b = slow.remove(&design, id).expect("placed");
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                1 => {
+                    if !fast.is_placed(id) {
+                        let c = design.cell(id);
+                        let x = (next() % (s.width.max(1) as u64)) as i32;
+                        let y = (next() % (s.rows as u64)) as i32;
+                        let pos = SitePoint::new(
+                            x.min((s.width - c.width()).max(0)),
+                            y.min((s.rows - c.height()).max(0)),
+                        );
+                        let a = fast.place_ignoring_rails(&design, id, pos);
+                        let b = slow.place_ignoring_rails(&design, id, pos);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "place at {:?}", pos);
+                    }
+                }
+                _ => {
+                    if let Some(p) = fast.position(id) {
+                        let new_x = p.x + (next() % 7) as i32 - 3;
+                        let a = fast.shift_batch(&design, &[(id, new_x)]);
+                        let b = slow.shift_batch(&design, &[(id, new_x)]);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "shift to {}", new_x);
+                    }
+                }
+            }
+            for si in 0..design.floorplan().segments().len() {
+                let seg = SegId::from_usize(si);
+                // Interleaved keys == linear rebuild from pos[].
+                let fast_rebuild = fast.recompute_extents(&design, seg);
+                prop_assert_eq!(
+                    fast.segment_extents(seg),
+                    fast_rebuild.as_slice(),
+                    "fast extents, seg {}", si
+                );
+                let slow_rebuild = slow.recompute_extents(&design, seg);
+                prop_assert_eq!(
+                    slow.segment_extents(seg),
+                    slow_rebuild.as_slice(),
+                    "slow extents, seg {}", si
+                );
+                // Incremental gaps == rebuild from the cell lists.
+                let gap_rebuild = fast.recompute_gaps(&design, seg);
+                prop_assert_eq!(
+                    fast.free_gaps(seg),
+                    gap_rebuild.as_slice(),
+                    "fast gaps, seg {}", si
+                );
+                // Both layouts agree entry for entry.
+                prop_assert_eq!(fast.segment_cells(seg), slow.segment_cells(seg), "ids, seg {}", si);
+                prop_assert_eq!(fast.free_gaps(seg), slow.free_gaps(seg), "gaps, seg {}", si);
             }
         }
     }
