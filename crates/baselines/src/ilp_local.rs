@@ -23,10 +23,9 @@
 
 use mrl_db::{CellId, Design, PlacementState};
 use mrl_geom::SitePoint;
-use mrl_ilp::{Model, Op, SolveError, VarId};
 use mrl_legalize::{
-    mll, EvalMode, FailReason, LegalizeError, LegalizeStats, Legalizer, LegalizerConfig,
-    LocalRegion, PowerRailMode,
+    ilp_place_window, mll, solve_window_milp, EvalMode, FailReason, LegalizeError, LegalizeStats,
+    Legalizer, LegalizerConfig, LocalRegion, PowerRailMode,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -164,6 +163,10 @@ impl IlpLegalizer {
 
     /// Solves the local problem around `pos` with the MILP and commits the
     /// optimum. Returns false when no candidate window is feasible.
+    ///
+    /// The engine lives in `mrl-legalize` ([`ilp_place_window`]) where the
+    /// escalation ladder reuses it with an enlarged window; the baseline
+    /// runs it at the configured window size with no cell cap.
     pub fn milp_place(
         &self,
         design: &Design,
@@ -171,173 +174,16 @@ impl IlpLegalizer {
         target: CellId,
         pos: SitePoint,
     ) -> Result<bool, LegalizeError> {
-        let cell = design.cell(target);
-        let (w_t, h_t) = (cell.width(), cell.height());
-        let window = mrl_geom::SiteRect::new(
-            pos.x - self.cfg.rx,
-            pos.y - self.cfg.ry,
-            2 * self.cfg.rx + w_t,
-            2 * self.cfg.ry + h_t,
-        );
-        let region = LocalRegion::extract_masked(design, state, window, design.region_of(target));
-        let hw = region.height();
-        let ht = h_t as usize;
-        if hw < ht {
-            return Ok(false);
-        }
-        let aspect = design.grid().aspect();
-        let fp = design.floorplan();
-        let mut best: Option<(f64, usize, Vec<i32>, i32)> = None; // cost, t, xs, xt
-        for t in 0..=(hw - ht) {
-            let rows = t..t + ht;
-            if rows.clone().any(|r| region.rows[r].is_none()) {
-                continue;
-            }
-            let bottom_global = region.bottom_row + t as i32;
-            if self.cfg.rail_mode == PowerRailMode::Aligned
-                && !fp.rail_compatible(cell.rail(), h_t, bottom_global)
-            {
-                continue;
-            }
-            match solve_window_milp(&region, t, ht, w_t, pos.x) {
-                Ok(Some((hcost, xs, xt))) => {
-                    let cost = hcost + f64::from((bottom_global - pos.y).abs()) * aspect;
-                    if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
-                        best = Some((cost, t, xs, xt));
-                    }
-                }
-                Ok(None) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        let Some((_, t, xs, xt)) = best else {
-            return Ok(false);
-        };
-        let moves: Vec<(CellId, i32)> = (0..region.cells.len())
-            .filter(|&i| region.cells.x[i] != xs[i])
-            .map(|i| (region.cells.id[i], xs[i]))
-            .collect();
-        state
-            .shift_batch(design, &moves)
-            .map_err(LegalizeError::Db)?;
-        let at = SitePoint::new(xt, region.bottom_row + t as i32);
-        let placed = if self.cfg.rail_mode.is_aligned() {
-            state.place(design, target, at)
-        } else {
-            state.place_ignoring_rails(design, target, at)
-        };
-        placed.map_err(LegalizeError::Db)?;
-        Ok(true)
-    }
-}
-
-/// Builds and solves the MILP for one candidate window; returns
-/// `(horizontal cost, local cell xs, target x)` or `None` if infeasible.
-fn solve_window_milp(
-    region: &LocalRegion,
-    t: usize,
-    ht: usize,
-    w_t: i32,
-    desired_x: i32,
-) -> Result<Option<(f64, Vec<i32>, i32)>, LegalizeError> {
-    let mut model = Model::new();
-    let n = region.cells.len();
-    // Position variables for local cells, bounded by their segments.
-    let mut x_vars: Vec<VarId> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut lo = i32::MIN;
-        let mut hi = i32::MAX;
-        for row in region.cells.y[i]..region.cells.y[i] + region.cells.h[i] {
-            let lr = (row - region.bottom_row) as usize;
-            let seg = region.rows[lr].as_ref().expect("local cell rows exist");
-            lo = lo.max(seg.x0);
-            hi = hi.min(seg.x1 - region.cells.w[i]);
-        }
-        x_vars.push(model.add_var(f64::from(lo), f64::from(hi), 0.0));
-    }
-    // Target position, bounded by the window rows.
-    let (mut t_lo, mut t_hi) = (i32::MIN, i32::MAX);
-    for r in t..t + ht {
-        let seg = region.rows[r].as_ref().expect("window rows checked");
-        t_lo = t_lo.max(seg.x0);
-        t_hi = t_hi.min(seg.x1 - w_t);
-    }
-    if t_lo > t_hi {
-        return Ok(None);
-    }
-    let x_t = model.add_var(f64::from(t_lo), f64::from(t_hi), 0.0);
-
-    // Per-row ordering constraints between consecutive local cells.
-    for seg in region.rows.iter().flatten() {
-        for pair in seg.cells.windows(2) {
-            let (a, b) = (pair[0] as usize, pair[1] as usize);
-            let w_a = f64::from(region.cells.w[a]);
-            model.add_constraint(&[(x_vars[a], 1.0), (x_vars[b], -1.0)], Op::Le, -w_a);
-        }
-    }
-
-    // Disjunction binaries for cells sharing a row with the target.
-    let span_width: i32 = region
-        .rows
-        .iter()
-        .flatten()
-        .map(|s| s.x1 - s.x0)
-        .max()
-        .unwrap_or(0);
-    let big_m = f64::from(span_width + w_t + 1);
-    let mut delta: Vec<Option<VarId>> = vec![None; n];
-    for r in t..t + ht {
-        let seg = region.rows[r].as_ref().expect("window rows checked");
-        let mut prev: Option<usize> = None;
-        for &ci in &seg.cells {
-            let ci = ci as usize;
-            let d = *delta[ci].get_or_insert_with(|| model.add_binary_var(0.0));
-            // δ = 1 -> target left of cell: x_t + w_t <= x_i.
-            model.add_constraint(
-                &[(x_t, 1.0), (x_vars[ci], -1.0), (d, big_m)],
-                Op::Le,
-                big_m - f64::from(w_t),
-            );
-            // δ = 0 -> cell left of target: x_i + w_i <= x_t.
-            model.add_constraint(
-                &[(x_vars[ci], 1.0), (x_t, -1.0), (d, -big_m)],
-                Op::Le,
-                -f64::from(region.cells.w[ci]),
-            );
-            // Monotone along the row: left cell's δ ≤ right cell's δ.
-            if let Some(p) = prev {
-                if let (Some(dp), Some(dc)) = (delta[p], delta[ci]) {
-                    model.add_constraint(&[(dp, 1.0), (dc, -1.0)], Op::Le, 0.0);
-                }
-            }
-            prev = Some(ci);
-        }
-    }
-
-    // Displacement hinges: d_i >= |x_i - x_i0|, d_t >= |x_t - desired|.
-    let mut objective_vars = Vec::with_capacity(n + 1);
-    for (i, &xv) in x_vars.iter().enumerate().take(n) {
-        let cx = region.cells.x[i];
-        let d = model.add_var(0.0, f64::INFINITY, 1.0);
-        model.add_constraint(&[(d, 1.0), (xv, -1.0)], Op::Ge, -f64::from(cx));
-        model.add_constraint(&[(d, 1.0), (xv, 1.0)], Op::Ge, f64::from(cx));
-        objective_vars.push(d);
-    }
-    let d_t = model.add_var(0.0, f64::INFINITY, 1.0);
-    model.add_constraint(&[(d_t, 1.0), (x_t, -1.0)], Op::Ge, -f64::from(desired_x));
-    model.add_constraint(&[(d_t, 1.0), (x_t, 1.0)], Op::Ge, f64::from(desired_x));
-    objective_vars.push(d_t);
-
-    match model.solve() {
-        Ok(sol) => {
-            let xs: Vec<i32> = x_vars.iter().map(|&v| sol[v].round() as i32).collect();
-            let xt = sol[x_t].round() as i32;
-            Ok(Some((sol.objective, xs, xt)))
-        }
-        Err(SolveError::Infeasible) => Ok(None),
-        Err(e) => Err(LegalizeError::Db(mrl_db::DbError::Invalid(format!(
-            "milp solver failure: {e}"
-        )))),
+        ilp_place_window(
+            design,
+            state,
+            &self.cfg,
+            self.cfg.rx,
+            self.cfg.ry,
+            None,
+            target,
+            pos,
+        )
     }
 }
 

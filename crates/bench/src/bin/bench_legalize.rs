@@ -9,8 +9,8 @@
 //! bench_legalize [--cells N] [--density F] [--seed S] [--threads N]
 //!                [--bench NAME] [--scale N] [--json PATH] [--no-json]
 //!                [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]
-//!                [--no-spatial-index] [--legacy-layout] [--perf-counters]
-//!                [--speedup-gate]
+//!                [--util-sweep U1,U2,..] [--no-spatial-index]
+//!                [--legacy-layout] [--perf-counters] [--speedup-gate]
 //! ```
 //!
 //! * `--cells N` — synthesize an ad-hoc design with `N` movable cells
@@ -27,6 +27,14 @@
 //!   check, metrics digest) so the regression gate keeps working against
 //!   a sweep-produced report. Points above 30 000 cells run sequential
 //!   and parallel once each and skip the exhaustive pass.
+//! * `--util-sweep U1,U2,..` — utilization sweep: legalize a
+//!   witness-backed 4 000-cell design (feasibility guaranteed by
+//!   construction) at each utilization, recording placement rate,
+//!   displacement, and the per-escalation-tier counters into a
+//!   `util_sweep` array. This is the dense-design acceptance surface:
+//!   at 0.9 the bare heuristic deadlocks and the escalation ladder
+//!   (ripple chains / height-binned repack / ILP residue) does the
+//!   remaining placements.
 //! * `--no-spatial-index` — run with the subrow spatial index disabled
 //!   (the pre-index linear-scan oracle path), for A/B throughput
 //!   comparisons.
@@ -62,7 +70,9 @@ use mrl_bench::perf::{PerfCounters, PerfSample};
 use mrl_db::{Design, IndexLayout, PlacementState};
 use mrl_legalize::{LegalizeStats, Legalizer, LegalizerConfig, MetricsSummary, TraceBuf};
 use mrl_metrics::displacement_stats;
-use mrl_synth::{generate, ispd2015_suite, BenchmarkSpec, GeneratorConfig};
+use mrl_synth::{
+    generate, generate_witness, ispd2015_suite, BenchmarkSpec, GeneratorConfig, WitnessConfig,
+};
 
 /// Largest cell count at which the harness still runs best-of-3 repeats
 /// and the exhaustive (prune-disabled) pass; larger sweep points get one
@@ -144,6 +154,11 @@ fn run_to_json(design: &Design, stats: &LegalizeStats, state: &PlacementState) -
     run.set("stripes", stats.stripes as i64);
     run.set("conflicts", stats.conflicts as i64);
     run.set("residue", stats.residue as i64);
+    let mut escalation = Json::obj();
+    for (key, value) in stats.escalation.entries() {
+        escalation.set(key, value as f64);
+    }
+    run.set("escalation", escalation);
     run.set("displacement", displacement);
     run.set("phases", phases);
     run.set(
@@ -175,6 +190,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut gate_pct = 20.0f64;
     let mut sweep: Option<Vec<usize>> = None;
+    let mut util_sweep: Option<Vec<f64>> = None;
     let mut spatial_index = true;
     let mut speedup_gate = false;
     let mut opts = RunOpts {
@@ -188,8 +204,8 @@ fn main() {
             "usage: bench_legalize [--cells N] [--density F] [--seed S] [--threads N]\n\
              \x20                     [--bench NAME] [--scale N] [--json PATH] [--no-json]\n\
              \x20                     [--baseline PATH] [--gate-pct N] [--scale-sweep N1,N2,..]\n\
-             \x20                     [--no-spatial-index] [--legacy-layout] [--perf-counters]\n\
-             \x20                     [--speedup-gate]"
+             \x20                     [--util-sweep U1,U2,..] [--no-spatial-index]\n\
+             \x20                     [--legacy-layout] [--perf-counters] [--speedup-gate]"
         );
         std::process::exit(2);
     }
@@ -245,6 +261,17 @@ fn main() {
                 }
                 sweep = Some(list);
             }
+            "--util-sweep" => {
+                let list = val("--util-sweep")
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .unwrap_or_else(|_| usage("--util-sweep must be comma-separated numbers"));
+                if list.is_empty() || list.iter().any(|&u| !(0.0..=1.0).contains(&u)) {
+                    usage("--util-sweep utilizations must be in (0, 1]");
+                }
+                util_sweep = Some(list);
+            }
             "--no-spatial-index" => spatial_index = false,
             "--legacy-layout" => opts.layout = IndexLayout::Legacy,
             "--perf-counters" => opts.perf = true,
@@ -256,6 +283,8 @@ fn main() {
     let lcfg = LegalizerConfig::paper()
         .with_seed(seed)
         .with_spatial_index(spatial_index);
+
+    let util_points = util_sweep.map(|us| run_util_sweep(&us, seed, &lcfg, opts));
 
     if let Some(mut counts) = sweep {
         // Ascending order: VmHWM is monotone, so each point's RSS reading
@@ -273,6 +302,7 @@ fn main() {
             baseline.as_deref(),
             gate_pct,
             speedup_gate,
+            util_points,
         );
         return;
     }
@@ -299,6 +329,9 @@ fn main() {
     if let Some(path) = json_path {
         let mut root = full_report(&design, &lcfg, seed, threads, &full, opts);
         root.set("available_parallelism", available as i64);
+        if let Some(points) = util_points {
+            root.set("util_sweep", points);
+        }
         std::fs::write(&path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
     }
@@ -538,6 +571,49 @@ fn full_report(
     root
 }
 
+/// Cell count for `--util-sweep` points: big enough that escalation-tier
+/// engagement at 0.9 utilization is structural rather than a fluke, small
+/// enough that the 0.9 point (retry rounds + tier work) stays in seconds.
+const UTIL_SWEEP_CELLS: usize = 4_000;
+
+/// The `--util-sweep` protocol: one sequential run per utilization over a
+/// witness-backed design (a known-legal placement exists by construction,
+/// so a sub-100% placement rate is always the legalizer's fault). Entries
+/// carry the per-tier escalation counters — the dense points are the
+/// benchmark surface for the escalation ladder.
+fn run_util_sweep(utils: &[f64], seed: u64, lcfg: &LegalizerConfig, opts: RunOpts) -> Vec<Json> {
+    let mut points = Vec::new();
+    for &u in utils {
+        let wcfg = WitnessConfig::new(seed)
+            .with_cells(UTIL_SWEEP_CELLS)
+            .with_utilization(u);
+        let witness = generate_witness(&wcfg).expect("witness generation");
+        let design = witness.design;
+        let mut state = PlacementState::with_layout(&design, opts.layout);
+        let stats = Legalizer::new(lcfg.clone())
+            .legalize(&design, &mut state)
+            .expect("utilization-sweep legalization");
+        let placed_rate = stats.placed as f64 / (design.num_movable() as f64).max(1.0);
+        let esc = stats.escalation;
+        println!(
+            "util {:.2}:  {:.3}s, {:.1}% placed, escalated {} (ripple {}, repack {}, ilp {})",
+            u,
+            stats.wall.as_secs_f64(),
+            placed_rate * 100.0,
+            esc.engaged,
+            esc.ripple_placed,
+            esc.repack_placed,
+            esc.ilp_placed
+        );
+        let mut entry = run_to_json(&design, &stats, &state);
+        entry.set("utilization", u);
+        entry.set("movable_cells", design.num_movable() as i64);
+        entry.set("placement_rate", placed_rate);
+        points.push(entry);
+    }
+    points
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_sweep(
     counts: &[usize],
@@ -551,6 +627,7 @@ fn run_sweep(
     baseline: Option<&str>,
     gate_pct: f64,
     speedup_gate: bool,
+    util_points: Option<Vec<Json>>,
 ) {
     let mut trajectory: Vec<Json> = Vec::new();
     let mut gate_sections: Option<Json> = None;
@@ -608,6 +685,9 @@ fn run_sweep(
         });
         root.set("available_parallelism", available as i64);
         root.set("trajectory", trajectory);
+        if let Some(points) = util_points {
+            root.set("util_sweep", points);
+        }
         std::fs::write(path, root.pretty()).expect("write json report");
         eprintln!("report written to {path}");
     }

@@ -91,6 +91,8 @@ struct Opts {
     corpus: Option<PathBuf>,
     json: Option<PathBuf>,
     inject_bug: bool,
+    regime: Option<String>,
+    no_tiers: bool,
     trace: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
 }
@@ -159,6 +161,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--trace" => o.trace = Some(PathBuf::from(val("--trace")?)),
             "--metrics-json" => o.metrics_json = Some(PathBuf::from(val("--metrics-json")?)),
             "--inject-bug" => o.inject_bug = true,
+            "--regime" => o.regime = Some(val("--regime")?.clone()),
+            "--no-tiers" => o.no_tiers = true,
             "--relaxed" => o.relaxed = true,
             "--exact" => o.exact = true,
             "--refine" => o.refine = true,
@@ -568,9 +572,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let fc = &stats.fail_counts;
             let _ = writeln!(
                 out,
-                "failed attempts: {} no-insertion-point, {} region-extraction-empty; {} cells exhausted the retry budget",
-                fc.no_insertion_point, fc.region_extraction_empty, fc.retry_budget_exhausted
+                "failed attempts: {} no-insertion-point, {} region-extraction-empty; {} cells exhausted the retry budget, {} exhausted escalation",
+                fc.no_insertion_point, fc.region_extraction_empty, fc.retry_budget_exhausted, fc.escalation_exhausted
             );
+            let esc = &stats.escalation;
+            if esc.engaged > 0 {
+                let _ = writeln!(
+                    out,
+                    "escalation: engaged {} times — ripple {} placed / {} rolled back ({} chains), repack {} placed ({} windows), ilp {} placed ({} solves); {:.3}s",
+                    esc.engaged,
+                    esc.ripple_placed,
+                    esc.ripple_rolled_back,
+                    esc.ripple_chains,
+                    esc.repack_placed,
+                    esc.repack_windows,
+                    esc.ilp_placed,
+                    esc.ilp_solves,
+                    stats.phases.escalate.as_secs_f64()
+                );
+            }
             if o.threads.is_some() {
                 let _ = writeln!(
                     out,
@@ -748,8 +768,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     .map_err(|e| fail(format!("cannot create {}: {e}", dir.display())))?;
                 cfg = cfg.with_corpus_dir(dir.clone());
             }
+            if let Some(slug) = &o.regime {
+                let regime = mrl_fuzz::Regime::from_slug(slug)
+                    .ok_or_else(|| fail(format!("unknown regime {slug} (baseline|dense)")))?;
+                cfg = cfg.with_regime(regime);
+            }
+            if o.inject_bug && o.no_tiers {
+                return Err(fail("--inject-bug and --no-tiers are mutually exclusive"));
+            }
             if o.inject_bug {
                 cfg = cfg.with_fault(mrl_fuzz::Fault::NoPruneOffByOne);
+            }
+            if o.no_tiers {
+                // The escalation self-test: a dense campaign run with every
+                // tier disabled must FAIL (exit 1), proving the regime
+                // actually depends on the escalation ladder.
+                cfg = cfg.with_fault(mrl_fuzz::Fault::TiersDisabled);
             }
             let report = mrl_fuzz::fuzz(&cfg);
             if let Some(path) = &o.json {
@@ -806,7 +840,8 @@ commands:
   stats    (--aux F | --lef F --def F)
   convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
   fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
-           [--corpus DIR] [--json FILE] [--inject-bug]
+           [--regime baseline|dense] [--corpus DIR] [--json FILE]
+           [--inject-bug] [--no-tiers]
 ";
 
 #[cfg(test)]
@@ -1075,6 +1110,27 @@ mod tests {
         let text = std::fs::read_to_string(&json).unwrap();
         assert!(text.contains("\"seed\""));
         assert!(text.contains("\"cases_run\""));
+    }
+
+    #[test]
+    fn fuzz_dense_regime_runs_clean() {
+        let out = run(&args(&[
+            "fuzz", "--seed", "0", "--iters", "3", "--cells", "40", "--regime", "dense",
+        ]))
+        .unwrap();
+        assert!(out.contains("no discrepancies"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_regime_and_conflicting_flags() {
+        let err = run(&args(&["fuzz", "--regime", "bogus"])).unwrap_err();
+        assert!(err.message.contains("unknown regime"), "{}", err.message);
+        let err = run(&args(&["fuzz", "--inject-bug", "--no-tiers"])).unwrap_err();
+        assert!(
+            err.message.contains("mutually exclusive"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -706,6 +706,73 @@ impl PlacementState {
         Ok(())
     }
 
+    /// Applies a batch of general displacements — row changes and removals
+    /// included — transactionally: either every listed cell ends up at its
+    /// requested destination (`Some(at)` = placed there, `None` = removed)
+    /// or the state is exactly as before the call.
+    ///
+    /// All listed cells are lifted out first, then the destinations are
+    /// placed, so moves within the batch never collide with each other —
+    /// the escalation tiers use this to rip up a subwindow and to restore a
+    /// rejected chain in one call. Destinations are validated for bounds,
+    /// fences, and overlap, but *not* rail parity (the batch is routinely a
+    /// rollback to a previously-observed configuration, which relaxed-mode
+    /// states satisfy without parity); callers that need parity enforce it
+    /// before building the batch.
+    ///
+    /// Returns a [`DisplaceUndo`] whose move list, fed back into this
+    /// method, restores the prior configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::Invalid`] if a cell is listed twice.
+    /// * [`DbError::OutsideSegments`], [`DbError::FenceViolation`], or
+    ///   [`DbError::Overlap`] if a destination is not legal once every
+    ///   listed cell is lifted; the state is rolled back first.
+    pub fn displace_batch(
+        &mut self,
+        design: &Design,
+        moves: &[(CellId, Option<SitePoint>)],
+    ) -> Result<DisplaceUndo, DbError> {
+        for (i, &(cell, _)) in moves.iter().enumerate() {
+            if moves[..i].iter().any(|&(c, _)| c == cell) {
+                return Err(DbError::Invalid(format!(
+                    "displace_batch lists cell {cell} twice"
+                )));
+            }
+        }
+        // Phase 1: lift. Infallible after the duplicate check (unplaced
+        // cells are recorded as `None` and simply skipped).
+        let mut undo = Vec::with_capacity(moves.len());
+        for &(cell, _) in moves {
+            let from = if self.is_placed(cell) {
+                Some(self.remove(design, cell).expect("checked placed"))
+            } else {
+                None
+            };
+            undo.push((cell, from));
+        }
+        // Phase 2: place destinations; on any failure undo everything.
+        for (i, &(cell, to)) in moves.iter().enumerate() {
+            let Some(at) = to else { continue };
+            if let Err(e) = self.place_ignoring_rails(design, cell, at) {
+                for &(c, t) in moves[..i].iter().rev() {
+                    if t.is_some() {
+                        self.remove(design, c).expect("placed in this phase");
+                    }
+                }
+                for &(c, from) in undo.iter().rev() {
+                    if let Some(at) = from {
+                        self.place_ignoring_rails(design, c, at)
+                            .expect("restoring the prior configuration");
+                    }
+                }
+                return Err(e);
+            }
+        }
+        Ok(DisplaceUndo { moves: undo })
+    }
+
     /// Ids and positions of all placed cells.
     pub fn iter_placed(&self) -> impl Iterator<Item = (CellId, SitePoint)> + '_ {
         self.pos
@@ -722,6 +789,30 @@ impl PlacementState {
             Some(p) => (f64::from(p.x), f64::from(p.y)),
             None => design.input_position(cell),
         }
+    }
+}
+
+/// The reversal record of one [`PlacementState::displace_batch`] call.
+///
+/// Feeding [`DisplaceUndo::moves`] back into `displace_batch` restores the
+/// prior configuration exactly (same positions; the occupancy index is
+/// rebuilt logically, which is all any query observes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DisplaceUndo {
+    /// Each displaced cell with its position *before* the batch
+    /// (`None` = it was unplaced).
+    pub moves: Vec<(CellId, Option<SitePoint>)>,
+}
+
+impl DisplaceUndo {
+    /// Rolls the batch back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors if the placement was modified since the
+    /// batch committed (callers must undo in reverse commit order).
+    pub fn rollback(&self, design: &Design, state: &mut PlacementState) -> Result<(), DbError> {
+        state.displace_batch(design, &self.moves).map(|_| ())
     }
 }
 
@@ -759,6 +850,102 @@ mod tests {
         // The interleaved keys mirror the lists entry for entry.
         assert_eq!(s.segment_extents(seg0), &[(0, 3), (5, 7)]);
         assert_eq!(s.segment_extents(seg1), &[(5, 7)]);
+    }
+
+    #[test]
+    fn displace_batch_moves_across_rows_and_undoes() {
+        let (d, a, b, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap();
+        s.place(&d, c, SitePoint::new(10, 0)).unwrap();
+        // Swap a to row 3, remove b, leave c listed but in place.
+        let undo = s
+            .displace_batch(
+                &d,
+                &[
+                    (a, Some(SitePoint::new(0, 3))),
+                    (b, None),
+                    (c, Some(SitePoint::new(10, 0))),
+                ],
+            )
+            .unwrap();
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 3)));
+        assert!(!s.is_placed(b));
+        assert_eq!(s.position(c), Some(SitePoint::new(10, 0)));
+        undo.rollback(&d, &mut s).unwrap();
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
+        assert_eq!(s.position(b), Some(SitePoint::new(5, 0)));
+        assert_eq!(s.position(c), Some(SitePoint::new(10, 0)));
+        // Segment lists reflect the restored configuration.
+        let seg0 = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(s.segment_cells(seg0), &[a, b, c]);
+    }
+
+    #[test]
+    fn displace_batch_swaps_within_one_batch() {
+        let (d, a, _, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, c, SitePoint::new(4, 0)).unwrap();
+        // a(3 wide) and c(4 wide) trade ends; as sequential moves either
+        // order would collide, but the batch lifts both first.
+        s.displace_batch(
+            &d,
+            &[
+                (a, Some(SitePoint::new(5, 0))),
+                (c, Some(SitePoint::new(0, 0))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.position(a), Some(SitePoint::new(5, 0)));
+        assert_eq!(s.position(c), Some(SitePoint::new(0, 0)));
+    }
+
+    #[test]
+    fn displace_batch_failure_restores_everything() {
+        let (d, a, b, c, _) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(5, 0)).unwrap();
+        s.place(&d, c, SitePoint::new(10, 0)).unwrap();
+        // b's destination overlaps c (untouched), so the batch must fail
+        // and leave the state exactly as it was — including a, whose own
+        // destination was fine and had already been applied.
+        let err = s
+            .displace_batch(
+                &d,
+                &[
+                    (a, Some(SitePoint::new(16, 2))),
+                    (b, Some(SitePoint::new(9, 0))),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Overlap { .. }), "{err}");
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
+        assert_eq!(s.position(b), Some(SitePoint::new(5, 0)));
+        assert_eq!(s.position(c), Some(SitePoint::new(10, 0)));
+        let seg0 = s.segment_at(&d, 0, 0).unwrap();
+        assert_eq!(s.segment_cells(seg0), &[a, b, c]);
+        assert_eq!(s.segment_extents(seg0), &[(0, 3), (5, 7), (10, 14)]);
+    }
+
+    #[test]
+    fn displace_batch_rejects_duplicates() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(0, 0)).unwrap();
+        let err = s
+            .displace_batch(
+                &d,
+                &[
+                    (a, Some(SitePoint::new(2, 0))),
+                    (a, Some(SitePoint::new(4, 0))),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)));
+        assert_eq!(s.position(a), Some(SitePoint::new(0, 0)));
     }
 
     #[test]

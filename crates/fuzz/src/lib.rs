@@ -21,16 +21,83 @@ pub mod matrix;
 pub mod scenario;
 pub mod shrink;
 
-pub use matrix::{run_matrix, DiscrepancyKind, Fault, MatrixOptions};
+pub use matrix::{run_matrix, run_stats, DiscrepancyKind, Fault, MatrixOptions};
 pub use scenario::{Scenario, ScenarioCell};
 pub use shrink::{shrink, ShrinkStats};
 
 use mrl_bench::json::Json;
+use mrl_legalize::CellOrder;
 use mrl_synth::{generate_witness, WitnessConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// The generator regime: how hard the synthesized cases lean on the
+/// legalizer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// The heuristic-complete envelope: utilization 0.5–0.78 and
+    /// area-descending visit order, where MLL plus random-offset retries
+    /// alone place everything. This is the historical regime; escalation
+    /// never engages here, so results are bit-identical with tiers off.
+    #[default]
+    Baseline,
+    /// The escalated envelope: utilization 0.80–0.92 and per-case visit
+    /// orders beyond area-descending (by-x, input order). Cases in this
+    /// regime routinely exceed what the bare heuristic can place and rely
+    /// on the escalation ladder for 100% placement; the matrix gets a
+    /// wider displacement allowance since ripple/repack moves placed
+    /// cells.
+    Dense,
+}
+
+impl Regime {
+    /// Stable lower-snake slug for corpus metadata.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Regime::Baseline => "baseline",
+            Regime::Dense => "dense",
+        }
+    }
+
+    /// Parses a slug back (corpus replay).
+    pub fn from_slug(s: &str) -> Option<Self> {
+        [Regime::Baseline, Regime::Dense]
+            .into_iter()
+            .find(|r| r.slug() == s)
+    }
+
+    /// The displacement-slack factor this regime grants the matrix.
+    fn disp_slack(self) -> f64 {
+        match self {
+            Regime::Baseline => 4.0,
+            Regime::Dense => 8.0,
+        }
+    }
+}
+
+/// Stable slug for a cell visit order (corpus metadata).
+pub fn order_slug(order: CellOrder) -> &'static str {
+    match order {
+        CellOrder::Input => "input",
+        CellOrder::ByX => "by_x",
+        CellOrder::ByAreaDesc => "by_area_desc",
+        CellOrder::Shuffled => "shuffled",
+    }
+}
+
+/// Parses a visit-order slug back (corpus replay).
+pub fn order_from_slug(s: &str) -> Option<CellOrder> {
+    [
+        CellOrder::Input,
+        CellOrder::ByX,
+        CellOrder::ByAreaDesc,
+        CellOrder::Shuffled,
+    ]
+    .into_iter()
+    .find(|&o| order_slug(o) == s)
+}
 
 /// Configuration of one fuzzing campaign. The seed is mandatory
 /// (deterministic replay is the whole point); everything else has
@@ -53,6 +120,8 @@ pub struct FuzzConfig {
     pub fault: Option<Fault>,
     /// Cross-check the Abacus/Tetris baselines.
     pub baselines: bool,
+    /// Generator regime (utilization envelope and visit orders).
+    pub regime: Regime,
 }
 
 impl FuzzConfig {
@@ -67,6 +136,7 @@ impl FuzzConfig {
             shrink_budget: 400,
             fault: None,
             baselines: true,
+            regime: Regime::Baseline,
         }
     }
 
@@ -97,6 +167,19 @@ impl FuzzConfig {
     /// Returns `self` with an injected fault (harness self-test).
     pub fn with_fault(mut self, fault: Fault) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Returns `self` with the generator regime replaced.
+    pub fn with_regime(mut self, regime: Regime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// Returns `self` with the per-failure shrink budget replaced (0
+    /// skips shrinking — useful for self-tests that only count failures).
+    pub fn with_shrink_budget(mut self, budget: u32) -> Self {
+        self.shrink_budget = budget;
         self
     }
 }
@@ -232,11 +315,22 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// Varies the witness shape per case so the campaign covers sparse and
-/// dense, flat and tall, open and macro-blocked instances.
-fn case_config(case_seed: u64, max_cells: usize, rng: &mut SmallRng) -> WitnessConfig {
+/// dense, flat and tall, open and macro-blocked instances. The regime
+/// picks the utilization envelope: the baseline band is what the bare
+/// heuristic handles, the dense band requires the escalation ladder.
+fn case_config(
+    case_seed: u64,
+    max_cells: usize,
+    regime: Regime,
+    rng: &mut SmallRng,
+) -> WitnessConfig {
+    let utilization = match regime {
+        Regime::Baseline => rng.gen_range(0.5..=0.78),
+        Regime::Dense => rng.gen_range(0.80..=0.92),
+    };
     let mut cfg = WitnessConfig::new(case_seed)
         .with_cells(rng.gen_range(12..=max_cells))
-        .with_utilization(rng.gen_range(0.5..=0.78))
+        .with_utilization(utilization)
         .with_shift(f64::from(rng.gen_range(1i32..=5)), rng.gen_range(0.5..=2.0));
     cfg.double_fraction = rng.gen_range(0.05..=0.30);
     cfg.tall_fraction = if rng.gen_bool(0.2) {
@@ -248,6 +342,21 @@ fn case_config(case_seed: u64, max_cells: usize, rng: &mut SmallRng) -> WitnessC
         cfg = cfg.with_macros(rng.gen_range(1usize..=3));
     }
     cfg
+}
+
+/// Per-case visit order. The baseline regime pins the area-descending
+/// order its completeness guarantee is stated for; the dense regime also
+/// samples the orders that deadlock the bare heuristic at high
+/// utilization, because the escalation ladder must make them complete.
+fn case_order(regime: Regime, rng: &mut SmallRng) -> CellOrder {
+    match regime {
+        Regime::Baseline => CellOrder::ByAreaDesc,
+        Regime::Dense => match rng.gen_range(0u8..3) {
+            0 => CellOrder::ByAreaDesc,
+            1 => CellOrder::ByX,
+            _ => CellOrder::Input,
+        },
+    }
 }
 
 /// Runs a fuzzing campaign.
@@ -271,7 +380,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         }
         let case_seed = splitmix64(cfg.seed.wrapping_add(u64::from(case)));
         let mut rng = SmallRng::seed_from_u64(case_seed);
-        let wcfg = case_config(case_seed, cfg.max_cells, &mut rng);
+        let wcfg = case_config(case_seed, cfg.max_cells, cfg.regime, &mut rng);
+        let order = case_order(cfg.regime, &mut rng);
         let witness = match generate_witness(&wcfg) {
             Ok(w) => w,
             Err(e) => {
@@ -284,6 +394,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let mut opts = MatrixOptions::new(case_seed);
         opts.baselines = cfg.baselines;
         opts.fault = cfg.fault;
+        opts.order = order;
+        opts.disp_slack = cfg.regime.disp_slack();
         let discrepancies = run_matrix(&scenario, &opts);
         report.cases_run += 1;
         if discrepancies.is_empty() {
@@ -299,6 +411,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 ("master_seed", cfg.seed.to_string()),
                 ("case_seed", case_seed.to_string()),
                 ("legalizer_seed", opts.legalizer_seed.to_string()),
+                ("regime", cfg.regime.slug().to_string()),
+                ("order", order_slug(opts.order).to_string()),
                 ("detail", discrepancies[0].detail.clone()),
             ];
             // Failure-reason histogram and per-phase span totals of one
@@ -325,6 +439,42 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     report
 }
 
+/// Rebuilds a corpus fixture's scenario plus the [`MatrixOptions`] its
+/// `meta.txt` records (seed, regime, visit order). Faults are never
+/// re-injected: a committed reproducer must encode a *real* failure, and
+/// fault-injected fixtures are filtered out before commit (see
+/// `mrl fuzz --inject-bug` docs).
+fn read_corpus_scenario(dir: &std::path::Path) -> Result<(Scenario, MatrixOptions), String> {
+    let (scenario, meta) = Scenario::read_corpus(dir)?;
+    let lookup = |k: &str| meta.iter().find(|(mk, _)| mk == k).map(|(_, v)| v.clone());
+    let legalizer_seed = lookup("legalizer_seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut opts = MatrixOptions::new(legalizer_seed);
+    // Honor the recorded regime and visit order so the reproducer replays
+    // under the configuration that originally failed.
+    if let Some(regime) = lookup("regime").and_then(|v| Regime::from_slug(&v)) {
+        opts.disp_slack = regime.disp_slack();
+    }
+    if let Some(order) = lookup("order").and_then(|v| order_from_slug(&v)) {
+        opts.order = order;
+    }
+    opts.fault = None;
+    Ok((scenario, opts))
+}
+
+/// Replays one corpus fixture with the reference sequential configuration
+/// and returns the run's [`mrl_legalize::LegalizeStats`] — the escalation
+/// counters let fixture tests assert which tier a reproducer exercises.
+///
+/// # Errors
+///
+/// Fixture parsing problems, or the legalizer failing to place every cell.
+pub fn replay_corpus_stats(dir: &std::path::Path) -> Result<mrl_legalize::LegalizeStats, String> {
+    let (scenario, opts) = read_corpus_scenario(dir)?;
+    run_stats(&scenario, &opts)
+}
+
 /// Replays one corpus fixture directory: rebuilds the scenario and runs the
 /// full matrix with the recorded legalizer seed, with no fault injected.
 /// Returns the discrepancies (empty = the bug is fixed / stays fixed).
@@ -333,16 +483,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
 ///
 /// Fixture parsing problems (not discrepancies).
 pub fn replay_corpus_case(dir: &std::path::Path) -> Result<Vec<matrix::Discrepancy>, String> {
-    let (scenario, meta) = Scenario::read_corpus(dir)?;
-    let lookup = |k: &str| meta.iter().find(|(mk, _)| mk == k).map(|(_, v)| v.clone());
-    let legalizer_seed = lookup("legalizer_seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let mut opts = MatrixOptions::new(legalizer_seed);
-    // Replays never re-inject faults: a committed reproducer must encode a
-    // *real* failure, and fault-injected fixtures are filtered out before
-    // commit (see `mrl fuzz --inject-bug` docs).
-    opts.fault = None;
+    let (scenario, opts) = read_corpus_scenario(dir)?;
     // Corpus reloads have no witness, so the displacement bound and
     // witness-feasibility reasoning still hold (the design was legal when
     // captured); kinds that need the witness simply cannot re-fire, which

@@ -24,7 +24,9 @@
 use crate::scenario::Scenario;
 use mrl_baselines::{AbacusLegalizer, TetrisLegalizer};
 use mrl_db::{Design, PlacementState};
-use mrl_legalize::{CellOrder, Legalizer, LegalizerConfig, NoopSink, PowerRailMode};
+use mrl_legalize::{
+    CellOrder, EscalationConfig, LegalizeStats, Legalizer, LegalizerConfig, NoopSink, PowerRailMode,
+};
 use mrl_metrics::{check_legal, RailCheck};
 use std::fmt;
 
@@ -37,6 +39,11 @@ pub enum Fault {
     /// Emulates an off-by-one realize shift in the exhaustive (no-prune)
     /// search: the last placed cell's x is reported one site off.
     NoPruneOffByOne,
+    /// Disables every escalation tier in all matrix configurations. Under
+    /// the dense regime this must produce `LegalizeFailed` discrepancies —
+    /// the self-test proving the dense matrix actually depends on the
+    /// tiers (and would catch their regressions).
+    TiersDisabled,
 }
 
 /// Configuration of one matrix run.
@@ -63,6 +70,10 @@ pub struct MatrixOptions {
     pub baselines: bool,
     /// Optional injected fault (harness self-test only).
     pub fault: Option<Fault>,
+    /// Escalation ladder handed to every legalizer config in the matrix.
+    /// Enabled by default — the dense regime is only heuristic-complete
+    /// with the tiers engaged; [`Fault::TiersDisabled`] overrides this.
+    pub escalation: EscalationConfig,
 }
 
 impl MatrixOptions {
@@ -77,6 +88,7 @@ impl MatrixOptions {
             order: CellOrder::ByAreaDesc,
             baselines: true,
             fault: None,
+            escalation: EscalationConfig::default(),
         }
     }
 }
@@ -167,10 +179,16 @@ impl fmt::Display for Discrepancy {
 }
 
 fn base_config(opts: &MatrixOptions) -> LegalizerConfig {
+    let escalation = if opts.fault == Some(Fault::TiersDisabled) {
+        EscalationConfig::disabled()
+    } else {
+        opts.escalation
+    };
     LegalizerConfig::paper()
         .with_seed(opts.legalizer_seed)
         .with_order(opts.order)
         .with_max_retries(opts.max_retries)
+        .with_escalation(escalation)
 }
 
 /// Movable-cell placements in cell-index order; `None` entries are
@@ -441,6 +459,24 @@ pub fn reproduces(scenario: &Scenario, opts: &MatrixOptions, kind: DiscrepancyKi
     run_matrix(scenario, opts).iter().any(|d| d.kind == kind)
 }
 
+/// Runs the reference sequential configuration once and returns its
+/// [`LegalizeStats`] — used by committed corpus fixtures that assert
+/// *which* escalation tier solved them, not just that they replay clean.
+///
+/// # Errors
+///
+/// The scenario failing to rebuild or the legalizer failing to place
+/// every cell, as a human-readable string.
+pub fn run_stats(scenario: &Scenario, opts: &MatrixOptions) -> Result<LegalizeStats, String> {
+    let design = scenario
+        .build()
+        .map_err(|e| format!("scenario failed to build: {e}"))?;
+    let mut state = PlacementState::new(&design);
+    Legalizer::new(base_config(opts))
+        .legalize(&design, &mut state)
+        .map_err(|e| format!("legalization failed: {e}"))
+}
+
 /// One diagnostic sequential run over a (typically shrunk) scenario,
 /// summarized as `(fail_reasons, phase_totals)` strings for the corpus
 /// `meta.txt`. Uses the traced driver so the failure-reason tallies and
@@ -454,17 +490,26 @@ pub fn run_diagnostics(scenario: &Scenario, opts: &MatrixOptions) -> Option<(Str
         Legalizer::new(base_config(opts)).legalize_traced(&design, &mut state, &mut NoopSink);
     let f = stats.fail_counts;
     let fail_reasons = format!(
-        "no_insertion_point={} retry_budget_exhausted={} region_extraction_empty={}",
-        f.no_insertion_point, f.retry_budget_exhausted, f.region_extraction_empty
+        "no_insertion_point={} retry_budget_exhausted={} region_extraction_empty={} \
+         escalation_exhausted={}",
+        f.no_insertion_point,
+        f.retry_budget_exhausted,
+        f.region_extraction_empty,
+        f.escalation_exhausted
     );
     let p = stats.phases;
+    let e = stats.escalation;
     let phase_totals = format!(
-        "extract={:.6}s enumerate={:.6}s evaluate={:.6}s realize={:.6}s retry={:.6}s",
+        "extract={:.6}s enumerate={:.6}s evaluate={:.6}s realize={:.6}s retry={:.6}s \
+         escalate={:.6}s escalation_engaged={} escalation_placed={}",
         p.extract.as_secs_f64(),
         p.enumerate.as_secs_f64(),
         p.evaluate.as_secs_f64(),
         p.realize.as_secs_f64(),
-        p.retry.as_secs_f64()
+        p.retry.as_secs_f64(),
+        p.escalate.as_secs_f64(),
+        e.engaged,
+        e.placed()
     );
     Some((fail_reasons, phase_totals))
 }

@@ -1,0 +1,41 @@
+//! The dense-regime acceptance campaign (ROADMAP item 1): utilization
+//! 0.80–0.92, visit orders beyond area-descending, escalation tiers
+//! engaged. Deterministic — a failure replays with
+//! `mrl fuzz --seed 0 --iters 25 --regime dense`.
+
+use mrl_fuzz::{fuzz, Fault, FuzzConfig, Regime};
+
+fn dense_cfg() -> FuzzConfig {
+    FuzzConfig::new(0)
+        .with_iters(25)
+        .with_max_cells(80)
+        .with_regime(Regime::Dense)
+}
+
+/// Every dense case must reach 100% placement (the witness proves
+/// feasibility), pass the independent legality checker, and stay
+/// bit-identical across thread counts and with pruning disabled — the
+/// full matrix, at utilizations the bare heuristic cannot handle.
+#[test]
+fn dense_seed0_campaign_is_clean() {
+    let report = fuzz(&dense_cfg());
+    assert!(report.clean(), "{}", report.summary());
+    assert_eq!(report.cases_run, 25);
+}
+
+/// The self-test proving the dense matrix actually exercises the
+/// escalation tiers: with every tier disabled, the same campaign must
+/// catch placement failures. If this stops failing, the dense regime has
+/// silently degraded into one the bare heuristic can solve — and would
+/// no longer guard the tiers against regressions.
+#[test]
+fn dense_without_tiers_is_caught() {
+    let cfg = dense_cfg()
+        .with_fault(Fault::TiersDisabled)
+        .with_shrink_budget(0);
+    let report = fuzz(&cfg);
+    assert!(
+        !report.clean(),
+        "dense regime no longer depends on escalation tiers"
+    );
+}

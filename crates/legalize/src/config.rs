@@ -51,6 +51,128 @@ pub enum CellOrder {
     Shuffled,
 }
 
+/// Tuning knobs of the escalation ladder that engages when the MLL +
+/// random-offset retry loop keeps failing a cell (ROADMAP item 1: break
+/// the 0.78-utilization ceiling).
+///
+/// The ladder has three tiers, each individually switchable:
+///
+/// 1. **Ripple chains** — bounded-depth chains of displacements of
+///    already-placed cells, applied transactionally and rolled back in
+///    full when the chain fails or exceeds its displacement budget.
+/// 2. **Height-binned repack** — rip up a congested subwindow and
+///    re-insert its cells per height class, tallest first (the
+///    `MultirowAbacus` idea), all-or-nothing.
+/// 3. **ILP-local** — a window MILP on an enlarged frozen neighborhood
+///    for the last residue cells.
+///
+/// All tiers are RNG-free and run from the deterministic retry loop, so
+/// the pipeline stays bit-identical across thread counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EscalationConfig {
+    /// Master switch. When `false`, the retry loop behaves exactly as it
+    /// did before escalation existed (bit-identical output).
+    pub enabled: bool,
+    /// Retry round at which the ladder first engages for still-failing
+    /// cells, and the period at which it re-engages afterwards. Small
+    /// enough that dense designs escalate before the random offsets
+    /// saturate the floorplan, large enough that easy cells never pay
+    /// for it.
+    pub after_rounds: u32,
+    /// Tier 1 switch.
+    pub ripple: bool,
+    /// Maximum ripple chain depth (1 = displace direct victims only).
+    pub ripple_depth: u32,
+    /// Victim candidates considered per chain link.
+    pub ripple_candidates: usize,
+    /// Budget on the total Manhattan displacement (sites + rows) a chain
+    /// may inflict on already-placed cells; chains over budget roll back.
+    pub ripple_max_disp: i64,
+    /// Tier 2 switch.
+    pub repack: bool,
+    /// Subwindow scale for the repack, as a multiple of (`rx`, `ry`).
+    pub repack_scale: i32,
+    /// Skip repack when the subwindow holds more placed cells than this
+    /// (rip-up cost is quadratic-ish in window population).
+    pub repack_max_cells: usize,
+    /// Tier 3 switch.
+    pub ilp: bool,
+    /// Window scale for the ILP neighborhood, as a multiple of
+    /// (`rx`, `ry`).
+    pub ilp_scale: i32,
+    /// Skip the MILP when the enlarged region holds more cells than this
+    /// (keeps the branch-and-bound over disjunction binaries tractable).
+    pub ilp_max_cells: usize,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            after_rounds: 8,
+            ripple: true,
+            ripple_depth: 2,
+            ripple_candidates: 8,
+            ripple_max_disp: 70,
+            repack: true,
+            repack_scale: 2,
+            repack_max_cells: 48,
+            ilp: true,
+            ilp_scale: 2,
+            ilp_max_cells: 64,
+        }
+    }
+}
+
+impl EscalationConfig {
+    /// A fully disabled ladder: the retry loop is byte-for-byte the
+    /// pre-escalation algorithm.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any tier can run.
+    pub const fn engages(&self) -> bool {
+        self.enabled && (self.ripple || self.repack || self.ilp)
+    }
+
+    /// Returns `self` with the engagement round/period replaced.
+    pub fn with_after_rounds(mut self, after_rounds: u32) -> Self {
+        self.after_rounds = after_rounds.max(1);
+        self
+    }
+
+    /// Returns `self` with individual tiers switched on or off.
+    pub fn with_tiers(mut self, ripple: bool, repack: bool, ilp: bool) -> Self {
+        self.ripple = ripple;
+        self.repack = repack;
+        self.ilp = ilp;
+        self
+    }
+
+    /// Returns `self` with the ripple displacement budget replaced.
+    pub fn with_ripple_max_disp(mut self, ripple_max_disp: i64) -> Self {
+        self.ripple_max_disp = ripple_max_disp;
+        self
+    }
+}
+
+impl fmt::Display for EscalationConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.enabled {
+            return write!(f, "off");
+        }
+        write!(
+            f,
+            "after={} ripple={} repack={} ilp={}",
+            self.after_rounds, self.ripple, self.repack, self.ilp
+        )
+    }
+}
+
 /// Tuning knobs of the MLL legalizer.
 ///
 /// The defaults replicate the paper's implementation: `Rx = 30`, `Ry = 5`,
@@ -89,6 +211,10 @@ pub struct LegalizerConfig {
     /// is validated against and for before/after measurement. Both paths
     /// extract bit-identical regions, so this knob never changes results.
     pub spatial_index: bool,
+    /// Escalation ladder engaged when the retry loop keeps failing a cell
+    /// (enabled by default; [`EscalationConfig::disabled`] restores the
+    /// pre-escalation retry loop bit-for-bit).
+    pub escalation: EscalationConfig,
 }
 
 impl Default for LegalizerConfig {
@@ -104,6 +230,7 @@ impl Default for LegalizerConfig {
             max_insertion_points: usize::MAX,
             prune: true,
             spatial_index: true,
+            escalation: EscalationConfig::default(),
         }
     }
 }
@@ -165,20 +292,27 @@ impl LegalizerConfig {
         self.max_retry_iters = max_retry_iters;
         self
     }
+
+    /// Returns `self` with the escalation ladder replaced.
+    pub fn with_escalation(mut self, escalation: EscalationConfig) -> Self {
+        self.escalation = escalation;
+        self
+    }
 }
 
 impl fmt::Display for LegalizerConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Rx={} Ry={} rails={:?} eval={:?} order={:?} prune={} index={}",
+            "Rx={} Ry={} rails={:?} eval={:?} order={:?} prune={} index={} escalation=[{}]",
             self.rx,
             self.ry,
             self.rail_mode,
             self.eval_mode,
             self.order,
             self.prune,
-            self.spatial_index
+            self.spatial_index,
+            self.escalation
         )
     }
 }
@@ -224,5 +358,21 @@ mod tests {
         let s = LegalizerConfig::default().to_string();
         assert!(s.contains("Rx=30"));
         assert!(s.contains("Ry=5"));
+        assert!(s.contains("escalation=[after=8"));
+    }
+
+    #[test]
+    fn escalation_defaults_and_switches() {
+        let e = EscalationConfig::default();
+        assert!(e.enabled && e.ripple && e.repack && e.ilp);
+        assert!(e.engages());
+        assert!(!EscalationConfig::disabled().engages());
+        assert!(!e.with_tiers(false, false, false).engages());
+        assert_eq!(EscalationConfig::disabled().to_string(), "off");
+        // The period floor: 0 would divide-by-zero the engagement check.
+        assert_eq!(e.with_after_rounds(0).after_rounds, 1);
+        let c = LegalizerConfig::default().with_escalation(EscalationConfig::disabled());
+        assert!(!c.escalation.enabled);
+        assert!(c.to_string().contains("escalation=[off]"));
     }
 }

@@ -13,7 +13,9 @@ use crate::scratch::ScratchArena;
 use crate::timing::{Phase, PhaseTimes};
 use mrl_db::{CellId, DbError, Design, PlacementState};
 use mrl_geom::SitePoint;
-use mrl_trace::{AttemptOutcome, AttemptRecord, FailCounts, FailReason, NoopSink, Sink};
+use mrl_trace::{
+    AttemptOutcome, AttemptRecord, EscalationCounters, FailCounts, FailReason, NoopSink, Sink,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -56,6 +58,10 @@ pub struct LegalizeStats {
     /// times contributes 3); `retry_budget_exhausted` counts *cells* still
     /// unplaced when the retry budget ran out.
     pub fail_counts: FailCounts,
+    /// Escalation-tier engagement and success counters (see
+    /// [`crate::EscalationConfig`]). All zero when escalation never
+    /// engaged.
+    pub escalation: EscalationCounters,
 }
 
 /// Error returned when legalization cannot complete.
@@ -453,7 +459,41 @@ impl Legalizer {
                     k,
                 ) {
                     Ok(None) => {}
-                    Ok(Some(reason)) => still.push((cell, reason)),
+                    Ok(Some(reason)) => {
+                        // Escalation ladder: engage every `after_rounds`-th
+                        // round, *after* the normal random-offset attempt so
+                        // the RNG stream stays aligned with escalation-off
+                        // runs (bit-identical behavior below the engagement
+                        // threshold).
+                        let esc = &self.cfg.escalation;
+                        let engage = esc.engages()
+                            && k >= esc.after_rounds
+                            && k.is_multiple_of(esc.after_rounds);
+                        let escalated = if engage {
+                            self.escalate_cell(design, state, cell, stats, arena, sink, k)
+                        } else {
+                            Ok(false)
+                        };
+                        match escalated {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                let reason = if engage {
+                                    stats.fail_counts.record(FailReason::EscalationExhausted);
+                                    FailReason::EscalationExhausted
+                                } else {
+                                    reason
+                                };
+                                still.push((cell, reason));
+                            }
+                            Err(e) => {
+                                if S::ENABLED {
+                                    sink.end(Phase::Retry);
+                                }
+                                stats.phases.stop(Phase::Retry, probe);
+                                return Err(e);
+                            }
+                        }
+                    }
                     Err(e) => {
                         if S::ENABLED {
                             sink.end(Phase::Retry);

@@ -58,6 +58,7 @@
 mod config;
 mod detailed;
 mod enumerate;
+mod escalate;
 mod evaluate;
 mod interval;
 mod legalizer;
@@ -69,12 +70,13 @@ pub mod region;
 mod scratch;
 pub mod timing;
 
-pub use config::{CellOrder, EvalMode, LegalizerConfig, PowerRailMode};
+pub use config::{CellOrder, EscalationConfig, EvalMode, LegalizerConfig, PowerRailMode};
 pub use detailed::{DetailedConfig, DetailedPlacer, DetailedStats};
 pub use enumerate::{
     enumerate_insertion_points, find_best_insertion_point, find_best_insertion_point_in,
     find_best_insertion_point_timed, find_best_insertion_point_traced, InsertionPoint,
 };
+pub use escalate::{ilp_place_window, solve_window_milp};
 pub use evaluate::{evaluate, evaluate_exact, Evaluation, TargetSpec};
 pub use interval::InsInterval;
 pub use legalizer::{LegalizeError, LegalizeStats, Legalizer};
@@ -85,8 +87,8 @@ pub use mll::{
 // Structured-event layer (see the `mrl-trace` crate): the sink trait, the
 // concrete sinks, and the failure taxonomy used across the drivers.
 pub use mrl_trace::{
-    AttemptOutcome, AttemptRecord, FailCounts, FailReason, MetricsSummary, NoopSink, RingSink,
-    Sink, TraceBuf, TraceEvent,
+    AttemptOutcome, AttemptRecord, EscalationCounters, FailCounts, FailReason, MetricsSummary,
+    NoopSink, RingSink, Sink, TraceBuf, TraceEvent,
 };
 pub use realize::{realize, Realization};
 pub use refine::{refine_rows, RefineStats};

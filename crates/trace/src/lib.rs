@@ -43,5 +43,5 @@ mod sink;
 
 pub use metrics::{Hist, MetricsSummary};
 pub use phase::{Phase, PhaseTimes};
-pub use record::{AttemptOutcome, AttemptRecord, FailCounts, FailReason};
+pub use record::{AttemptOutcome, AttemptRecord, EscalationCounters, FailCounts, FailReason};
 pub use sink::{NoopSink, RingSink, Sink, TraceBuf, TraceEvent};

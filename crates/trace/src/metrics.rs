@@ -3,7 +3,7 @@
 //! `BENCH_legalize.json`, and `mrl report`.
 
 use crate::phase::{Phase, PhaseTimes};
-use crate::record::{AttemptOutcome, FailCounts, FailReason};
+use crate::record::{AttemptOutcome, EscalationCounters, FailCounts, FailReason};
 use crate::sink::TraceBuf;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -120,6 +120,8 @@ pub struct MetricsSummary {
     pub residue: u64,
     /// Failed-attempt tally by reason.
     pub fail_counts: FailCounts,
+    /// Escalation-tier tally (all zero when escalation never engaged).
+    pub escalation: EscalationCounters,
     /// Attempt records observed in the trace.
     pub attempts: u64,
     /// Trace events recorded.
@@ -212,7 +214,12 @@ impl MetricsSummary {
             ("realize_calls", self.phases.realize_calls),
             ("combos_generated", self.phases.combos_generated),
         ];
-        for (i, (k, v)) in counters.into_iter().enumerate() {
+        for (i, (k, v)) in counters
+            .into_iter()
+            .chain([("escalate_calls", self.phases.escalate_calls)])
+            .chain(self.escalation.entries())
+            .enumerate()
+        {
             if i > 0 {
                 out.push_str(", ");
             }
@@ -362,6 +369,10 @@ mod tests {
         assert!(json.contains("\"design\": \"t\\\"est\""));
         assert!(json.contains("\"no_insertion_point\": 1"));
         assert!(json.contains("\"retry_budget_exhausted\": 0"));
+        assert!(json.contains("\"escalation_exhausted\": 0"));
+        assert!(json.contains("\"escalation_engaged\": 0"));
+        assert!(json.contains("\"ilp_placed\": 0"));
+        assert!(json.contains("\"escalate_calls\": 0"));
         assert!(json.contains("\"displacement_sites\""));
         assert!(json.contains("\"extract_s\""));
         // Braces balance (cheap well-formedness check; the real parse

@@ -31,16 +31,20 @@ pub enum Phase {
     /// The driver's random-offset retry loop (wall time of whole rounds;
     /// overlaps the other four phases).
     Retry,
+    /// The escalation ladder (ripple chains / height-binned repack /
+    /// ILP-local) run for one target cell; nested inside `retry`.
+    Escalate,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Extract,
         Phase::Enumerate,
         Phase::Evaluate,
         Phase::Realize,
         Phase::Retry,
+        Phase::Escalate,
     ];
 
     /// Stable lowercase name (used as the span name in trace exports).
@@ -51,6 +55,7 @@ impl Phase {
             Phase::Evaluate => "evaluate",
             Phase::Realize => "realize",
             Phase::Retry => "retry",
+            Phase::Escalate => "escalate",
         }
     }
 }
@@ -84,6 +89,10 @@ pub struct PhaseTimes {
     pub retry: Duration,
     /// Retry rounds timed.
     pub retry_rounds: u64,
+    /// Wall time inside the escalation ladder (subset of `retry`).
+    pub escalate: Duration,
+    /// Escalation pipeline invocations (one per escalated target cell).
+    pub escalate_calls: u64,
     /// Valid insertion-point combinations the scanline generated.
     ///
     /// Unlike the wall-clock fields, the three combo counters record even
@@ -149,6 +158,10 @@ impl PhaseTimes {
                 self.retry += dt;
                 self.retry_rounds += 1;
             }
+            Phase::Escalate => {
+                self.escalate += dt;
+                self.escalate_calls += 1;
+            }
         }
     }
 
@@ -169,6 +182,8 @@ impl PhaseTimes {
         self.realize_calls += other.realize_calls;
         self.retry += other.retry;
         self.retry_rounds += other.retry_rounds;
+        self.escalate += other.escalate;
+        self.escalate_calls += other.escalate_calls;
         self.combos_generated += other.combos_generated;
         self.combos_pruned += other.combos_pruned;
         self.combos_evaluated += other.combos_evaluated;
@@ -189,6 +204,7 @@ impl PhaseTimes {
             Phase::Evaluate => self.evaluate,
             Phase::Realize => self.realize,
             Phase::Retry => self.retry,
+            Phase::Escalate => self.escalate,
         }
     }
 
@@ -200,6 +216,7 @@ impl PhaseTimes {
             Phase::Evaluate => self.evaluate_calls,
             Phase::Realize => self.realize_calls,
             Phase::Retry => self.retry_rounds,
+            Phase::Escalate => self.escalate_calls,
         }
     }
 }
@@ -274,6 +291,7 @@ mod tests {
             evaluate: Duration::from_nanos(3),
             realize: Duration::from_nanos(4),
             retry: Duration::from_nanos(5),
+            escalate: Duration::from_nanos(6),
             ..PhaseTimes::default()
         };
         by_field.enabled = true;

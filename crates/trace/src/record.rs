@@ -18,14 +18,18 @@ pub enum FailReason {
     /// the window is fully covered by frozen cells or blockages, or the
     /// window is shorter than the target.
     RegionExtractionEmpty,
+    /// The full escalation ladder (ripple chains, height-binned repack,
+    /// ILP-local) ran for this cell and none of the tiers placed it.
+    EscalationExhausted,
 }
 
 impl FailReason {
     /// Every reason, in display order.
-    pub const ALL: [FailReason; 3] = [
+    pub const ALL: [FailReason; 4] = [
         FailReason::NoInsertionPoint,
         FailReason::RetryBudgetExhausted,
         FailReason::RegionExtractionEmpty,
+        FailReason::EscalationExhausted,
     ];
 
     /// Stable kebab-case code for reports and JSON keys (with `_`
@@ -35,6 +39,7 @@ impl FailReason {
             FailReason::NoInsertionPoint => "no-insertion-point",
             FailReason::RetryBudgetExhausted => "retry-budget-exhausted",
             FailReason::RegionExtractionEmpty => "region-extraction-empty",
+            FailReason::EscalationExhausted => "escalation-exhausted",
         }
     }
 }
@@ -59,6 +64,8 @@ pub struct FailCounts {
     pub retry_budget_exhausted: u64,
     /// Attempts whose extraction window contained no free segment.
     pub region_extraction_empty: u64,
+    /// Escalation pipeline runs that left the target cell unplaced.
+    pub escalation_exhausted: u64,
 }
 
 impl FailCounts {
@@ -68,6 +75,7 @@ impl FailCounts {
             FailReason::NoInsertionPoint => self.no_insertion_point += 1,
             FailReason::RetryBudgetExhausted => self.retry_budget_exhausted += 1,
             FailReason::RegionExtractionEmpty => self.region_extraction_empty += 1,
+            FailReason::EscalationExhausted => self.escalation_exhausted += 1,
         }
     }
 
@@ -77,6 +85,7 @@ impl FailCounts {
             FailReason::NoInsertionPoint => self.no_insertion_point,
             FailReason::RetryBudgetExhausted => self.retry_budget_exhausted,
             FailReason::RegionExtractionEmpty => self.region_extraction_empty,
+            FailReason::EscalationExhausted => self.escalation_exhausted,
         }
     }
 
@@ -90,6 +99,64 @@ impl FailCounts {
         self.no_insertion_point += other.no_insertion_point;
         self.retry_budget_exhausted += other.retry_budget_exhausted;
         self.region_extraction_empty += other.region_extraction_empty;
+        self.escalation_exhausted += other.escalation_exhausted;
+    }
+}
+
+/// Per-run escalation-tier tally. `Copy` so `LegalizeStats` can stay
+/// `Copy`; merged in stripe order like [`FailCounts`] (every field is an
+/// independent sum, so the merge is associative and commutative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EscalationCounters {
+    /// Escalation pipeline invocations (one per escalated target cell).
+    pub engaged: u64,
+    /// Ripple chains attempted (tier 1), accepted or not.
+    pub ripple_chains: u64,
+    /// Cells placed by an accepted ripple chain.
+    pub ripple_placed: u64,
+    /// Ripple chains rolled back (failed to place, or displacement bound
+    /// exceeded).
+    pub ripple_rolled_back: u64,
+    /// Height-binned repack windows attempted (tier 2).
+    pub repack_windows: u64,
+    /// Cells placed by a successful repack.
+    pub repack_placed: u64,
+    /// ILP-local window solves attempted (tier 3).
+    pub ilp_solves: u64,
+    /// Cells placed by the ILP-local fallback.
+    pub ilp_placed: u64,
+}
+
+impl EscalationCounters {
+    /// Stable `(key, value)` rows for counter exports, in display order.
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
+        [
+            ("escalation_engaged", self.engaged),
+            ("ripple_chains", self.ripple_chains),
+            ("ripple_placed", self.ripple_placed),
+            ("ripple_rolled_back", self.ripple_rolled_back),
+            ("repack_windows", self.repack_windows),
+            ("repack_placed", self.repack_placed),
+            ("ilp_solves", self.ilp_solves),
+            ("ilp_placed", self.ilp_placed),
+        ]
+    }
+
+    /// Cells placed by any tier.
+    pub fn placed(&self) -> u64 {
+        self.ripple_placed + self.repack_placed + self.ilp_placed
+    }
+
+    /// Folds another tally into this one (stripe-result merging).
+    pub fn merge(&mut self, other: &EscalationCounters) {
+        self.engaged += other.engaged;
+        self.ripple_chains += other.ripple_chains;
+        self.ripple_placed += other.ripple_placed;
+        self.ripple_rolled_back += other.ripple_rolled_back;
+        self.repack_windows += other.repack_windows;
+        self.repack_placed += other.repack_placed;
+        self.ilp_solves += other.ilp_solves;
+        self.ilp_placed += other.ilp_placed;
     }
 }
 

@@ -46,6 +46,44 @@ fn every_corpus_fixture_replays_clean() {
     assert!(replayed >= 1, "corpus is empty — smoke fixture missing?");
 }
 
+/// The committed escalation fixtures must not only replay clean — they
+/// must keep exercising the tier they were committed to pin. If the
+/// heuristic improves enough that `dense_ripple_tier1` no longer
+/// escalates at all, or escalation tuning shifts `dense_ilp_tier3` down
+/// the ladder, these assertions fire and the fixture needs re-hunting
+/// (scan witness seeds for the wanted tier counters, then ddmin-shrink
+/// with an "ilp_placed >= 1"-style predicate) rather than silently
+/// guarding nothing.
+#[test]
+fn escalation_fixtures_exercise_their_committed_tier() {
+    let root = corpus_root();
+
+    let stats = mrl_fuzz::replay_corpus_stats(&root.join("dense_ripple_tier1"))
+        .expect("tier-1 fixture must legalize");
+    let esc = stats.escalation;
+    assert!(
+        esc.engaged >= 1,
+        "tier-1 fixture no longer escalates: {esc:?}"
+    );
+    assert!(
+        esc.ripple_placed >= 1,
+        "tier-1 fixture no longer solved by ripple chains: {esc:?}"
+    );
+    assert_eq!(
+        (esc.repack_placed, esc.ilp_placed),
+        (0, 0),
+        "tier-1 fixture escalated past ripple: {esc:?}"
+    );
+
+    let stats = mrl_fuzz::replay_corpus_stats(&root.join("dense_ilp_tier3"))
+        .expect("tier-3 fixture must legalize");
+    let esc = stats.escalation;
+    assert!(
+        esc.ilp_placed >= 1,
+        "tier-3 fixture no longer needs the ILP residue tier: {esc:?}"
+    );
+}
+
 #[test]
 fn corpus_fixtures_round_trip_through_scenario() {
     // The reproducer format itself must stay stable: read → rebuild →
