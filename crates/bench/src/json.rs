@@ -95,6 +95,57 @@ impl Json {
         out
     }
 
+    /// Single-line emission with no whitespace — the newline-delimited
+    /// JSON form the ECO serve protocol speaks. Object keys stay sorted,
+    /// so the output is byte-stable for equal values.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent + 1);
         let close = "  ".repeat(indent);
@@ -470,6 +521,23 @@ mod tests {
         assert!(Json::parse("\"open").is_err());
         assert!(Json::parse("{} extra").is_err());
         assert!(Json::parse("nulL").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let mut o = Json::obj();
+        o.set("id", 7u64)
+            .set("applied", true)
+            .set("edits", vec![1i64, 2])
+            .set("reject", Json::Null)
+            .set("note", "a\"b");
+        let line = o.compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"applied\":true,\"edits\":[1,2],\"id\":7,\"note\":\"a\\\"b\",\"reject\":null}"
+        );
+        assert_eq!(Json::parse(&line).unwrap(), o);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! mrl convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
 //! mrl fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
 //!              [--corpus DIR] [--json FILE] [--inject-bug]
+//! mrl serve    (--aux F | --lef F --def F) [--input FILE] [--listen ADDR]
+//!              [--check] [--budget N]
 //! ```
 //!
 //! The library surface ([`run`]) takes the argument vector and returns the
@@ -95,6 +97,10 @@ struct Opts {
     no_tiers: bool,
     trace: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
+    input: Option<PathBuf>,
+    listen: Option<String>,
+    check: bool,
+    budget: Option<i64>,
 }
 
 /// Parses a duration like `60`, `60s`, or `2m` (seconds by default).
@@ -160,6 +166,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--json" => o.json = Some(PathBuf::from(val("--json")?)),
             "--trace" => o.trace = Some(PathBuf::from(val("--trace")?)),
             "--metrics-json" => o.metrics_json = Some(PathBuf::from(val("--metrics-json")?)),
+            "--input" => o.input = Some(PathBuf::from(val("--input")?)),
+            "--listen" => o.listen = Some(val("--listen")?.clone()),
+            "--check" => o.check = true,
+            "--budget" => {
+                o.budget = Some(val("--budget")?.parse().map_err(|_| fail("bad --budget"))?)
+            }
             "--inject-bug" => o.inject_bug = true,
             "--regime" => o.regime = Some(val("--regime")?.clone()),
             "--no-tiers" => o.no_tiers = true,
@@ -770,7 +782,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             if let Some(slug) = &o.regime {
                 let regime = mrl_fuzz::Regime::from_slug(slug)
-                    .ok_or_else(|| fail(format!("unknown regime {slug} (baseline|dense)")))?;
+                    .ok_or_else(|| fail(format!("unknown regime {slug} (baseline|dense|eco)")))?;
                 cfg = cfg.with_regime(regime);
             }
             if o.inject_bug && o.no_tiers {
@@ -801,6 +813,48 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 })
             }
         }
+        "serve" => {
+            let design = load_design(&o)?;
+            let cfg = legalizer_config(&o);
+            let mut state = PlacementState::new(&design);
+            Legalizer::new(cfg.clone())
+                .legalize(&design, &mut state)
+                .map_err(|e| fail(format!("base legalization failed: {e}")))?;
+            let eco_cfg = mrl_eco::EcoConfig::default().with_max_induced_disp(o.budget);
+            let mut session = mrl_eco::EcoSession::new(design, state, cfg, eco_cfg);
+
+            if let Some(addr) = &o.listen {
+                return serve_tcp(&mut session, addr, o.check);
+            }
+            let text = match &o.input {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?,
+                None => {
+                    let mut buf = String::new();
+                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                        .map_err(|e| fail(format!("cannot read stdin: {e}")))?;
+                    buf
+                }
+            };
+            let mut out = String::new();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                out.push_str(&serve_one(&mut session, line, o.check)?);
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "served {} batches ({} applied, {} rejected, {} cells now deleted)",
+                session.batches_applied() + session.batches_rejected(),
+                session.batches_applied(),
+                session.batches_rejected(),
+                session.num_deleted(),
+            );
+            Ok(out)
+        }
         "report" => {
             let path = o
                 .metrics_json
@@ -823,6 +877,108 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Applies one NDJSON request line to the session and renders the response
+/// line: per-batch stats on success, an `{"error":...}` object for
+/// malformed requests (the stream continues), a hard [`CliError`] only for
+/// internal failures or a `--check` legality violation.
+fn serve_one(
+    session: &mut mrl_eco::EcoSession,
+    line: &str,
+    check: bool,
+) -> Result<String, CliError> {
+    let batch = match mrl_eco::stream::parse_batch_line(line) {
+        Ok(b) => b,
+        Err(e) => {
+            let mut j = Json::obj();
+            j.set("error", e.as_str());
+            return Ok(j.compact());
+        }
+    };
+    let id = batch.id;
+    match session.apply_batch(&batch) {
+        Ok(stats) => {
+            if check {
+                verify_session_legal(session, id)?;
+            }
+            Ok(mrl_eco::stream::stats_to_line(&stats, true))
+        }
+        Err(mrl_eco::EcoError::InvalidEdit { request, message }) => {
+            let mut j = Json::obj();
+            j.set("error", message.as_str()).set("id", request);
+            Ok(j.compact())
+        }
+        Err(e) => Err(CliError {
+            message: format!("request {id}: {e}"),
+            code: 1,
+        }),
+    }
+}
+
+/// `--check` oracle: full legality after every batch, tolerating
+/// tombstoned cells being unplaced.
+fn verify_session_legal(session: &mrl_eco::EcoSession, request: u64) -> Result<(), CliError> {
+    if let Err(report) = check_legal(session.design(), session.state(), RailCheck::Enforce) {
+        let real: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| match v {
+                mrl_metrics::Violation::Unplaced(c) => !session.is_deleted(*c),
+                _ => true,
+            })
+            .collect();
+        if !real.is_empty() {
+            return Err(CliError {
+                message: format!("request {request}: placement illegal after batch: {real:?}"),
+                code: 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One-shot TCP serving: binds `addr`, accepts a single connection, answers
+/// NDJSON requests line by line until the peer closes, then returns the
+/// session summary. The bound address is printed to stderr so scripts can
+/// use an OS-assigned port (`127.0.0.1:0`).
+fn serve_tcp(
+    session: &mut mrl_eco::EcoSession,
+    addr: &str,
+    check: bool,
+) -> Result<String, CliError> {
+    use std::io::{BufRead as _, Write as _};
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| fail(format!("cannot bind {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| fail(format!("local_addr: {e}")))?;
+    eprintln!("serving on {local}");
+    let (stream, peer) = listener
+        .accept()
+        .map_err(|e| fail(format!("accept: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| fail(format!("clone: {e}")))?;
+    let reader = std::io::BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| fail(format!("read from {peer}: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let response = serve_one(session, line, check)?;
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| fail(format!("write to {peer}: {e}")))?;
+    }
+    Ok(format!(
+        "served {} batches over {local} ({} applied, {} rejected)\n",
+        session.batches_applied() + session.batches_rejected(),
+        session.batches_applied(),
+        session.batches_rejected(),
+    ))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 mrl — multi-row height standard cell legalization (Chow, Pui & Young, DAC 2016)
@@ -840,8 +996,10 @@ commands:
   stats    (--aux F | --lef F --def F)
   convert  (--aux F | --lef F --def F) --out DIR --format bookshelf|lefdef
   fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
-           [--regime baseline|dense] [--corpus DIR] [--json FILE]
+           [--regime baseline|dense|eco] [--corpus DIR] [--json FILE]
            [--inject-bug] [--no-tiers]
+  serve    (--aux F | --lef F --def F) [--input FILE] [--listen ADDR]
+           [--check] [--budget N] [--rx N --ry N] [--relaxed] [--seed S]
 ";
 
 #[cfg(test)]
@@ -1119,6 +1277,175 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("no discrepancies"), "{out}");
+    }
+
+    /// Writes a small generated benchmark and returns its .aux path.
+    fn generated_aux(tag: &str) -> PathBuf {
+        let dir = tmpdir(tag);
+        run(&args(&[
+            "generate",
+            "--bench",
+            "fft_2",
+            "--scale",
+            "100",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dir.join("fft_2.aux")
+    }
+
+    /// First two movable cell indices of a design on disk (the generated
+    /// benchmarks lead with fixed macros, so index 0 is not movable).
+    fn movable_indices(aux: &Path) -> (usize, usize) {
+        let o = Opts {
+            aux: Some(aux.to_path_buf()),
+            ..Opts::default()
+        };
+        let design = load_design(&o).unwrap();
+        let mut it = design.movable_cells().map(|c| c.index());
+        (it.next().unwrap(), it.next().unwrap())
+    }
+
+    #[test]
+    fn serve_applies_scripted_stream_from_file() {
+        let aux = generated_aux("serve");
+        let (m0, m1) = movable_indices(&aux);
+        let stream = aux.parent().unwrap().join("stream.ndjson");
+        std::fs::write(
+            &stream,
+            format!(
+                "# scripted ECO stream\n\
+                 {{\"id\":1,\"edits\":[{{\"op\":\"move\",\"cell\":{m0},\"x\":5.0,\"y\":1.0}}]}}\n\
+                 {{\"id\":2,\"edits\":[{{\"op\":\"insert\",\"name\":\"b0\",\"w\":2,\"h\":1,\"rail\":\"vdd\",\"x\":9.0,\"y\":2.0}}]}}\n\
+                 {{\"id\":3,\"edits\":[{{\"op\":\"delete\",\"cell\":{m1}}}]}}\n"
+            ),
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--input",
+            stream.to_str().unwrap(),
+            "--check",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"id\":1"), "{out}");
+        assert!(out.contains("\"applied\":true"), "{out}");
+        assert!(out.contains("\"wall_us\""), "{out}");
+        assert!(
+            out.contains("served 3 batches (3 applied, 0 rejected"),
+            "{out}"
+        );
+        assert!(out.contains("1 cells now deleted"), "{out}");
+    }
+
+    #[test]
+    fn serve_reports_errors_inline_and_keeps_serving() {
+        let aux = generated_aux("serveerr");
+        let stream = aux.parent().unwrap().join("bad.ndjson");
+        std::fs::write(
+            &stream,
+            "{\"id\":1,\"edits\":[{\"op\":\"warp\"}]}\n\
+             {\"id\":2,\"edits\":[{\"op\":\"move\",\"cell\":999999,\"x\":1.0,\"y\":1.0}]}\n\
+             {\"id\":3,\"edits\":[]}\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--input",
+            stream.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("unknown op"), "{out}");
+        assert!(out.contains("does not exist"), "{out}");
+        // The empty batch still commits; only it counts toward the summary.
+        assert!(out.contains("served 1 batches (1 applied"), "{out}");
+    }
+
+    #[test]
+    fn serve_zero_budget_rejects_displacing_edits() {
+        let aux = generated_aux("servebudget");
+        let stream = aux.parent().unwrap().join("wide.ndjson");
+        // A wide insert at an occupied spot must displace neighbors; with
+        // --budget 0 the batch rolls back and reports the rejection.
+        std::fs::write(
+            &stream,
+            "{\"id\":1,\"edits\":[{\"op\":\"insert\",\"name\":\"wide\",\"w\":24,\"h\":1,\"rail\":\"vdd\",\"x\":10.0,\"y\":1.0}]}\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--aux",
+            aux.to_str().unwrap(),
+            "--input",
+            stream.to_str().unwrap(),
+            "--budget",
+            "0",
+            "--check",
+        ]))
+        .unwrap();
+        // Either the insert found a true free gap (applied) or it was
+        // rejected over budget; both end with a legal placement. Require
+        // the response to carry the verdict either way.
+        assert!(
+            out.contains("\"applied\":true") || out.contains("exceeds budget"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_answers_over_tcp() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let aux = generated_aux("servetcp");
+        let (m0, _) = movable_indices(&aux);
+        let port = 21000 + (std::process::id() % 20000) as u16;
+        let addr = format!("127.0.0.1:{port}");
+        let aux_s = aux.to_str().unwrap().to_string();
+        let addr_clone = addr.clone();
+        let server = std::thread::spawn(move || {
+            run(&args(&[
+                "serve",
+                "--aux",
+                &aux_s,
+                "--listen",
+                &addr_clone,
+                "--check",
+            ]))
+        });
+        // The server legalizes before binding; retry until it listens.
+        let mut stream = None;
+        for _ in 0..300 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            }
+        }
+        let stream = stream.expect("server never bound");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(
+                format!(
+                    "{{\"id\":9,\"edits\":[{{\"op\":\"move\",\"cell\":{m0},\"x\":7.0,\"y\":1.0}}]}}\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("\"id\":9"), "{response}");
+        assert!(response.contains("\"applied\":true"), "{response}");
+        drop(writer);
+        drop(reader);
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 1 batches"), "{summary}");
     }
 
     #[test]

@@ -84,6 +84,15 @@ impl Cell {
         self.width
     }
 
+    /// Replaces the width — only [`Design::set_cell_width`] calls this,
+    /// after validating the new footprint against the floorplan.
+    ///
+    /// [`Design::set_cell_width`]: crate::Design::set_cell_width
+    pub(crate) fn set_width(&mut self, width: i32) {
+        assert!(width > 0, "cell width must be positive");
+        self.width = width;
+    }
+
     /// Height in rows.
     pub const fn height(&self) -> i32 {
         self.height

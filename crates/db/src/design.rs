@@ -106,6 +106,169 @@ impl Design {
         out
     }
 
+    /// Replaces one movable cell's input position in place — the ECO
+    /// engine's per-edit variant of [`with_input_positions`]
+    /// (which clones the whole design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not movable.
+    ///
+    /// [`with_input_positions`]: Design::with_input_positions
+    pub fn set_input_position(&mut self, cell: CellId, x: f64, y: f64) {
+        assert!(
+            self.cells[cell.index()].is_movable(),
+            "set_input_position on fixed cell {cell}"
+        );
+        self.input_pos[cell.index()] = (x, y);
+    }
+
+    /// Appends a movable cell to a finished design — the ECO *insert*
+    /// primitive (buffer insertion, decap fill). The cell joins the end of
+    /// the table, so existing [`CellId`]s stay valid; pair with
+    /// [`PlacementState::grow`](crate::PlacementState::grow). The new cell
+    /// carries no pins and no fence-region membership.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Invalid`] under the same rules [`DesignBuilder::finish`]
+    /// enforces: non-positive dimensions, taller than the floorplan, wider
+    /// than every row, or total movable area exceeding capacity.
+    pub fn append_movable(
+        &mut self,
+        name: impl Into<String>,
+        width: i32,
+        height: i32,
+        rail: PowerRail,
+        input: (f64, f64),
+    ) -> Result<CellId, DbError> {
+        let name = name.into();
+        if width <= 0 || height <= 0 {
+            return Err(DbError::Invalid(format!(
+                "cell {name}: dimensions {width}x{height} must be positive"
+            )));
+        }
+        self.check_movable_fits(&name, width, height, i64::from(width) * i64::from(height))?;
+        let id = CellId::from_usize(self.cells.len());
+        self.cells
+            .push(Cell::new(name, width, height, rail, CellKind::Movable));
+        self.input_pos.push(input);
+        self.cell_region.push(None);
+        self.netlist.rebuild_cell_index(self.cells.len());
+        Ok(id)
+    }
+
+    /// Resizes a movable cell in place — the ECO *resize* primitive (gate
+    /// sizing). The cell must be re-legalized afterwards; callers unplace
+    /// it first (a placed cell's footprint lives in the occupancy index at
+    /// its old width).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Invalid`] if the cell is fixed, the width is not
+    /// positive, wider than every row, or the grown area exceeds capacity.
+    pub fn set_cell_width(&mut self, cell: CellId, width: i32) -> Result<(), DbError> {
+        let c = &self.cells[cell.index()];
+        if !c.is_movable() {
+            return Err(DbError::Invalid(format!("cell {} is fixed", c.name())));
+        }
+        if width <= 0 {
+            return Err(DbError::Invalid(format!(
+                "cell {}: width {width} must be positive",
+                c.name()
+            )));
+        }
+        let name = c.name().to_string();
+        let grown = i64::from(width - c.width()) * i64::from(c.height());
+        self.check_movable_fits(&name, width, c.height(), grown.max(0))?;
+        self.cells[cell.index()].set_width(width);
+        Ok(())
+    }
+
+    /// Drops cells appended via [`append_movable`] from the end of the
+    /// table — the rollback of a rejected ECO insert. Pair with
+    /// [`PlacementState::truncate`](crate::PlacementState::truncate).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Invalid`] if `len` exceeds the current table, or a
+    /// dropped cell is fixed or carries pins (only pin-free appended
+    /// movables can be retracted without invalidating the netlist).
+    ///
+    /// [`append_movable`]: Design::append_movable
+    pub fn truncate_cells(&mut self, len: usize) -> Result<(), DbError> {
+        if len > self.cells.len() {
+            return Err(DbError::Invalid(format!(
+                "truncate_cells({len}) exceeds table of {}",
+                self.cells.len()
+            )));
+        }
+        for i in len..self.cells.len() {
+            let id = CellId::from_usize(i);
+            if !self.cells[i].is_movable() {
+                return Err(DbError::Invalid(format!(
+                    "truncate_cells would drop fixed cell {}",
+                    self.cells[i].name()
+                )));
+            }
+            if !self.netlist.pins_of_cell(id).is_empty() {
+                return Err(DbError::Invalid(format!(
+                    "truncate_cells would drop cell {} which carries pins",
+                    self.cells[i].name()
+                )));
+            }
+        }
+        self.cells.truncate(len);
+        self.input_pos.truncate(len);
+        self.cell_region.truncate(len);
+        self.netlist.rebuild_cell_index(self.cells.len());
+        Ok(())
+    }
+
+    /// Shared validation for the in-place mutators: a movable cell of the
+    /// given dimensions must fit the floorplan, and `extra_area` more
+    /// movable area must not overflow capacity.
+    fn check_movable_fits(
+        &self,
+        name: &str,
+        width: i32,
+        height: i32,
+        extra_area: i64,
+    ) -> Result<(), DbError> {
+        if height > self.floorplan.num_rows() {
+            return Err(DbError::Invalid(format!(
+                "cell {name} ({height} rows) is taller than the floorplan ({} rows)",
+                self.floorplan.num_rows()
+            )));
+        }
+        let max_row_width = self
+            .floorplan
+            .rows()
+            .iter()
+            .map(|r| r.width)
+            .max()
+            .unwrap_or(0);
+        if width > max_row_width {
+            return Err(DbError::Invalid(format!(
+                "cell {name} ({width} sites) is wider than every row"
+            )));
+        }
+        let movable_area: i64 = self
+            .cells
+            .iter()
+            .filter(|c| c.is_movable())
+            .map(Cell::area)
+            .sum();
+        if movable_area + extra_area > self.floorplan.capacity() {
+            return Err(DbError::Invalid(format!(
+                "movable area {} exceeds placement capacity {}",
+                movable_area + extra_area,
+                self.floorplan.capacity()
+            )));
+        }
+        Ok(())
+    }
+
     /// The fence regions of the design.
     pub fn regions(&self) -> &[FenceRegion] {
         &self.regions

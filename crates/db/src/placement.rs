@@ -111,6 +111,22 @@ pub enum IndexLayout {
     Legacy,
 }
 
+/// First-touch transaction journal (the `ChainCtx` pattern from the
+/// escalation tiers, generalized to the whole placement): while a
+/// transaction is open, every position mutation records the affected
+/// cell's *pre-transaction* position the first time the cell is touched.
+/// The epoch-stamped `touched` array makes the first-touch test O(1), so
+/// a transaction costs O(cells actually moved) regardless of design size;
+/// when no transaction is open the journal is a single branch per
+/// mutation.
+#[derive(Clone, Debug, Default)]
+struct TxnJournal {
+    active: bool,
+    epoch: u32,
+    touched: Vec<u32>,
+    log: Vec<(CellId, Option<SitePoint>)>,
+}
+
 /// Current placement of a design's movable cells.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -126,6 +142,7 @@ pub struct PlacementState {
     /// Per-segment sorted disjoint maximal free intervals `[x0, x1)`.
     gaps: Csr<(i32, i32)>,
     layout: IndexLayout,
+    txn: TxnJournal,
 }
 
 impl PlacementState {
@@ -147,6 +164,7 @@ impl PlacementState {
             seg_ids: Csr::new(segments.len()),
             gaps: Csr::from_one_per_seg(segments.iter().map(|s| (s.x, s.right()))),
             layout,
+            txn: TxnJournal::default(),
         }
     }
 
@@ -563,6 +581,7 @@ impl PlacementState {
             },
             other => other,
         })?;
+        self.note_txn(cell);
         self.pos[cell.index()] = Some(at);
         self.orient[cell.index()] = fp.parity().orient_on_row(c.rail(), c.height(), at.y);
         for seg in segs {
@@ -578,6 +597,7 @@ impl PlacementState {
     /// Returns [`DbError::NotPlaced`] if the cell is not placed.
     pub fn remove(&mut self, design: &Design, cell: CellId) -> Result<SitePoint, DbError> {
         let at = self.pos[cell.index()].ok_or(DbError::NotPlaced(cell))?;
+        self.note_txn(cell);
         let c = design.cell(cell);
         for row in at.y..at.y + c.height() {
             let seg = self
@@ -642,9 +662,12 @@ impl PlacementState {
                 touched.push((seg, idx, cell));
             }
         }
-        // Apply to the authoritative record.
+        // Apply to the authoritative record. Journal first touches before
+        // mutating so a later rollback sees the true prior x even if this
+        // batch's own internal rollback fires below.
         for &(cell, new_x) in moves {
             let at = self.pos[cell.index()].expect("validated above");
+            self.note_txn(cell);
             self.pos[cell.index()] = Some(SitePoint::new(new_x, at.y));
         }
         // Verify order and non-overlap against list neighbors.
@@ -789,6 +812,204 @@ impl PlacementState {
             Some(p) => (f64::from(p.x), f64::from(p.y)),
             None => design.input_position(cell),
         }
+    }
+
+    /// Records `cell`'s current position in the open transaction's log on
+    /// first touch. Called by every authoritative position mutation
+    /// (`place_impl`, `remove`, `shift_batch`); a closed journal costs one
+    /// branch.
+    fn note_txn(&mut self, cell: CellId) {
+        if !self.txn.active {
+            return;
+        }
+        let i = cell.index();
+        if i >= self.txn.touched.len() {
+            // Cells appended (ECO insert) after the transaction opened.
+            self.txn.touched.resize(self.pos.len().max(i + 1), 0);
+        }
+        if self.txn.touched[i] != self.txn.epoch {
+            self.txn.touched[i] = self.txn.epoch;
+            self.txn.log.push((cell, self.pos[i]));
+        }
+    }
+
+    /// Opens a transaction: from here until [`commit_txn`] or
+    /// [`rollback_txn`], every position mutation — direct placements,
+    /// removals, MLL realization shifts, escalation displacements —
+    /// journals the affected cell's prior position on first touch, so the
+    /// whole span can be undone bit-exactly without the caller knowing
+    /// which cells the legalizer decided to move.
+    ///
+    /// Transactions do not nest.
+    ///
+    /// # Panics
+    ///
+    /// If a transaction is already open.
+    ///
+    /// [`commit_txn`]: PlacementState::commit_txn
+    /// [`rollback_txn`]: PlacementState::rollback_txn
+    pub fn begin_txn(&mut self) {
+        assert!(!self.txn.active, "begin_txn: a transaction is already open");
+        self.txn.active = true;
+        self.txn.epoch = self.txn.epoch.wrapping_add(1);
+        if self.txn.epoch == 0 {
+            // Epoch wrap: reset the stamps once so stale marks can't alias.
+            self.txn.touched.iter_mut().for_each(|e| *e = 0);
+            self.txn.epoch = 1;
+        }
+        if self.txn.touched.len() < self.pos.len() {
+            self.txn.touched.resize(self.pos.len(), 0);
+        }
+        self.txn.log.clear();
+    }
+
+    /// True while a transaction is open.
+    pub fn txn_active(&self) -> bool {
+        self.txn.active
+    }
+
+    /// The open transaction's first-touch log so far — each touched cell
+    /// with its pre-transaction position, in first-touch order. Empty when
+    /// no transaction is open. A read-only peek for commit/reject
+    /// decisions (e.g. an ECO displacement budget) ahead of
+    /// [`commit_txn`](PlacementState::commit_txn) /
+    /// [`rollback_txn`](PlacementState::rollback_txn).
+    pub fn txn_log(&self) -> &[(CellId, Option<SitePoint>)] {
+        if self.txn.active {
+            &self.txn.log
+        } else {
+            &[]
+        }
+    }
+
+    /// Closes the open transaction keeping every mutation, and returns the
+    /// first-touch log: each touched cell with its position *before* the
+    /// transaction (`None` = it was unplaced), in first-touch order.
+    ///
+    /// # Panics
+    ///
+    /// If no transaction is open.
+    pub fn commit_txn(&mut self) -> Vec<(CellId, Option<SitePoint>)> {
+        assert!(self.txn.active, "commit_txn without begin_txn");
+        self.txn.active = false;
+        std::mem::take(&mut self.txn.log)
+    }
+
+    /// Closes the open transaction and restores every touched cell to its
+    /// pre-transaction position in one transactional batch, returning the
+    /// log that was undone. The restoration is exact: positions, segment
+    /// cell lists, interleaved extent keys, and free gaps all match the
+    /// state at `begin_txn` (the index is rebuilt logically, which is all
+    /// any query observes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors only if the log no longer applies —
+    /// impossible unless the design itself was mutated incompatibly (e.g.
+    /// a touched cell was widened) between `begin_txn` and here.
+    ///
+    /// # Panics
+    ///
+    /// If no transaction is open.
+    pub fn rollback_txn(
+        &mut self,
+        design: &Design,
+    ) -> Result<Vec<(CellId, Option<SitePoint>)>, DbError> {
+        assert!(self.txn.active, "rollback_txn without begin_txn");
+        self.txn.active = false;
+        let log = std::mem::take(&mut self.txn.log);
+        self.displace_batch(design, &log)?;
+        Ok(log)
+    }
+
+    /// A copy of the full authoritative position record, one entry per
+    /// cell (`None` = unplaced). Promoted from the ECO example's ad-hoc
+    /// helper; pairs with [`count_moved`](PlacementState::count_moved).
+    pub fn snapshot(&self) -> Vec<Option<SitePoint>> {
+        self.pos.clone()
+    }
+
+    /// Number of cells whose position differs from a prior
+    /// [`snapshot`](PlacementState::snapshot). Cells beyond the snapshot's
+    /// length (appended since it was taken) count as moved when placed.
+    pub fn count_moved(&self, before: &[Option<SitePoint>]) -> usize {
+        let common = self.pos.len().min(before.len());
+        self.pos[..common]
+            .iter()
+            .zip(&before[..common])
+            .filter(|(now, was)| now != was)
+            .count()
+            + self.pos[common..].iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Full cross-check of the occupancy index against a linear rebuild
+    /// from `pos[]`, available in release builds (the debug-only sampled
+    /// check runs per mutation; this one runs on demand over every
+    /// segment). Returns the first divergence as text — the oracle the
+    /// ECO rollback and fuzz harnesses assert with.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first diverged segment.
+    pub fn verify_index(&self, design: &Design) -> Result<(), String> {
+        for seg in 0..design.floorplan().segments().len() {
+            let id = SegId::from_usize(seg);
+            let gaps = self.gaps.slice(seg);
+            let want = self.recompute_gaps(design, id);
+            if gaps != want.as_slice() {
+                return Err(format!(
+                    "segment {seg}: gap list {gaps:?} != recomputed {want:?}"
+                ));
+            }
+            let xs = self.seg_xs.slice(seg);
+            let want = self.recompute_extents(design, id);
+            if xs != want.as_slice() {
+                return Err(format!(
+                    "segment {seg}: extent keys {xs:?} != recomputed {want:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extends the per-cell records to cover cells appended to the design
+    /// since this state was created ([`Design::append_movable`]); new
+    /// cells start unplaced. No-op when already sized.
+    ///
+    /// # Panics
+    ///
+    /// If the design has *fewer* cells than this state tracks — use
+    /// [`truncate`](PlacementState::truncate) for that direction.
+    pub fn grow(&mut self, design: &Design) {
+        let n = design.num_cells();
+        assert!(
+            n >= self.pos.len(),
+            "grow cannot shrink: design has {n} cells, state tracks {}",
+            self.pos.len()
+        );
+        self.pos.resize(n, None);
+        self.orient.resize(n, Orient::North);
+    }
+
+    /// Drops trailing per-cell records down to `design.num_cells()` — the
+    /// inverse of [`grow`](PlacementState::grow) after
+    /// [`Design::truncate_cells`] reverted an append.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Invalid`] if a dropped cell is still placed (remove it
+    /// first; truncating a placed cell would corrupt the segment lists).
+    pub fn truncate(&mut self, design: &Design) -> Result<(), DbError> {
+        let n = design.num_cells();
+        if let Some(i) = (n..self.pos.len()).find(|&i| self.pos[i].is_some()) {
+            return Err(DbError::Invalid(format!(
+                "truncate: cell {} is still placed",
+                CellId::from_usize(i)
+            )));
+        }
+        self.pos.truncate(n);
+        self.orient.truncate(n);
+        Ok(())
     }
 }
 
@@ -1287,5 +1508,112 @@ mod tests {
                 "segment {si}"
             );
         }
+    }
+
+    /// Full structural equality of two states through public accessors:
+    /// positions, orients, and the occupancy index arenas per segment.
+    fn assert_states_identical(d: &Design, a: &PlacementState, b: &PlacementState) {
+        assert_eq!(a.snapshot(), b.snapshot(), "pos[] diverged");
+        for i in 0..d.num_cells() {
+            let id = CellId::from_usize(i);
+            assert_eq!(a.orient(id), b.orient(id), "orient of {id} diverged");
+        }
+        for si in 0..d.floorplan().segments().len() {
+            let seg = SegId::from_usize(si);
+            assert_eq!(a.segment_cells(seg), b.segment_cells(seg), "seg {si} ids");
+            assert_eq!(
+                a.segment_extents(seg),
+                b.segment_extents(seg),
+                "seg {si} extents"
+            );
+            assert_eq!(a.free_gaps(seg), b.free_gaps(seg), "seg {si} gaps");
+        }
+    }
+
+    #[test]
+    fn txn_rollback_restores_bit_exactly_across_all_mutation_kinds() {
+        let (d, a, b, c, dd) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+        s.place(&d, dd, SitePoint::new(0, 1)).unwrap();
+        let before = s.clone();
+
+        s.begin_txn();
+        assert!(s.txn_active());
+        s.remove(&d, a).unwrap(); // remove
+        s.place(&d, c, SitePoint::new(12, 0)).unwrap(); // place
+        s.shift_batch(&d, &[(b, 6)]).unwrap(); // shift
+        s.displace_batch(&d, &[(dd, Some(SitePoint::new(14, 1)))])
+            .unwrap(); // row move via remove+place
+        let log = s.rollback_txn(&d).unwrap();
+        assert!(!s.txn_active());
+        // First-touch: each cell appears exactly once despite multiple moves.
+        let mut ids: Vec<CellId> = log.iter().map(|&(c, _)| c).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), log.len(), "log has duplicate entries: {log:?}");
+        assert_states_identical(&d, &before, &s);
+        s.verify_index(&d).unwrap();
+    }
+
+    #[test]
+    fn txn_commit_returns_first_touch_log_and_keeps_mutations() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.begin_txn();
+        s.shift_batch(&d, &[(a, 3)]).unwrap();
+        s.shift_batch(&d, &[(a, 5)]).unwrap();
+        s.place(&d, b, SitePoint::new(10, 0)).unwrap();
+        let log = s.commit_txn();
+        assert_eq!(
+            log,
+            vec![(a, Some(SitePoint::new(2, 0))), (b, None)],
+            "log records pre-transaction positions in first-touch order"
+        );
+        assert_eq!(s.position(a), Some(SitePoint::new(5, 0)));
+        assert_eq!(s.position(b), Some(SitePoint::new(10, 0)));
+        // A fresh transaction starts from a clean log.
+        s.begin_txn();
+        assert!(s.commit_txn().is_empty());
+    }
+
+    #[test]
+    fn txn_journal_survives_failed_mutations() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+        let before = s.clone();
+        s.begin_txn();
+        s.shift_batch(&d, &[(a, 4)]).unwrap();
+        // Overlapping shift fails and internally restores pos[]; the journal
+        // must still hold a's original x from the first successful shift.
+        assert!(s.shift_batch(&d, &[(a, 8)]).is_err());
+        s.rollback_txn(&d).unwrap();
+        assert_states_identical(&d, &before, &s);
+    }
+
+    #[test]
+    fn snapshot_and_count_moved_track_differences() {
+        let (d, a, b, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(s.count_moved(&snap), 0);
+        s.place(&d, b, SitePoint::new(8, 0)).unwrap();
+        s.shift_batch(&d, &[(a, 3)]).unwrap();
+        assert_eq!(s.count_moved(&snap), 2);
+        s.remove(&d, b).unwrap();
+        assert_eq!(s.count_moved(&snap), 1, "b is back to unplaced");
+    }
+
+    #[test]
+    fn verify_index_reports_divergence_text() {
+        let (d, a, ..) = fixture();
+        let mut s = PlacementState::new(&d);
+        s.place(&d, a, SitePoint::new(2, 0)).unwrap();
+        s.verify_index(&d).unwrap();
     }
 }

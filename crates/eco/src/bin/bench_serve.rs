@@ -1,0 +1,287 @@
+//! ECO serving benchmark: incremental vs full re-legalization wall time,
+//! request throughput, and per-batch latency percentiles across batch
+//! sizes. Writes `BENCH_serve.json` for the CI gate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mrl_bench::json::Json;
+use mrl_db::{CellId, Design, PlacementState};
+use mrl_eco::{EcoConfig, EcoSession, Edit, EditBatch};
+use mrl_legalize::{Legalizer, LegalizerConfig};
+use mrl_synth::{generate_witness, WitnessConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const USAGE: &str = "\
+bench_serve: benchmark the incremental ECO engine against full re-legalization
+
+USAGE:
+    bench_serve [OPTIONS]
+
+OPTIONS:
+    --cells N        witness size in movable cells (default 64000)
+    --batches N      edit batches per batch-size sweep point (default 200)
+    --seed N         witness + stream RNG seed (default 42)
+    --json FILE      write the results as JSON to FILE
+    --gate RATIO     exit nonzero unless incremental is at least RATIO x
+                     faster than full re-legalization at batch size <= 16
+    -h, --help       print this help
+";
+
+struct Args {
+    cells: usize,
+    batches: usize,
+    seed: u64,
+    json: Option<String>,
+    gate: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cells: 64_000,
+        batches: 200,
+        seed: 42,
+        json: None,
+        gate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--cells" => {
+                args.cells = take("--cells")?
+                    .parse()
+                    .map_err(|e| format!("--cells: {e}"))?
+            }
+            "--batches" => {
+                args.batches = take("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => args.json = Some(take("--json")?),
+            "--gate" => {
+                args.gate = Some(
+                    take("--gate")?
+                        .parse()
+                        .map_err(|e| format!("--gate: {e}"))?,
+                )
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// A random small edit over the base movable cells: mostly local moves,
+/// some resizes, the serving mix the paper motivates (Section 1's
+/// incremental use).
+fn random_edit(design: &Design, rng: &mut SmallRng, movables: &[CellId]) -> Edit {
+    let cell = movables[rng.gen_range(0..movables.len())];
+    let (x, y) = design.input_position(cell);
+    if rng.gen_range(0..10) < 8 {
+        let bounds = design.floorplan().bounds();
+        let dx: f64 = rng.gen_range(-20.0..20.0);
+        let dy: f64 = rng.gen_range(-3.0..3.0);
+        Edit::Move {
+            cell,
+            x: (x + dx).clamp(f64::from(bounds.x), f64::from(bounds.right() - 1)),
+            y: (y + dy).clamp(f64::from(bounds.y), f64::from(bounds.top() - 1)),
+        }
+    } else {
+        let w = design.cell(cell).width();
+        let new_w = if rng.gen_range(0..2) == 0 {
+            w + 1
+        } else {
+            (w - 1).max(1)
+        };
+        Edit::Resize { cell, width: new_w }
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+struct SweepPoint {
+    batch_size: usize,
+    batches: usize,
+    applied: u64,
+    rejected: u64,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating {}-cell witness (seed {})...",
+        args.cells, args.seed
+    );
+    let witness = generate_witness(
+        &WitnessConfig::new(args.seed)
+            .with_cells(args.cells)
+            .with_utilization(0.7),
+    )
+    .expect("witness generation");
+    let design = witness.design;
+    let lcfg = LegalizerConfig::default();
+    let legalizer = Legalizer::new(lcfg.clone());
+
+    let mut state = PlacementState::new(&design);
+    let t0 = Instant::now();
+    legalizer
+        .legalize(&design, &mut state)
+        .expect("base legalization");
+    let base_wall = t0.elapsed();
+    eprintln!(
+        "base legalization: {} cells in {:.3}s",
+        args.cells,
+        base_wall.as_secs_f64()
+    );
+
+    // Full re-legalization baseline: what one ECO costs without the
+    // incremental engine — wipe the placement and legalize from scratch.
+    let full_runs = 3usize;
+    let mut full_total = 0.0f64;
+    for _ in 0..full_runs {
+        let mut fresh = PlacementState::new(&design);
+        let t = Instant::now();
+        legalizer
+            .legalize(&design, &mut fresh)
+            .expect("full re-legalization");
+        full_total += t.elapsed().as_secs_f64();
+    }
+    let full_s = full_total / full_runs as f64;
+    eprintln!("full re-legalization baseline: {full_s:.3}s (mean of {full_runs})");
+
+    let movables: Vec<CellId> = design.movable_cells().collect();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut ratio_at_16 = f64::INFINITY;
+
+    for &batch_size in &[1usize, 16, 256] {
+        let mut session = EcoSession::new(
+            design.clone(),
+            state.clone(),
+            lcfg.clone(),
+            EcoConfig::default(),
+        );
+        let mut rng = SmallRng::seed_from_u64(args.seed ^ 0x9e37_79b9 ^ batch_size as u64);
+        let mut lat_us: Vec<u64> = Vec::with_capacity(args.batches);
+        let mut applied = 0u64;
+        let mut rejected = 0u64;
+        let sweep_t = Instant::now();
+        for i in 0..args.batches {
+            let edits: Vec<Edit> = (0..batch_size)
+                .map(|_| random_edit(session.design(), &mut rng, &movables))
+                .collect();
+            let batch = EditBatch {
+                id: i as u64,
+                edits,
+            };
+            let stats = session.apply_batch(&batch).expect("apply");
+            lat_us.push(u64::try_from(stats.wall.as_micros()).unwrap_or(u64::MAX));
+            if stats.applied {
+                applied += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        let wall_s = sweep_t.elapsed().as_secs_f64();
+        lat_us.sort_unstable();
+        let p50 = percentile(&lat_us, 0.50);
+        let p99 = percentile(&lat_us, 0.99);
+        let req_per_s = args.batches as f64 / wall_s.max(1e-9);
+        let mean_batch_s = wall_s / args.batches as f64;
+        let ratio = full_s / mean_batch_s.max(1e-9);
+        if batch_size <= 16 {
+            ratio_at_16 = ratio_at_16.min(ratio);
+        }
+        eprintln!(
+            "batch={batch_size:>3}: {req_per_s:8.1} req/s  p50={p50}us p99={p99}us  \
+             incremental-vs-full {ratio:.1}x  ({applied} applied, {rejected} rejected)"
+        );
+        points.push(SweepPoint {
+            batch_size,
+            batches: args.batches,
+            applied,
+            rejected,
+            wall_s,
+            req_per_s,
+            p50_us: p50,
+            p99_us: p99,
+        });
+    }
+
+    let mut j = Json::obj();
+    j.set("bench", "serve")
+        .set("cells", args.cells)
+        .set("seed", args.seed)
+        .set("base_legalize_s", base_wall.as_secs_f64())
+        .set("full_relegalize_s", full_s)
+        .set("incremental_vs_full_at_16", ratio_at_16);
+    let mut sweep = Vec::new();
+    for p in &points {
+        let mut pj = Json::obj();
+        pj.set("batch_size", p.batch_size)
+            .set("batches", p.batches)
+            .set("applied", p.applied)
+            .set("rejected", p.rejected)
+            .set("wall_s", p.wall_s)
+            .set("req_per_s", p.req_per_s)
+            .set("p50_us", p.p50_us)
+            .set("p99_us", p.p99_us)
+            .set(
+                "speedup_vs_full",
+                full_s / (p.wall_s / p.batches as f64).max(1e-9),
+            );
+        sweep.push(pj);
+    }
+    j.set("sweep", Json::Arr(sweep));
+    // A stable summary map for quick `jq`-less reading.
+    let mut by_size = BTreeMap::new();
+    for p in &points {
+        by_size.insert(format!("{}", p.batch_size), Json::Num(p.req_per_s));
+    }
+    j.set("req_per_s_by_batch_size", Json::Obj(by_size));
+
+    println!("{}", j.pretty());
+    if let Some(path) = &args.json {
+        std::fs::write(path, j.pretty()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(gate) = args.gate {
+        if ratio_at_16 < gate {
+            eprintln!(
+                "GATE FAILED: incremental-vs-full ratio {ratio_at_16:.2} < required {gate:.2}"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("gate passed: {ratio_at_16:.2}x >= {gate:.2}x");
+    }
+    ExitCode::SUCCESS
+}

@@ -17,10 +17,12 @@
 //! corpus directory as a Bookshelf reproducer that `tests/corpus.rs`
 //! replays forever after.
 
+pub mod eco;
 pub mod matrix;
 pub mod scenario;
 pub mod shrink;
 
+pub use eco::{generate_stream, run_eco_case, shrink_stream, EcoStreamConfig};
 pub use matrix::{run_matrix, run_stats, DiscrepancyKind, Fault, MatrixOptions};
 pub use scenario::{Scenario, ScenarioCell};
 pub use shrink::{shrink, ShrinkStats};
@@ -50,6 +52,13 @@ pub enum Regime {
     /// wider displacement allowance since ripple/repack moves placed
     /// cells.
     Dense,
+    /// The incremental envelope: moderate utilization (0.45–0.70) so edit
+    /// streams have room to commit, plus a generated batch stream run
+    /// through [`eco::run_eco_case`]'s four oracles (incremental legality,
+    /// thread bit-identity, rollback bit-exactness, full re-legalization)
+    /// instead of the static invariant matrix. Shrinking reduces the
+    /// *stream*, not the scenario.
+    Eco,
 }
 
 impl Regime {
@@ -58,12 +67,13 @@ impl Regime {
         match self {
             Regime::Baseline => "baseline",
             Regime::Dense => "dense",
+            Regime::Eco => "eco",
         }
     }
 
     /// Parses a slug back (corpus replay).
     pub fn from_slug(s: &str) -> Option<Self> {
-        [Regime::Baseline, Regime::Dense]
+        [Regime::Baseline, Regime::Dense, Regime::Eco]
             .into_iter()
             .find(|r| r.slug() == s)
     }
@@ -72,7 +82,7 @@ impl Regime {
     fn disp_slack(self) -> f64 {
         match self {
             Regime::Baseline => 4.0,
-            Regime::Dense => 8.0,
+            Regime::Dense | Regime::Eco => 8.0,
         }
     }
 }
@@ -215,6 +225,9 @@ pub struct FuzzReport {
     pub cases_requested: u32,
     /// Total cells across all cases (coverage indicator).
     pub total_cells: u64,
+    /// Total edit batches applied across all cases (eco regime only;
+    /// zero elsewhere).
+    pub total_batches: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// True when the time budget stopped the campaign early.
@@ -236,6 +249,7 @@ impl FuzzReport {
         j.set("cases_run", self.cases_run);
         j.set("cases_requested", self.cases_requested);
         j.set("total_cells", self.total_cells as i64);
+        j.set("total_batches", self.total_batches as i64);
         j.set("elapsed_ms", self.elapsed.as_millis() as i64);
         j.set("hit_time_budget", self.hit_time_budget);
         let failures: Vec<Json> = self
@@ -272,10 +286,15 @@ impl FuzzReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "fuzz: {} cases ({} requested), {} cells, {:.1}s{}",
+            "fuzz: {} cases ({} requested), {} cells{}, {:.1}s{}",
             self.cases_run,
             self.cases_requested,
             self.total_cells,
+            if self.total_batches > 0 {
+                format!(", {} edit batches", self.total_batches)
+            } else {
+                String::new()
+            },
             self.elapsed.as_secs_f64(),
             if self.hit_time_budget {
                 " [time budget]"
@@ -327,6 +346,9 @@ fn case_config(
     let utilization = match regime {
         Regime::Baseline => rng.gen_range(0.5..=0.78),
         Regime::Dense => rng.gen_range(0.80..=0.92),
+        // Edit streams insert and widen cells, so the base design leaves
+        // headroom; inserts into a near-full floorplan would mostly reject.
+        Regime::Eco => rng.gen_range(0.45..=0.70),
     };
     let mut cfg = WitnessConfig::new(case_seed)
         .with_cells(rng.gen_range(12..=max_cells))
@@ -350,7 +372,7 @@ fn case_config(
 /// utilization, because the escalation ladder must make them complete.
 fn case_order(regime: Regime, rng: &mut SmallRng) -> CellOrder {
     match regime {
-        Regime::Baseline => CellOrder::ByAreaDesc,
+        Regime::Baseline | Regime::Eco => CellOrder::ByAreaDesc,
         Regime::Dense => match rng.gen_range(0u8..3) {
             0 => CellOrder::ByAreaDesc,
             1 => CellOrder::ByX,
@@ -367,6 +389,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         cases_run: 0,
         cases_requested: cfg.iters,
         total_cells: 0,
+        total_batches: 0,
         elapsed: Duration::ZERO,
         hit_time_budget: false,
         failures: Vec::new(),
@@ -396,13 +419,44 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         opts.fault = cfg.fault;
         opts.order = order;
         opts.disp_slack = cfg.regime.disp_slack();
-        let discrepancies = run_matrix(&scenario, &opts);
+        // The eco regime runs a generated edit stream through the
+        // incremental-engine oracles; the static regimes run the matrix.
+        let stream = if cfg.regime == Regime::Eco {
+            let design = scenario
+                .build()
+                .unwrap_or_else(|e| panic!("witness scenario failed to build: {e}"));
+            let mut scfg = eco::EcoStreamConfig::new(case_seed);
+            scfg.batches = rng.gen_range(8..=16);
+            Some(eco::generate_stream(&design, &scfg))
+        } else {
+            None
+        };
+        let discrepancies = match &stream {
+            Some(stream) => {
+                report.total_batches += stream.len() as u64;
+                eco::run_eco_case(&scenario, stream, &opts)
+            }
+            None => run_matrix(&scenario, &opts),
+        };
         report.cases_run += 1;
         if discrepancies.is_empty() {
             continue;
         }
         let kind = discrepancies[0].kind;
-        let (shrunk, stats) = shrink(&scenario, &opts, kind, cfg.shrink_budget);
+        // Static regimes shrink the scenario; the eco regime holds the
+        // scenario fixed and ddmins the stream instead (scenario edits
+        // would invalidate the stream's cell references).
+        let (shrunk, stats, shrunk_stream) = match &stream {
+            Some(stream) => {
+                let (small, stats) =
+                    eco::shrink_stream(&scenario, stream, &opts, kind, cfg.shrink_budget);
+                (scenario.clone(), stats, Some(small))
+            }
+            None => {
+                let (shrunk, stats) = shrink(&scenario, &opts, kind, cfg.shrink_budget);
+                (shrunk, stats, None)
+            }
+        };
         let corpus_path = cfg.corpus_dir.as_ref().and_then(|root| {
             let dir = root.join(format!("case_{case_seed:016x}_{}", kind.slug()));
             std::fs::create_dir_all(&dir).ok()?;
@@ -415,12 +469,22 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 ("order", order_slug(opts.order).to_string()),
                 ("detail", discrepancies[0].detail.clone()),
             ];
-            // Failure-reason histogram and per-phase span totals of one
-            // sequential run over the shrunk scenario — triage context for
-            // whoever opens the reproducer.
-            if let Some((fail_reasons, phase_totals)) = matrix::run_diagnostics(&shrunk, &opts) {
-                meta.push(("fail_reasons", fail_reasons));
-                meta.push(("phase_totals", phase_totals));
+            if let Some(small) = &shrunk_stream {
+                meta.push(("batches", small.len().to_string()));
+                std::fs::write(
+                    dir.join("stream.ndjson"),
+                    mrl_eco::stream::stream_to_ndjson(small),
+                )
+                .ok()?;
+            } else {
+                // Failure-reason histogram and per-phase span totals of one
+                // sequential run over the shrunk scenario — triage context
+                // for whoever opens the reproducer.
+                if let Some((fail_reasons, phase_totals)) = matrix::run_diagnostics(&shrunk, &opts)
+                {
+                    meta.push(("fail_reasons", fail_reasons));
+                    meta.push(("phase_totals", phase_totals));
+                }
             }
             shrunk.write_corpus(&dir, &meta).ok()?;
             Some(dir)
@@ -444,7 +508,9 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// re-injected: a committed reproducer must encode a *real* failure, and
 /// fault-injected fixtures are filtered out before commit (see
 /// `mrl fuzz --inject-bug` docs).
-fn read_corpus_scenario(dir: &std::path::Path) -> Result<(Scenario, MatrixOptions), String> {
+fn read_corpus_scenario(
+    dir: &std::path::Path,
+) -> Result<(Scenario, MatrixOptions, Option<Regime>), String> {
     let (scenario, meta) = Scenario::read_corpus(dir)?;
     let lookup = |k: &str| meta.iter().find(|(mk, _)| mk == k).map(|(_, v)| v.clone());
     let legalizer_seed = lookup("legalizer_seed")
@@ -453,14 +519,15 @@ fn read_corpus_scenario(dir: &std::path::Path) -> Result<(Scenario, MatrixOption
     let mut opts = MatrixOptions::new(legalizer_seed);
     // Honor the recorded regime and visit order so the reproducer replays
     // under the configuration that originally failed.
-    if let Some(regime) = lookup("regime").and_then(|v| Regime::from_slug(&v)) {
+    let regime = lookup("regime").and_then(|v| Regime::from_slug(&v));
+    if let Some(regime) = regime {
         opts.disp_slack = regime.disp_slack();
     }
     if let Some(order) = lookup("order").and_then(|v| order_from_slug(&v)) {
         opts.order = order;
     }
     opts.fault = None;
-    Ok((scenario, opts))
+    Ok((scenario, opts, regime))
 }
 
 /// Replays one corpus fixture with the reference sequential configuration
@@ -471,7 +538,7 @@ fn read_corpus_scenario(dir: &std::path::Path) -> Result<(Scenario, MatrixOption
 ///
 /// Fixture parsing problems, or the legalizer failing to place every cell.
 pub fn replay_corpus_stats(dir: &std::path::Path) -> Result<mrl_legalize::LegalizeStats, String> {
-    let (scenario, opts) = read_corpus_scenario(dir)?;
+    let (scenario, opts, _) = read_corpus_scenario(dir)?;
     run_stats(&scenario, &opts)
 }
 
@@ -483,7 +550,15 @@ pub fn replay_corpus_stats(dir: &std::path::Path) -> Result<mrl_legalize::Legali
 ///
 /// Fixture parsing problems (not discrepancies).
 pub fn replay_corpus_case(dir: &std::path::Path) -> Result<Vec<matrix::Discrepancy>, String> {
-    let (scenario, opts) = read_corpus_scenario(dir)?;
+    let (scenario, opts, regime) = read_corpus_scenario(dir)?;
+    // Eco fixtures replay their recorded edit stream through the
+    // incremental-engine oracles instead of the static matrix.
+    if regime == Some(Regime::Eco) {
+        let text = std::fs::read_to_string(dir.join("stream.ndjson"))
+            .map_err(|e| format!("stream.ndjson: {e}"))?;
+        let stream = mrl_eco::stream::parse_stream(&text)?;
+        return Ok(eco::run_eco_case(&scenario, &stream, &opts));
+    }
     // Corpus reloads have no witness, so the displacement bound and
     // witness-feasibility reasoning still hold (the design was legal when
     // captured); kinds that need the witness simply cannot re-fire, which

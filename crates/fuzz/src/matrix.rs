@@ -119,6 +119,19 @@ pub enum DiscrepancyKind {
     TranslationMismatch,
     /// A baseline returned an illegal placement.
     BaselineIllegal,
+    /// An ECO session left the placement illegal (or its occupancy index
+    /// inconsistent) after committing a batch, or rejected a
+    /// generator-guaranteed-valid edit as invalid.
+    EcoIllegal,
+    /// Identical edit streams applied over thread-variant base
+    /// legalizations ended in different placements.
+    EcoThreadDivergence,
+    /// A rejected batch did not roll the session back bit-exactly.
+    EcoRollbackDivergence,
+    /// The session legalized every committed edit, proving the post-edit
+    /// design feasible, but from-scratch legalization of that design
+    /// failed or produced an illegal placement.
+    EcoFullRelegalizeFailed,
 }
 
 impl fmt::Display for DiscrepancyKind {
@@ -141,6 +154,10 @@ impl DiscrepancyKind {
             DiscrepancyKind::DisplacementBound => "displacement_bound",
             DiscrepancyKind::TranslationMismatch => "translation_mismatch",
             DiscrepancyKind::BaselineIllegal => "baseline_illegal",
+            DiscrepancyKind::EcoIllegal => "eco_illegal",
+            DiscrepancyKind::EcoThreadDivergence => "eco_thread_divergence",
+            DiscrepancyKind::EcoRollbackDivergence => "eco_rollback_divergence",
+            DiscrepancyKind::EcoFullRelegalizeFailed => "eco_full_relegalize_failed",
         }
     }
 
@@ -157,6 +174,10 @@ impl DiscrepancyKind {
             DiscrepancyKind::DisplacementBound,
             DiscrepancyKind::TranslationMismatch,
             DiscrepancyKind::BaselineIllegal,
+            DiscrepancyKind::EcoIllegal,
+            DiscrepancyKind::EcoThreadDivergence,
+            DiscrepancyKind::EcoRollbackDivergence,
+            DiscrepancyKind::EcoFullRelegalizeFailed,
         ]
         .into_iter()
         .find(|k| k.slug() == s)
@@ -178,7 +199,7 @@ impl fmt::Display for Discrepancy {
     }
 }
 
-fn base_config(opts: &MatrixOptions) -> LegalizerConfig {
+pub(crate) fn base_config(opts: &MatrixOptions) -> LegalizerConfig {
     let escalation = if opts.fault == Some(Fault::TiersDisabled) {
         EscalationConfig::disabled()
     } else {

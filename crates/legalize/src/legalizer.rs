@@ -371,6 +371,70 @@ impl Legalizer {
         (stats, result)
     }
 
+    /// Re-legalizes a caller-chosen set of currently unplaced cells at
+    /// their design input positions, leaving every other cell's membership
+    /// in the placement untouched — the windowed re-entry point the
+    /// incremental ECO engine (`mrl-eco`) drives after unplacing only the
+    /// cells an edit batch disturbs. The subset runs the same ladder as a
+    /// full [`legalize`](Legalizer::legalize): a first pass at the input
+    /// positions, then the random-offset retry loop with escalation.
+    /// Already-placed cells in `cells` are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`legalize`](Legalizer::legalize).
+    pub fn legalize_subset(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        cells: &[CellId],
+    ) -> Result<LegalizeStats, LegalizeError> {
+        let mut arena = ScratchArena::new();
+        let (stats, result) =
+            self.legalize_subset_in(design, state, cells, &mut arena, &mut NoopSink);
+        result.map(|()| stats)
+    }
+
+    /// [`legalize_subset`](Legalizer::legalize_subset) against a
+    /// caller-owned [`ScratchArena`] and structured-event [`Sink`] — the
+    /// ECO session's steady-state entry point, so arena pools and trace
+    /// lanes are reused across batches with no rebuild. Stats are returned
+    /// alongside the outcome so a failed batch still reports its work.
+    pub fn legalize_subset_in<S: Sink>(
+        &self,
+        design: &Design,
+        state: &mut PlacementState,
+        cells: &[CellId],
+        arena: &mut ScratchArena,
+        sink: &mut S,
+    ) -> (LegalizeStats, Result<(), LegalizeError>) {
+        let wall = std::time::Instant::now();
+        let mut stats = LegalizeStats {
+            phases: PhaseTimes::enabled(),
+            threads: 1,
+            ..LegalizeStats::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut remaining = Vec::new();
+        for &cell in cells {
+            if state.is_placed(cell) {
+                continue;
+            }
+            let (fx, fy) = design.input_position(cell);
+            match self.try_place_traced(design, state, cell, fx, fy, &mut stats, arena, sink, 0) {
+                Ok(None) => {}
+                Ok(Some(reason)) => remaining.push((cell, reason)),
+                Err(e) => {
+                    stats.wall = wall.elapsed();
+                    return (stats, Err(e));
+                }
+            }
+        }
+        let result = self.retry_loop(design, state, remaining, &mut stats, &mut rng, arena, sink);
+        stats.wall = wall.elapsed();
+        (stats, result)
+    }
+
     /// The movable, still-unplaced cells in the configured visiting order.
     /// `rng` is consumed only for [`CellOrder::Shuffled`].
     pub(crate) fn ordered_unplaced(
@@ -691,5 +755,44 @@ mod tests {
         assert_eq!(stats.via_mll, 1);
         assert_eq!(stats.mll_calls, 1);
         assert_eq!(stats.retry_rounds, 0);
+    }
+
+    #[test]
+    fn legalize_subset_replaces_only_the_listed_cells() {
+        let mut b = DesignBuilder::new(4, 30);
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let c = b.add_cell(format!("c{i}"), 3, 1 + (i % 2));
+            b.set_input_position(c, 2.0 + 2.5 * i as f64, 1.2);
+            ids.push(c);
+        }
+        let design = b.finish().unwrap();
+        let legalizer = Legalizer::default();
+        let mut state = PlacementState::new(&design);
+        legalizer.legalize(&design, &mut state).unwrap();
+
+        // Rip up two cells, remember everyone else, re-enter on the subset.
+        let victims = [ids[3], ids[7]];
+        for &v in &victims {
+            state.remove(&design, v).unwrap();
+        }
+        let others: Vec<_> = state.snapshot();
+        let stats = legalizer
+            .legalize_subset(&design, &mut state, &victims)
+            .unwrap();
+        assert_eq!(stats.placed, 2);
+        for &v in &victims {
+            assert!(state.is_placed(v), "{v} must be re-placed");
+        }
+        // The subset pass may shift neighbors through MLL, but every cell
+        // the legalizer did not need to move stays where it was.
+        let moved = state.count_moved(&others);
+        assert!(moved <= 2 + stats.via_mll * 4, "moved={moved}");
+        state.verify_index(&design).unwrap();
+        // Already-placed listed cells are skipped, not an error.
+        let stats = legalizer
+            .legalize_subset(&design, &mut state, &victims)
+            .unwrap();
+        assert_eq!(stats.placed, 0);
     }
 }

@@ -4,20 +4,20 @@
 //! may want to legalize the solution locally to remove overlapping induced
 //! by the newly inserted buffer."
 //!
-//! The example legalizes a base design, then (1) inserts buffers one at a
-//! time into already-occupied spots, and (2) relocates a cell to a
-//! congested area — both via single MLL calls that perturb only a local
-//! window.
+//! The example legalizes a base design, then drives the incremental
+//! engine ([`EcoSession`]) through the three ECO archetypes as
+//! transactional batches: buffer insertion into occupied spots, local
+//! replacement into a congested area, and gate sizing — plus a batch that
+//! blows its displacement budget and rolls back bit-exactly.
 //!
 //! ```text
 //! cargo run --example incremental_ecos
 //! ```
 
-use multirow_legalize::legalize::mll;
 use multirow_legalize::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Base design plus three not-yet-placed buffers declared up front.
+    // Base design: 260 mixed-height cells on a 24-row floorplan.
     let mut b = DesignBuilder::new(24, 160);
     let mut base_cells = Vec::new();
     for i in 0..260 {
@@ -27,75 +27,118 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.set_input_position(c, (i as f64 * 7.3) % 150.0, (i as f64 * 1.37) % 22.0);
         base_cells.push(c);
     }
-    let buffers: Vec<CellId> = (0..3)
-        .map(|i| b.add_cell(format!("buf{i}"), 3, 1))
-        .collect();
     let design = b.finish()?;
 
-    // Phase 1: legalize the base cells only, using the driver's public
-    // per-cell entry point.
-    let legalizer = Legalizer::new(LegalizerConfig::paper());
+    // Phase 1: the one full legalization run; everything after is local.
+    let cfg = LegalizerConfig::paper();
     let mut state = PlacementState::new(&design);
-    let mut stats = LegalizeStats::default();
-    for &cell in &base_cells {
-        let (fx, fy) = design.input_position(cell);
-        if !legalizer.try_place(&design, &mut state, cell, fx, fy, &mut stats)? {
-            return Err(format!("base cell {cell} could not be placed").into());
-        }
-    }
+    let stats = Legalizer::new(cfg.clone()).legalize(&design, &mut state)?;
     println!(
         "base placement: {} cells ({} direct, {} via MLL)",
         stats.placed, stats.direct, stats.via_mll
     );
 
+    let mut session = EcoSession::new(design, state, cfg, EcoConfig::default());
+
     // Phase 2: buffer insertion. Each buffer wants a spot that is already
-    // occupied; a single MLL call makes room with minimal displacement.
-    for (i, &buf) in buffers.iter().enumerate() {
-        let at = SitePoint::new(40 + 20 * i as i32, 10);
-        let before = snapshot(&design, &state);
-        let outcome = mll(&design, &mut state, legalizer.config(), buf, at)?;
-        let moved = count_moved(&design, &state, &before);
+    // occupied; the engine re-legalizes only the disturbed window.
+    for i in 0..3u64 {
+        let before = session.state().snapshot();
+        let stats = session.apply_batch(&EditBatch {
+            id: i,
+            edits: vec![Edit::Insert {
+                name: format!("buf{i}"),
+                width: 3,
+                height: 1,
+                rail: PowerRail::Vdd,
+                x: f64::from(40 + 20 * i as i32),
+                y: 10.0,
+            }],
+        })?;
         println!(
-            "inserted {} at {at}: {:?}, {} neighbour cells shifted",
-            design.cell(buf).name(),
-            outcome,
-            moved,
+            "inserted buf{i} at ({}, 10): applied={}, {} neighbour cells shifted, \
+             window {}x{} sites",
+            40 + 20 * i,
+            stats.applied,
+            session.state().count_moved(&before).saturating_sub(1),
+            stats.window.2,
+            stats.window.3,
         );
     }
 
     // Phase 3: local cell movement (the detailed-placement primitive):
-    // rip a cell out and re-insert it at a deliberately congested spot.
+    // relocate a cell to a deliberately congested spot.
     let victim = base_cells[42];
-    let old = state.remove(&design, victim)?;
-    let target = SitePoint::new(42, 10);
-    let before = snapshot(&design, &state);
-    let outcome = mll(&design, &mut state, legalizer.config(), victim, target)?;
+    let before = session.state().snapshot();
+    let stats = session.apply_batch(&EditBatch {
+        id: 10,
+        edits: vec![Edit::Move {
+            cell: victim,
+            x: 42.0,
+            y: 10.0,
+        }],
+    })?;
     println!(
-        "moved {} from {old} toward {target}: {:?}, {} neighbour cells shifted",
-        design.cell(victim).name(),
-        outcome,
-        count_moved(&design, &state, &before),
+        "moved {} toward (42, 10): applied={}, {} cells touched, {} moved",
+        session.design().cell(victim).name(),
+        stats.applied,
+        stats.touched,
+        session.state().count_moved(&before),
     );
 
-    // Every intermediate state stayed fully legal — the property the paper
-    // calls "instant legalization".
-    check_legal(&design, &state, RailCheck::Enforce)
+    // Phase 4: gate sizing — widen a cell in place; neighbors make room.
+    let sized = base_cells[7];
+    let w = session.design().cell(sized).width();
+    let stats = session.apply_batch(&EditBatch {
+        id: 11,
+        edits: vec![Edit::Resize {
+            cell: sized,
+            width: w + 2,
+        }],
+    })?;
+    println!(
+        "resized {} from {w} to {} sites: applied={}, induced displacement {}",
+        session.design().cell(sized).name(),
+        w + 2,
+        stats.applied,
+        stats.induced_disp,
+    );
+
+    // Phase 5: a batch that exceeds its displacement budget rolls back
+    // bit-exactly — the placement is untouched and still legal.
+    let before = session.state().snapshot();
+    let stats = session.apply_batch_with_budget(
+        &EditBatch {
+            id: 12,
+            edits: vec![Edit::Insert {
+                name: "buf_rejected".to_string(),
+                width: 8,
+                height: 1,
+                rail: PowerRail::Vdd,
+                x: 42.0,
+                y: 10.0,
+            }],
+        },
+        Some(0),
+    )?;
+    assert!(
+        !stats.applied,
+        "zero budget must reject a displacing insert"
+    );
+    assert_eq!(session.state().count_moved(&before), 0);
+    println!(
+        "rejected insert rolled back: {}",
+        stats.reject.as_deref().unwrap_or("?")
+    );
+
+    // Every committed batch left the placement fully legal — the property
+    // the paper calls "instant legalization".
+    check_legal(session.design(), session.state(), RailCheck::Enforce)
         .map_err(|r| format!("illegal placement: {r}"))?;
-    println!("final placement verified legal");
+    println!(
+        "final placement verified legal ({} batches applied, {} rejected)",
+        session.batches_applied(),
+        session.batches_rejected(),
+    );
     Ok(())
-}
-
-fn snapshot(design: &Design, state: &PlacementState) -> Vec<Option<SitePoint>> {
-    (0..design.num_cells())
-        .map(|i| state.position(CellId::from_usize(i)))
-        .collect()
-}
-
-fn count_moved(design: &Design, state: &PlacementState, before: &[Option<SitePoint>]) -> usize {
-    (0..design.num_cells())
-        .filter(|&i| {
-            let id = CellId::from_usize(i);
-            before[i].is_some() && state.position(id) != before[i]
-        })
-        .count()
 }

@@ -15,6 +15,7 @@
 //! | [`metrics`] | `mrl-metrics` | legality checks, displacement, HPWL |
 //! | [`synth`] | `mrl-synth` | ISPD2015-like synthetic benchmarks |
 //! | [`parsers`] | `mrl-parsers` | Bookshelf and LEF/DEF I/O |
+//! | [`eco`] | `mrl-eco` | incremental ECO engine, NDJSON edit streams |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use mrl_baselines as baselines;
 pub use mrl_db as db;
+pub use mrl_eco as eco;
 pub use mrl_geom as geom;
 pub use mrl_gp as gp;
 pub use mrl_ilp as ilp;
@@ -56,6 +58,7 @@ pub use mrl_synth as synth;
 pub mod prelude {
     pub use mrl_baselines::{AbacusLegalizer, IlpLegalizer, LocalSolver, TetrisLegalizer};
     pub use mrl_db::{CellId, Design, DesignBuilder, PlacementState};
+    pub use mrl_eco::{EcoConfig, EcoSession, Edit, EditBatch};
     pub use mrl_geom::{PowerRail, SiteGrid, SitePoint, SiteRect};
     pub use mrl_gp::{GlobalPlacer, GpConfig};
     pub use mrl_legalize::{

@@ -116,3 +116,268 @@ fn corpus_fixtures_round_trip_through_scenario() {
         let _ = std::fs::remove_dir_all(&out);
     }
 }
+
+// ---------------------------------------------------------------------------
+// The committed ECO stream fixture.
+// ---------------------------------------------------------------------------
+
+use mrl_db::PlacementState;
+use mrl_eco::{EcoConfig, EcoSession, Edit, EditBatch};
+use mrl_legalize::{CellOrder, EscalationConfig, Legalizer, LegalizerConfig};
+
+/// The legalizer configuration `replay_corpus_case` derives from an eco
+/// fixture's `meta.txt` (mirrors the fuzz matrix's base configuration).
+fn eco_fixture_config(seed: u64) -> LegalizerConfig {
+    LegalizerConfig::paper()
+        .with_seed(seed)
+        .with_order(CellOrder::ByAreaDesc)
+        .with_max_retries(512)
+        .with_escalation(EscalationConfig::default())
+}
+
+fn eco_fixture_seed(dir: &std::path::Path) -> u64 {
+    let meta = std::fs::read_to_string(dir.join("meta.txt")).unwrap();
+    meta.lines()
+        .find_map(|l| l.strip_prefix("legalizer_seed:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("meta.txt records legalizer_seed")
+}
+
+/// The eco smoke fixture must keep exercising the two behaviors it was
+/// committed to pin: an insert whose placement displaces neighbors (MLL
+/// engages, cells move), and a zero-budget replay that rejects that batch
+/// and rolls back bit-exactly. It also pins the wire format: the stream
+/// re-serializes byte-identically, and the engine's responses match the
+/// committed `responses.ndjson` byte for byte.
+#[test]
+fn eco_smoke_fixture_exercises_displacing_insert_and_rollback() {
+    let dir = corpus_root().join("eco_stream_smoke");
+    let (scenario, _meta) = mrl_fuzz::Scenario::read_corpus(&dir).unwrap();
+    let seed = eco_fixture_seed(&dir);
+    let text = std::fs::read_to_string(dir.join("stream.ndjson")).unwrap();
+    let stream = mrl_eco::stream::parse_stream(&text).unwrap();
+
+    // Byte-stable stream format: parse → re-serialize is the identity.
+    assert_eq!(
+        mrl_eco::stream::stream_to_ndjson(&stream),
+        text,
+        "stream.ndjson is not in canonical serialized form"
+    );
+
+    let design = scenario.build().unwrap();
+    let cfg = eco_fixture_config(seed);
+    let mut state = PlacementState::new(&design);
+    Legalizer::new(cfg.clone())
+        .legalize(&design, &mut state)
+        .expect("fixture base design legalizes");
+
+    // Unbudgeted run: every batch commits, and at least one insert batch
+    // displaces neighbors (moved counts the insert itself plus shifted
+    // cells, so >= 2 means MLL moved somebody else).
+    let mut session = EcoSession::new(
+        design.clone(),
+        state.clone(),
+        cfg.clone(),
+        EcoConfig::default(),
+    );
+    let mut responses = String::new();
+    let mut displacing_inserts = 0usize;
+    for batch in &stream {
+        let stats = session.apply_batch(batch).expect("fixture batch valid");
+        assert!(
+            stats.applied,
+            "batch {} must commit: {:?}",
+            batch.id, stats.reject
+        );
+        let has_insert = batch.edits.iter().any(|e| matches!(e, Edit::Insert { .. }));
+        if has_insert && stats.moved >= 2 && stats.induced_disp > 0 {
+            displacing_inserts += 1;
+        }
+        responses.push_str(&mrl_eco::stream::stats_to_line(&stats, false));
+        responses.push('\n');
+    }
+    assert!(
+        displacing_inserts >= 1,
+        "fixture no longer contains an insert that forces MLL displacement"
+    );
+    assert_eq!(
+        responses,
+        std::fs::read_to_string(dir.join("responses.ndjson")).unwrap(),
+        "engine responses diverged from the committed golden responses"
+    );
+
+    // Zero-budget replay: the displacing insert must now be rejected, and
+    // every rejection must restore the placement bit-exactly.
+    let mut probe = EcoSession::new(design, state, cfg, EcoConfig::default());
+    let mut rollbacks = 0usize;
+    for batch in &stream {
+        let before_cells = probe.design().num_cells();
+        let before = probe.state().snapshot();
+        let stats = probe
+            .apply_batch_with_budget(batch, Some(0))
+            .expect("fixture batch valid");
+        if !stats.applied {
+            rollbacks += 1;
+            assert_eq!(probe.design().num_cells(), before_cells);
+            assert_eq!(probe.state().snapshot(), before, "rollback not bit-exact");
+            probe
+                .state()
+                .verify_index(probe.design())
+                .expect("occupancy index consistent after rollback");
+        }
+    }
+    assert!(
+        rollbacks >= 1,
+        "fixture no longer triggers a zero-budget rollback"
+    );
+}
+
+/// Regenerates `tests/corpus/eco_stream_smoke` deterministically: scans
+/// witness seeds in order for the first one whose crafted stream commits
+/// cleanly, contains a neighbor-displacing insert, and replays clean
+/// through all four eco oracles. Run explicitly after intentional engine
+/// changes (`cargo test --test corpus -- --ignored regenerate_eco`), then
+/// commit the diff.
+#[test]
+#[ignore = "writes tests/corpus/eco_stream_smoke; run explicitly to regenerate"]
+fn regenerate_eco_stream_smoke_fixture() {
+    use mrl_synth::{generate_witness, WitnessConfig};
+
+    for seed in 0u64..200 {
+        let witness = generate_witness(
+            &WitnessConfig::new(seed)
+                .with_cells(90)
+                .with_utilization(0.68),
+        )
+        .expect("witness");
+        let scenario = mrl_fuzz::Scenario::from_witness(&witness);
+        let design = scenario.build().unwrap();
+        let cfg = eco_fixture_config(seed);
+        let mut state = PlacementState::new(&design);
+        if Legalizer::new(cfg.clone())
+            .legalize(&design, &mut state)
+            .is_err()
+        {
+            continue;
+        }
+        let movable: Vec<_> = design.movable_cells().collect();
+        let (m0, m1, m2) = (movable[0], movable[1], movable[2]);
+        // Insert a wide cell exactly on top of an occupied spot near the
+        // middle of the design so MLL has to shove neighbors aside.
+        let mid = movable[movable.len() / 2];
+        let p = state.position(mid).expect("placed");
+        let stream = vec![
+            EditBatch {
+                id: 0,
+                edits: vec![{
+                    let (x, y) = design.input_position(m0);
+                    Edit::Move {
+                        cell: m0,
+                        x: x + 4.0,
+                        y,
+                    }
+                }],
+            },
+            EditBatch {
+                id: 1,
+                edits: vec![Edit::Insert {
+                    name: "smoke_buf".to_string(),
+                    width: 6,
+                    height: 1,
+                    rail: mrl_geom::PowerRail::Vdd,
+                    x: f64::from(p.x),
+                    y: f64::from(p.y),
+                }],
+            },
+            EditBatch {
+                id: 2,
+                edits: vec![Edit::Resize {
+                    cell: m1,
+                    width: design.cell(m1).width() + 1,
+                }],
+            },
+            EditBatch {
+                id: 3,
+                edits: vec![Edit::Delete { cell: m2 }],
+            },
+            EditBatch {
+                id: 4,
+                edits: vec![Edit::Insert {
+                    name: "smoke_tie".to_string(),
+                    width: 1,
+                    height: 1,
+                    rail: mrl_geom::PowerRail::Vss,
+                    x: f64::from(p.x) + 2.0,
+                    y: f64::from(p.y),
+                }],
+            },
+        ];
+        // The displacing insert must displace, and the whole stream must
+        // replay clean through the eco oracles.
+        let mut session = EcoSession::new(
+            design.clone(),
+            state.clone(),
+            cfg.clone(),
+            EcoConfig::default(),
+        );
+        let mut ok = true;
+        let mut displaced = false;
+        for batch in &stream {
+            match session.apply_batch(batch) {
+                Ok(stats) if stats.applied => {
+                    if batch.id == 1 && stats.moved >= 2 && stats.induced_disp > 0 {
+                        displaced = true;
+                    }
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !(ok && displaced) {
+            continue;
+        }
+        let mut opts = mrl_fuzz::MatrixOptions::new(seed);
+        opts.baselines = false;
+        opts.disp_slack = 8.0;
+        if !mrl_fuzz::run_eco_case(&scenario, &stream, &opts).is_empty() {
+            continue;
+        }
+
+        // Found it — write the fixture.
+        let dir = corpus_root().join("eco_stream_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = vec![
+            ("kind", "smoke".to_string()),
+            ("master_seed", seed.to_string()),
+            ("case_seed", seed.to_string()),
+            ("legalizer_seed", seed.to_string()),
+            ("regime", "eco".to_string()),
+            ("order", "by_area_desc".to_string()),
+            (
+                "detail",
+                "committed smoke fixture: displacing insert + zero-budget rollback".to_string(),
+            ),
+            ("batches", stream.len().to_string()),
+        ];
+        scenario.write_corpus(&dir, &meta).unwrap();
+        std::fs::write(
+            dir.join("stream.ndjson"),
+            mrl_eco::stream::stream_to_ndjson(&stream),
+        )
+        .unwrap();
+        // Golden responses from a fresh session over the same base.
+        let mut session = EcoSession::new(design, state, cfg, EcoConfig::default());
+        let mut responses = String::new();
+        for batch in &stream {
+            let stats = session.apply_batch(batch).unwrap();
+            responses.push_str(&mrl_eco::stream::stats_to_line(&stats, false));
+            responses.push('\n');
+        }
+        std::fs::write(dir.join("responses.ndjson"), responses).unwrap();
+        println!("wrote eco_stream_smoke from witness seed {seed}");
+        return;
+    }
+    panic!("no witness seed in 0..200 produced a suitable smoke fixture");
+}
