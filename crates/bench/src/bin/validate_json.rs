@@ -1,13 +1,16 @@
 //! CI validator for the observability artifacts.
 //!
 //! ```text
-//! validate_json --trace FILE     # Chrome Trace Event JSON array
-//! validate_json --metrics FILE   # mrl-metrics-v1 summary
+//! validate_json --trace FILE             # Chrome Trace Event JSON array
+//! validate_json --metrics FILE           # mrl-metrics-v1 summary
+//! validate_json --prom FILE [NAME...]    # Prometheus text exposition
 //! ```
 //!
 //! Exits non-zero with a message on the first structural problem. Kept in
 //! `mrl-bench` because its `Json::parse` is the workspace's only JSON
 //! reader (the build is offline, no serde).
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use mrl_bench::json::Json;
 
@@ -83,14 +86,163 @@ fn validate_metrics(path: &str) {
     println!("{path}: ok — mrl-metrics-v1 with all sections");
 }
 
+/// Splits one sample line into (family name, full label block, value).
+/// Label values in our exposition never contain `}` or spaces, which keeps
+/// this lint-grade parser honest without a full tokenizer.
+fn split_sample<'a>(path: &str, line: &'a str) -> (&'a str, &'a str, f64) {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| die(&format!("{path}: sample without value: {line:?}")));
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{path}: non-numeric value: {line:?}")));
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| die(&format!("{path}: unterminated labels: {line:?}")));
+            (name, labels)
+        }
+        None => (series, ""),
+    };
+    (name, labels, value)
+}
+
+/// The metric family a sample belongs to: histogram sample suffixes fold
+/// into their base name when that base carries a `# TYPE ... histogram`.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|t| t == "histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Lints a Prometheus text exposition (format 0.0.4): every sample has a
+/// preceding `# TYPE` and `# HELP`, histogram buckets are cumulative
+/// (monotone, ending at `+Inf` == `_count`), and every `required` family
+/// is present with at least one sample.
+fn validate_prom(path: &str, required: &[String]) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut families: BTreeSet<String> = BTreeSet::new();
+    // Histogram series keyed by (family, labels-minus-le): bucket values in
+    // file order, plus the matching _count when it arrives.
+    let mut buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut sums: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut samples = 0usize;
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            helps.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                die(&format!("{path}: unknown TYPE {kind:?} for {name}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) = split_sample(path, line);
+        let family = family_of(name, &types);
+        if !types.contains_key(family) {
+            die(&format!("{path}: sample {name} has no preceding # TYPE"));
+        }
+        if !helps.contains(family) {
+            die(&format!("{path}: sample {name} has no preceding # HELP"));
+        }
+        families.insert(family.to_string());
+        samples += 1;
+        if types[family] == "histogram" {
+            let series = |labels: &str| {
+                let kept: Vec<&str> = labels
+                    .split(',')
+                    .filter(|kv| !kv.is_empty() && !kv.starts_with("le="))
+                    .collect();
+                (family.to_string(), kept.join(","))
+            };
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .split(',')
+                    .find_map(|kv| kv.strip_prefix("le="))
+                    .unwrap_or_else(|| die(&format!("{path}: bucket without le: {line:?}")));
+                buckets
+                    .entry(series(labels))
+                    .or_default()
+                    .push((le.trim_matches('"').to_string(), value));
+            } else if name.ends_with("_count") {
+                counts.insert(series(labels), value);
+            } else if name.ends_with("_sum") {
+                sums.insert(series(labels));
+            }
+        }
+    }
+
+    for (key, series) in &buckets {
+        let (family, labels) = key;
+        let tag = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        let mut prev = f64::NEG_INFINITY;
+        for (le, value) in series {
+            if *value < prev {
+                die(&format!("{path}: {tag} buckets not cumulative at le={le}"));
+            }
+            prev = *value;
+        }
+        match series.last() {
+            Some((le, inf_value)) if le == "+Inf" => {
+                let count = counts
+                    .get(key)
+                    .unwrap_or_else(|| die(&format!("{path}: {tag} has buckets but no _count")));
+                if inf_value != count {
+                    die(&format!(
+                        "{path}: {tag} +Inf bucket {inf_value} != _count {count}"
+                    ));
+                }
+            }
+            _ => die(&format!("{path}: {tag} does not end at le=\"+Inf\"")),
+        }
+        if !sums.contains(key) {
+            die(&format!("{path}: {tag} has buckets but no _sum"));
+        }
+    }
+    for name in required {
+        if !families.contains(name) {
+            die(&format!("{path}: required metric family \"{name}\" absent"));
+        }
+    }
+    println!(
+        "{path}: ok — {samples} samples, {} families, {} histogram series",
+        families.len(),
+        buckets.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() != 2 {
-        die("usage: validate_json (--trace FILE | --metrics FILE)");
-    }
-    match args[0].as_str() {
-        "--trace" => validate_trace(&args[1]),
-        "--metrics" => validate_metrics(&args[1]),
-        other => die(&format!("unknown mode {other}")),
+    match args.first().map(String::as_str) {
+        Some("--trace") if args.len() == 2 => validate_trace(&args[1]),
+        Some("--metrics") if args.len() == 2 => validate_metrics(&args[1]),
+        Some("--prom") if args.len() >= 2 => validate_prom(&args[1], &args[2..]),
+        _ => die("usage: validate_json (--trace FILE | --metrics FILE | --prom FILE [NAME...])"),
     }
 }

@@ -15,6 +15,7 @@
 //! mrl fuzz     [--seed S] [--iters N] [--cells N] [--time-budget T]
 //!              [--corpus DIR] [--json FILE] [--inject-bug]
 //! mrl serve    (--aux F | --lef F --def F) [--input FILE] [--listen ADDR]
+//!              [--metrics-addr ADDR] [--stats-every N] [--metrics-json FILE]
 //!              [--check] [--budget N]
 //! ```
 //!
@@ -101,6 +102,8 @@ struct Opts {
     listen: Option<String>,
     check: bool,
     budget: Option<i64>,
+    metrics_addr: Option<String>,
+    stats_every: Option<u64>,
 }
 
 /// Parses a duration like `60`, `60s`, or `2m` (seconds by default).
@@ -168,6 +171,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--metrics-json" => o.metrics_json = Some(PathBuf::from(val("--metrics-json")?)),
             "--input" => o.input = Some(PathBuf::from(val("--input")?)),
             "--listen" => o.listen = Some(val("--listen")?.clone()),
+            "--metrics-addr" => o.metrics_addr = Some(val("--metrics-addr")?.clone()),
+            "--stats-every" => {
+                let n: u64 = val("--stats-every")?
+                    .parse()
+                    .map_err(|_| fail("bad --stats-every"))?;
+                if n == 0 {
+                    return Err(fail("bad --stats-every (must be >= 1)"));
+                }
+                o.stats_every = Some(n);
+            }
             "--check" => o.check = true,
             "--budget" => {
                 o.budget = Some(val("--budget")?.parse().map_err(|_| fail("bad --budget"))?)
@@ -410,8 +423,8 @@ fn report_text(json: &Json) -> Result<String, CliError> {
         c("events"),
         c("dropped_events"),
     );
-    for (name, title) in HIST_TITLES {
-        let Some(hist) = json.get("histograms").and_then(|h| h.get(name)) else {
+    for (name, title) in hist_catalog(json) {
+        let Some(hist) = json.get("histograms").and_then(|h| h.get(&name)) else {
             continue;
         };
         let count = hist.get("count").and_then(Json::as_f64).unwrap_or(0.0);
@@ -434,11 +447,31 @@ const HIST_TITLES: [(&str, &str); 3] = [
     ("retry_round", "retry round of success"),
 ];
 
+/// The histograms to render, in order: the three standard legalization
+/// series first (with their curated titles), then any extras the document
+/// carries — the serving path's latency and escalation histograms land
+/// there — titled by their key. Keys come from a `BTreeMap`, so extras
+/// render in a stable sorted order.
+fn hist_catalog(json: &Json) -> Vec<(String, String)> {
+    let mut catalog: Vec<(String, String)> = HIST_TITLES
+        .iter()
+        .map(|&(n, t)| (n.to_string(), t.to_string()))
+        .collect();
+    if let Some(Json::Obj(map)) = json.get("histograms") {
+        for name in map.keys() {
+            if HIST_TITLES.iter().all(|&(n, _)| n != name) {
+                catalog.push((name.clone(), name.replace('_', " ")));
+            }
+        }
+    }
+    catalog
+}
+
 /// Renders the histograms of a metrics JSON as a simple SVG bar chart.
 fn report_svg(json: &Json) -> String {
     let mut charts = Vec::new();
-    for (name, title) in HIST_TITLES {
-        let Some(hist) = json.get("histograms").and_then(|h| h.get(name)) else {
+    for (name, title) in hist_catalog(json) {
+        let Some(hist) = json.get("histograms").and_then(|h| h.get(&name)) else {
             continue;
         };
         charts.push((title, hist_rows(hist)));
@@ -815,6 +848,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "serve" => {
             let design = load_design(&o)?;
+            let design_name = design.name().to_string();
             let cfg = legalizer_config(&o);
             let mut state = PlacementState::new(&design);
             Legalizer::new(cfg.clone())
@@ -822,37 +856,66 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| fail(format!("base legalization failed: {e}")))?;
             let eco_cfg = mrl_eco::EcoConfig::default().with_max_induced_disp(o.budget);
             let mut session = mrl_eco::EcoSession::new(design, state, cfg, eco_cfg);
+            let telemetry = std::sync::Arc::clone(session.telemetry());
 
-            if let Some(addr) = &o.listen {
-                return serve_tcp(&mut session, addr, o.check);
+            // The exporter thread holds its own Arc; it keeps answering
+            // /metrics and /healthz until the process exits.
+            if let Some(addr) = &o.metrics_addr {
+                let collect: std::sync::Arc<dyn mrl_telemetry::Collect> = telemetry.clone();
+                let (bound, _thread) = mrl_telemetry::spawn_exporter(addr, collect)
+                    .map_err(|e| fail(format!("cannot bind metrics endpoint {addr}: {e}")))?;
+                eprintln!("metrics on {bound}");
             }
-            let text = match &o.input {
-                Some(path) => std::fs::read_to_string(path)
-                    .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?,
-                None => {
-                    let mut buf = String::new();
-                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
-                        .map_err(|e| fail(format!("cannot read stdin: {e}")))?;
-                    buf
+
+            let mut out = if let Some(addr) = &o.listen {
+                serve_tcp(&mut session, addr, o.check, o.stats_every)?
+            } else {
+                let text = match &o.input {
+                    Some(path) => std::fs::read_to_string(path)
+                        .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?,
+                    None => {
+                        let mut buf = String::new();
+                        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                            .map_err(|e| fail(format!("cannot read stdin: {e}")))?;
+                        buf
+                    }
+                };
+                let mut out = String::new();
+                let mut processed = 0u64;
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        if line == "#poison" {
+                            session.telemetry().poison();
+                        }
+                        continue;
+                    }
+                    out.push_str(&serve_one(&mut session, line, o.check)?);
+                    out.push('\n');
+                    processed += 1;
+                    if o.stats_every.is_some_and(|n| processed.is_multiple_of(n)) {
+                        eprintln!("{}", session.telemetry().stats_line("stats"));
+                    }
                 }
+                let _ = writeln!(
+                    out,
+                    "served {} batches ({} applied, {} rejected, {} cells now deleted)",
+                    session.batches_applied() + session.batches_rejected(),
+                    session.batches_applied(),
+                    session.batches_rejected(),
+                    session.num_deleted(),
+                );
+                out
             };
-            let mut out = String::new();
-            for line in text.lines() {
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                out.push_str(&serve_one(&mut session, line, o.check)?);
-                out.push('\n');
+            // Final stats summary on the EOF/peer-close path — stderr, so
+            // the NDJSON response stream on stdout stays canonical.
+            eprintln!("{}", telemetry.stats_line("shutdown"));
+            if let Some(path) = &o.metrics_json {
+                let summary = telemetry.to_metrics_summary(&design_name);
+                std::fs::write(path, summary.to_json_string())
+                    .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+                let _ = writeln!(out, "wrote metrics to {}", path.display());
             }
-            let _ = writeln!(
-                out,
-                "served {} batches ({} applied, {} rejected, {} cells now deleted)",
-                session.batches_applied() + session.batches_rejected(),
-                session.batches_applied(),
-                session.batches_rejected(),
-                session.num_deleted(),
-            );
             Ok(out)
         }
         "report" => {
@@ -877,21 +940,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Renders the canonical structured error response: a `kind` from a closed
+/// set (`"parse"`, `"invalid_edit"`), the free-form message, and the
+/// request id when one was parseable (`null` for unparseable lines).
+fn error_response(kind: &str, message: &str, id: Option<u64>) -> String {
+    let mut err = Json::obj();
+    err.set("kind", kind).set("message", message);
+    let mut j = Json::obj();
+    j.set("error", err);
+    match id {
+        Some(id) => j.set("id", id),
+        None => j.set("id", Json::Null),
+    };
+    j.compact()
+}
+
 /// Applies one NDJSON request line to the session and renders the response
-/// line: per-batch stats on success, an `{"error":...}` object for
-/// malformed requests (the stream continues), a hard [`CliError`] only for
-/// internal failures or a `--check` legality violation.
+/// line: per-batch stats on success, a structured `{"error":{...}}` object
+/// for malformed requests (the connection survives), a hard [`CliError`]
+/// only for internal failures or a `--check` legality violation.
 fn serve_one(
     session: &mut mrl_eco::EcoSession,
     line: &str,
     check: bool,
 ) -> Result<String, CliError> {
-    let batch = match mrl_eco::stream::parse_batch_line(line) {
+    let telemetry = std::sync::Arc::clone(session.telemetry());
+    let parse_t = std::time::Instant::now();
+    let parsed = mrl_eco::stream::parse_batch_line(line);
+    telemetry
+        .phase_parse
+        .observe(u64::try_from(parse_t.elapsed().as_micros()).unwrap_or(u64::MAX));
+    let batch = match parsed {
         Ok(b) => b,
         Err(e) => {
-            let mut j = Json::obj();
-            j.set("error", e.as_str());
-            return Ok(j.compact());
+            telemetry.errors_parse.inc();
+            return Ok(error_response("parse", e.as_str(), None));
         }
     };
     let id = batch.id;
@@ -903,9 +986,7 @@ fn serve_one(
             Ok(mrl_eco::stream::stats_to_line(&stats, true))
         }
         Err(mrl_eco::EcoError::InvalidEdit { request, message }) => {
-            let mut j = Json::obj();
-            j.set("error", message.as_str()).set("id", request);
-            Ok(j.compact())
+            Ok(error_response("invalid_edit", &message, Some(request)))
         }
         Err(e) => Err(CliError {
             message: format!("request {id}: {e}"),
@@ -944,8 +1025,11 @@ fn serve_tcp(
     session: &mut mrl_eco::EcoSession,
     addr: &str,
     check: bool,
+    stats_every: Option<u64>,
 ) -> Result<String, CliError> {
     use std::io::{BufRead as _, Write as _};
+    let telemetry = std::sync::Arc::clone(session.telemetry());
+    let us = |t: std::time::Instant| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| fail(format!("cannot bind {addr}: {e}")))?;
     let local = listener
@@ -958,18 +1042,34 @@ fn serve_tcp(
     let mut writer = stream
         .try_clone()
         .map_err(|e| fail(format!("clone: {e}")))?;
-    let reader = std::io::BufReader::new(stream);
-    for line in reader.lines() {
+    let mut lines = std::io::BufReader::new(stream).lines();
+    let mut processed = 0u64;
+    loop {
+        let read_t = std::time::Instant::now();
+        let Some(line) = lines.next() else { break };
         let line = line.map_err(|e| fail(format!("read from {peer}: {e}")))?;
+        telemetry.phase_read.observe(us(read_t));
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            // `#poison` is the operational drain hook: health flips to 503
+            // so a load balancer stops routing here, while in-flight
+            // serving continues.
+            if line == "#poison" {
+                telemetry.poison();
+            }
             continue;
         }
         let response = serve_one(session, line, check)?;
+        let respond_t = std::time::Instant::now();
         writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
             .map_err(|e| fail(format!("write to {peer}: {e}")))?;
+        telemetry.phase_respond.observe(us(respond_t));
+        processed += 1;
+        if stats_every.is_some_and(|n| processed.is_multiple_of(n)) {
+            eprintln!("{}", telemetry.stats_line("stats"));
+        }
     }
     Ok(format!(
         "served {} batches over {local} ({} applied, {} rejected)\n",
@@ -1000,6 +1100,7 @@ commands:
            [--inject-bug] [--no-tiers]
   serve    (--aux F | --lef F --def F) [--input FILE] [--listen ADDR]
            [--check] [--budget N] [--rx N --ry N] [--relaxed] [--seed S]
+           [--metrics-addr ADDR] [--stats-every N] [--metrics-json FILE]
 ";
 
 #[cfg(test)]
@@ -1446,6 +1547,127 @@ mod tests {
         drop(reader);
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("served 1 batches"), "{summary}");
+    }
+
+    #[test]
+    fn serve_exposes_metrics_and_health_over_http() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let aux = generated_aux("servemetrics");
+        let (m0, _) = movable_indices(&aux);
+        let pid = std::process::id();
+        let addr = format!("127.0.0.1:{}", 41000 + (pid % 10000) as u16);
+        let maddr = format!("127.0.0.1:{}", 51000 + (pid % 10000) as u16);
+        let metrics_json = aux.parent().unwrap().join("serve_metrics.json");
+        let (aux_s, addr_s, maddr_s) = (
+            aux.to_str().unwrap().to_string(),
+            addr.clone(),
+            maddr.clone(),
+        );
+        let json_s = metrics_json.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run(&args(&[
+                "serve",
+                "--aux",
+                &aux_s,
+                "--listen",
+                &addr_s,
+                "--metrics-addr",
+                &maddr_s,
+                "--metrics-json",
+                &json_s,
+            ]))
+        });
+        let mut stream = None;
+        for _ in 0..300 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            }
+        }
+        let stream = stream.expect("server never bound");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut ask = |line: String| {
+            writer.write_all(line.as_bytes()).unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+
+        let ok = ask(format!(
+            "{{\"id\":1,\"edits\":[{{\"op\":\"move\",\"cell\":{m0},\"x\":6.0,\"y\":1.0}}]}}\n"
+        ));
+        assert!(ok.contains("\"applied\":true"), "{ok}");
+        // A garbage line gets the canonical parse error and a null id; the
+        // connection survives.
+        let garbage = ask("this is not json\n".to_string());
+        assert!(
+            garbage.contains("\"error\":{\"kind\":\"parse\""),
+            "{garbage}"
+        );
+        assert!(garbage.contains("\"id\":null"), "{garbage}");
+        // A well-formed batch naming a nonexistent cell is an invalid_edit
+        // error that echoes the request id.
+        let invalid = ask(
+            "{\"id\":2,\"edits\":[{\"op\":\"move\",\"cell\":999999,\"x\":1.0,\"y\":1.0}]}\n"
+                .to_string(),
+        );
+        assert!(invalid.contains("\"kind\":\"invalid_edit\""), "{invalid}");
+        assert!(invalid.contains("\"id\":2"), "{invalid}");
+
+        let maddr_sock: std::net::SocketAddr = maddr.parse().unwrap();
+        let (status, body) = mrl_telemetry::http_get(maddr_sock, "/healthz").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        let (status, text) = mrl_telemetry::http_get(maddr_sock, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(
+            text.contains("mrl_serve_batches_total{outcome=\"applied\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mrl_serve_errors_total{reason=\"parse\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mrl_serve_errors_total{reason=\"invalid_edit\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mrl_serve_batch_latency_us_bucket{le=\"+Inf\"}"),
+            "{text}"
+        );
+        assert!(text.contains("mrl_session_live_cells"), "{text}");
+
+        // The poison directive flips /healthz to 503; a follow-up request
+        // round-trip is the synchronization barrier.
+        let synced = ask(format!(
+            "#poison\n{{\"id\":3,\"edits\":[{{\"op\":\"move\",\"cell\":{m0},\"x\":8.0,\"y\":1.0}}]}}\n"
+        ));
+        assert!(synced.contains("\"id\":3"), "{synced}");
+        let (status, body) = mrl_telemetry::http_get(maddr_sock, "/healthz").unwrap();
+        assert!(status.contains("503"), "{status}");
+        assert_eq!(body, "unhealthy\n");
+        assert!(mrl_telemetry::http_get(maddr_sock, "/metrics")
+            .unwrap()
+            .1
+            .contains("mrl_serve_healthy 0"),);
+
+        drop(writer);
+        drop(reader);
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 2 batches"), "{summary}");
+        // The final summary merged the live histograms into metrics-v1.
+        let written = std::fs::read_to_string(&metrics_json).unwrap();
+        assert!(
+            written.contains("\"schema\": \"mrl-metrics-v1\""),
+            "{written}"
+        );
+        assert!(written.contains("\"serve_batch_latency_us\""), "{written}");
+        assert!(written.contains("\"serve_phase_read_us\""), "{written}");
     }
 
     #[test]

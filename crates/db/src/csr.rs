@@ -134,6 +134,14 @@ impl<T: Copy> Csr<T> {
             + self.spans.capacity() * std::mem::size_of::<Span>()
     }
 
+    /// Arena bytes NOT occupied by live elements — per-segment slack plus
+    /// dead holes left by reslicing plus unused `Vec` capacity. The
+    /// telemetry layer exports this as a gauge so long-lived serving
+    /// sessions can watch compaction debt grow and shrink.
+    pub fn slack_bytes(&self) -> usize {
+        self.data.capacity().saturating_sub(self.live) * std::mem::size_of::<T>()
+    }
+
     /// Moves a full segment block to the arena tail with doubled capacity.
     /// `pad` fills the block's slack (never read; `len` guards every
     /// access) so the arena stays fully initialized without `T: Default`.

@@ -180,6 +180,14 @@ impl PlacementState {
         self.seg_xs.bytes() + self.seg_ids.bytes() + self.gaps.bytes()
     }
 
+    /// Bytes of [`index_bytes`](PlacementState::index_bytes) not occupied
+    /// by live entries — CSR slack capacity plus dead reslice holes. A
+    /// session gauge: high slack on a long-lived session means the arenas
+    /// are carrying compaction debt.
+    pub fn index_slack_bytes(&self) -> usize {
+        self.seg_xs.slack_bytes() + self.seg_ids.slack_bytes() + self.gaps.slack_bytes()
+    }
+
     /// The sorted maximal free gaps `[x0, x1)` of a segment — the occupancy
     /// index consumed by window extraction and the parallel driver.
     pub fn free_gaps(&self, seg: SegId) -> &[(i32, i32)] {

@@ -11,6 +11,7 @@ use mrl_db::{CellId, Design, PlacementState};
 use mrl_eco::{EcoConfig, EcoSession, Edit, EditBatch};
 use mrl_legalize::{Legalizer, LegalizerConfig};
 use mrl_synth::{generate_witness, WitnessConfig};
+use mrl_trace::Hist;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -125,7 +126,22 @@ struct SweepPoint {
     wall_s: f64,
     req_per_s: f64,
     p50_us: u64,
+    p90_us: u64,
     p99_us: u64,
+    /// The session telemetry's log2 batch-latency histogram, in the same
+    /// bucket encoding mrl-metrics-v1 uses.
+    latency_hist: Hist,
+}
+
+/// Renders a histogram in the mrl-metrics-v1 encoding:
+/// `{"count":N,"sum":N,"buckets":[...]}` with log2 bucket edges.
+fn hist_json(h: &Hist) -> Json {
+    let mut j = Json::obj();
+    j.set("count", h.count).set("sum", h.sum).set(
+        "buckets",
+        Json::Arr(h.buckets.iter().map(|&b| Json::from(b)).collect()),
+    );
+    j
 }
 
 fn main() -> ExitCode {
@@ -213,7 +229,23 @@ fn main() -> ExitCode {
         let wall_s = sweep_t.elapsed().as_secs_f64();
         lat_us.sort_unstable();
         let p50 = percentile(&lat_us, 0.50);
+        let p90 = percentile(&lat_us, 0.90);
         let p99 = percentile(&lat_us, 0.99);
+        // The session telemetry recorded the same batches; its log2
+        // histogram ships with the sweep point so dashboards read the
+        // exact shape, not just three exact-percentile cuts.
+        let latency_hist = session
+            .telemetry()
+            .to_metrics_summary("bench")
+            .extras
+            .into_iter()
+            .find(|(name, _)| name == "serve_batch_latency_us")
+            .map(|(_, h)| h)
+            .expect("telemetry exports serve_batch_latency_us");
+        assert_eq!(
+            latency_hist.count, args.batches as u64,
+            "telemetry latency histogram must cover every batch"
+        );
         let req_per_s = args.batches as f64 / wall_s.max(1e-9);
         let mean_batch_s = wall_s / args.batches as f64;
         let ratio = full_s / mean_batch_s.max(1e-9);
@@ -221,7 +253,7 @@ fn main() -> ExitCode {
             ratio_at_16 = ratio_at_16.min(ratio);
         }
         eprintln!(
-            "batch={batch_size:>3}: {req_per_s:8.1} req/s  p50={p50}us p99={p99}us  \
+            "batch={batch_size:>3}: {req_per_s:8.1} req/s  p50={p50}us p90={p90}us p99={p99}us  \
              incremental-vs-full {ratio:.1}x  ({applied} applied, {rejected} rejected)"
         );
         points.push(SweepPoint {
@@ -232,7 +264,9 @@ fn main() -> ExitCode {
             wall_s,
             req_per_s,
             p50_us: p50,
+            p90_us: p90,
             p99_us: p99,
+            latency_hist,
         });
     }
 
@@ -253,7 +287,9 @@ fn main() -> ExitCode {
             .set("wall_s", p.wall_s)
             .set("req_per_s", p.req_per_s)
             .set("p50_us", p.p50_us)
+            .set("p90_us", p.p90_us)
             .set("p99_us", p.p99_us)
+            .set("latency_hist", hist_json(&p.latency_hist))
             .set(
                 "speedup_vs_full",
                 full_s / (p.wall_s / p.batches as f64).max(1e-9),

@@ -44,5 +44,7 @@
 
 mod session;
 pub mod stream;
+pub mod telemetry;
 
 pub use session::{BatchStats, EcoConfig, EcoError, EcoSession, Edit, EditBatch};
+pub use telemetry::ServeTelemetry;

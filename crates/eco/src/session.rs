@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mrl_db::{CellId, DbError, Design, PlacementState};
@@ -10,6 +11,13 @@ use mrl_geom::{PowerRail, SiteRect};
 use mrl_legalize::{
     LegalizeStats, Legalizer, LegalizerConfig, NoopSink, ScratchArena, Sink, TraceBuf,
 };
+
+use crate::telemetry::{RejectReason, ServeTelemetry};
+
+/// Microseconds elapsed since `t`, saturated into the histogram domain.
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// One atomic change to the design, in the paper's incremental-use terms
 /// (Section 1: gate sizing, buffer insertion, local replacement).
@@ -221,8 +229,10 @@ pub struct EcoSession {
     arena: ScratchArena,
     trace: TraceBuf,
     deleted: Vec<bool>,
+    deleted_count: usize,
     batches_applied: u64,
     batches_rejected: u64,
+    telemetry: Arc<ServeTelemetry>,
 }
 
 impl EcoSession {
@@ -237,7 +247,8 @@ impl EcoSession {
     ) -> Self {
         let deleted = vec![false; design.num_cells()];
         let trace_cap = cfg.trace_capacity;
-        Self {
+        let telemetry = Arc::new(ServeTelemetry::new());
+        let session = Self {
             design,
             state,
             legalizer: Legalizer::new(legalizer),
@@ -245,9 +256,19 @@ impl EcoSession {
             arena: ScratchArena::new(),
             trace: TraceBuf::new(trace_cap),
             deleted,
+            deleted_count: 0,
             batches_applied: 0,
             batches_rejected: 0,
-        }
+            telemetry,
+        };
+        session.refresh_gauges(0);
+        session
+    }
+
+    /// The session's always-on metric registry. Clone the `Arc` to hand it
+    /// to an exporter thread; recording continues either way.
+    pub fn telemetry(&self) -> &Arc<ServeTelemetry> {
+        &self.telemetry
     }
 
     /// The live design, including any committed inserts/resizes.
@@ -276,9 +297,9 @@ impl EcoSession {
         self.deleted.get(cell.index()).copied().unwrap_or(false)
     }
 
-    /// Number of tombstoned cells.
+    /// Number of tombstoned cells (O(1): maintained at commit).
     pub fn num_deleted(&self) -> usize {
-        self.deleted.iter().filter(|&&d| d).count()
+        self.deleted_count
     }
 
     /// Batches committed so far.
@@ -313,14 +334,27 @@ impl EcoSession {
         batch: &EditBatch,
         budget: Option<i64>,
     ) -> Result<BatchStats, EcoError> {
-        if self.cfg.trace {
+        let result = if self.cfg.trace {
             let mut sink = self.trace.lane(batch.id as u32);
             let result = self.apply_inner(batch, budget, &mut sink);
             self.trace.absorb(sink);
             result
         } else {
             self.apply_inner(batch, budget, &mut NoopSink)
+        };
+        if let Err(e) = &result {
+            self.telemetry.batches_error.inc();
+            match e {
+                EcoError::InvalidEdit { .. } => self.telemetry.errors_invalid_edit.inc(),
+                EcoError::Db(_) => {
+                    // An internal invariant failed; the session can no
+                    // longer vouch for its state, so health flips too.
+                    self.telemetry.errors_internal.inc();
+                    self.telemetry.poison();
+                }
+            }
         }
+        result
     }
 
     /// Pre-flight validation: walks the batch against a simulated cell
@@ -377,7 +411,17 @@ impl EcoSession {
         sink: &mut S,
     ) -> Result<BatchStats, EcoError> {
         let wall = Instant::now();
-        self.validate(batch)?;
+        for edit in &batch.edits {
+            match edit {
+                Edit::Move { .. } => self.telemetry.edits_move.inc(),
+                Edit::Resize { .. } => self.telemetry.edits_resize.inc(),
+                Edit::Insert { .. } => self.telemetry.edits_insert.inc(),
+                Edit::Delete { .. } => self.telemetry.edits_delete.inc(),
+            }
+        }
+        let validated = self.validate(batch);
+        self.telemetry.phase_validate.observe(elapsed_us(wall));
+        validated?;
 
         // Phase 1: open the transaction and apply the structural edits,
         // unplacing only the cells the batch names. Design-level undo is
@@ -390,7 +434,7 @@ impl EcoSession {
         let mut relegalize: Vec<CellId> = Vec::new();
         let mut edited: Vec<CellId> = Vec::new();
         let mut window = WindowAcc::new();
-        let mut reject: Option<String> = None;
+        let mut reject: Option<(RejectReason, String)> = None;
 
         for edit in &batch.edits {
             match edit {
@@ -430,7 +474,7 @@ impl EcoSession {
                             edited.push(cell);
                         }
                         Err(e) => {
-                            reject = Some(format!("resize rejected: {e}"));
+                            reject = Some((RejectReason::Resize, format!("resize rejected: {e}")));
                             break;
                         }
                     }
@@ -454,7 +498,7 @@ impl EcoSession {
                             edited.push(id);
                         }
                         Err(e) => {
-                            reject = Some(format!("insert rejected: {e}"));
+                            reject = Some((RejectReason::Insert, format!("insert rejected: {e}")));
                             break;
                         }
                     }
@@ -481,6 +525,7 @@ impl EcoSession {
                 .copied()
                 .filter(|c| !pending_deletes.contains(c))
                 .collect();
+            let legalize_t = Instant::now();
             let (s, result) = self.legalizer.legalize_subset_in(
                 &self.design,
                 &mut self.state,
@@ -488,9 +533,12 @@ impl EcoSession {
                 &mut self.arena,
                 sink,
             );
+            self.telemetry
+                .phase_legalize
+                .observe(elapsed_us(legalize_t));
             lstats = s;
             if let Err(e) = result {
-                reject = Some(format!("legalization failed: {e}"));
+                reject = Some((RejectReason::Legalize, format!("legalization failed: {e}")));
             }
         }
 
@@ -507,8 +555,9 @@ impl EcoSession {
         if reject.is_none() {
             if let Some(max) = budget {
                 if induced > max {
-                    reject = Some(format!(
-                        "induced displacement {induced} exceeds budget {max}"
+                    reject = Some((
+                        RejectReason::Budget,
+                        format!("induced displacement {induced} exceeds budget {max}"),
                     ));
                 }
             }
@@ -516,9 +565,14 @@ impl EcoSession {
 
         // Phase 4: commit, or roll back bit-exactly.
         let relegalized = relegalize.len();
-        let stats = if let Some(reason) = reject {
+        // Journal depth before commit/rollback consumes the log: the
+        // batch's true disturbance footprint, whichever way it resolves.
+        let journal_depth = self.state.txn_log().len();
+        let stats = if let Some((why, reason)) = reject {
             self.rollback(base_cells, &prev_inputs, &prev_widths)?;
             self.batches_rejected += 1;
+            self.telemetry.batches_rejected.inc();
+            self.telemetry.record_reject(why);
             BatchStats {
                 request: batch.id,
                 applied: false,
@@ -540,11 +594,18 @@ impl EcoSession {
             for &cell in &pending_deletes {
                 self.deleted[cell.index()] = true;
             }
+            // Validation guarantees each pending delete is unique and not
+            // already tombstoned, so the O(1) count stays exact.
+            self.deleted_count += pending_deletes.len();
             let moved = log
                 .iter()
                 .filter(|&&(cell, orig)| self.state.position(cell) != orig)
                 .count();
             self.batches_applied += 1;
+            self.telemetry.batches_applied.inc();
+            self.telemetry
+                .induced_disp
+                .observe(u64::try_from(induced).unwrap_or(0));
             BatchStats {
                 request: batch.id,
                 applied: true,
@@ -561,7 +622,28 @@ impl EcoSession {
                 wall: wall.elapsed(),
             }
         };
+        self.telemetry.escalations.observe(stats.escalations);
+        self.telemetry
+            .batch_latency
+            .observe(u64::try_from(stats.wall.as_micros()).unwrap_or(u64::MAX));
+        self.refresh_gauges(journal_depth);
         Ok(stats)
+    }
+
+    /// Publishes the session gauges after a batch resolves (and once at
+    /// open). Cheap — a handful of relaxed stores — so it runs even when
+    /// nothing is scraping.
+    fn refresh_gauges(&self, journal_depth: usize) {
+        let t = &self.telemetry;
+        t.live_cells
+            .set((self.design.num_cells() - self.deleted_count) as u64);
+        t.tombstoned_cells.set(self.deleted_count as u64);
+        t.index_bytes.set(self.state.index_bytes() as u64);
+        t.index_slack_bytes
+            .set(self.state.index_slack_bytes() as u64);
+        t.journal_depth.set(journal_depth as u64);
+        t.batches_since_start
+            .set(self.batches_applied + self.batches_rejected);
     }
 
     /// Bit-exact rollback of a rejected batch: placement journal first

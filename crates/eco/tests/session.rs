@@ -333,3 +333,115 @@ fn mixed_stream_of_batches_keeps_invariants() {
     assert_eq!(session.batches_applied(), applied);
     assert!(applied > 12, "most batches should commit, got {applied}");
 }
+
+#[test]
+fn telemetry_tracks_outcomes_reasons_and_gauges() {
+    let mut session = legalized_session(23, 150, 0.6);
+    let cell = first_movable(&session);
+    let (x, y) = session.design().input_position(cell);
+
+    // One applied move, one budget rejection, one invalid-edit error.
+    let ok = session
+        .apply_batch(&EditBatch {
+            id: 1,
+            edits: vec![Edit::Move {
+                cell,
+                x: x + 4.0,
+                y,
+            }],
+        })
+        .expect("apply");
+    assert!(ok.applied);
+    let rejected = session
+        .apply_batch_with_budget(
+            &EditBatch {
+                id: 2,
+                edits: vec![Edit::Move { cell, x, y }],
+            },
+            Some(-1),
+        )
+        .expect("clean rejection");
+    assert!(!rejected.applied);
+    let bogus = CellId::from_usize(session.design().num_cells() + 10);
+    let err = session.apply_batch(&EditBatch {
+        id: 3,
+        edits: vec![Edit::Move { cell: bogus, x, y }],
+    });
+    assert!(matches!(err, Err(EcoError::InvalidEdit { .. })));
+    let deleted = session
+        .apply_batch(&EditBatch {
+            id: 4,
+            edits: vec![Edit::Delete { cell }],
+        })
+        .expect("delete");
+    assert!(deleted.applied);
+
+    let t = session.telemetry();
+    use mrl_telemetry::Collect;
+    assert!(t.healthy(), "clean rejections must not poison health");
+    let text = t.metrics_text();
+    let line = |needle: &str| {
+        text.lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("missing series {needle}"))
+    };
+    assert_eq!(
+        line("mrl_serve_batches_total{outcome=\"applied\"}"),
+        "mrl_serve_batches_total{outcome=\"applied\"} 2"
+    );
+    assert_eq!(
+        line("mrl_serve_batches_total{outcome=\"rejected\"}"),
+        "mrl_serve_batches_total{outcome=\"rejected\"} 1"
+    );
+    assert_eq!(
+        line("mrl_serve_batches_total{outcome=\"error\"}"),
+        "mrl_serve_batches_total{outcome=\"error\"} 1"
+    );
+    assert_eq!(
+        line("mrl_serve_rejects_total{reason=\"budget\"}"),
+        "mrl_serve_rejects_total{reason=\"budget\"} 1"
+    );
+    assert_eq!(
+        line("mrl_serve_errors_total{reason=\"invalid_edit\"}"),
+        "mrl_serve_errors_total{reason=\"invalid_edit\"} 1"
+    );
+    assert_eq!(
+        line("mrl_serve_edits_total{op=\"move\"}"),
+        "mrl_serve_edits_total{op=\"move\"} 3"
+    );
+    assert_eq!(
+        line("mrl_session_tombstoned_cells"),
+        "mrl_session_tombstoned_cells 1"
+    );
+    let live: u64 = line("mrl_session_live_cells")
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(live as usize, session.design().num_cells() - 1);
+    assert_eq!(session.num_deleted(), 1);
+    // Latency funnel recorded all three processed batches (errors skip
+    // the batch histogram but validate timing still lands).
+    assert!(text.contains("mrl_serve_batch_latency_us_count 3"));
+    assert!(text.contains("mrl_serve_phase_latency_us_count{phase=\"validate\"} 4"));
+
+    // Stats line is flat NDJSON with the headline counters.
+    let stats = t.stats_line("stats");
+    assert!(stats.contains("\"event\":\"stats\""), "{stats}");
+    assert!(stats.contains("\"applied\":2"), "{stats}");
+    assert!(stats.contains("\"rejected\":1"), "{stats}");
+    assert!(stats.contains("\"healthy\":true"), "{stats}");
+
+    // The metrics-v1 summary carries the serve histograms as extras.
+    let summary = t.to_metrics_summary("witness23");
+    assert_eq!(summary.hist_displacement.count, 2);
+    let json = summary.to_json_string();
+    assert!(json.contains("\"serve_batch_latency_us\""), "{json}");
+    assert!(json.contains("\"serve_phase_legalize_us\""), "{json}");
+
+    // Poisoning flips /healthz and the gauge, and is sticky.
+    t.poison();
+    assert!(!t.healthy());
+    assert!(t.metrics_text().contains("mrl_serve_healthy 0"));
+}

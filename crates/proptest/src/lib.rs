@@ -193,7 +193,7 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(i8 => gen_i64, i16 => gen_i64, i32 => gen_i64, i64 => gen_i64,
-                    u8 => gen_i64, u16 => gen_i64, u32 => gen_i64);
+                    u8 => gen_i64, u16 => gen_i64, u32 => gen_i64, u64 => gen_i64);
 
 impl Strategy for Range<usize> {
     type Value = usize;

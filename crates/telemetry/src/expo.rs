@@ -1,0 +1,177 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Renders a [`Registry`] as the plain-text format every Prometheus-
+//! compatible scraper understands. Log2 histograms become classic
+//! cumulative `_bucket{le="..."}` series: bucket 0 (the value 0) gets
+//! `le="0"`, bucket `i` covering `[2^(i-1), 2^i)` gets the inclusive
+//! integer upper bound `le="2^i - 1"`, and the absorbing last bucket is
+//! `le="+Inf"` — so `_bucket{le="+Inf"}` equals `_count` by construction.
+
+use crate::registry::{Entry, Metric, Registry};
+use mrl_trace::Hist;
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",...}` for a label set plus an optional extra pair;
+/// empty when there are no labels at all.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// The inclusive `le` upper bound of log2 bucket `i` (see [`Hist`]).
+fn le_bound(i: usize) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else if i == Hist::BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        format!("{}", (1u64 << i) - 1)
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    match &e.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                c.get()
+            );
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                g.get()
+            );
+        }
+        Metric::GaugeFn(f) => {
+            let _ = writeln!(out, "{}{} {}", e.name, label_block(&e.labels, None), f());
+        }
+        Metric::Hist(h) => {
+            let snap = h.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &b) in snap.buckets.iter().enumerate() {
+                cumulative += b;
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    e.name,
+                    label_block(&e.labels, Some(("le", &le_bound(i)))),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                snap.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                snap.count
+            );
+        }
+    }
+}
+
+/// Renders the whole registry as exposition text. `HELP`/`TYPE` headers
+/// are emitted once per family, at its first registered entry; entries of
+/// one family registered consecutively (the normal pattern for labeled
+/// counters) group under a single header.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut seen: Vec<&str> = Vec::new();
+    for e in registry.entries() {
+        if !seen.contains(&e.name.as_str()) {
+            seen.push(&e.name);
+            let kind = match &e.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) | Metric::GaugeFn(_) => "gauge",
+                Metric::Hist(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {kind}", e.name);
+        }
+        render_entry(&mut out, e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn le_bounds_are_log2_edges() {
+        assert_eq!(le_bound(0), "0");
+        assert_eq!(le_bound(1), "1");
+        assert_eq!(le_bound(2), "3");
+        assert_eq!(le_bound(10), "1023");
+        assert_eq!(le_bound(Hist::BUCKETS - 1), "+Inf");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let mut r = Registry::new();
+        let h = r.hist("t_lat_us", "test latency");
+        for v in [0u64, 1, 5, 5, 1 << 20] {
+            h.observe(v);
+        }
+        let text = render(&r);
+        assert!(text.contains("# TYPE t_lat_us histogram"), "{text}");
+        assert!(text.contains("t_lat_us_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("t_lat_us_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("t_lat_us_bucket{le=\"7\"} 4"), "{text}");
+        assert!(text.contains("t_lat_us_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("t_lat_us_count 5"), "{text}");
+        assert!(
+            text.contains(&format!("t_lat_us_sum {}", 11 + (1u64 << 20))),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        let c = r.counter_with("t_total", "test", &[("reason", "bad\"quote\\slash")]);
+        c.inc();
+        let text = render(&r);
+        assert!(
+            text.contains(r#"t_total{reason="bad\"quote\\slash"} 1"#),
+            "{text}"
+        );
+    }
+}

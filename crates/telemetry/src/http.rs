@@ -1,0 +1,120 @@
+//! Minimal HTTP/1.1 exporter for `/metrics` and `/healthz`.
+//!
+//! One background thread, one connection at a time, no keep-alive: the
+//! scrape endpoint is deliberately the simplest thing a Prometheus agent,
+//! `curl`, or a load balancer health probe can talk to. The serving hot
+//! path never touches this thread — it reads the shared [`Collect`]
+//! implementation's atomics at scrape time only.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the exporter serves: exposition text and instantaneous health.
+pub trait Collect: Send + Sync {
+    /// Prometheus text exposition of the current state.
+    fn metrics_text(&self) -> String;
+    /// `false` flips `/healthz` to 503 (poisoned session, draining, …).
+    fn healthy(&self) -> bool;
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best-effort: a scraper hanging up mid-response is its problem.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()));
+}
+
+fn handle(stream: TcpStream, collect: &dyn Collect) {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() && header.trim() != "" {
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &collect.metrics_text(),
+        ),
+        "/healthz" | "/health" => {
+            if collect.healthy() {
+                respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n");
+            } else {
+                respond(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "unhealthy\n",
+                );
+            }
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /healthz\n",
+        ),
+    }
+    let _ = stream.flush();
+}
+
+/// Binds `addr` and serves scrapes on a detached background thread until
+/// the process exits. Returns the bound address (so `127.0.0.1:0` works
+/// in tests and scripts) and the thread handle.
+///
+/// # Errors
+///
+/// The bind error, verbatim.
+pub fn spawn_exporter(
+    addr: &str,
+    collect: Arc<dyn Collect>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => handle(s, collect.as_ref()),
+                Err(_) => continue,
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+/// Blocking one-shot HTTP GET against an exporter — the test/smoke-tool
+/// counterpart of [`spawn_exporter`], so integration tests need no HTTP
+/// client dependency. Returns `(status_line, body)`.
+///
+/// # Errors
+///
+/// Connection or read errors, verbatim.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: exporter\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

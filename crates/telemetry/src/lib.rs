@@ -1,0 +1,38 @@
+//! Always-on, lock-free runtime metrics for the serving path.
+//!
+//! Where `mrl-trace` answers "what happened during this run" after the
+//! fact (ring buffers drained into artifacts), `mrl-telemetry` answers
+//! "what is happening right now": relaxed-atomic [`Counter`]s, [`Gauge`]s,
+//! and [`AtomicHist`] log2 histograms that the hot path updates in a few
+//! nanoseconds, registered once in a static [`Registry`] and read only
+//! when something scrapes them. Histogram snapshots are plain
+//! [`mrl_trace::Hist`] values — the same 32 log2 buckets the
+//! mrl-metrics-v1 encoding uses — so live telemetry, post-hoc metrics
+//! JSON, and BENCH_* artifacts all speak one histogram dialect and merge
+//! losslessly.
+//!
+//! Three consumers:
+//!
+//! * [`expo::render`] — Prometheus text exposition (0.0.4), served over
+//!   HTTP by [`http::spawn_exporter`] together with `/healthz`.
+//! * Periodic NDJSON stats lines (assembled by the embedding crate from
+//!   [`Registry::entries`] or its own handles).
+//! * Final-summary merge into mrl-metrics-v1 documents, via
+//!   [`Hist`](mrl_trace::Hist) snapshots.
+//!
+//! Telemetry is **observation-only** by design: nothing in this crate can
+//! influence a placement decision, which is what keeps the fuzz regime's
+//! bit-identity oracles valid with instrumentation enabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+
+pub mod expo;
+pub mod http;
+pub mod registry;
+
+pub use http::{http_get, spawn_exporter, Collect};
+pub use metric::{AtomicHist, Counter, Gauge};
+pub use registry::{Entry, GaugeFn, Metric, Registry};

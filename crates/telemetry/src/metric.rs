@@ -1,0 +1,146 @@
+//! Lock-free metric primitives: counters, gauges, and atomic log2
+//! histograms whose snapshots are [`mrl_trace::Hist`] values.
+//!
+//! Everything here is built from relaxed atomics: recording is a handful
+//! of `fetch_add`s with no locks, no allocation, and no ordering traffic,
+//! so the serving hot path pays nanoseconds whether or not anything ever
+//! scrapes the registry. Snapshots are taken bucket-by-bucket without
+//! stopping writers; a snapshot racing a concurrent `observe` may miss
+//! that one sample, which is the standard (and harmless) contract for
+//! monitoring counters.
+
+use mrl_trace::Hist;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (session size, arena bytes, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log2-bucket histogram.
+///
+/// Bucketing is identical to [`Hist`] (bucket 0 counts the value 0,
+/// bucket `i >= 1` counts `[2^(i-1), 2^i)`, the last bucket absorbs the
+/// rest), so [`AtomicHist::snapshot`] returns a plain `Hist` that merges
+/// and serializes through the existing mrl-metrics-v1 machinery.
+#[derive(Debug)]
+pub struct AtomicHist {
+    buckets: [AtomicU64; Hist::BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        AtomicHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Hist::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy as a mergeable [`Hist`].
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            h.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(42);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn atomic_hist_matches_plain_hist() {
+        let a = AtomicHist::new();
+        let mut h = Hist::default();
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, 1 << 40] {
+            a.observe(v);
+            h.add(v);
+        }
+        assert_eq!(a.snapshot(), h);
+        assert_eq!(a.count(), 9);
+    }
+}

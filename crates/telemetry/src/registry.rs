@@ -1,0 +1,117 @@
+//! The static metrics registry.
+//!
+//! A [`Registry`] is built once, at session start, by registering every
+//! metric the instrumented code will touch; registration hands back an
+//! [`Arc`] to the primitive, and the hot path keeps that `Arc` in a plain
+//! struct field — recording never looks anything up by name. The registry
+//! itself is only walked when something *reads* the metrics (a Prometheus
+//! scrape, a periodic stats line), which is what makes the layer
+//! near-zero-cost when unscraped.
+
+use crate::metric::{AtomicHist, Counter, Gauge};
+use std::sync::Arc;
+
+/// A callback gauge, sampled at scrape time (uptime and other values that
+/// are functions of "now" rather than of recorded events).
+pub type GaugeFn = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+/// One registered metric.
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Instantaneous value.
+    Gauge(Arc<Gauge>),
+    /// Instantaneous value computed at scrape time.
+    GaugeFn(GaugeFn),
+    /// Log2 latency/size histogram.
+    Hist(Arc<AtomicHist>),
+}
+
+/// A registered metric plus its exposition metadata.
+pub struct Entry {
+    /// Metric family name (`mrl_serve_batches_total`, …).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Constant label pairs distinguishing entries of one family.
+    pub labels: Vec<(String, String)>,
+    /// The live metric.
+    pub metric: Metric,
+}
+
+/// An append-only list of metrics with stable registration order.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, help: &str, labels: &[(&str, &str)], metric: Metric) {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric,
+        });
+    }
+
+    /// Registers an unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers a counter carrying constant labels (one entry per label
+    /// combination; the same family name may be registered repeatedly).
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, labels, Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Registers an unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, &[], Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers a gauge computed by a callback at scrape time.
+    pub fn gauge_fn(&mut self, name: &str, help: &str, f: GaugeFn) {
+        self.push(name, help, &[], Metric::GaugeFn(f));
+    }
+
+    /// Registers an unlabeled histogram.
+    pub fn hist(&mut self, name: &str, help: &str) -> Arc<AtomicHist> {
+        self.hist_with(name, help, &[])
+    }
+
+    /// Registers a histogram carrying constant labels.
+    pub fn hist_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<AtomicHist> {
+        let h = Arc::new(AtomicHist::new());
+        self.push(name, help, labels, Metric::Hist(h.clone()));
+        h
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}

@@ -1,0 +1,132 @@
+//! Registry correctness: concurrent recording, log2 bucket edges, a
+//! byte-exact exposition golden, and the snapshot-merge property.
+
+use mrl_telemetry::{expo, AtomicHist, Registry};
+use mrl_trace::Hist;
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_increments_are_lossless() {
+    let mut r = Registry::new();
+    let c = r.counter("t_ops_total", "ops");
+    let g = r.gauge("t_last", "last writer");
+    let h = r.hist("t_lat_us", "latency");
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (c, g, h) = (&c, &g, &h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.set(t);
+                    h.observe(i % 1024);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    assert!(g.get() < THREADS);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    // Every thread records the same value sequence, so the merged
+    // histogram is exactly THREADS times one thread's histogram.
+    let mut one = Hist::default();
+    for i in 0..PER_THREAD {
+        one.add(i % 1024);
+    }
+    assert_eq!(snap.sum, one.sum * THREADS);
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        assert_eq!(b, one.buckets[i] * THREADS, "bucket {i}");
+    }
+}
+
+#[test]
+fn observe_lands_on_log2_bucket_edges() {
+    let h = AtomicHist::new();
+    // One sample per edge value: the last value before and the first value
+    // of each power-of-two boundary must land in adjacent buckets.
+    for i in 1..=30usize {
+        let edge = 1u64 << i;
+        h.observe(edge - 1);
+        h.observe(edge);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets[0], 0);
+    assert_eq!(snap.buckets[1], 1); // value 1 == 2^1 - 1
+    for i in 2..=30usize {
+        // Bucket i holds 2^(i-1) (entering) and 2^i - 1 (leaving).
+        assert_eq!(snap.buckets[i], 2, "bucket {i}");
+    }
+    assert_eq!(snap.buckets[31], 1); // 2^30 enters the absorbing bucket
+    assert_eq!(snap.count, 60);
+}
+
+#[test]
+fn exposition_golden() {
+    let mut r = Registry::new();
+    let applied = r.counter_with(
+        "g_batches_total",
+        "Batches by outcome.",
+        &[("outcome", "applied")],
+    );
+    let rejected = r.counter_with(
+        "g_batches_total",
+        "Batches by outcome.",
+        &[("outcome", "rejected")],
+    );
+    let cells = r.gauge("g_live_cells", "Live cells.");
+    let lat = r.hist("g_latency_us", "Batch latency (us).");
+    applied.add(3);
+    rejected.inc();
+    cells.set(64);
+    lat.observe(0);
+    lat.observe(5);
+    let text = expo::render(&r);
+    let mut expected = String::from(
+        "# HELP g_batches_total Batches by outcome.\n\
+         # TYPE g_batches_total counter\n\
+         g_batches_total{outcome=\"applied\"} 3\n\
+         g_batches_total{outcome=\"rejected\"} 1\n\
+         # HELP g_live_cells Live cells.\n\
+         # TYPE g_live_cells gauge\n\
+         g_live_cells 64\n\
+         # HELP g_latency_us Batch latency (us).\n\
+         # TYPE g_latency_us histogram\n\
+         g_latency_us_bucket{le=\"0\"} 1\n\
+         g_latency_us_bucket{le=\"1\"} 1\n\
+         g_latency_us_bucket{le=\"3\"} 1\n\
+         g_latency_us_bucket{le=\"7\"} 2\n",
+    );
+    // Buckets 4..=30 stay at the cumulative count of 2, then +Inf.
+    for i in 4..=30 {
+        expected.push_str(&format!(
+            "g_latency_us_bucket{{le=\"{}\"}} 2\n",
+            (1u64 << i) - 1
+        ));
+    }
+    expected.push_str(
+        "g_latency_us_bucket{le=\"+Inf\"} 2\n\
+         g_latency_us_sum 5\n\
+         g_latency_us_count 2\n",
+    );
+    assert_eq!(text, expected);
+}
+
+proptest! {
+    /// mrl-metrics-v1 merge of two telemetry snapshots equals recording
+    /// the full sample stream into a single histogram.
+    #[test]
+    fn snapshot_merge_equals_sequential(samples in collection::vec(0u64..1u64 << 48, 0..200), split in 0usize..200) {
+        let split = split.min(samples.len());
+        let (left, right) = (AtomicHist::new(), AtomicHist::new());
+        let mut sequential = Hist::default();
+        for (i, &v) in samples.iter().enumerate() {
+            if i < split { left.observe(v) } else { right.observe(v) }
+            sequential.add(v);
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        prop_assert_eq!(merged, sequential);
+    }
+}

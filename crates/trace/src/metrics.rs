@@ -58,6 +58,42 @@ impl Hist {
         self.buckets.iter().rposition(|&c| c > 0)
     }
 
+    /// Folds another histogram into this one. Because the buckets are
+    /// fixed, merging N per-source histograms is exact: the result equals
+    /// recording every sample into a single histogram (the telemetry
+    /// snapshot-merge property test pins this).
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile sample
+    /// (`0.0 <= p <= 1.0`), i.e. a conservative percentile estimate with
+    /// log2 resolution: the true p-quantile is `<=` the returned value.
+    /// Returns 0 on an empty histogram; the absorbing last bucket reports
+    /// `u64::MAX`.
+    pub fn quantile_upper(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    i if i == Hist::BUCKETS - 1 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
     fn append_json(&self, out: &mut String) {
         let _ = write!(
             out,
@@ -135,6 +171,11 @@ pub struct MetricsSummary {
     pub hist_region_cells: Hist,
     /// Retry round at which each placed attempt succeeded.
     pub hist_retries: Hist,
+    /// Additional named histograms appended to the `histograms` section —
+    /// the serving path merges its live telemetry (batch/phase latency,
+    /// escalations per batch) here so `mrl report` renders one document.
+    /// Names must not collide with the three fixed histograms.
+    pub extras: Vec<(String, Hist)>,
 }
 
 impl MetricsSummary {
@@ -252,6 +293,7 @@ impl MetricsSummary {
             ("retry_round", &self.hist_retries),
         ]
         .into_iter()
+        .chain(self.extras.iter().map(|(n, h)| (n.as_str(), h)))
         .enumerate()
         {
             if i > 0 {
@@ -353,6 +395,50 @@ mod tests {
         // Retry rounds of the two placements: 0 and 2.
         assert_eq!(m.hist_retries.count, 2);
         assert_eq!(m.hist_retries.sum, 2);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let (mut a, mut b, mut all) = (Hist::default(), Hist::default(), Hist::default());
+        for (i, v) in [0u64, 1, 1, 7, 100, 4096, 1 << 50].into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(v)
+            } else {
+                b.add(v)
+            }
+            all.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_upper_reports_bucket_bounds() {
+        let mut h = Hist::default();
+        assert_eq!(h.quantile_upper(0.5), 0);
+        for v in [0u64, 2, 2, 2, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.quantile_upper(0.0), 0); // rank 1 -> bucket 0
+        assert_eq!(h.quantile_upper(0.5), 3); // rank 3 -> bucket [2,4)
+        assert_eq!(h.quantile_upper(1.0), 1023); // rank 5 -> bucket [512,1024)
+        let mut top = Hist::default();
+        top.add(u64::MAX);
+        assert_eq!(top.quantile_upper(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn extras_render_into_histograms_section() {
+        let mut extra = Hist::default();
+        extra.add(5);
+        let m = MetricsSummary {
+            extras: vec![("batch_latency_us".into(), extra)],
+            ..MetricsSummary::default()
+        };
+        let json = m.to_json_string();
+        assert!(json.contains("\"batch_latency_us\""), "{json}");
+        assert!(json.contains("\"retry_round\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
